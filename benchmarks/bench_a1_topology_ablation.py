@@ -1,0 +1,110 @@
+"""Ablation A1: gossip topology vs propagation and soft-fork rate.
+
+Design choice ablated: the network substrate's topology.  The paper's
+fork dynamics (Fig. 4) depend on propagation delay, which depends on the
+overlay shape.  We flood the same message through a clique, a random
+regular graph, a small world, and a line, then mine on the two extremes
+to show the fork-rate consequence.
+"""
+
+from dataclasses import replace
+
+from conftest import report
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import LinkParams
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.net.topology import (
+    complete_topology,
+    line_topology,
+    random_regular_topology,
+    small_world_topology,
+)
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+from repro.metrics.tables import render_table
+
+LINK = LinkParams(latency_s=0.5, jitter_s=0.1, bandwidth_bps=1e9)
+N = 24
+
+
+class Sink(NetworkNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.arrival = None
+
+    def handle_message(self, sender_id, message):
+        if self.arrival is None:
+            self.arrival = self.network.simulator.now
+
+
+def flood_time(builder, **kwargs):
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    nodes = builder(net, N, Sink, link_params=LINK, **kwargs) if kwargs else builder(
+        net, N, Sink, LINK
+    )
+    nodes[0].broadcast(Message(kind="x", payload=None, size_bytes=100))
+    sim.run()
+    arrivals = [n.arrival for n in nodes[1:]]
+    return max(arrivals), sum(arrivals) / len(arrivals)
+
+
+def fork_rate(builder, duration=4000.0, interval=20.0, **kwargs):
+    params = replace(BITCOIN, target_block_interval_s=interval)
+    key = KeyPair.from_seed(b"\x01" * 32)
+    genesis = build_genesis_with_allocations({key.address: 10**6})
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    factory = lambda nid: BlockchainNode(nid, params, genesis)  # noqa: E731
+    nodes = builder(net, N, factory, link_params=LINK, **kwargs) if kwargs else builder(
+        net, N, factory, LINK
+    )
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(1.0 / N, KeyPair.from_seed(bytes([50 + i]) * 32).address)
+    sim.run(until=duration)
+    blocks = nodes[0].stats.blocks_accepted
+    orphans = sum(n.stats.orphaned_blocks for n in nodes) / len(nodes)
+    return orphans / max(blocks, 1)
+
+
+def test_a1_topology_ablation(benchmark):
+    benchmark(flood_time, complete_topology)
+
+    shapes = [
+        ("complete", complete_topology, {}),
+        ("random-4-regular", random_regular_topology, {"degree": 4, "seed": 2}),
+        ("small-world", small_world_topology, {"seed": 2}),
+        ("line", line_topology, {}),
+    ]
+    rows = []
+    worst = {}
+    for name, builder, kwargs in shapes:
+        if "degree" in kwargs:
+            t_max, t_mean = flood_time(
+                lambda net, n, f, link_params, d=kwargs["degree"], s=kwargs["seed"]:
+                random_regular_topology(net, n, d, f, link_params, seed=s)
+            )
+        else:
+            t_max, t_mean = flood_time(builder, **kwargs)
+        worst[name] = t_max
+        rows.append([name, f"{t_mean:.2f} s", f"{t_max:.2f} s"])
+
+    # Denser overlays propagate faster; the line is the pathological case.
+    assert worst["complete"] < worst["small-world"] <= worst["line"]
+    assert worst["line"] > 5 * worst["complete"]
+
+    clique_forks = fork_rate(complete_topology)
+    line_forks = fork_rate(line_topology)
+    rows.append(["fork rate: clique", f"{clique_forks:.3f}", ""])
+    rows.append(["fork rate: line", f"{line_forks:.3f}", ""])
+    assert line_forks > clique_forks  # slower propagation ⇒ more soft forks
+
+    report(
+        "A1 topology ablation: flood latency and fork-rate consequence",
+        render_table(["topology / metric", "mean", "max"], rows),
+    )

@@ -1,0 +1,88 @@
+"""Ablation A2: ORV quorum fraction vs liveness.
+
+Design choice ablated: the fraction of online representative weight a
+block needs for confirmation (Nano uses a majority).  Low quorums
+confirm with fewer voters (faster, weaker); high quorums tolerate less
+offline weight before confirmation stalls entirely — the liveness cliff
+this bench maps.
+
+Weight layout (supply 10^15): six users funded 1.5e14 each, round-robin
+over nodes n0..n5; reps are n0..n3.  Users on non-rep nodes delegate to
+the first representative, so rep0 ends up with ~55% of weight and reps
+1-3 with ~15% each.  Knocking rep0+rep1 offline leaves 30% of the quorum
+base able to vote.
+"""
+
+from conftest import report
+
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+from repro.dag.params import NanoParams
+from repro.net.link import LinkParams
+from repro.metrics.tables import render_table
+
+LINK = LinkParams(latency_s=0.05, jitter_s=0.02)
+
+
+def run_with_quorum(quorum, offline_reps=0, seed=4):
+    """Returns (confirmed?, confidence, votable weight fraction)."""
+    params = NanoParams(work_difficulty=1, quorum_fraction=quorum)
+    tb = build_nano_testbed(
+        node_count=6, representative_count=4, seed=seed,
+        params=params, link_params=LINK, supply=10**15,
+    )
+    users = fund_accounts(tb, 6, 15 * 10**13, settle_time=1.5)
+    # Knock the heaviest representatives offline *after* funding settles.
+    offline_addresses = []
+    for rep_node in tb.representative_nodes()[:offline_reps]:
+        rep_node.set_online(False)
+        offline_addresses.append(rep_node.representative_address)
+    observer = tb.nodes[-1]
+    reps_ledger = observer.lattice.reps
+    votable = 1.0 - sum(
+        reps_ledger.weight(a) for a in offline_addresses
+    ) / max(reps_ledger.online_weight(), 1)
+
+    sender, recipient = users[4], users[5]  # wallets on non-rep nodes
+    block = tb.node_for(sender.address).send_payment(
+        sender.address, recipient.address, 123
+    )
+    tb.simulator.run(until=tb.simulator.now + 10)
+    return (
+        observer.is_confirmed(block.block_hash),
+        observer.confirmation_confidence(block.block_hash),
+        votable,
+    )
+
+
+def test_a2_quorum_ablation(benchmark):
+    benchmark.pedantic(run_with_quorum, args=(0.5,), rounds=1, iterations=1)
+
+    rows = []
+    outcomes = {}
+    for quorum in (0.25, 0.50, 0.90):
+        for offline in (0, 2):
+            confirmed, confidence, votable = run_with_quorum(
+                quorum, offline_reps=offline
+            )
+            outcomes[(quorum, offline)] = confirmed
+            rows.append([
+                f"{quorum:.0%}", offline, f"{votable:.2f}",
+                "yes" if confirmed else "NO", f"{confidence:.2f}",
+            ])
+
+    # All reps online: every quorum reaches confirmation.
+    assert all(outcomes[(q, 0)] for q in (0.25, 0.50, 0.90))
+    # ~70% of weight offline (but still in the quorum base): only the
+    # 25% quorum stays live — demanding near-unanimity costs liveness.
+    assert outcomes[(0.25, 2)]
+    assert not outcomes[(0.50, 2)]
+    assert not outcomes[(0.90, 2)]
+
+    report(
+        "A2 ORV quorum ablation: confirmation vs offline representative weight",
+        render_table(
+            ["quorum", "reps offline (of 4)", "votable weight frac",
+             "confirmed", "confidence"],
+            rows,
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Ablation A3: block interval — why Bitcoin waits 10 minutes.
+
+Design choice ablated: the target block interval.  Short intervals give
+fast first inclusion but high soft-fork (orphan) rates; long intervals
+are stable but slow.  This is the trade-off that makes Bitcoin pick 600 s
+and Ethereum accept ~1-in-15 uncle rates for 15 s blocks, and why both
+compensate with *different confirmation depths* (Section IV-A).
+"""
+
+from conftest import report
+
+from repro.confirmation.nakamoto import confirmations_for_confidence
+from repro.confirmation.orphan import expected_orphan_rate
+from repro.metrics.tables import render_table
+
+PROPAGATION_DELAY_S = 5.0  # network-wide block propagation
+ATTACKER = 0.15
+RISK = 0.001
+
+
+def sweep(intervals=(4.0, 15.0, 60.0, 150.0, 600.0)):
+    rows = []
+    for interval in intervals:
+        orphan = expected_orphan_rate(PROPAGATION_DELAY_S, interval)
+        depth = confirmations_for_confidence(ATTACKER, RISK)
+        wait = depth * interval
+        rows.append((interval, orphan, depth, wait))
+    return rows
+
+
+def test_a3_interval_ablation(benchmark):
+    rows = benchmark(sweep)
+
+    table = [
+        [f"{interval:.0f} s", f"{orphan:.3f}", depth, f"{wait:,.0f} s"]
+        for interval, orphan, depth, wait in rows
+    ]
+    orphans = [orphan for _, orphan, _, _ in rows]
+    waits = [wait for *_, wait in rows]
+
+    # Shorter intervals: more soft forks...
+    assert all(a >= b for a, b in zip(orphans, orphans[1:]))
+    # ...but faster absolute confirmation for a fixed depth rule.
+    assert all(a <= b for a, b in zip(waits, waits[1:]))
+    # Bitcoin's corner: ~1% orphans, hour-scale waits.
+    interval600 = rows[-1]
+    assert interval600[1] < 0.01
+    assert interval600[3] > 3600
+    # Ethereum's corner: ~28% same-height competition at 15 s with a 5 s
+    # network — which is why it rewards uncles and waits more blocks.
+    interval15 = rows[1]
+    assert interval15[1] > 0.2
+
+    report(
+        "A3 block-interval ablation (5 s propagation, 15% attacker, 0.1% risk)",
+        render_table(
+            ["interval", "orphan rate", "depth needed", "confirmation wait"],
+            table,
+        ),
+    )

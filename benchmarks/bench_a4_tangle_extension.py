@@ -1,0 +1,70 @@
+"""Extension A4: the tangle as a third confirmation model.
+
+Paper footnote 1 names IOTA as the other DAG approach.  This bench puts
+the tangle's *structural* confirmation (confidence = probability a fresh
+tip references you, driven by cumulative weight) next to the two models
+the paper compares: blockchain depth and Nano's vote quorum — three
+different answers to Section IV's question "when is an entry final?".
+"""
+
+import random
+
+from conftest import report
+
+from repro.confirmation.nakamoto import attacker_success_probability
+from repro.crypto.keys import KeyPair
+from repro.dag.tangle import Tangle, issue_transaction
+from repro.metrics.tables import render_table
+
+
+def grow_tangle(tx_count=60, seed=0):
+    rng = random.Random(seed)
+    tangle = Tangle(work_difficulty=1)
+    key = KeyPair.from_seed(b"\x21" * 32)
+    tangle.create_genesis(key)
+    target = None
+    confidence_curve = []
+    for i in range(tx_count):
+        trunk, branch = tangle.select_tips_mcmc(rng, alpha=0.05)
+        tx = issue_transaction(key, trunk, branch, f"p{i}".encode(), 1.0 + i)
+        tangle.attach(tx)
+        if i == 4:
+            target = tx
+        if target is not None and i >= 4 and i % 10 == 4:
+            confidence_curve.append(
+                (i - 4, tangle.confirmation_confidence(
+                    target.tx_hash, rng, samples=40, alpha=0.05
+                ))
+            )
+    return tangle, target, confidence_curve
+
+
+def test_a4_tangle_confirmation_model(benchmark):
+    tangle, target, curve = benchmark.pedantic(grow_tangle, rounds=1, iterations=1)
+
+    # The tangle's analogue of "depth": approvals accumulated on top.
+    rows = [
+        [f"{approvals} txs on top", f"{confidence:.2f}"]
+        for approvals, confidence in curve
+    ]
+    confidences = [c for _, c in curve]
+    # Confidence is (noisy-)monotone and saturates — same shape as
+    # blockchain's reversal-probability decay, different mechanism.
+    assert confidences[-1] >= confidences[0]
+    assert confidences[-1] > 0.9
+    assert tangle.cumulative_weight(target.tx_hash) > 10
+
+    comparison = [
+        ["blockchain", "k blocks on top",
+         f"P(reversal, q=10%, k=6) = {attacker_success_probability(0.1, 6):.1e}"],
+        ["nano (ORV)", "majority representative vote",
+         "one vote round (see E5: ~0.1 s measured)"],
+        ["tangle (IOTA)", "cumulative weight of approvers",
+         f"confidence {confidences[-1]:.2f} after {curve[-1][0]} approvals"],
+    ]
+    report(
+        "A4 three confirmation models (Section IV, extended per footnote 1)",
+        render_table(["tangle growth", "confidence"], rows)
+        + "\n\n"
+        + render_table(["system", "finality signal", "measured"], comparison),
+    )

@@ -1,0 +1,53 @@
+"""E10 (§VI-A): bigger blocks buy TPS and cost decentralization.
+
+Sweeps block size (Segwit2x's 2 MB among the points): TPS grows
+linearly, per-node validation load grows linearly, and past consumer
+capacity "the network [would rely] on supercomputers"; bigger blocks
+also propagate slower, raising the orphan rate.
+"""
+
+from conftest import report
+
+from repro.common.units import MB, format_bytes
+from repro.blockchain.params import BITCOIN
+from repro.confirmation.orphan import expected_orphan_rate, propagation_delay_for_block
+from repro.scaling.blocksize import blocksize_sweep, centralization_threshold_bytes
+from repro.metrics.tables import render_table
+
+SIZES = [1 * MB, 2 * MB, 4 * MB, 8 * MB, 32 * MB, 128 * MB, 1024 * MB, 4096 * MB]
+
+
+def test_e10_blocksize_sweep(benchmark):
+    points = benchmark(blocksize_sweep, BITCOIN, SIZES)
+
+    rows = []
+    for point in points:
+        delay = propagation_delay_for_block(point.block_size_bytes, 50e6, 0.1)
+        orphan = expected_orphan_rate(delay, BITCOIN.target_block_interval_s)
+        rows.append([
+            format_bytes(point.block_size_bytes),
+            f"{point.tps:.1f}",
+            format_bytes(point.node_load_bps) + "/s",
+            "yes" if point.consumer_viable else "NO",
+            f"{orphan:.4f}",
+        ])
+
+    # Linear TPS gain...
+    assert points[1].tps == 2 * points[0].tps
+    # ...linear node load...
+    assert points[1].node_load_bps == 2 * points[0].node_load_bps
+    # ...with a centralization crossover inside the sweep.
+    assert points[0].consumer_viable and not points[-1].consumer_viable
+    threshold = centralization_threshold_bytes(BITCOIN)
+    assert SIZES[0] < threshold < SIZES[-1]
+    # Orphan rate grows with size (monotone column).
+    orphans = [float(row[4]) for row in rows]
+    assert all(a <= b for a, b in zip(orphans, orphans[1:]))
+
+    report(
+        "E10 block-size sweep (Segwit2x = 2 MB row); "
+        f"consumer cutoff at {format_bytes(threshold)}",
+        render_table(
+            ["block size", "TPS", "node load", "consumer ok", "orphan rate"], rows
+        ),
+    )

@@ -1,0 +1,66 @@
+"""E11 (§VI-A): payment channels (Lightning / Raiden).
+
+"A prepaid amount is locked in for the lifetime of the channel ...
+parties run micro transactions at high volume and speed ... final
+balances are recorded on chain": the whole lifetime costs 2 on-chain
+transactions regardless of off-chain volume.
+"""
+
+import random
+
+from conftest import report
+
+from repro.crypto.keys import KeyPair
+from repro.blockchain.params import BITCOIN
+from repro.scaling.channels import ChannelNetwork
+from repro.metrics.tables import render_table
+
+
+def run_channel_hub(clients=8, payments_per_client=500, seed=0):
+    """A hub-and-spoke channel network (the common LN shape)."""
+    rng = random.Random(seed)
+    network = ChannelNetwork()
+    hub = KeyPair.generate(rng)
+    network.register(hub)
+    client_keys = [KeyPair.generate(rng) for _ in range(clients)]
+    for client in client_keys:
+        network.register(client)
+        network.open_channel(client.address, hub.address, 100_000, 100_000)
+    for client in client_keys:
+        for _ in range(payments_per_client):
+            peer = rng.choice([c for c in client_keys if c is not client])
+            network.send(client.address, peer.address, rng.randint(1, 20))
+    settled = network.close_all()
+    return network, settled
+
+
+def test_e11_channels(benchmark):
+    network, settled = benchmark.pedantic(run_channel_hub, rounds=2, iterations=1)
+
+    on_chain = network.total_on_chain_txs()
+    off_chain = network.total_off_chain_txs()
+    payments = network.payments_routed
+    amplification = payments / on_chain
+
+    # 8 channels x (open + close) = 16 on-chain txs, thousands of payments.
+    assert on_chain == 16
+    assert payments == 4000
+    assert amplification > 100
+
+    # Value conservation at settlement: deposits in == balances out.
+    assert sum(settled.values()) == 8 * 200_000
+
+    # Time framing: on-chain those 2 txs cost two Bitcoin block waits;
+    # off-chain volume is bounded only by message latency.
+    onchain_equiv_s = payments / BITCOIN.max_tps()
+    rows = [
+        ["channels opened", 8],
+        ["on-chain transactions (lifetime)", on_chain],
+        ["payments routed off-chain", payments],
+        ["off-chain hops", off_chain],
+        ["payments per on-chain tx", f"{amplification:.0f}"],
+        ["on-chain time for same volume", f"{onchain_equiv_s:,.0f} s"],
+        ["value conserved at close", "yes"],
+    ]
+    report("E11 payment channels: 2 on-chain txs buy unbounded volume",
+           render_table(["metric", "value"], rows))

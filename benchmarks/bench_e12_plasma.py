@@ -1,0 +1,83 @@
+"""E12 (§VI-A): Plasma nested chains.
+
+"Only Merkle roots created in the sidechains are periodically broadcasted
+to the main network during non-faulty states ... for faulty states,
+stakeholders need to display proof of fraud and the Byzantine node gets
+penalized."  Measures the on-chain compression and runs the fraud path.
+"""
+
+import random
+
+from conftest import report
+
+from repro.common.units import format_bytes
+from repro.crypto.keys import KeyPair
+from repro.scaling.plasma import PlasmaChain, PlasmaOperator, PlasmaTx
+from repro.metrics.tables import render_table
+
+
+def run_plasma(users=20, blocks=25, txs_per_block=40, seed=0):
+    rng = random.Random(seed)
+    user_keys = [KeyPair.generate(rng) for _ in range(users)]
+    operator_key = KeyPair.generate(rng)
+    chain = PlasmaChain(operator=operator_key.address, bond=1_000_000)
+    operator = PlasmaOperator(chain, {u.address: 1_000_000 for u in user_keys})
+    nonces = {u.address: 0 for u in user_keys}
+    for _ in range(blocks):
+        for _ in range(txs_per_block):
+            sender = rng.choice(user_keys)
+            recipient = rng.choice([u for u in user_keys if u is not sender])
+            operator.submit_tx(
+                PlasmaTx(sender.address, recipient.address,
+                         rng.randint(1, 100), nonces[sender.address])
+            )
+            nonces[sender.address] += 1
+        operator.seal_block()
+    return chain, operator, user_keys
+
+
+def test_e12_commitment_compression(benchmark):
+    chain, operator, users = benchmark.pedantic(run_plasma, rounds=2, iterations=1)
+
+    ratio = operator.compression_ratio()
+    rows = [
+        ["child-chain transactions", operator.txs_processed],
+        ["child-chain bytes", format_bytes(operator.child_chain_bytes())],
+        ["root-chain commitments", len(chain.commitments)],
+        ["root-chain bytes", format_bytes(chain.on_chain_bytes())],
+        ["compression (child/root bytes)", f"{ratio:.0f}x"],
+        ["value conserved", sum(operator.balances.values()) == 20 * 1_000_000],
+    ]
+    assert operator.txs_processed == 1000
+    assert len(chain.commitments) == 25
+    assert ratio > 20
+    report("E12a Plasma: roots on chain, transactions off chain",
+           render_table(["metric", "value"], rows))
+
+
+def test_e12_fraud_proof_slashes(benchmark):
+    def fraud_scenario():
+        rng = random.Random(1)
+        users = [KeyPair.generate(rng) for _ in range(3)]
+        operator_key = KeyPair.generate(rng)
+        chain = PlasmaChain(operator=operator_key.address, bond=500_000)
+        operator = PlasmaOperator(chain, {u.address: 1_000 for u in users})
+        operator.submit_tx(PlasmaTx(users[0].address, users[1].address, 10, 0))
+        invalid = PlasmaTx(users[0].address, users[1].address, 10**9, 7)
+        block = operator.seal_block(include_invalid=invalid)
+        proof = operator.build_fraud_proof(block.number, invalid, "overspend")
+        slashed = chain.challenge(proof)
+        operator.exit_all()
+        return chain, slashed
+
+    chain, slashed = benchmark(fraud_scenario)
+    rows = [
+        ["operator bond", 500_000],
+        ["slashed on fraud proof", slashed],
+        ["chain halted", chain.halted],
+        ["funds exited to root chain", sum(chain.exited.values())],
+    ]
+    assert slashed == 500_000 and chain.halted
+    assert sum(chain.exited.values()) == 3_000
+    report("E12b Plasma fraud proof: Byzantine operator penalized",
+           render_table(["metric", "value"], rows))

@@ -1,0 +1,71 @@
+"""E13 (§VI-A): sharding.
+
+"Sharding splits the network in K partitions, no longer forcing all
+nodes ... to process all incoming transactions."  Throughput grows ~K-fold
+for intra-shard traffic; cross-shard communication costs a second entry
+and extra latency, eroding the gain.
+"""
+
+import random
+
+from conftest import report
+
+from repro.crypto.keys import KeyPair
+from repro.scaling.sharding import ShardedLedger
+from repro.metrics.tables import render_table
+
+
+def run_sharded_workload(shard_count, transfers=2000, seed=0):
+    rng = random.Random(seed)
+    ledger = ShardedLedger(shard_count=shard_count, per_shard_tps=10.0)
+    accounts = [KeyPair.generate(rng).address for _ in range(200)]
+    for account in accounts:
+        ledger.credit(account, 10**6)
+    for _ in range(transfers):
+        src = rng.choice(accounts)
+        dst = rng.choice(accounts)
+        if src != dst:
+            ledger.transfer(src, dst, 10)
+    ledger.settle()
+    return ledger
+
+
+def test_e13_sharding_throughput(benchmark):
+    benchmark(run_sharded_workload, 8, 500)
+
+    rows = []
+    effective = {}
+    for k in (1, 2, 4, 8, 16):
+        ledger = run_sharded_workload(k)
+        total_txs = ledger.intra_shard_txs + ledger.cross_shard_txs
+        cross_fraction = ledger.cross_shard_txs / total_txs
+        tps_local = ledger.effective_tps(0.0)
+        tps_measured_mix = ledger.effective_tps(cross_fraction)
+        effective[k] = (cross_fraction, tps_local, tps_measured_mix)
+        entries = ledger.entries_by_shard()
+        imbalance = max(entries) / max(min(entries), 1) if k > 1 else 1.0
+        rows.append([k, f"{cross_fraction:.2f}", f"{tps_local:.0f}",
+                     f"{tps_measured_mix:.0f}", f"{imbalance:.2f}"])
+
+    # ~K-fold scaling for local traffic.
+    assert effective[8][1] == 8 * effective[1][1]
+    # Random traffic is mostly cross-shard at high K: (K-1)/K.
+    assert effective[8][0] > 0.8
+    # Cross-shard overhead erodes throughput below the ideal.
+    assert effective[8][2] < effective[8][1]
+    # But sharding still wins overall: 8 shards with full cross traffic
+    # beat 1 shard.
+    assert effective[8][2] > 2 * effective[1][1]
+    # Value conservation across shards held (checked inside the run via
+    # settle + supply in the unit tests; spot-check here too).
+    ledger = run_sharded_workload(4, transfers=300)
+    assert ledger.total_supply() == 200 * 10**6
+
+    report(
+        "E13 sharding: throughput vs K and cross-shard overhead",
+        render_table(
+            ["K shards", "cross-shard frac", "ideal TPS", "effective TPS",
+             "load imbalance"],
+            rows,
+        ),
+    )

@@ -1,0 +1,109 @@
+"""E14 (§VI-B): Nano's throughput is protocol-uncapped, hardware-bound.
+
+"There is no inherent cap in the transaction throughput in the protocol
+itself ... the limit is currently determined by the quality of consumer
+grade hardware and network conditions" — peak 306 TPS vs average 105.75
+on the 2018 stress test.
+
+We drive a testbed at rising offered load with a per-node processing
+model: settled throughput tracks offered load (no protocol knee) until
+it saturates at the configured hardware capacity; bursts give a peak
+well above the long-run average.
+"""
+
+from conftest import report
+
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+from repro.dag.params import NanoParams
+from repro.net.link import LinkParams
+from repro.scaling.throughput import ThroughputMeter
+from repro.metrics.tables import render_table
+
+LINK = LinkParams(latency_s=0.02, jitter_s=0.01, bandwidth_bps=1e9)
+
+
+def drive_load(offered_tps, processing_tps=None, duration=30.0, seed=6):
+    """Offered load = evenly spaced sends; returns settled TPS."""
+    params = NanoParams(work_difficulty=1, node_processing_tps=400.0)
+    tb = build_nano_testbed(
+        node_count=4, representative_count=2, seed=seed,
+        params=params, link_params=LINK, processing_tps=processing_tps,
+    )
+    users = fund_accounts(tb, 2, 10**9, settle_time=1.0)
+    sender, recipient = users
+    wallet = tb.node_for(sender.address)
+    meter = ThroughputMeter()
+    observer = tb.nodes[-1]
+    interval = 1.0 / offered_tps
+    start = tb.simulator.now
+
+    def submit():
+        wallet.send_payment(sender.address, recipient.address, 1)
+
+    tb.simulator.schedule_periodic(interval, submit, until=start + duration)
+    tb.simulator.run(until=start + duration + 10.0)
+    # Count sends the *observer* (not the sender) fully processed.
+    chain = observer.lattice.chain(sender.address)
+    settled = sum(1 for b in chain.blocks if b.block_type.value == "send")
+    return settled / duration
+
+
+def test_e14_no_protocol_cap(benchmark):
+    benchmark.pedantic(drive_load, args=(50.0,), kwargs={"duration": 10.0},
+                       rounds=1, iterations=1)
+
+    rows = []
+    measured = {}
+    for offered in (20.0, 60.0, 120.0):
+        tps = drive_load(offered, processing_tps=None)
+        measured[offered] = tps
+        rows.append([f"{offered:.0f}", "unlimited", f"{tps:.1f}"])
+    # With ideal hardware, settled TPS tracks offered load linearly —
+    # no protocol knee anywhere (unlike E9's hard ceiling).
+    assert measured[60.0] > measured[20.0] * 2.4
+    assert measured[120.0] > measured[60.0] * 1.7
+
+    hw_cap = 40.0
+    for offered in (20.0, 120.0):
+        tps = drive_load(offered, processing_tps=hw_cap)
+        rows.append([f"{offered:.0f}", f"{hw_cap:.0f}/node", f"{tps:.1f}"])
+        measured[(offered, "hw")] = tps
+    # With consumer-grade hardware the same protocol saturates at the
+    # node's processing rate.
+    assert measured[(120.0, "hw")] < hw_cap * 1.3
+    assert measured[(120.0, "hw")] > hw_cap * 0.5
+
+    report(
+        "E14a Nano throughput: offered vs settled (protocol uncapped, "
+        "hardware bound)",
+        render_table(["offered TPS", "node hardware", "settled TPS"], rows),
+    )
+
+
+def test_e14_peak_vs_average(benchmark):
+    """The stress-test shape: a burst peak far above the long-run average
+    (306 vs 105.75 in the paper's citation)."""
+
+    def burst_profile():
+        meter = ThroughputMeter()
+        # 5 s burst at 300 TPS, then 25 s trickle at 60 TPS.
+        t = 0.0
+        while t < 5.0:
+            meter.record(t)
+            t += 1 / 300.0
+        while t < 30.0:
+            meter.record(t)
+            t += 1 / 60.0
+        return meter
+
+    meter = benchmark(burst_profile)
+    peak = meter.peak_tps(window_s=1.0)
+    average = meter.average_tps()
+    rows = [
+        ["peak (1 s window)", f"{peak:.0f} TPS"],
+        ["average", f"{average:.1f} TPS"],
+        ["peak/average", f"{peak / average:.1f}x"],
+        ["paper's stress test", "306 peak / 105.75 avg (2.9x)"],
+    ]
+    assert peak / average > 2
+    report("E14b peak vs average under bursty load", render_table(["metric", "value"], rows))

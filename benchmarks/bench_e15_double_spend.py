@@ -1,0 +1,66 @@
+"""E15 (§IV-A): double-spend economics.
+
+Monte-Carlo races between an attacker's private branch and the honest
+chain, across attacker hash shares and confirmation depths; empirical
+success rates must match Nakamoto's closed form, and the supermajority
+assumption's cliff at 50% must appear.
+"""
+
+import random
+
+from conftest import report
+
+from repro.confirmation.nakamoto import (
+    attacker_success_probability,
+    rosenfeld_success_probability,
+)
+from repro.metrics.stats import binomial_ci
+from repro.workloads.attacks import DoubleSpendAttacker
+from repro.metrics.tables import render_table
+
+TRIALS = 3000
+
+
+def sweep(seed=0):
+    rows = []
+    rng = random.Random(seed)
+    for share in (0.10, 0.25, 0.40, 0.49):
+        for depth in (1, 3, 6):
+            attacker = DoubleSpendAttacker(share, depth, rng)
+            empirical = attacker.success_rate(TRIALS)
+            nakamoto = attacker_success_probability(share, depth)
+            exact = rosenfeld_success_probability(share, depth)
+            lo, hi = binomial_ci(int(empirical * TRIALS), TRIALS)
+            rows.append((share, depth, empirical, nakamoto, exact, lo, hi))
+    return rows
+
+
+def test_e15_double_spend_races(benchmark):
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = sweep()
+
+    table_rows = []
+    for share, depth, empirical, nakamoto, exact, lo, hi in rows:
+        table_rows.append([
+            f"{share:.0%}", depth, f"{empirical:.4f}", f"{nakamoto:.4f}",
+            f"{exact:.4f}", f"[{lo:.4f}, {hi:.4f}]",
+        ])
+        # Simulation agrees with the exact (negative-binomial) form;
+        # Nakamoto's Poisson approximation is shown for reference.
+        assert abs(empirical - exact) < max(0.02, (hi - lo)), (share, depth)
+
+    by_key = {(s, d): e for s, d, e, *_ in rows}
+    # More confirmations help; more hash power hurts; near-majority
+    # attackers succeed often even at depth 6.
+    assert by_key[(0.25, 6)] < by_key[(0.25, 1)]
+    assert by_key[(0.40, 3)] > by_key[(0.10, 3)]
+    assert by_key[(0.49, 6)] > 0.5
+
+    report(
+        "E15 double-spend success: Monte Carlo vs closed forms",
+        render_table(
+            ["attacker share", "depth", "empirical", "nakamoto", "exact",
+             "95% CI"],
+            table_rows,
+        ),
+    )

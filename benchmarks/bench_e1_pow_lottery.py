@@ -1,0 +1,84 @@
+"""E1 (§III-A1): the Proof-of-Work lottery.
+
+Two claims: (1) leader-election win rate is proportional to hash power;
+(2) difficulty retargeting keeps the block interval fixed as network
+hash power grows — so adding miners does not add throughput (§VI-A).
+"""
+
+import random
+
+from conftest import report
+
+from repro.crypto.pow import MAX_TARGET, difficulty_to_target, solve_pow
+from repro.blockchain.difficulty import bitcoin_retarget
+from repro.blockchain.miner import mining_race
+from repro.metrics.tables import render_table
+
+
+def run_lottery(rounds=20_000, seed=0):
+    shares = [0.4, 0.3, 0.2, 0.1]
+    wins = mining_race(shares, rounds, random.Random(seed))
+    return shares, wins, rounds
+
+
+def test_e1_win_rate_proportional_to_hashpower(benchmark):
+    shares, wins, rounds = benchmark(run_lottery, rounds=5_000)
+    shares, wins, rounds = run_lottery(rounds=40_000)
+
+    rows = []
+    for share, win_count in zip(shares, wins):
+        observed = win_count / rounds
+        rows.append([f"{share:.0%}", win_count, f"{observed:.3f}"])
+        assert abs(observed - share) < 0.02  # lottery ∝ hash power
+    report(
+        "E1a PoW lottery: wins vs hash power",
+        render_table(["hash share", "blocks won", "win rate"], rows),
+    )
+
+
+def test_e1_difficulty_keeps_interval_fixed(benchmark):
+    def retarget_convergence(growth_factor=10.0, epochs=40, growth_epoch=10):
+        target = MAX_TARGET // 600_000  # difficulty 600k: 600s at 1k h/s
+        hashrate = 1_000.0
+        intervals = []
+        for epoch in range(epochs):
+            if epoch == growth_epoch:
+                hashrate *= growth_factor  # the network grows
+            difficulty = MAX_TARGET / target
+            interval = difficulty / hashrate
+            intervals.append(interval)
+            target = bitcoin_retarget(target, interval * 2016, 600.0 * 2016)
+        return intervals
+
+    intervals = benchmark(retarget_convergence)
+    rows = [
+        ["steady state before growth (epoch 9)", f"{intervals[9]:.1f}"],
+        ["right after 10x growth (epoch 10)", f"{intervals[10]:.1f}"],
+        ["after retargeting (final)", f"{intervals[-1]:.1f}"],
+    ]
+    # 10x hash power briefly gives ~60s blocks, then difficulty restores
+    # the 600s interval — "block generation time converges to a fixed value".
+    assert abs(intervals[9] - 600.0) < 30
+    assert intervals[10] < 100
+    assert abs(intervals[-1] - 600.0) < 30
+    report(
+        "E1b difficulty retargeting under 10x hashrate growth",
+        render_table(["phase", "block interval (s)"], rows),
+    )
+
+
+def test_e1_real_puzzle_asymmetry(benchmark):
+    """Solving is expensive, verification is one hash — the asymmetry
+    that makes the lottery checkable by everyone."""
+    target = difficulty_to_target(512)
+
+    solution = benchmark(solve_pow, b"block-header", target)
+    assert solution is not None
+    from repro.crypto.pow import check_pow
+
+    assert check_pow(b"block-header", solution.nonce, target)
+    report(
+        "E1c real partial hash inversion",
+        f"difficulty 512: solved in {solution.attempts} attempts; "
+        "verification = 1 hash",
+    )

@@ -1,0 +1,84 @@
+"""E2 (§III-A2): Proof of Stake.
+
+Claims: proposer selection ∝ stake; submitting an incorrect block burns
+the validator's stake ("the same economic effect as dismantling an
+attacker's mining equipment"); PoS consumes far less energy than PoW.
+"""
+
+import random
+
+from conftest import report
+
+from repro.crypto.keys import KeyPair
+from repro.common.types import Hash
+from repro.blockchain.pos import (
+    Checkpoint,
+    FinalityGadget,
+    FinalityVote,
+    POS_ENERGY_PER_BLOCK_KWH,
+    POW_ENERGY_PER_BLOCK_KWH,
+    ValidatorSet,
+    energy_ratio,
+)
+from repro.metrics.tables import render_table
+
+
+def build_validators(stakes=(100, 200, 300, 400)):
+    keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(len(stakes))]
+    validators = ValidatorSet()
+    for key, stake in zip(keys, stakes):
+        validators.deposit(key.address, stake)
+    return validators, keys
+
+
+def test_e2_selection_proportional_to_stake(benchmark):
+    validators, keys = build_validators()
+
+    counts = benchmark(validators.selection_distribution, random.Random(0), 20_000)
+    total = sum(counts.values())
+    rows = []
+    for key, stake in zip(keys, (100, 200, 300, 400)):
+        observed = counts.get(key.address, 0) / total
+        rows.append([stake, f"{observed:.3f}", f"{stake / 1000:.3f}"])
+        assert abs(observed - stake / 1000) < 0.02
+    report(
+        "E2a PoS lottery: selection vs stake",
+        render_table(["stake", "observed share", "expected share"], rows),
+    )
+
+
+def test_e2_slashing_burns_stake(benchmark):
+    def double_vote_scenario():
+        validators, keys = build_validators()
+        genesis = Checkpoint(Hash.zero(), 0)
+        gadget = FinalityGadget(validators, genesis)
+        attacker = keys[3].address
+        gadget.cast_vote(FinalityVote(attacker, genesis, Checkpoint(Hash(b"\x01" * 32), 1)))
+        slashed = gadget.cast_vote(
+            FinalityVote(attacker, genesis, Checkpoint(Hash(b"\x02" * 32), 1))
+        )
+        return validators, attacker, slashed
+
+    validators, attacker, slashed = benchmark(double_vote_scenario)
+    assert slashed == attacker
+    assert validators.stake_of(attacker) == 0
+    assert validators.burned_stake == 400
+    report(
+        "E2b slashing: double vote burns the 400-token stake",
+        render_table(
+            ["metric", "value"],
+            [["stake before", 400], ["stake after", 0],
+             ["total burned", validators.burned_stake]],
+        ),
+    )
+
+
+def test_e2_energy_gap(benchmark):
+    ratio = benchmark(energy_ratio)
+    rows = [
+        ["PoW (Bitcoin-scale network)", f"{POW_ENERGY_PER_BLOCK_KWH:,.0f} kWh/block"],
+        ["PoS (validator set)", f"{POS_ENERGY_PER_BLOCK_KWH} kWh/block"],
+        ["ratio", f"{ratio:,.0f}x"],
+    ]
+    assert ratio > 10**6
+    report("E2c energy per block: PoW vs PoS", render_table(["system", "energy"], rows))

@@ -1,0 +1,87 @@
+"""E5 (§IV-B): DAG confirmation = one vote round.
+
+Measures confirmation latency in a running Nano testbed (votes piggyback
+on propagation) and compares it with blockchain's depth-based wait; also
+exercises cementing ("prevent transactions from being rolled back").
+"""
+
+from conftest import report
+
+from repro.common.errors import CementedBlockError
+from repro.confirmation.dag_confirmation import blockchain_vs_dag_latency
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+from repro.net.link import LinkParams
+from repro.metrics.stats import summarize
+from repro.metrics.tables import render_table
+
+LINK = LinkParams(latency_s=0.08, jitter_s=0.04)
+
+
+def measure_dag_confirmation(transfers=10, seed=3):
+    tb = build_nano_testbed(
+        node_count=8, representative_count=4, seed=seed, link_params=LINK
+    )
+    users = fund_accounts(tb, 4, 10**6, settle_time=2.0)
+    tb.simulator.run(until=tb.simulator.now + 5)
+    latencies = []
+    for i in range(transfers):
+        sender = users[i % len(users)]
+        recipient = users[(i + 1) % len(users)]
+        start = tb.simulator.now
+        block = tb.node_for(sender.address).send_payment(
+            sender.address, recipient.address, 100
+        )
+        tb.simulator.run(until=tb.simulator.now + 5)
+        confirmed_at = tb.nodes[0].confirmation_times.get(block.block_hash)
+        assert confirmed_at is not None, "block never reached quorum"
+        latencies.append(confirmed_at - start)
+    return latencies
+
+
+def test_e5_vote_confirmation_latency(benchmark):
+    latencies = benchmark(measure_dag_confirmation, transfers=4)
+    latencies = measure_dag_confirmation(transfers=12)
+    stats = summarize(latencies)
+
+    bitcoin_wait, dag_wait = blockchain_vs_dag_latency(600.0, 6, stats.mean)
+    ethereum_wait, _ = blockchain_vs_dag_latency(15.0, 11, stats.mean)
+    rows = [
+        ["nano (measured vote round)", f"{stats.mean:.2f} s"],
+        ["bitcoin (6 x 600 s)", f"{bitcoin_wait:.0f} s"],
+        ["ethereum (11 x 15 s)", f"{ethereum_wait:.0f} s"],
+        ["nano advantage vs bitcoin", f"{bitcoin_wait / stats.mean:,.0f}x"],
+    ]
+    # One vote round beats depth-waiting by orders of magnitude.
+    assert stats.mean < 2.0
+    assert bitcoin_wait / stats.mean > 1000
+    assert ethereum_wait / stats.mean > 50
+    report(
+        "E5a confirmation latency: vote quorum vs depth",
+        render_table(["system", "time to confirmation"], rows),
+    )
+
+
+def test_e5_cementing_prevents_rollback(benchmark):
+    def cement_scenario():
+        tb = build_nano_testbed(
+            node_count=5, representative_count=3, seed=7, link_params=LINK
+        )
+        users = fund_accounts(tb, 2, 10**6, settle_time=2.0)
+        block = tb.node_for(users[0].address).send_payment(
+            users[0].address, users[1].address, 42
+        )
+        tb.simulator.run(until=tb.simulator.now + 5)
+        observer = tb.nodes[0]
+        assert observer.lattice.is_cemented(block.block_hash)
+        try:
+            observer.lattice.rollback(block.block_hash)
+            return False
+        except CementedBlockError:
+            return True
+
+    protected = benchmark(cement_scenario)
+    assert protected
+    report(
+        "E5b block cementing",
+        "rollback of a quorum-confirmed (cemented) block: REJECTED",
+    )

@@ -1,0 +1,91 @@
+"""E7 (§V-A): Bitcoin pruning and Ethereum fast sync.
+
+Reproduces both remedies on real serialized ledgers: pruning discards
+old block bodies (disk saved, history-serving lost); fast sync downloads
+headers + receipts + one state snapshot instead of replaying history,
+leaving "a database pruned of the state deltas".
+"""
+
+from conftest import report
+
+from repro.common.units import format_bytes
+from repro.crypto.keys import KeyPair
+from repro.crypto.pow import MAX_TARGET
+from repro.blockchain.block import assemble_block, build_genesis_block
+from repro.blockchain.chain import ChainStore
+from repro.blockchain.state import AccountState
+from repro.blockchain.transaction import make_coinbase, sign_account_transaction
+from repro.storage.fast_sync import fast_sync, prune_state_deltas
+from repro.storage.pruning import prune_chain
+from repro.metrics.tables import render_table
+
+
+def build_utxo_chain(blocks=300, txs_per_block=8):
+    key = KeyPair.from_seed(b"\x05" * 32)
+    store = ChainStore(build_genesis_block(key.address, 10**9))
+    parent = store.genesis
+    for height in range(1, blocks + 1):
+        body = [make_coinbase(key.address, 50, nonce=height * 100 + i)
+                for i in range(txs_per_block)]
+        block = assemble_block(parent.header, body, float(height), MAX_TARGET)
+        store.add_block(block)
+        parent = block
+    return store
+
+
+def build_account_chain(blocks=150):
+    alice = KeyPair.from_seed(b"\x06" * 32)
+    bob = KeyPair.from_seed(b"\x07" * 32)
+    miner = KeyPair.from_seed(b"\x08" * 32)
+    store = ChainStore(build_genesis_block(miner.address, 1))
+    state = AccountState()
+    state.credit(alice.address, 10**15)
+    receipts_by_block = [[]]
+    parent = store.genesis
+    for height in range(1, blocks + 1):
+        tx = sign_account_transaction(alice, height - 1, bob.address, 100, gas_price=1)
+        receipts, _ = state.apply_block_transactions([tx], miner.address, 0)
+        block = assemble_block(parent.header, [tx], float(height), MAX_TARGET,
+                               state_root=state.root_hash)
+        store.add_block(block)
+        receipts_by_block.append(receipts)
+        parent = block
+    return store, state, receipts_by_block
+
+
+def test_e7_bitcoin_pruning(benchmark):
+    store = build_utxo_chain()
+    result = benchmark.pedantic(
+        lambda: prune_chain(build_utxo_chain(), keep_depth=50), rounds=3, iterations=1
+    )
+    rows = [
+        ["size before", format_bytes(result.size_before)],
+        ["size after", format_bytes(result.size_after)],
+        ["freed", f"{format_bytes(result.bytes_freed)} ({result.fraction_freed:.0%})"],
+        ["blocks pruned / kept", f"{result.blocks_pruned} / {result.keep_depth}"],
+    ]
+    # Most of the disk is old bodies; headers and the recent window stay.
+    assert result.fraction_freed > 0.6
+    assert result.blocks_pruned == 300 - 50 + 1
+    report("E7a Bitcoin block-file pruning", render_table(["metric", "value"], rows))
+
+
+def test_e7_ethereum_fast_sync(benchmark):
+    store, state, receipts = build_account_chain()
+
+    result = benchmark(fast_sync, store, state, receipts, 64)
+    freed = prune_state_deltas(state)
+    rows = [
+        ["full sync download", format_bytes(result.full_sync_bytes)],
+        ["full sync txs replayed", result.full_sync_txs_replayed],
+        ["fast sync download", format_bytes(result.fast_sync_bytes)],
+        ["fast sync txs replayed", result.fast_sync_txs_replayed],
+        ["state snapshot at pivot", format_bytes(result.state_snapshot_bytes)],
+        ["state deltas pruned", format_bytes(freed)],
+    ]
+    # Fast sync replays only the post-pivot window and ships a snapshot
+    # far smaller than the accumulated deltas.
+    assert result.fast_sync_txs_replayed == 64
+    assert result.replay_saved > 80
+    assert freed > result.state_snapshot_bytes  # deltas dominated the store
+    report("E7b Ethereum fast sync at pivot head-64", render_table(["metric", "value"], rows))

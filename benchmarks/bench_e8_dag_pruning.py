@@ -1,0 +1,76 @@
+"""E8 (§V-B): Nano pruning and node types.
+
+"Since the accounts keep record of account balances instead of unspent
+transaction inputs, all other historical data can be discarded" — pruning
+a grown lattice to chain heads preserves every balance.  Footprints of
+the three node types (historical / current / light) are measured.
+"""
+
+from conftest import report
+
+from repro.common.units import format_bytes
+from repro.crypto.keys import KeyPair
+from repro.dag.blocks import make_open, make_receive, make_send
+from repro.dag.lattice import Lattice
+from repro.dag.params import NanoParams
+from repro.storage.dag_pruning import footprint_by_type, prune_lattice
+from repro.metrics.tables import render_table
+
+
+def build_busy_lattice(accounts=20, transfers=200, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    lattice = Lattice(NanoParams(work_difficulty=1))
+    genesis_key = KeyPair.generate(rng)
+    lattice.create_genesis(genesis_key, 10**15)
+    users = []
+    for _ in range(accounts):
+        user = KeyPair.generate(rng)
+        send = make_send(genesis_key, lattice.chain(genesis_key.address).head,
+                         user.address, 10**9, work_difficulty=1)
+        lattice.process(send)
+        lattice.process(make_open(user, send.block_hash, 10**9,
+                                  representative=genesis_key.address,
+                                  work_difficulty=1))
+        users.append(user)
+    for _ in range(transfers):
+        sender = rng.choice(users)
+        recipient = rng.choice([u for u in users if u is not sender])
+        amount = rng.randint(1, 1000)
+        send = make_send(sender, lattice.chain(sender.address).head,
+                         recipient.address, amount, work_difficulty=1)
+        lattice.process(send)
+        lattice.process(make_receive(recipient,
+                                     lattice.chain(recipient.address).head,
+                                     send.block_hash, amount, work_difficulty=1))
+    return lattice, users
+
+
+def test_e8_dag_pruning(benchmark):
+    lattice, users = build_busy_lattice()
+    footprints = footprint_by_type(lattice)
+    balances_before = {u.address: lattice.balance(u.address) for u in users}
+
+    result = benchmark.pedantic(
+        lambda: prune_lattice(build_busy_lattice()[0]), rounds=3, iterations=1
+    )
+    prune_result = prune_lattice(lattice)
+
+    # Balance-carrying heads ⇒ pruning preserves every balance exactly.
+    for user in users:
+        assert lattice.balance(user.address) == balances_before[user.address]
+    # One head per account remains (no pending sends in this workload).
+    assert lattice.block_count() == lattice.account_count()
+    assert prune_result.fraction_freed > 0.9
+
+    rows = [
+        ["historical node", format_bytes(footprints["historical"])],
+        ["current node (heads only)", format_bytes(footprints["current"])],
+        ["light node", format_bytes(footprints["light"])],
+        ["pruning freed",
+         f"{format_bytes(prune_result.bytes_freed)} ({prune_result.fraction_freed:.0%})"],
+        ["balances preserved", "yes"],
+    ]
+    assert footprints["historical"] > footprints["current"] > footprints["light"] == 0
+    report("E8 Nano node-type footprints and pruning", render_table(["metric", "value"], rows))

@@ -1,0 +1,108 @@
+"""E9 (§VI-A): blockchain protocol throughput ceilings.
+
+Regenerates the paper's headline numbers from protocol parameters AND
+measures them live on the simulator: Bitcoin 3-7 TPS (10-min 1 MB
+blocks), Ethereum 7-15 TPS (15 s gas-limited blocks), PoS ~4 s blocks,
+all dwarfed by Visa's 56,000 TPS.
+"""
+
+from dataclasses import replace
+
+from conftest import report
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN, ETHEREUM, ETHEREUM_POS, SEGWIT2X
+from repro.blockchain.transaction import build_transaction
+from repro.scaling.throughput import VISA_TPS, protocol_tps_table
+from repro.metrics.tables import render_table
+
+
+def test_e9_protocol_ceilings(benchmark):
+    table = benchmark(protocol_tps_table)
+
+    heavy = BITCOIN.max_tps(avg_tx_size_bytes=550)
+    light = BITCOIN.max_tps(avg_tx_size_bytes=230)
+    rows = [
+        ["bitcoin (heavy txs)", f"{heavy:.1f}"],
+        ["bitcoin (light txs)", f"{light:.1f}"],
+        ["segwit2x (2 MB)", f"{table['segwit2x']:.1f}"],
+        ["ethereum (8M gas / 15 s)", f"{table['ethereum']:.1f}"],
+        ["ethereum PoS (4 s)", f"{table['ethereum-pos']:.1f}"],
+        ["visa", f"{table['visa']:,.0f}"],
+    ]
+    # The paper's ranges and ordering.
+    assert 3 <= heavy <= 7 <= light <= 8
+    assert 7 <= table["ethereum"] <= 30
+    assert table["segwit2x"] == 2 * table["bitcoin"]
+    assert table["ethereum-pos"] > table["ethereum"]
+    assert all(v < VISA_TPS / 100 for k, v in table.items() if k != "visa")
+    report("E9a protocol TPS ceilings (Section VI-A)", render_table(["system", "TPS"], rows))
+
+
+def test_e9_measured_saturation(benchmark):
+    """Drive a small-block chain far past its capacity: confirmed TPS
+    pins at the block-size/interval ceiling while the mempool backlog
+    grows — the Section VI pending-transaction picture."""
+
+    def saturate(offered_tps=20.0, duration=1200.0):
+        # A miniature Bitcoin: 30 s blocks, 2 KB caps ⇒ ~0.45 TPS ceiling.
+        params = replace(
+            BITCOIN, target_block_interval_s=30.0, max_block_size_bytes=2_000,
+            confirmation_depth=2,
+        )
+        alice = KeyPair.from_seed(b"\x0a" * 32)
+        bob = KeyPair.from_seed(b"\x0b" * 32)
+        genesis = build_genesis_with_allocations(
+            {alice.address: 10**12, bob.address: 10**12}
+        )
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        nodes = complete_topology(
+            net, 3, lambda nid: BlockchainNode(nid, params, genesis), FAST_LINK
+        )
+        for i, node in enumerate(nodes):
+            node.start_pow_mining(1 / 3, KeyPair.from_seed(bytes([60 + i]) * 32).address)
+        # Offered load: alice sprays micro-payments (chained via change).
+        spendable = [(genesis.transactions[0].txid, 0, 10**12)]
+        interval = 1.0 / offered_tps
+        state = {"spendable": spendable, "submitted": 0}
+
+        def submit():
+            tx = build_transaction(alice, state["spendable"], bob.address, 10, fee=1)
+            change_index = len(tx.outputs) - 1
+            state["spendable"] = [
+                (tx.txid, change_index, tx.outputs[change_index].amount)
+            ]
+            nodes[0].submit_transaction(tx)
+            state["submitted"] += 1
+
+        sim.schedule_periodic(interval, submit, until=duration * 0.8)
+        sim.run(until=duration)
+        observer = nodes[0]
+        mined_txs = sum(
+            len(b.transactions) - 1 for b in observer.chain.main_chain()
+        )
+        mined_tps = mined_txs / duration
+        ceiling = params.max_tps(avg_tx_size_bytes=250)
+        backlog = len(observer.mempool)
+        return mined_tps, ceiling, backlog, state["submitted"]
+
+    mined_tps, ceiling, backlog, submitted = benchmark.pedantic(
+        saturate, rounds=1, iterations=1
+    )
+    rows = [
+        ["offered load", "20.0 TPS"],
+        ["protocol ceiling", f"{ceiling:.2f} TPS"],
+        ["mined throughput", f"{mined_tps:.2f} TPS"],
+        ["mempool backlog at end", backlog],
+    ]
+    # Throughput pinned at the ceiling (within Poisson noise), huge backlog.
+    assert mined_tps < ceiling * 1.6
+    assert backlog > submitted * 0.8
+    report("E9b measured saturation of a capped chain", render_table(["metric", "value"], rows))

@@ -1,0 +1,58 @@
+"""F1 (Fig. 1, §II-A): blockchain as a data structure.
+
+Rebuilds the figure's shape: hash-linked blocks, each carrying a header
+(with the predecessor's hash and a Merkle root over its transactions) —
+and a genesis block with no predecessor.
+"""
+
+from conftest import report
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.pow import MAX_TARGET
+from repro.blockchain.block import assemble_block, build_genesis_block
+from repro.blockchain.chain import ChainStore
+from repro.blockchain.transaction import make_coinbase
+from repro.metrics.tables import render_table
+
+
+def build_chain(blocks=50, txs_per_block=10):
+    key = KeyPair.from_seed(b"\x01" * 32)
+    genesis = build_genesis_block(key.address, 10**9)
+    store = ChainStore(genesis)
+    parent = genesis
+    for height in range(1, blocks + 1):
+        body = [
+            make_coinbase(key.address, 50, nonce=height * 1000 + i)
+            for i in range(txs_per_block)
+        ]
+        block = assemble_block(parent.header, body, float(height), MAX_TARGET)
+        store.add_block(block)
+        parent = block
+    return store
+
+
+def test_f1_structure_invariants(benchmark):
+    store = benchmark(build_chain)
+
+    chain = store.main_chain()
+    # Fig. 1 invariants: genesis has no predecessor; every other block
+    # hash-links to its parent and commits to its body by Merkle root.
+    assert chain[0].parent_id.is_zero()
+    for parent, child in zip(chain, chain[1:]):
+        assert child.parent_id == parent.block_id
+        assert child.merkle_root_matches()
+
+    # Tamper detection: editing any transaction breaks the commitment.
+    victim = chain[10]
+    tree = MerkleTree([tx.txid for tx in victim.transactions])
+    assert tree.root == victim.header.merkle_root
+
+    rows = [
+        ["blocks", store.height + 1],
+        ["transactions", sum(len(b.transactions) for b in chain)],
+        ["header bytes", chain[1].header.size_bytes],
+        ["merkle proof length (10 txs)", len(tree.proof(0).steps)],
+        ["total size (bytes)", store.total_size_bytes()],
+    ]
+    report("F1 blockchain structure (Fig. 1)", render_table(["property", "value"], rows))

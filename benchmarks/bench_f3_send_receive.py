@@ -1,0 +1,66 @@
+"""F3 (Fig. 3, §II-B): send/receive transaction handling.
+
+Reproduces the figure's protocol: a transfer needs a send (S) on the
+sender's chain and a matching receive (R) on the recipient's chain;
+between the two the value is *pending* and the transfer *unsettled*; an
+offline recipient cannot settle.
+"""
+
+from conftest import report
+
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+from repro.net.link import LinkParams
+from repro.metrics.tables import render_table
+
+LINK = LinkParams(latency_s=0.05, jitter_s=0.02)
+
+
+def run_send_receive_cycle():
+    tb = build_nano_testbed(node_count=6, representative_count=3, seed=2,
+                            link_params=LINK)
+    users = fund_accounts(tb, 2, 1_000_000, settle_time=2.0)
+    tb.simulator.run(until=tb.simulator.now + 5)
+    u0, u1 = users
+
+    timeline = []
+    receiver = tb.node_for(u1.address)
+    receiver.set_online(False)  # the Fig. 3 offline case
+    send = tb.node_for(u0.address).send_payment(u0.address, u1.address, 777)
+    tb.simulator.run(until=tb.simulator.now + 5)
+    observer = tb.node_for(u0.address)
+    timeline.append(
+        ["after send (receiver offline)",
+         observer.lattice.pending_count(),
+         observer.lattice.is_settled(send.block_hash),
+         observer.balance(u1.address)]
+    )
+
+    receiver.set_online(True)
+    receiver.bootstrap_from(observer)
+    receiver.receive_pending(u1.address)
+    tb.simulator.run(until=tb.simulator.now + 5)
+    timeline.append(
+        ["after receive (receiver online)",
+         observer.lattice.pending_count(),
+         observer.lattice.is_settled(send.block_hash),
+         observer.balance(u1.address)]
+    )
+    return timeline
+
+
+def test_f3_send_receive(benchmark):
+    timeline = benchmark(run_send_receive_cycle)
+
+    after_send, after_receive = timeline
+    # Unsettled while the receiver is offline; settled after its receive.
+    assert after_send[1] == 1 and after_send[2] is False
+    assert after_send[3] == 1_000_000  # funds not yet in the balance
+    assert after_receive[1] == 0 and after_receive[2] is True
+    assert after_receive[3] == 1_000_777
+
+    report(
+        "F3 send/receive handling (Fig. 3)",
+        render_table(
+            ["phase", "pending sends", "settled", "recipient balance"], timeline
+        ),
+    )

@@ -1,0 +1,77 @@
+"""F4 (Fig. 4, §IV-A): soft forks form and resolve to the longest chain.
+
+Runs a PoW network at several latency/interval ratios and shows the
+figure's dynamics: concurrent blocks claim the same predecessor, both
+branches grow, and the longer chain wins while the shorter is orphaned
+(its transactions returning to the mempool).
+"""
+
+from dataclasses import replace
+
+from conftest import report
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import LinkParams
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+from repro.confirmation.orphan import expected_orphan_rate
+from repro.metrics.tables import render_table
+
+
+def run_network(interval_s, latency_s, duration_s=4000, seed=5):
+    params = replace(BITCOIN, target_block_interval_s=interval_s)
+    keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(2)]
+    genesis = build_genesis_with_allocations({k.address: 10**6 for k in keys})
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    link = LinkParams(latency_s=latency_s, jitter_s=latency_s / 2, bandwidth_bps=1e9)
+    nodes = complete_topology(
+        net, 5, lambda nid: BlockchainNode(nid, params, genesis), link
+    )
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(0.2, KeyPair.from_seed(bytes([50 + i]) * 32).address)
+    sim.run(until=duration_s)
+    observer = nodes[0]
+    total_blocks = observer.stats.blocks_accepted
+    orphaned = sum(n.stats.orphaned_blocks for n in nodes) / len(nodes)
+    # Agreement is checked at confirmation depth, not at the tip: a live
+    # fork at the instant the simulation stops is exactly Fig. 4's
+    # transient state, while deep blocks must be identical everywhere.
+    depth = 6
+    check_height = max(min(n.chain.height for n in nodes) - depth, 0)
+    deep_blocks = {n.chain.block_at_height(check_height).block_id for n in nodes}
+    converged = len(deep_blocks) == 1
+    return total_blocks, orphaned, converged
+
+
+def test_f4_soft_forks(benchmark):
+    rows = []
+    measured = {}
+    scenarios = [(60.0, 0.2), (60.0, 6.0), (20.0, 6.0)]
+    for interval, latency in scenarios:
+        blocks, orphaned, converged = run_network(interval, latency)
+        rate = orphaned / max(blocks, 1)
+        model = expected_orphan_rate(latency * 2, interval)
+        measured[(interval, latency)] = rate
+        rows.append([f"{interval:.0f}s", f"{latency:.1f}s", blocks,
+                     f"{rate:.3f}", f"{model:.3f}", converged])
+
+    benchmark(run_network, 20.0, 6.0, 1000)
+
+    # Shape: forks grow with latency/interval ratio; consensus always
+    # converges to one chain (Fig. 4's resolution).
+    assert measured[(60.0, 6.0)] > measured[(60.0, 0.2)]
+    assert measured[(20.0, 6.0)] > measured[(60.0, 6.0)]
+    assert all(row[5] for row in rows)
+
+    report(
+        "F4 soft forks vs latency/interval (Fig. 4)",
+        render_table(
+            ["interval", "latency", "blocks", "orphan rate", "model", "converged"],
+            rows,
+        ),
+    )

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the rows/series the paper reports (so running
+``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation)
+and asserts the claim's *shape* — who wins, by roughly what factor,
+where crossovers fall.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, body: str) -> None:
+    """Print a bench's result block, visible under ``-s`` and in logs."""
+    print(f"\n=== {title} ===", file=sys.stderr)
+    print(body, file=sys.stderr)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Payment channels end to end (paper §VI-A, Lightning/Raiden).
+
+Opens a small hub-and-spoke channel network, streams thousands of
+micro-payments off chain (including multi-hop routed ones), shows that a
+stale-state cheat at close is defeated, and settles everything with two
+on-chain transactions per channel.
+
+Run:  python examples/payment_channels_demo.py
+"""
+
+import random
+
+from repro.crypto.keys import KeyPair
+from repro.metrics.tables import render_table
+from repro.scaling.channels import Channel, ChannelNetwork
+
+
+def fraud_demo() -> None:
+    rng = random.Random(0)
+    alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+    channel = Channel(alice, bob, 1_000, 1_000)
+    stale = channel.pay(alice.address, 100)  # alice: 900, seq 1
+    channel.pay(alice.address, 700)          # alice: 200, seq 2
+    final = channel.close(submitted=stale)   # alice tries the old state
+    print("stale-close attempt: alice submitted seq", stale.sequence,
+          "-> settled balances", final,
+          "(the newer doubly-signed state won)\n")
+
+
+def main() -> None:
+    fraud_demo()
+
+    rng = random.Random(7)
+    network = ChannelNetwork()
+    hub = KeyPair.generate(rng)
+    network.register(hub)
+    clients = [KeyPair.generate(rng) for _ in range(8)]
+    for client in clients:
+        network.register(client)
+        network.open_channel(client.address, hub.address, 100_000, 100_000)
+
+    payments = 5_000
+    for _ in range(payments):
+        sender, recipient = rng.sample(clients, 2)
+        network.send(sender.address, recipient.address, rng.randint(1, 25))
+
+    settled = network.close_all()
+    rows = [
+        ["channels", 8],
+        ["payments routed (2 hops each)", network.payments_routed],
+        ["off-chain state updates", network.total_off_chain_txs()],
+        ["on-chain transactions total", network.total_on_chain_txs()],
+        ["payments per on-chain tx",
+         f"{network.payments_routed / network.total_on_chain_txs():.0f}"],
+        ["deposits in == settled out",
+         sum(settled.values()) == 8 * 200_000],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title="Hub-and-spoke channel network"))
+    print(
+        "\n'The involved parties are able to run micro transactions at high\n"
+        "volume and speed, avoiding the transaction cap of the network'\n"
+        "(paper §VI-A) — the cap applies only to the 16 on-chain txs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Every scaling approach of paper §VI, side by side.
+
+Prints the protocol TPS ceilings (Bitcoin / Segwit2x / Ethereum / PoS /
+Visa), the block-size sweep with its centralization cliff, sharding's
+K-fold gain and cross-shard erosion, and the off-chain amplification of
+channels and Plasma.
+
+Run:  python examples/scaling_comparison.py
+"""
+
+import random
+
+from repro.common.units import MB, format_bytes
+from repro.crypto.keys import KeyPair
+from repro.blockchain.params import BITCOIN
+from repro.metrics.tables import render_table
+from repro.scaling.blocksize import blocksize_sweep, centralization_threshold_bytes
+from repro.scaling.channels import ChannelNetwork
+from repro.scaling.plasma import PlasmaChain, PlasmaOperator, PlasmaTx
+from repro.scaling.sharding import ShardedLedger
+from repro.scaling.throughput import protocol_tps_table
+
+
+def on_chain_ceilings() -> None:
+    table = protocol_tps_table()
+    rows = [[name, f"{tps:,.1f}"] for name, tps in table.items()]
+    print(render_table(["system", "max TPS"], rows,
+                       title="§VI-A protocol throughput ceilings"))
+    print()
+
+
+def block_size() -> None:
+    points = blocksize_sweep(BITCOIN, [1 * MB, 2 * MB, 8 * MB, 100 * MB, 4000 * MB])
+    rows = [
+        [format_bytes(p.block_size_bytes), f"{p.tps:.1f}",
+         format_bytes(p.node_load_bps) + "/s",
+         "yes" if p.consumer_viable else "NO"]
+        for p in points
+    ]
+    cutoff = centralization_threshold_bytes(BITCOIN)
+    print(render_table(
+        ["block size", "TPS", "per-node load", "consumer node viable"], rows,
+        title=f"Block-size scaling (consumer cutoff ~{format_bytes(cutoff)})",
+    ))
+    print()
+
+
+def sharding() -> None:
+    rows = []
+    for k in (1, 4, 16, 64):
+        ledger = ShardedLedger(shard_count=k, per_shard_tps=10.0)
+        random_mix = (k - 1) / k  # uniform traffic is mostly cross-shard
+        rows.append([
+            k,
+            f"{ledger.effective_tps(0.0):,.0f}",
+            f"{ledger.effective_tps(random_mix):,.0f}",
+        ])
+    print(render_table(
+        ["shards K", "TPS (local traffic)", "TPS (random traffic)"], rows,
+        title="Sharding: K-fold gain, eroded by cross-shard receipts",
+    ))
+    print()
+
+
+def channels() -> None:
+    rng = random.Random(0)
+    network = ChannelNetwork()
+    hub = KeyPair.generate(rng)
+    network.register(hub)
+    clients = [KeyPair.generate(rng) for _ in range(6)]
+    for client in clients:
+        network.register(client)
+        network.open_channel(client.address, hub.address, 50_000, 50_000)
+    for _ in range(3_000):
+        a, b = rng.sample(clients, 2)
+        network.send(a.address, b.address, rng.randint(1, 10))
+    network.close_all()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["payments routed", network.payments_routed],
+            ["on-chain transactions", network.total_on_chain_txs()],
+            ["payments per on-chain tx",
+             f"{network.payments_routed / network.total_on_chain_txs():.0f}"],
+        ],
+        title="Payment channels (Lightning/Raiden shape)",
+    ))
+    print()
+
+
+def plasma() -> None:
+    rng = random.Random(1)
+    users = [KeyPair.generate(rng) for _ in range(10)]
+    chain = PlasmaChain(operator=KeyPair.generate(rng).address, bond=10**6)
+    operator = PlasmaOperator(chain, {u.address: 10**6 for u in users})
+    nonces = {u.address: 0 for u in users}
+    for _ in range(20):
+        for _ in range(50):
+            a, b = rng.sample(users, 2)
+            operator.submit_tx(PlasmaTx(a.address, b.address,
+                                        rng.randint(1, 50), nonces[a.address]))
+            nonces[a.address] += 1
+        operator.seal_block()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["child-chain transactions", operator.txs_processed],
+            ["root-chain bytes", format_bytes(chain.on_chain_bytes())],
+            ["child-chain bytes", format_bytes(operator.child_chain_bytes())],
+            ["compression", f"{operator.compression_ratio():.0f}x"],
+        ],
+        title="Plasma: only Merkle roots reach the main chain",
+    ))
+
+
+def main() -> None:
+    on_chain_ceilings()
+    block_size()
+    sharding()
+    channels()
+    plasma()
+
+
+if __name__ == "__main__":
+    main()

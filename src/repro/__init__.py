@@ -1,0 +1,45 @@
+"""repro — Blockchain vs. DAG distributed-ledger comparison framework.
+
+A working reproduction of Bencic & Podnar Zarko, *"Distributed Ledger
+Technology: Blockchain Compared to Directed Acyclic Graph"* (ICDCS 2018):
+full simulations of Bitcoin/Ethereum-style blockchains and the Nano
+block-lattice, their consensus and confirmation mechanisms, ledger-size
+behaviour, and every scaling approach the paper surveys.
+
+Quick start::
+
+    from repro import BlockchainLedger, DagLedger, compare_ledgers
+    from repro.workloads import PaymentWorkload
+
+    events = PaymentWorkload(accounts=10, rate_tps=0.05, seed=1).generate(600)
+    report = compare_ledgers(
+        BlockchainLedger(), DagLedger(), events,
+        accounts=10, initial_balance=1_000_000,
+    )
+    print(report.render())
+"""
+
+from repro.core import (
+    BlockchainLedger,
+    ComparisonReport,
+    DagLedger,
+    EXPERIMENTS,
+    Experiment,
+    Ledger,
+    LedgerStats,
+    compare_ledgers,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockchainLedger",
+    "ComparisonReport",
+    "DagLedger",
+    "EXPERIMENTS",
+    "Experiment",
+    "Ledger",
+    "LedgerStats",
+    "compare_ledgers",
+    "__version__",
+]

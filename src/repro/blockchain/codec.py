@@ -1,0 +1,161 @@
+"""Wire codec: decoding for every serialized blockchain structure.
+
+Structures define ``serialize()`` for hashing and size accounting; this
+module supplies the inverse, so blocks and transactions can round-trip
+through a byte stream (disk storage, the fast-sync download path, or a
+future real network transport).  Every decoder validates framing and
+rejects trailing garbage.
+"""
+
+from __future__ import annotations
+
+
+
+from repro.common.encoding import Decoder
+from repro.common.errors import ValidationError
+from repro.common.types import Address, Hash
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.receipts import Receipt
+from repro.blockchain.transaction import (
+    AccountTransaction,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+
+# Type tags for the polymorphic transaction container in block bodies.
+_TAG_UTXO = b"\x01"
+_TAG_ACCOUNT = b"\x02"
+
+
+def decode_tx_output(d: Decoder) -> TxOutput:
+    amount = d.read_uint(8)
+    recipient = Address(d._take(20))  # noqa: SLF001 - codec is a friend module
+    return TxOutput(amount=amount, recipient=recipient)
+
+
+def decode_tx_input(d: Decoder) -> TxInput:
+    prev_txid = Hash(d._take(32))  # noqa: SLF001
+    prev_index = d.read_uint(4)
+    public_key = d.read_bytes()
+    signature = d.read_bytes()
+    return TxInput(
+        prev_txid=prev_txid,
+        prev_index=prev_index,
+        public_key=public_key,
+        signature=signature,
+    )
+
+
+def decode_transaction(data: bytes) -> Transaction:
+    """Inverse of :meth:`Transaction.serialize`."""
+    d = Decoder(data)
+    nonce = d.read_uint(8)
+    inputs = tuple(decode_tx_input(Decoder(raw)) for raw in d.read_list())
+    outputs = tuple(decode_tx_output(Decoder(raw)) for raw in d.read_list())
+    if not d.finished():
+        raise ValidationError("trailing bytes after transaction")
+    return Transaction(inputs=inputs, outputs=outputs, nonce=nonce)
+
+
+def decode_account_transaction(data: bytes) -> AccountTransaction:
+    """Inverse of :meth:`AccountTransaction.serialize`."""
+    d = Decoder(data)
+    sender_public_key = d.read_bytes()
+    nonce = d.read_uint(8)
+    recipient = Address(d._take(20))  # noqa: SLF001
+    value = d.read_uint(16)
+    gas_limit = d.read_uint(8)
+    gas_price = d.read_uint(8)
+    payload = d.read_bytes()
+    signature = d.read_bytes()
+    if not d.finished():
+        raise ValidationError("trailing bytes after account transaction")
+    return AccountTransaction(
+        sender_public_key=sender_public_key,
+        nonce=nonce,
+        recipient=recipient,
+        value=value,
+        gas_limit=gas_limit,
+        gas_price=gas_price,
+        data=payload,
+        signature=signature,
+    )
+
+
+def decode_header(data: bytes) -> BlockHeader:
+    """Inverse of :meth:`BlockHeader.serialize`."""
+    d = Decoder(data)
+    parent_id = Hash(d._take(32))  # noqa: SLF001
+    merkle_root = Hash(d._take(32))  # noqa: SLF001
+    state_root = Hash(d._take(32))  # noqa: SLF001
+    receipts_root = Hash(d._take(32))  # noqa: SLF001
+    timestamp = d.read_uint(8) / 1000.0
+    height = d.read_uint(8)
+    target = d.read_uint(32)
+    proposer_raw = d._take(20)  # noqa: SLF001
+    nonce = d.read_uint(8)
+    if not d.finished():
+        raise ValidationError("trailing bytes after header")
+    proposer = None if proposer_raw == b"\x00" * 20 else Address(proposer_raw)
+    return BlockHeader(
+        parent_id=parent_id,
+        merkle_root=merkle_root,
+        timestamp=timestamp,
+        height=height,
+        target=target,
+        nonce=nonce,
+        state_root=state_root,
+        receipts_root=receipts_root,
+        proposer=proposer,
+    )
+
+
+def encode_block(block: Block) -> bytes:
+    """Full block wire form: header + tagged transaction list."""
+    from repro.common.encoding import encode_list
+
+    body = []
+    for tx in block.transactions:
+        if isinstance(tx, AccountTransaction):
+            body.append(_TAG_ACCOUNT + tx.serialize())
+        elif isinstance(tx, Transaction):
+            body.append(_TAG_UTXO + tx.serialize())
+        else:  # pragma: no cover - the type union is closed
+            raise ValidationError(f"unencodable transaction type {type(tx)}")
+    return block.header.serialize() + encode_list(body)
+
+
+def decode_block(data: bytes) -> Block:
+    """Inverse of :func:`encode_block`; re-checks the Merkle commitment."""
+    header_size = 32 * 4 + 8 * 2 + 32 + 20 + 8
+    header = decode_header(data[:header_size])
+    d = Decoder(data[header_size:])
+    raw_txs = d.read_list()
+    if not d.finished():
+        raise ValidationError("trailing bytes after block body")
+    transactions: list = []
+    for raw in raw_txs:
+        tag, payload = raw[:1], raw[1:]
+        if tag == _TAG_UTXO:
+            transactions.append(decode_transaction(payload))
+        elif tag == _TAG_ACCOUNT:
+            transactions.append(decode_account_transaction(payload))
+        else:
+            raise ValidationError(f"unknown transaction tag {tag!r}")
+    block = Block(header=header, transactions=tuple(transactions))
+    if block.transactions and not block.merkle_root_matches():
+        raise ValidationError("decoded body does not match the header's Merkle root")
+    return block
+
+
+def decode_receipt(data: bytes) -> Receipt:
+    """Inverse of :meth:`Receipt.serialize`."""
+    d = Decoder(data)
+    txid = Hash(d._take(32))  # noqa: SLF001
+    success = d.read_bool()
+    gas_used = d.read_uint(8)
+    cumulative = d.read_uint(8)
+    if not d.finished():
+        raise ValidationError("trailing bytes after receipt")
+    return Receipt(txid=txid, success=success, gas_used=gas_used, cumulative_gas=cumulative)

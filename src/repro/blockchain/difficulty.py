@@ -1,0 +1,85 @@
+"""Difficulty adjustment (Section VI-A).
+
+"The PoW puzzle difficulty is dynamic so that the block generation time
+converges to a fixed value" — adding hash power does not add throughput.
+Two retarget styles are implemented:
+
+* Bitcoin: every ``retarget_interval`` blocks, scale the target by the
+  ratio of actual to expected epoch duration, clamped to 4x per step.
+* Ethereum: every block nudges difficulty up/down by parent/2048 depending
+  on whether the parent interval beat the target.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.pow import MAX_TARGET
+
+#: Bitcoin clamps each retarget step to a factor of 4 either way.
+BITCOIN_MAX_ADJUSTMENT = 4.0
+#: Ethereum's per-block adjustment quantum: parent_difficulty // 2048.
+ETHEREUM_ADJUSTMENT_DIVISOR = 2048
+
+
+def bitcoin_retarget(
+    current_target: int,
+    epoch_duration_s: float,
+    expected_duration_s: float,
+    max_adjustment: float = BITCOIN_MAX_ADJUSTMENT,
+) -> int:
+    """New target after one Bitcoin retarget epoch.
+
+    Blocks came too fast (epoch shorter than expected) ⇒ target shrinks
+    ⇒ difficulty rises.
+    """
+    if current_target <= 0:
+        raise ValueError("target must be positive")
+    if expected_duration_s <= 0:
+        raise ValueError("expected duration must be positive")
+    ratio = epoch_duration_s / expected_duration_s
+    ratio = min(max(ratio, 1.0 / max_adjustment), max_adjustment)
+    # Fixed-point multiply: targets are 256-bit, so float multiplication
+    # would corrupt the low bits.
+    scaled = round(ratio * 2**32)
+    return max(1, min(MAX_TARGET, current_target * scaled >> 32))
+
+
+def ethereum_adjust(
+    parent_target: int,
+    parent_interval_s: float,
+    target_interval_s: float,
+) -> int:
+    """Per-block Ethereum-style adjustment.
+
+    If the parent arrived faster than the target interval, difficulty
+    increases (target decreases) by one quantum, and vice versa.
+    """
+    if parent_target <= 0:
+        raise ValueError("target must be positive")
+    quantum = max(parent_target // ETHEREUM_ADJUSTMENT_DIVISOR, 1)
+    if parent_interval_s < target_interval_s:
+        new_target = parent_target - quantum
+    elif parent_interval_s > target_interval_s:
+        new_target = parent_target + quantum
+    else:
+        new_target = parent_target
+    return max(1, min(MAX_TARGET, new_target))
+
+
+def epoch_duration(timestamps: Sequence[float]) -> float:
+    """Duration spanned by an epoch's block timestamps."""
+    if len(timestamps) < 2:
+        raise ValueError("need at least two timestamps")
+    return timestamps[-1] - timestamps[0]
+
+
+def simulated_difficulty_for_interval(
+    network_hashrate: float, target_interval_s: float
+) -> float:
+    """Difficulty that yields one block per ``target_interval_s`` given a
+    total network hash rate (hashes/second) — the planning arithmetic the
+    Poisson mining model uses."""
+    if network_hashrate <= 0 or target_interval_s <= 0:
+        raise ValueError("hashrate and interval must be positive")
+    return network_hashrate * target_interval_s

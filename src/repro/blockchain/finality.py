@@ -1,0 +1,135 @@
+"""Finality driver: Casper-FFG checkpoints cementing a live chain.
+
+Section IV-A: Ethereum's announced "proof of stake based finality system
+that is supposed to introduce non-reversible checkpoints, guaranteeing
+block inclusion."  :class:`FinalityDriver` runs that loop over a network
+of :class:`~repro.blockchain.node.BlockchainNode` replicas: every
+``epoch_length`` blocks the validator set votes a (source → target)
+checkpoint link; once a checkpoint is finalized, every replica cements
+the chain up to it, after which no reorg can cross it (enforced by
+:meth:`repro.blockchain.chain.ChainStore.cement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import ReproError
+
+from repro.blockchain.chain import ChainStore
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.pos import Checkpoint, FinalityGadget, FinalityVote, ValidatorSet
+
+
+@dataclass
+class FinalityStats:
+    epochs_processed: int = 0
+    checkpoints_finalized: int = 0
+    blocks_cemented: int = 0
+
+
+class FinalityDriver:
+    """Coordinates checkpoint voting and cementing across replicas.
+
+    The driver plays the role of the validators' vote transport (in a
+    real deployment votes travel in blocks); honesty is parameterized so
+    tests can model abstaining validators.
+    """
+
+    def __init__(
+        self,
+        nodes: List[BlockchainNode],
+        validators: ValidatorSet,
+        epoch_length: int,
+        participation: float = 1.0,
+    ) -> None:
+        if epoch_length < 1:
+            raise ValueError("epoch length must be positive")
+        if not 0.0 <= participation <= 1.0:
+            raise ValueError("participation must be in [0, 1]")
+        self.nodes = nodes
+        self.validators = validators
+        self.epoch_length = epoch_length
+        self.participation = participation
+        genesis = nodes[0].chain.genesis
+        self.gadget = FinalityGadget(
+            validators, Checkpoint(block_id=genesis.block_id, epoch=0)
+        )
+        self._last_justified = Checkpoint(block_id=genesis.block_id, epoch=0)
+        self.stats = FinalityStats()
+
+    # ----------------------------------------------------------------- steps
+
+    def checkpoint_for_epoch(self, chain: ChainStore, epoch: int) -> Optional[Checkpoint]:
+        """The epoch-boundary block on a replica's main chain."""
+        height = epoch * self.epoch_length
+        if height > chain.height:
+            return None
+        return Checkpoint(block_id=chain.block_at_height(height).block_id, epoch=epoch)
+
+    def run_epoch(self, epoch: int) -> bool:
+        """Vote the link (last justified → this epoch's checkpoint).
+
+        Returns True when the vote finalized a checkpoint and cementing
+        advanced.  Validators vote for the checkpoint on the *first*
+        node's view — a simplification standing in for the fork-choice
+        agreement honest validators reach before voting.
+        """
+        observer = self.nodes[0].chain
+        target = self.checkpoint_for_epoch(observer, epoch)
+        if target is None or target.epoch <= self._last_justified.epoch:
+            return False
+        self.stats.epochs_processed += 1
+
+        active = self.validators.active_validators()
+        voting = active[: max(1, int(len(active) * self.participation))]
+        if self.participation >= 1.0:
+            voting = active
+        finalized_before = self.gadget.last_finalized
+        for validator in voting:
+            vote = FinalityVote(
+                validator=validator.address,
+                source=self._last_justified,
+                target=target,
+            )
+            try:
+                self.gadget.cast_vote(vote)
+            except ReproError:
+                continue
+        if self.gadget.is_justified(target):
+            self._last_justified = target
+        newly_finalized = self.gadget.last_finalized
+        if newly_finalized != finalized_before:
+            self.stats.checkpoints_finalized += 1
+            self._cement(newly_finalized)
+            return True
+        return False
+
+    def _cement(self, checkpoint: Checkpoint) -> None:
+        height = checkpoint.epoch * self.epoch_length
+        for node in self.nodes:
+            if node.chain.height >= height:
+                before = node.chain.cemented_height
+                node.chain.cement(height)
+                self.stats.blocks_cemented += max(
+                    0, node.chain.cemented_height - max(before, 0)
+                )
+
+    def run_available_epochs(self) -> int:
+        """Process every epoch the chain has grown past; returns the
+        number of newly finalized checkpoints."""
+        finalized = 0
+        epoch = self._last_justified.epoch + 1
+        while True:
+            target = self.checkpoint_for_epoch(self.nodes[0].chain, epoch)
+            if target is None:
+                break
+            if self.run_epoch(epoch):
+                finalized += 1
+            epoch += 1
+        return finalized
+
+    @property
+    def finalized_height(self) -> int:
+        return self.gadget.last_finalized.epoch * self.epoch_length

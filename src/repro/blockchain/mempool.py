@@ -1,0 +1,132 @@
+"""The mempool: pending transactions awaiting inclusion.
+
+Section VI opens with the pending-transaction backlogs of Bitcoin
+(~187k) and Ethereum (~22k) — the mempool is where that backlog lives.
+Selection is by fee rate (fee per byte for UTXO txs, gas price for
+account txs), the policy real miners use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.common.types import TxId
+from repro.blockchain.gas import intrinsic_gas
+from repro.blockchain.transaction import AccountTransaction, Transaction
+
+AnyTx = Union[Transaction, AccountTransaction]
+FeeOracle = Callable[[Transaction], int]
+
+
+class Mempool:
+    """Pending-transaction pool with fee-ordered block template selection."""
+
+    def __init__(self, fee_oracle: Optional[FeeOracle] = None) -> None:
+        self._txs: Dict[TxId, AnyTx] = {}
+        self._fees: Dict[TxId, int] = {}
+        self._fee_oracle = fee_oracle
+        self.total_accepted = 0
+        self.total_dropped = 0
+
+    # ---------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def __contains__(self, txid: TxId) -> bool:
+        return txid in self._txs
+
+    def get(self, txid: TxId) -> Optional[AnyTx]:
+        return self._txs.get(txid)
+
+    def pending(self) -> List[AnyTx]:
+        return list(self._txs.values())
+
+    def size_bytes(self) -> int:
+        return sum(tx.size_bytes for tx in self._txs.values())
+
+    # -------------------------------------------------------------- mutation
+
+    def add(self, tx: AnyTx, fee: Optional[int] = None) -> bool:
+        """Admit a transaction; returns False if already present."""
+        if tx.txid in self._txs:
+            return False
+        if fee is None:
+            if isinstance(tx, AccountTransaction):
+                fee = intrinsic_gas(tx) * tx.gas_price
+            elif self._fee_oracle is not None:
+                fee = self._fee_oracle(tx)
+            else:
+                fee = 0
+        self._txs[tx.txid] = tx
+        self._fees[tx.txid] = fee
+        self.total_accepted += 1
+        return True
+
+    def remove(self, txid: TxId) -> Optional[AnyTx]:
+        self._fees.pop(txid, None)
+        return self._txs.pop(txid, None)
+
+    def remove_included(self, txs: Iterable[AnyTx]) -> int:
+        """Drop transactions that made it into a block."""
+        removed = 0
+        for tx in txs:
+            if self.remove(tx.txid) is not None:
+                removed += 1
+        return removed
+
+    def readmit(self, txs: Iterable[AnyTx]) -> int:
+        """Return orphaned transactions to the pool (Section IV-A:
+        "orphaned transactions need to be included in a new block")."""
+        readmitted = 0
+        for tx in txs:
+            if getattr(tx, "is_coinbase", False):
+                continue  # a coinbase only exists in its own block
+            if self.add(tx):
+                readmitted += 1
+        return readmitted
+
+    # -------------------------------------------------------------- selection
+
+    def _fee_rate(self, txid: TxId) -> float:
+        tx = self._txs[txid]
+        return self._fees[txid] / max(tx.size_bytes, 1)
+
+    def select_by_size(self, max_bytes: int) -> List[AnyTx]:
+        """Greedy fee-rate-ordered selection under a byte cap (Bitcoin)."""
+        chosen: List[AnyTx] = []
+        used = 0
+        for txid in sorted(self._txs, key=self._fee_rate, reverse=True):
+            tx = self._txs[txid]
+            if used + tx.size_bytes > max_bytes:
+                continue
+            chosen.append(tx)
+            used += tx.size_bytes
+        return chosen
+
+    def select_by_gas(self, gas_limit: int) -> List[AccountTransaction]:
+        """Greedy gas-price-ordered selection under a gas cap (Ethereum)."""
+        account_txs = [
+            tx for tx in self._txs.values() if isinstance(tx, AccountTransaction)
+        ]
+        chosen: List[AccountTransaction] = []
+        used = 0
+        for tx in sorted(account_txs, key=lambda t: t.gas_price, reverse=True):
+            cost = intrinsic_gas(tx)
+            if used + cost > gas_limit:
+                continue
+            chosen.append(tx)
+            used += cost
+        return chosen
+
+    def evict(self, keep: int) -> int:
+        """Drop the lowest-fee-rate transactions beyond ``keep`` entries."""
+        if len(self._txs) <= keep:
+            return 0
+        ranked = sorted(self._txs, key=self._fee_rate, reverse=True)
+        dropped = 0
+        for txid in ranked[keep:]:
+            self.remove(txid)
+            dropped += 1
+        self.total_dropped += dropped
+        return dropped

@@ -1,0 +1,168 @@
+"""Mining — real and simulated.
+
+:class:`Miner` grinds the actual partial-hash-inversion puzzle; usable at
+test difficulties and for demonstrating the lottery itself (Section
+III-A1).  :class:`SimulatedMiner` models the same process as a Poisson
+arrival of block discoveries with rate proportional to the miner's hash
+power share — the standard abstraction, and the one under which the
+paper's own throughput arithmetic holds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.rng import exponential
+from repro.common.types import Address, Hash
+from repro.crypto.pow import solve_pow
+from repro.blockchain.block import AnyTransaction, Block, BlockHeader, assemble_block
+
+
+@dataclass
+class MiningStats:
+    """Work performed and blocks won by one miner."""
+
+    blocks_mined: int = 0
+    hash_attempts: int = 0
+
+
+class Miner:
+    """A real PoW miner: builds a template and grinds nonces."""
+
+    def __init__(self, coinbase_address: Address) -> None:
+        self.coinbase_address = coinbase_address
+        self.stats = MiningStats()
+
+    def mine_block(
+        self,
+        parent: Optional[BlockHeader],
+        transactions: Sequence[AnyTransaction],
+        timestamp: float,
+        target: int,
+        state_root: Hash = Hash.zero(),
+        receipts_root: Hash = Hash.zero(),
+        max_attempts: Optional[int] = None,
+    ) -> Optional[Block]:
+        """Assemble a candidate and search for a winning nonce.
+
+        Returns ``None`` when ``max_attempts`` runs out (lottery lost).
+        """
+        candidate = assemble_block(
+            parent=parent,
+            transactions=transactions,
+            timestamp=timestamp,
+            target=target,
+            state_root=state_root,
+            receipts_root=receipts_root,
+            proposer=self.coinbase_address,
+        )
+        solution = solve_pow(
+            candidate.header.pow_payload(), target, max_attempts=max_attempts
+        )
+        if solution is None:
+            if max_attempts is not None:
+                self.stats.hash_attempts += max_attempts
+            return None
+        self.stats.hash_attempts += solution.attempts
+        self.stats.blocks_mined += 1
+        return Block(
+            header=candidate.header.with_nonce(solution.nonce),
+            transactions=candidate.transactions,
+        )
+
+
+class SimulatedMiner:
+    """Poisson-process mining for discrete-event experiments.
+
+    A miner holding fraction ``p`` of the network hash power finds blocks
+    at rate ``p / target_interval`` — the memoryless lottery of Section
+    III-A1.  ``next_block_delay`` draws the time to this miner's next
+    solve; restarting the draw whenever the chain head changes is valid
+    because the exponential is memoryless.
+    """
+
+    def __init__(
+        self,
+        coinbase_address: Address,
+        hashrate_share: float,
+        target_interval_s: float,
+        rng: random.Random,
+    ) -> None:
+        if not 0 < hashrate_share <= 1:
+            raise ValueError(f"hashrate share must be in (0, 1], got {hashrate_share}")
+        if target_interval_s <= 0:
+            raise ValueError("target interval must be positive")
+        self.coinbase_address = coinbase_address
+        self.hashrate_share = hashrate_share
+        self.target_interval_s = target_interval_s
+        self._rng = rng
+        self.stats = MiningStats()
+        #: External hash-power factor (1.0 = the calibration point).
+        #: Raising it models hardware joining the network (Section VI-A).
+        self.hashrate_boost = 1.0
+        #: Difficulty factor applied by retargeting: block rate divides
+        #: by it, so doubling difficulty halves this miner's rate.
+        self.difficulty_factor = 1.0
+
+    @property
+    def block_rate(self) -> float:
+        """Expected blocks per second for this miner."""
+        return (self.hashrate_share * self.hashrate_boost) / (
+            self.target_interval_s * self.difficulty_factor
+        )
+
+    def next_block_delay(self) -> float:
+        """Seconds until this miner's next block discovery."""
+        return exponential(self._rng, self.block_rate)
+
+    def make_block(
+        self,
+        parent: Optional[BlockHeader],
+        transactions: Sequence[AnyTransaction],
+        timestamp: float,
+        target: int,
+        state_root: Hash = Hash.zero(),
+        receipts_root: Hash = Hash.zero(),
+    ) -> Block:
+        """Produce the discovered block (no real grinding; the Poisson
+        draw already decided the discovery time).  A deterministic nonce
+        derived from the RNG keeps block ids unique."""
+        self.stats.blocks_mined += 1
+        block = assemble_block(
+            parent=parent,
+            transactions=transactions,
+            timestamp=timestamp,
+            target=target,
+            state_root=state_root,
+            receipts_root=receipts_root,
+            proposer=self.coinbase_address,
+            nonce=self._rng.getrandbits(63),
+        )
+        return block
+
+
+def mining_race(
+    shares: Sequence[float],
+    rounds: int,
+    rng: random.Random,
+    target_interval_s: float = 1.0,
+) -> list:
+    """Simulate ``rounds`` independent block lotteries among miners with
+    the given hash-power ``shares``; returns per-miner win counts.
+
+    The winner of each round is the miner whose exponential solve time is
+    smallest — equivalently a weighted lottery, which is what the bench
+    for E1 asserts (win rate ∝ hash power).
+    """
+    if abs(sum(shares) - 1.0) > 1e-9:
+        raise ValueError("hashrate shares must sum to 1")
+    wins = [0] * len(shares)
+    for _ in range(rounds):
+        times = [
+            exponential(rng, share / target_interval_s) if share > 0 else float("inf")
+            for share in shares
+        ]
+        wins[times.index(min(times))] += 1
+    return wins

@@ -1,0 +1,486 @@
+"""A full blockchain network node.
+
+Ties together the chain store, the materialized state (UTXO set or
+account trie), the mempool, gossip, and block production.  One class
+serves both reference implementations: ``params.uses_gas`` selects the
+Ethereum-style account model, otherwise the Bitcoin-style UTXO model.
+
+Block production comes in two flavours matching Section III:
+
+* :meth:`start_pow_mining` — Poisson-process PoW mining with a hash-power
+  share (leader election by lottery);
+* :class:`PosSlotDriver` — fixed slots with a stake-weighted proposer
+  lottery (PoS), defined at module scope because it coordinates the whole
+  validator set, not one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ReproError, ValidationError
+from repro.common.types import Address, Hash, TxId
+from repro.crypto.pow import MAX_TARGET
+from repro.net.message import Message
+from repro.net.node import NetworkNode
+from repro.blockchain.block import AnyTransaction, Block, assemble_block
+from repro.blockchain.chain import ChainStore, ReorgResult
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.miner import SimulatedMiner
+from repro.blockchain.params import ChainParams
+from repro.blockchain.receipts import receipts_root
+from repro.blockchain.state import AccountState
+from repro.blockchain.transaction import (
+    AccountTransaction,
+    Transaction,
+    make_coinbase,
+)
+from repro.blockchain.utxo import UTXOSet, UndoRecord
+from repro.blockchain.validation import (
+    apply_block,
+    revert_block,
+    validate_block_structure,
+)
+
+MSG_TX = "tx"
+MSG_BLOCK = "block"
+
+
+@dataclass
+class NodeStats:
+    """Counters for one node's view of the protocol."""
+
+    blocks_accepted: int = 0
+    blocks_rejected: int = 0
+    reorgs: int = 0
+    orphaned_blocks: int = 0
+    orphaned_transactions: int = 0
+    txs_seen: int = 0
+    validation_bytes: int = 0  # bytes of block bodies validated (load metric)
+
+
+class BlockchainNode(NetworkNode):
+    """A validating full node for either reference implementation."""
+
+    def __init__(
+        self,
+        node_id: str,
+        params: ChainParams,
+        genesis: Block,
+        genesis_allocations: Optional[Dict[Address, int]] = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.params = params
+        self.chain = ChainStore(genesis)
+        self.mempool = Mempool(fee_oracle=self._fee_of)
+        self.stats = NodeStats()
+        self._tx_blocks: Dict[TxId, Hash] = {}  # txid -> containing main-chain block
+        self._miner: Optional[SimulatedMiner] = None
+        self._mining_epoch = 0
+
+        if params.uses_gas:
+            self.state: Optional[AccountState] = AccountState()
+            self.utxo: Optional[UTXOSet] = None
+            for address, amount in (genesis_allocations or {}).items():
+                self.state.credit(address, amount)
+            self._state_roots: Dict[Hash, Hash] = {
+                genesis.block_id: self.state.root_hash
+            }
+        else:
+            self.state = None
+            self.utxo = UTXOSet()
+            self._undo: Dict[Hash, List[UndoRecord]] = {}
+            for tx in genesis.transactions:
+                undo = self.utxo.apply_transaction(tx)
+                self._undo.setdefault(genesis.block_id, []).append(undo)
+            for tx in genesis.transactions:
+                self._tx_blocks[tx.txid] = genesis.block_id
+
+    def _fee_of(self, tx: Transaction) -> int:
+        """Mempool fee oracle: implied fee against the current UTXO view.
+
+        Transactions spending in-mempool (not yet mined) outputs can't be
+        priced yet; they rank at zero until their parents confirm.
+        """
+        if self.utxo is None:
+            return 0
+        try:
+            return self.utxo.fee(tx)
+        except ReproError:
+            return 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def head(self) -> Block:
+        return self.chain.head
+
+    def balance(self, address: Address) -> int:
+        if self.utxo is not None:
+            return self.utxo.balance(address)
+        assert self.state is not None
+        return self.state.balance(address)
+
+    def submit_transaction(self, tx: AnyTransaction) -> bool:
+        """Inject a locally created transaction and gossip it."""
+        if not self._admit_transaction(tx):
+            return False
+        self.broadcast(
+            Message(kind=MSG_TX, payload=tx, size_bytes=tx.size_bytes, dedup_key=tx.txid)
+        )
+        return True
+
+    def confirmations(self, txid: TxId) -> int:
+        """Main-chain confirmations of the block containing ``txid``."""
+        block_id = self._tx_blocks.get(txid)
+        if block_id is None:
+            return 0
+        return self.chain.confirmations(block_id)
+
+    def is_confirmed(self, txid: TxId) -> bool:
+        """Confirmed per the implementation's depth convention (Section
+        IV-A: 6 for Bitcoin, 11 for Ethereum)."""
+        return self.confirmations(txid) >= self.params.confirmation_depth
+
+    # -------------------------------------------------------------- messages
+
+    def handle_message(self, sender_id: str, message: Message) -> None:
+        if message.kind == MSG_TX:
+            self._admit_transaction(message.payload)
+        elif message.kind == MSG_BLOCK:
+            self.receive_block(message.payload)
+
+    def _admit_transaction(self, tx: AnyTransaction) -> bool:
+        self.stats.txs_seen += 1
+        if tx.txid in self._tx_blocks:
+            return False  # already on (our view of) the chain
+        if isinstance(tx, AccountTransaction):
+            if not tx.verify_signature():
+                return False
+        elif isinstance(tx, Transaction):
+            if tx.is_coinbase or not tx.verify_input_signatures():
+                return False
+        return self.mempool.add(tx)
+
+    # ---------------------------------------------------------------- blocks
+
+    def receive_block(self, block: Block) -> ReorgResult:
+        """Validate and integrate one block, updating state and mempool."""
+        try:
+            validate_block_structure(block, self.params)
+        except ValidationError:
+            self.stats.blocks_rejected += 1
+            raise
+        self.stats.validation_bytes += block.body_size_bytes
+        result = self.chain.add_block(block)
+        if not result.block_accepted:
+            return result
+        self.stats.blocks_accepted += 1
+        if result.is_reorg:
+            self.stats.reorgs += 1
+            self.stats.orphaned_blocks += len(result.rolled_back)
+        if result.extended_main:
+            self._update_state(result)
+            self._mining_epoch += 1
+            self._reschedule_mining()
+        return result
+
+    def _update_state(self, result: ReorgResult) -> None:
+        """Roll back orphaned blocks, apply adopted ones, fix the mempool."""
+        if self.utxo is not None:
+            for block in reversed(result.rolled_back):
+                revert_block(self._undo.pop(block.block_id, []), self.utxo)
+            for block in result.applied:
+                self._undo[block.block_id] = apply_block(block, self.utxo, self.params)
+        else:
+            assert self.state is not None
+            if result.rolled_back:
+                fork_parent = self.chain.block_at_height(
+                    result.applied[0].height - 1
+                )
+                self.state.rollback_to(self._state_roots[fork_parent.block_id])
+            for block in result.applied:
+                self._apply_account_block(block)
+
+        for block in result.rolled_back:
+            for tx in block.transactions:
+                self._tx_blocks.pop(tx.txid, None)
+            readmitted = self.mempool.readmit(block.transactions)
+            self.stats.orphaned_transactions += readmitted
+        for block in result.applied:
+            for tx in block.transactions:
+                self._tx_blocks[tx.txid] = block.block_id
+            self.mempool.remove_included(block.transactions)
+
+    def _apply_account_block(self, block: Block) -> None:
+        assert self.state is not None
+        account_txs = [
+            tx for tx in block.transactions if isinstance(tx, AccountTransaction)
+        ]
+        miner = block.header.proposer or Address.zero()
+        self.state.apply_block_transactions(
+            account_txs, miner, self.params.block_reward
+        )
+        if (
+            not block.header.state_root.is_zero()
+            and self.state.root_hash != block.header.state_root
+        ):
+            raise ValidationError(
+                f"block {block.block_id.short()} state root mismatch"
+            )
+        self._state_roots[block.block_id] = self.state.root_hash
+
+    # ------------------------------------------------------------- catch-up
+
+    def sync_from(self, peer: "BlockchainNode") -> int:
+        """Adopt main-chain blocks this replica is missing from a peer.
+
+        Real clients run headers-first initial block download / catch-up
+        after a partition; here the peer's main chain is replayed through
+        normal validation (``receive_block``), so fork choice and state
+        updates apply as if the blocks had arrived by gossip.  Returns
+        the number of blocks adopted.
+        """
+        adopted = 0
+        for block in peer.chain.main_chain()[1:]:
+            if block.block_id in self.chain:
+                continue
+            try:
+                result = self.receive_block(block)
+            except ReproError:
+                continue
+            if result.block_accepted:
+                adopted += 1
+        return adopted
+
+    def announce_chain(self) -> None:
+        """Gossip this replica's main chain (post-partition heads-up).
+
+        Peers that already saw a block ignore it via gossip dedup; peers
+        on the other side of a healed partition adopt the heavier branch.
+        """
+        for block in self.chain.main_chain()[1:]:
+            self.broadcast(
+                Message(
+                    kind=MSG_BLOCK,
+                    payload=block,
+                    size_bytes=block.size_bytes,
+                    dedup_key=block.block_id,
+                )
+            )
+
+    # ------------------------------------------------------------ production
+
+    def create_block_template(
+        self, timestamp: float, proposer: Address, target: int = MAX_TARGET
+    ) -> Block:
+        """Assemble the best block this node can mine right now."""
+        if self.utxo is not None:
+            return self._create_utxo_template(timestamp, proposer, target)
+        return self._create_account_template(timestamp, proposer, target)
+
+    def _create_utxo_template(
+        self, timestamp: float, proposer: Address, target: int
+    ) -> Block:
+        assert self.utxo is not None
+        budget = (self.params.max_block_size_bytes or 10**9) - 200  # coinbase room
+        candidates = self.mempool.select_by_size(budget)
+        chosen: List[Transaction] = []
+        spent: Set[Tuple[TxId, int]] = set()
+        created: Dict[Tuple[TxId, int], int] = {}
+        fees = 0
+        for tx in candidates:
+            if not isinstance(tx, Transaction):
+                continue
+            outpoints = [i.outpoint for i in tx.inputs]
+            if any(op in spent for op in outpoints):
+                continue  # conflicts with an already chosen tx
+            input_value = 0
+            ok = True
+            for op in outpoints:
+                out = self.utxo.get(op)
+                if out is not None:
+                    input_value += out.amount
+                elif op in created:
+                    input_value += created[op]
+                else:
+                    ok = False
+                    break
+            if not ok or input_value < tx.total_output():
+                continue
+            chosen.append(tx)
+            spent.update(outpoints)
+            for index, output in enumerate(tx.outputs):
+                created[(tx.txid, index)] = output.amount
+            fees += input_value - tx.total_output()
+        coinbase = make_coinbase(
+            proposer, self.params.block_reward + fees, nonce=self.head.height + 1
+        )
+        return assemble_block(
+            parent=self.head.header,
+            transactions=[coinbase] + chosen,
+            timestamp=timestamp,
+            target=target,
+            proposer=proposer,
+        )
+
+    def _create_account_template(
+        self, timestamp: float, proposer: Address, target: int
+    ) -> Block:
+        assert self.state is not None
+        gas_limit = self.params.initial_gas_limit or 8_000_000
+        candidates = self.mempool.select_by_gas(gas_limit)
+        # Execute on a scratch version to find the valid prefix and the
+        # resulting roots, then roll the live state back.
+        before = self.state.checkpoint()
+        chosen: List[AccountTransaction] = []
+        receipts = []
+        for tx in candidates:
+            try:
+                receipt = self.state.apply_transaction(tx, proposer)
+            except ReproError:
+                continue
+            receipts.append(receipt)
+            chosen.append(tx)
+        self.state.credit(proposer, self.params.block_reward)
+        state_root = self.state.root_hash
+        self.state.rollback_to(before)
+        return assemble_block(
+            parent=self.head.header,
+            transactions=chosen,
+            timestamp=timestamp,
+            target=target,
+            state_root=state_root,
+            receipts_root=receipts_root(receipts),
+            proposer=proposer,
+        )
+
+    # ----------------------------------------------------------- PoW mining
+
+    def start_pow_mining(self, hashrate_share: float, coinbase: Address) -> None:
+        """Begin Poisson-process mining (Section III-A1 lottery)."""
+        if self.network is None:
+            raise RuntimeError("attach the node to a network before mining")
+        sim = self.network.simulator
+        self._miner = SimulatedMiner(
+            coinbase_address=coinbase,
+            hashrate_share=hashrate_share,
+            target_interval_s=self.params.target_block_interval_s,
+            rng=sim.fork_rng(f"miner:{self.node_id}"),
+        )
+        self._reschedule_mining()
+
+    def stop_mining(self) -> None:
+        self._miner = None
+        self._mining_epoch += 1
+
+    @property
+    def miner(self) -> Optional[SimulatedMiner]:
+        return self._miner
+
+    def refresh_mining(self) -> None:
+        """Re-arm the next solve with current miner rates.
+
+        Call after changing ``hashrate_boost``/``difficulty_factor`` so
+        the new rate takes effect immediately instead of at the next
+        head change (exponential memorylessness makes the re-draw fair).
+        """
+        self._mining_epoch += 1
+        self._reschedule_mining()
+
+    def _reschedule_mining(self) -> None:
+        """(Re)arm the next block-discovery event for the current head.
+
+        Restarting the exponential draw on head change is statistically
+        neutral (memorylessness) and mirrors miners switching templates.
+        """
+        if self._miner is None or self.network is None:
+            return
+        epoch = self._mining_epoch
+        delay = self._miner.next_block_delay()
+
+        def solve() -> None:
+            if self._miner is None or epoch != self._mining_epoch:
+                return  # stale: head moved since this draw
+            self._produce_and_broadcast()
+
+        self.network.simulator.schedule(delay, solve, label=f"mine:{self.node_id}")
+
+    def _produce_and_broadcast(self) -> None:
+        assert self._miner is not None and self.network is not None
+        sim = self.network.simulator
+        block = self.create_block_template(
+            timestamp=sim.now, proposer=self._miner.coinbase_address
+        )
+        block = self._miner.make_block(
+            parent=self.head.header,
+            transactions=block.transactions,
+            timestamp=sim.now,
+            target=MAX_TARGET,
+            state_root=block.header.state_root,
+            receipts_root=block.header.receipts_root,
+        )
+        self.receive_block(block)  # bumps epoch and reschedules
+        self.broadcast(
+            Message(
+                kind=MSG_BLOCK,
+                payload=block,
+                size_bytes=block.size_bytes,
+                dedup_key=block.block_id,
+            )
+        )
+
+
+# --------------------------------------------------------------------------
+# PoS block production
+# --------------------------------------------------------------------------
+
+
+class PosSlotDriver:
+    """Drives PoS block production across a set of nodes (Section III-A2).
+
+    Every ``slot_interval`` seconds the deposit contract's lottery picks a
+    proposer; that validator's node builds and broadcasts the next block.
+    No hashing happens — which is the entire energy argument.
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[Address, BlockchainNode],
+        validator_set,
+        slot_interval_s: Optional[float] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one validator node")
+        self.nodes = nodes
+        self.validator_set = validator_set
+        first = next(iter(nodes.values()))
+        self.slot_interval_s = slot_interval_s or first.params.target_block_interval_s
+        self.slots_run = 0
+        self.proposer_history: List[Address] = []
+
+    def start(self, simulator, until: float) -> None:
+        rng = simulator.fork_rng("pos-slots")
+
+        def slot() -> None:
+            proposer = self.validator_set.select_proposer(rng)
+            self.proposer_history.append(proposer)
+            self.slots_run += 1
+            node = self.nodes.get(proposer)
+            if node is None:
+                return  # proposer offline: empty slot
+            block = node.create_block_template(
+                timestamp=simulator.now, proposer=proposer
+            )
+            node.receive_block(block)
+            node.broadcast(
+                Message(
+                    kind=MSG_BLOCK,
+                    payload=block,
+                    size_bytes=block.size_bytes,
+                    dedup_key=block.block_id,
+                )
+            )
+
+        simulator.schedule_periodic(self.slot_interval_s, slot, until=until)

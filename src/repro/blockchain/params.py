@@ -1,0 +1,109 @@
+"""Chain parameter presets for the paper's reference implementations.
+
+The Section VI-A arithmetic — Bitcoin at 3–7 TPS from a 1 MB block every
+~600 s, Ethereum at 7–15 TPS from a gas-limited block every ~15 s — is a
+pure function of these presets; the benches recompute it from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.common.units import MB
+
+
+@dataclass(frozen=True)
+class ChainParams:
+    """Protocol constants of one blockchain deployment."""
+
+    name: str
+    #: Seconds between blocks the difficulty rule aims for.
+    target_block_interval_s: float
+    #: Byte cap on a block body (None for gas-limited chains).
+    max_block_size_bytes: Optional[int]
+    #: Gas cap on a block (None for byte-limited chains).
+    initial_gas_limit: Optional[int]
+    #: Tokens minted to the miner/proposer per block.
+    block_reward: int
+    #: Blocks per difficulty-retarget epoch (1 = per-block adjustment).
+    retarget_interval_blocks: int
+    #: Depth at which a block is conventionally considered confirmed
+    #: (Section IV-A: six for Bitcoin, five to eleven for Ethereum).
+    confirmation_depth: int
+    #: Consensus family: "pow" or "pos".
+    consensus: str = "pow"
+
+    def __post_init__(self) -> None:
+        if self.target_block_interval_s <= 0:
+            raise ValueError("block interval must be positive")
+        if (self.max_block_size_bytes is None) == (self.initial_gas_limit is None):
+            raise ValueError("exactly one of byte cap / gas cap must be set")
+        if self.consensus not in ("pow", "pos"):
+            raise ValueError(f"unknown consensus family {self.consensus!r}")
+
+    @property
+    def uses_gas(self) -> bool:
+        return self.initial_gas_limit is not None
+
+    def max_tps(self, avg_tx_size_bytes: int = 250, avg_tx_gas: int = 21_000) -> float:
+        """Protocol throughput ceiling implied by these parameters."""
+        if self.max_block_size_bytes is not None:
+            txs_per_block = self.max_block_size_bytes / avg_tx_size_bytes
+        else:
+            assert self.initial_gas_limit is not None
+            txs_per_block = self.initial_gas_limit / avg_tx_gas
+        return txs_per_block / self.target_block_interval_s
+
+    def with_block_size(self, max_block_size_bytes: int) -> "ChainParams":
+        """Variant with a different byte cap (the Segwit2x experiment)."""
+        if self.max_block_size_bytes is None:
+            raise ValueError(f"{self.name} is gas-limited, not byte-limited")
+        return replace(
+            self,
+            name=f"{self.name}-{max_block_size_bytes // MB}MB",
+            max_block_size_bytes=max_block_size_bytes,
+        )
+
+
+#: Bitcoin: 10-minute blocks, 1 MB cap, 6-confirmation convention.
+BITCOIN = ChainParams(
+    name="bitcoin",
+    target_block_interval_s=600.0,
+    max_block_size_bytes=1 * MB,
+    initial_gas_limit=None,
+    block_reward=12_5000_0000,  # 12.5 BTC in satoshi at the paper's date
+    retarget_interval_blocks=2016,
+    confirmation_depth=6,
+    consensus="pow",
+)
+
+#: Segwit2x: Bitcoin with a 2 MB block cap (Section VI-A).
+SEGWIT2X = BITCOIN.with_block_size(2 * MB)
+
+#: Ethereum: ~15 s blocks, gas-limited, 5–11 confirmation convention
+#: (we use the conservative end, 11).
+ETHEREUM = ChainParams(
+    name="ethereum",
+    target_block_interval_s=15.0,
+    max_block_size_bytes=None,
+    initial_gas_limit=8_000_000,
+    block_reward=3 * 10**18,  # 3 ether in wei at the paper's date
+    retarget_interval_blocks=1,
+    confirmation_depth=11,
+    consensus="pow",
+)
+
+#: Ethereum after the announced PoS transition: ~4 s blocks (Section VI-A:
+#: "the transition to PoS should decrease Ethereum's block generation time
+#: to 4 seconds or lower").
+ETHEREUM_POS = ChainParams(
+    name="ethereum-pos",
+    target_block_interval_s=4.0,
+    max_block_size_bytes=None,
+    initial_gas_limit=8_000_000,
+    block_reward=3 * 10**18,
+    retarget_interval_blocks=1,
+    confirmation_depth=11,
+    consensus="pos",
+)

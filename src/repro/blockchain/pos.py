@@ -1,0 +1,258 @@
+"""Proof of Stake (Section III-A2) and Casper-FFG-style finality
+(Section IV-A).
+
+"Validators deposit their stake in the smart contract, which in turn
+picks the validator allowed to create a block.  The more tokens a
+validator stakes, it has a higher chance to create the next block.  If an
+incorrect block is submitted ... the validator's stake is burned."
+
+:class:`ValidatorSet` is that contract: deposits, stake-weighted proposer
+selection, and slashing.  :class:`FinalityGadget` adds the checkpoint
+justification/finalization rule of Casper FFG — "non-reversible
+checkpoints, guaranteeing block inclusion" — including slashing for the
+two commandment violations (double vote, surround vote).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ValidationError
+from repro.common.rng import weighted_choice
+from repro.common.types import Address, Hash
+
+
+@dataclass
+class Validator:
+    """One staker registered in the deposit contract."""
+
+    address: Address
+    stake: int
+    slashed: bool = False
+
+    @property
+    def active(self) -> bool:
+        return self.stake > 0 and not self.slashed
+
+
+class ValidatorSet:
+    """The deposit contract: stake-weighted lottery plus slashing."""
+
+    def __init__(self) -> None:
+        self._validators: Dict[Address, Validator] = {}
+        self.burned_stake = 0
+
+    # --------------------------------------------------------------- staking
+
+    def deposit(self, address: Address, amount: int) -> None:
+        if amount <= 0:
+            raise ValidationError("deposit must be positive")
+        validator = self._validators.get(address)
+        if validator is None:
+            self._validators[address] = Validator(address=address, stake=amount)
+        elif validator.slashed:
+            raise ValidationError(f"validator {address.short()} was slashed")
+        else:
+            validator.stake += amount
+
+    def withdraw(self, address: Address, amount: int) -> None:
+        validator = self._validators.get(address)
+        if validator is None or validator.slashed:
+            raise ValidationError(f"no active validator {address.short()}")
+        if amount > validator.stake:
+            raise ValidationError("withdrawal exceeds stake")
+        validator.stake -= amount
+
+    def slash(self, address: Address) -> int:
+        """Burn a misbehaving validator's entire stake; returns the amount.
+
+        "Burning stake has the same economic effect as dismantling an
+        attacker's mining equipment."
+        """
+        validator = self._validators.get(address)
+        if validator is None:
+            raise ValidationError(f"unknown validator {address.short()}")
+        burned = validator.stake
+        validator.stake = 0
+        validator.slashed = True
+        self.burned_stake += burned
+        return burned
+
+    # ---------------------------------------------------------------- access
+
+    def stake_of(self, address: Address) -> int:
+        validator = self._validators.get(address)
+        return validator.stake if validator and validator.active else 0
+
+    def total_stake(self) -> int:
+        return sum(v.stake for v in self._validators.values() if v.active)
+
+    def active_validators(self) -> List[Validator]:
+        return [v for v in self._validators.values() if v.active]
+
+    # --------------------------------------------------------------- lottery
+
+    def select_proposer(self, rng: random.Random) -> Address:
+        """Stake-weighted proposer lottery for the next block."""
+        active = self.active_validators()
+        if not active:
+            raise ValidationError("no active validators")
+        chosen = weighted_choice(rng, active, [v.stake for v in active])
+        return chosen.address
+
+    def selection_distribution(self, rng: random.Random, rounds: int) -> Dict[Address, int]:
+        """Empirical proposer counts over ``rounds`` lotteries (bench E2)."""
+        counts: Dict[Address, int] = {}
+        for _ in range(rounds):
+            winner = self.select_proposer(rng)
+            counts[winner] = counts.get(winner, 0) + 1
+        return counts
+
+
+# --------------------------------------------------------------------------
+# Casper-FFG-style finality
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An epoch-boundary block reference."""
+
+    block_id: Hash
+    epoch: int
+
+
+@dataclass(frozen=True)
+class FinalityVote:
+    """A validator's (source → target) checkpoint link vote."""
+
+    validator: Address
+    source: Checkpoint
+    target: Checkpoint
+
+    def __post_init__(self) -> None:
+        if self.target.epoch <= self.source.epoch:
+            raise ValidationError("target epoch must exceed source epoch")
+
+
+@dataclass
+class _EpochTally:
+    votes_by_target: Dict[Hash, int] = field(default_factory=dict)
+    voters: Dict[Address, FinalityVote] = field(default_factory=dict)
+
+
+class FinalityGadget:
+    """Checkpoint justification & finalization with slashing conditions.
+
+    * A target checkpoint is *justified* once links from a justified
+      source reach ≥ 2/3 of total stake.
+    * A justified checkpoint is *finalized* when its direct child epoch
+      checkpoint is justified from it.
+    * Double votes (same target epoch, different targets) and surround
+      votes are slashable.
+    """
+
+    def __init__(self, validators: ValidatorSet, genesis_checkpoint: Checkpoint) -> None:
+        if genesis_checkpoint.epoch != 0:
+            raise ValidationError("genesis checkpoint must be epoch 0")
+        self.validators = validators
+        self.genesis = genesis_checkpoint
+        self._justified: Set[Tuple[Hash, int]] = {(genesis_checkpoint.block_id, 0)}
+        self._finalized: List[Checkpoint] = [genesis_checkpoint]
+        self._tallies: Dict[int, _EpochTally] = {}
+        self._vote_history: Dict[Address, List[FinalityVote]] = {}
+        self.slashings: List[Address] = []
+
+    # ---------------------------------------------------------------- status
+
+    def is_justified(self, checkpoint: Checkpoint) -> bool:
+        return (checkpoint.block_id, checkpoint.epoch) in self._justified
+
+    def is_finalized(self, checkpoint: Checkpoint) -> bool:
+        return checkpoint in self._finalized
+
+    @property
+    def last_finalized(self) -> Checkpoint:
+        return self._finalized[-1]
+
+    # ----------------------------------------------------------------- votes
+
+    def cast_vote(self, vote: FinalityVote) -> Optional[Address]:
+        """Record a vote; returns the validator's address if it got slashed.
+
+        Slashing conditions (Casper FFG):
+        1. double vote — two distinct votes with the same target epoch;
+        2. surround vote — one vote's span strictly surrounds another's.
+        """
+        stake = self.validators.stake_of(vote.validator)
+        if stake <= 0:
+            raise ValidationError(f"{vote.validator.short()} has no active stake")
+
+        history = self._vote_history.setdefault(vote.validator, [])
+        for prior in history:
+            if prior.target.epoch == vote.target.epoch and prior.target != vote.target:
+                self._punish(vote.validator)
+                return vote.validator
+            if _surrounds(vote, prior) or _surrounds(prior, vote):
+                self._punish(vote.validator)
+                return vote.validator
+        history.append(vote)
+
+        if not self.is_justified(vote.source):
+            return None  # link from an unjustified source never counts
+
+        tally = self._tallies.setdefault(vote.target.epoch, _EpochTally())
+        if vote.validator in tally.voters:
+            return None  # duplicate identical vote
+        tally.voters[vote.validator] = vote
+        tally.votes_by_target[vote.target.block_id] = (
+            tally.votes_by_target.get(vote.target.block_id, 0) + stake
+        )
+        self._maybe_justify(vote)
+        return None
+
+    def _maybe_justify(self, vote: FinalityVote) -> None:
+        tally = self._tallies[vote.target.epoch]
+        total = self.validators.total_stake() + self.validators.burned_stake
+        if total == 0:
+            return
+        supporting = tally.votes_by_target[vote.target.block_id]
+        if supporting * 3 >= total * 2:
+            key = (vote.target.block_id, vote.target.epoch)
+            if key not in self._justified:
+                self._justified.add(key)
+                # Finalize the source when the justified target is its
+                # immediate child epoch.
+                if vote.target.epoch == vote.source.epoch + 1 and self.is_justified(
+                    vote.source
+                ):
+                    if vote.source not in self._finalized:
+                        self._finalized.append(vote.source)
+
+    def _punish(self, validator: Address) -> None:
+        self.validators.slash(validator)
+        self.slashings.append(validator)
+
+
+def _surrounds(outer: FinalityVote, inner: FinalityVote) -> bool:
+    """True when ``outer``'s span strictly contains ``inner``'s."""
+    return (
+        outer.source.epoch < inner.source.epoch
+        and inner.target.epoch < outer.target.epoch
+    )
+
+
+# ---------------------------------------------------------------- energy
+
+#: Order-of-magnitude energy per block: PoW network burn at the paper's
+#: date vs. a PoS validator set of commodity servers.  Used only for the
+#: qualitative Section III-A2 comparison ("consumes far less electricity").
+POW_ENERGY_PER_BLOCK_KWH = 650_000.0  # ~Bitcoin network, 10 min of ~4 GW
+POS_ENERGY_PER_BLOCK_KWH = 0.05  # hundreds of validators, seconds of CPU
+
+
+def energy_ratio() -> float:
+    """How many times more energy a PoW block costs than a PoS block."""
+    return POW_ENERGY_PER_BLOCK_KWH / POS_ENERGY_PER_BLOCK_KWH

@@ -1,0 +1,49 @@
+"""Transaction receipts (Section II-A / V-A).
+
+Ethereum stores receipts in their own Merkle structure per block; fast
+sync "downloads the transaction receipts along the blocks" instead of
+re-executing history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.encoding import encode_bool, encode_uint
+from repro.common.types import Hash, TxId
+from repro.crypto.hashing import sha256d
+from repro.crypto.merkle import merkle_root
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """Execution outcome of one account transaction."""
+
+    txid: TxId
+    success: bool
+    gas_used: int
+    cumulative_gas: int
+
+    def serialize(self) -> bytes:
+        return (
+            bytes(self.txid)
+            + encode_bool(self.success)
+            + encode_uint(self.gas_used, 8)
+            + encode_uint(self.cumulative_gas, 8)
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.serialize())
+
+    @property
+    def receipt_hash(self) -> Hash:
+        return sha256d(self.serialize())
+
+
+def receipts_root(receipts: Sequence[Receipt]) -> Hash:
+    """Merkle root committing to a block's receipts."""
+    if not receipts:
+        return Hash.zero()
+    return merkle_root([r.receipt_hash for r in receipts])

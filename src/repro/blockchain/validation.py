@@ -1,0 +1,144 @@
+"""Block and transaction validation rules.
+
+"The entries are checked for validity by all other nodes" (Section
+III-A) — these are those checks.  Structural checks (PoW, Merkle root,
+size caps) are separated from contextual checks (UTXO availability,
+signatures, value conservation) so callers can validate headers first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.common.errors import (
+    DoubleSpendError,
+    InvalidProofOfWorkError,
+    ValidationError,
+)
+from repro.blockchain.block import Block
+from repro.blockchain.gas import intrinsic_gas
+from repro.blockchain.params import ChainParams
+from repro.blockchain.transaction import AccountTransaction, Transaction
+from repro.blockchain.utxo import Outpoint, UTXOSet
+
+
+def validate_block_structure(
+    block: Block, params: ChainParams, check_pow: bool = True
+) -> None:
+    """Context-free checks: PoW, Merkle commitment, capacity caps."""
+    if check_pow and params.consensus == "pow" and not block.is_genesis():
+        if not block.header.check_proof_of_work():
+            raise InvalidProofOfWorkError(
+                f"block {block.block_id.short()} fails its proof of work"
+            )
+    if not block.merkle_root_matches():
+        raise ValidationError(
+            f"block {block.block_id.short()} Merkle root does not match its body"
+        )
+    if params.max_block_size_bytes is not None:
+        if block.body_size_bytes > params.max_block_size_bytes:
+            raise ValidationError(
+                f"block {block.block_id.short()} body {block.body_size_bytes} B "
+                f"exceeds cap {params.max_block_size_bytes} B"
+            )
+    if params.initial_gas_limit is not None:
+        gas = sum(
+            intrinsic_gas(tx)
+            for tx in block.transactions
+            if isinstance(tx, AccountTransaction)
+        )
+        if gas > params.initial_gas_limit:
+            raise ValidationError(
+                f"block {block.block_id.short()} uses {gas} gas, "
+                f"over limit {params.initial_gas_limit}"
+            )
+
+
+def validate_transaction(tx: Transaction, utxo_set: UTXOSet) -> int:
+    """Contextual UTXO-transaction checks; returns the implied fee."""
+    if tx.is_coinbase:
+        raise ValidationError("coinbase transactions are only valid inside a block")
+    if not tx.verify_input_signatures():
+        raise ValidationError(f"tx {tx.txid.short()} has an invalid signature")
+    return utxo_set.fee(tx)  # raises on unknown inputs / value inflation
+
+
+def validate_block_transactions(
+    block: Block, utxo_set: UTXOSet, params: ChainParams
+) -> int:
+    """Contextual checks of a UTXO block body; returns total fees.
+
+    Enforces: exactly one leading coinbase, no intra-block double spends,
+    all inputs unspent, signatures valid, and coinbase value within
+    subsidy + fees.  Does not mutate ``utxo_set``.
+    """
+    if not block.transactions:
+        raise ValidationError("block has no transactions (missing coinbase)")
+    coinbase = block.transactions[0]
+    if not isinstance(coinbase, Transaction) or not coinbase.is_coinbase:
+        raise ValidationError("first transaction must be the coinbase")
+
+    spent_in_block: Set[Outpoint] = set()
+    created_in_block: dict = {}
+    total_fees = 0
+    for tx in block.transactions[1:]:
+        if not isinstance(tx, Transaction):
+            raise ValidationError("UTXO block contains a non-UTXO transaction")
+        if tx.is_coinbase:
+            raise ValidationError("only the first transaction may be a coinbase")
+        if not tx.verify_input_signatures():
+            raise ValidationError(f"tx {tx.txid.short()} has an invalid signature")
+        input_value = 0
+        for tx_input in tx.inputs:
+            outpoint = tx_input.outpoint
+            if outpoint in spent_in_block:
+                raise DoubleSpendError(
+                    f"outpoint {outpoint[0].short()}:{outpoint[1]} spent twice in block"
+                )
+            spent_in_block.add(outpoint)
+            output = utxo_set.get(outpoint)
+            if output is None:
+                output = created_in_block.get(outpoint)
+            if output is None:
+                raise DoubleSpendError(
+                    f"tx {tx.txid.short()} spends unavailable output "
+                    f"{outpoint[0].short()}:{outpoint[1]}"
+                )
+            input_value += output.amount
+        fee = input_value - tx.total_output()
+        if fee < 0:
+            raise ValidationError(f"tx {tx.txid.short()} outputs exceed inputs")
+        total_fees += fee
+        for index, output in enumerate(tx.outputs):
+            created_in_block[(tx.txid, index)] = output
+
+    max_coinbase = params.block_reward + total_fees
+    if coinbase.total_output() > max_coinbase:
+        raise ValidationError(
+            f"coinbase pays {coinbase.total_output()}, max is {max_coinbase}"
+        )
+    return total_fees
+
+
+def apply_block(
+    block: Block, utxo_set: UTXOSet, params: ChainParams
+) -> List["UndoRecord"]:
+    """Validate then apply a UTXO block; returns undo records tip-ward.
+
+    The undo list reverses the block during a reorg (Section IV-A).
+    """
+    validate_block_transactions(block, utxo_set, params)
+    undos = []
+    for tx in block.transactions:
+        undos.append(utxo_set.apply_transaction(tx))
+    return undos
+
+
+def revert_block(undos: List["UndoRecord"], utxo_set: UTXOSet) -> None:
+    """Reverse a previously applied block (reorg rollback path)."""
+    for undo in reversed(undos):
+        utxo_set.revert_transaction(undo)
+
+
+# Re-export for type checkers without creating an import cycle at runtime.
+from repro.blockchain.utxo import UndoRecord  # noqa: E402  (intentional tail import)

@@ -1,0 +1,319 @@
+"""A gas-metered stack virtual machine for smart contracts.
+
+Section VI-A: "Ethereum has a significant benefit compared to Bitcoin
+since it supports *smart contracts*, which expands its potential to
+become a platform rather than only a cryptocurrency" — and gas exists
+precisely "to measure the fees required for a particular computation".
+This module makes that computation real: a small stack machine with
+per-opcode gas costs, persistent contract storage, value transfer, halts
+(`STOP`/`RETURN`), reverts, and out-of-gas exhaustion.  It is the
+execution engine behind contract accounts in
+:class:`repro.blockchain.state.AccountState`.
+
+The instruction set is a compact subset of the EVM's shape (stack of
+256-bit words, storage as word → word) — enough to express counters,
+token ledgers, deposit contracts and the like in tests and benches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+
+WORD_MASK = 2**256 - 1
+MAX_STACK = 1024
+
+
+class VmError(ReproError):
+    """Execution failure: bad opcode, stack violation, explicit revert."""
+
+
+class OutOfGasError(VmError):
+    """The gas budget ran out mid-execution."""
+
+
+class Op(enum.IntEnum):
+    """Opcodes.  ``PUSH`` reads the next 8 bytes of code as an operand."""
+
+    STOP = 0x00
+    PUSH = 0x01
+    POP = 0x02
+    DUP = 0x03
+    SWAP = 0x04
+    ADD = 0x10
+    SUB = 0x11
+    MUL = 0x12
+    DIV = 0x13
+    MOD = 0x14
+    LT = 0x20
+    GT = 0x21
+    EQ = 0x22
+    ISZERO = 0x23
+    NOT = 0x24
+    JUMP = 0x30
+    JUMPI = 0x31
+    SLOAD = 0x40
+    SSTORE = 0x41
+    CALLER = 0x50
+    CALLVALUE = 0x51
+    BALANCE = 0x52
+    ARG = 0x53  # push call-data word by index
+    RETURN = 0x60
+    REVERT = 0x61
+
+
+#: Gas cost per opcode.  SSTORE is deliberately the expensive one, as in
+#: the real schedule (state growth is what gas must price).
+GAS_COSTS: Dict[Op, int] = {
+    Op.STOP: 0,
+    Op.PUSH: 3,
+    Op.POP: 2,
+    Op.DUP: 3,
+    Op.SWAP: 3,
+    Op.ADD: 3,
+    Op.SUB: 3,
+    Op.MUL: 5,
+    Op.DIV: 5,
+    Op.MOD: 5,
+    Op.LT: 3,
+    Op.GT: 3,
+    Op.EQ: 3,
+    Op.ISZERO: 3,
+    Op.NOT: 3,
+    Op.JUMP: 8,
+    Op.JUMPI: 10,
+    Op.SLOAD: 200,
+    Op.SSTORE: 5_000,
+    Op.CALLER: 2,
+    Op.CALLVALUE: 2,
+    Op.BALANCE: 400,
+    Op.ARG: 3,
+    Op.RETURN: 0,
+    Op.REVERT: 0,
+}
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a contract can see about its invocation."""
+
+    caller: int  # caller address as an integer word
+    call_value: int
+    call_args: Tuple[int, ...] = ()
+    #: Read a word from contract storage.
+    storage_read: Callable[[int], int] = lambda slot: 0
+    #: Read an address's balance (BALANCE opcode).
+    balance_read: Callable[[int], int] = lambda addr: 0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one contract run."""
+
+    success: bool
+    gas_used: int
+    return_value: Optional[int] = None
+    #: slot -> word, applied by the caller only on success.
+    storage_writes: Dict[int, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+def assemble(*instructions) -> bytes:
+    """Tiny assembler: ``assemble(Op.PUSH, 2, Op.PUSH, 3, Op.ADD, Op.RETURN)``.
+
+    Integers following a ``PUSH`` become its 8-byte immediate operand.
+    """
+    out = bytearray()
+    i = 0
+    items = list(instructions)
+    while i < len(items):
+        item = items[i]
+        if not isinstance(item, Op):
+            raise VmError(f"expected opcode at position {i}, got {item!r}")
+        out.append(int(item))
+        if item == Op.PUSH:
+            i += 1
+            if i >= len(items) or isinstance(items[i], Op):
+                raise VmError("PUSH requires an immediate operand")
+            operand = int(items[i])
+            out.extend((operand & WORD_MASK).to_bytes(32, "big")[-8:])
+        i += 1
+    return bytes(out)
+
+
+def execute(code: bytes, gas_limit: int, context: ExecutionContext) -> ExecutionResult:
+    """Run ``code`` until halt, revert, error, or gas exhaustion.
+
+    Storage writes are buffered and returned; the state layer applies
+    them only when ``success`` is True, so a revert or error leaves the
+    contract's persistent state untouched.
+    """
+    stack: List[int] = []
+    writes: Dict[int, int] = {}
+    gas_used = 0
+    pc = 0
+
+    def pop(n: int = 1) -> List[int]:
+        if len(stack) < n:
+            raise VmError(f"stack underflow at pc={pc}")
+        values = [stack.pop() for _ in range(n)]
+        return values
+
+    def push(value: int) -> None:
+        if len(stack) >= MAX_STACK:
+            raise VmError("stack overflow")
+        stack.append(value & WORD_MASK)
+
+    try:
+        while pc < len(code):
+            try:
+                op = Op(code[pc])
+            except ValueError:
+                raise VmError(f"invalid opcode 0x{code[pc]:02x} at pc={pc}") from None
+            gas_used += GAS_COSTS[op]
+            if gas_used > gas_limit:
+                raise OutOfGasError(
+                    f"out of gas at pc={pc}: used {gas_used} > limit {gas_limit}"
+                )
+
+            if op == Op.STOP:
+                return ExecutionResult(True, gas_used, None, writes)
+            if op == Op.PUSH:
+                if pc + 8 >= len(code) + 1:
+                    raise VmError("truncated PUSH operand")
+                push(int.from_bytes(code[pc + 1 : pc + 9], "big"))
+                pc += 9
+                continue
+            if op == Op.POP:
+                pop()
+            elif op == Op.DUP:
+                (top,) = pop()
+                push(top)
+                push(top)
+            elif op == Op.SWAP:
+                a, b = pop(2)
+                push(a)
+                push(b)
+            elif op == Op.ADD:
+                a, b = pop(2)
+                push(a + b)
+            elif op == Op.SUB:
+                a, b = pop(2)
+                push(a - b)
+            elif op == Op.MUL:
+                a, b = pop(2)
+                push(a * b)
+            elif op == Op.DIV:
+                a, b = pop(2)
+                push(0 if b == 0 else a // b)
+            elif op == Op.MOD:
+                a, b = pop(2)
+                push(0 if b == 0 else a % b)
+            elif op == Op.LT:
+                a, b = pop(2)
+                push(1 if a < b else 0)
+            elif op == Op.GT:
+                a, b = pop(2)
+                push(1 if a > b else 0)
+            elif op == Op.EQ:
+                a, b = pop(2)
+                push(1 if a == b else 0)
+            elif op == Op.ISZERO:
+                (a,) = pop()
+                push(1 if a == 0 else 0)
+            elif op == Op.NOT:
+                (a,) = pop()
+                push(~a)
+            elif op == Op.JUMP:
+                (dest,) = pop()
+                if dest >= len(code):
+                    raise VmError(f"jump out of bounds: {dest}")
+                pc = dest
+                continue
+            elif op == Op.JUMPI:
+                dest, condition = pop(2)
+                if condition:
+                    if dest >= len(code):
+                        raise VmError(f"jump out of bounds: {dest}")
+                    pc = dest
+                    continue
+            elif op == Op.SLOAD:
+                (slot,) = pop()
+                if slot in writes:
+                    push(writes[slot])
+                else:
+                    push(context.storage_read(slot) & WORD_MASK)
+            elif op == Op.SSTORE:
+                slot, value = pop(2)
+                writes[slot] = value
+            elif op == Op.CALLER:
+                push(context.caller)
+            elif op == Op.CALLVALUE:
+                push(context.call_value)
+            elif op == Op.BALANCE:
+                (addr,) = pop()
+                push(context.balance_read(addr))
+            elif op == Op.ARG:
+                (index,) = pop()
+                args = context.call_args
+                push(args[index] if index < len(args) else 0)
+            elif op == Op.RETURN:
+                (value,) = pop()
+                return ExecutionResult(True, gas_used, value, writes)
+            elif op == Op.REVERT:
+                return ExecutionResult(
+                    False, gas_used, None, {}, error="explicit revert"
+                )
+            pc += 1
+        # Falling off the end halts successfully, like STOP.
+        return ExecutionResult(True, gas_used, None, writes)
+    except OutOfGasError as exc:
+        # All gas is consumed; writes are discarded.
+        return ExecutionResult(False, gas_limit, None, {}, error=str(exc))
+    except VmError as exc:
+        return ExecutionResult(False, gas_used, None, {}, error=str(exc))
+
+
+# ---------------------------------------------------------------- programs
+
+def counter_contract() -> bytes:
+    """Storage slot 0 is a counter; every call adds the first call arg
+    (default 0) plus 1, and returns the new value."""
+    return assemble(
+        Op.PUSH, 0, Op.SLOAD,          # [count]
+        Op.PUSH, 0, Op.ARG,            # [count, arg0]
+        Op.ADD,                        # [count+arg0]
+        Op.PUSH, 1, Op.ADD,            # [v = count+arg0+1]
+        Op.DUP,                        # [v, v]
+        Op.PUSH, 0, Op.SSTORE,         # SSTORE pops slot(=0), value(=v)
+        Op.RETURN,
+    )
+
+
+def vault_contract() -> bytes:
+    """Accepts deposits; records total received in slot 0.  Reverts if
+    called with zero value (a guard clause exercising JUMPI/REVERT)."""
+    # layout:
+    #  0: CALLVALUE ISZERO PUSH <revert_pc> JUMPI  (if value==0 -> revert)
+    #  then: slot0 += CALLVALUE; RETURN slot0
+    # JUMPI pops (dest, condition) with dest on top, so the stack below
+    # must be [condition, dest]; SSTORE pops (slot, value) likewise.
+    body = assemble(
+        Op.CALLVALUE, Op.ISZERO,  # [value==0]
+        Op.PUSH, 0,               # [cond, revert_pc] (patched below)
+        Op.JUMPI,
+        Op.PUSH, 0, Op.SLOAD,
+        Op.CALLVALUE, Op.ADD,     # [total]
+        Op.DUP,                   # [total, total]
+        Op.PUSH, 0, Op.SSTORE,    # slot0 = total
+        Op.RETURN,
+    )
+    revert_pc = len(body)
+    patched = bytearray(body)
+    # The PUSH immediate sits at bytes 3..10 (opcode CALLVALUE, ISZERO,
+    # PUSH at index 2, operand at 3..10).
+    patched[3:11] = revert_pc.to_bytes(8, "big")
+    return bytes(patched) + assemble(Op.REVERT)

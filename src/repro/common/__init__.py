@@ -1,0 +1,29 @@
+"""Shared primitives used by every subsystem.
+
+This package holds the small, dependency-free building blocks: typed
+identifiers (:mod:`repro.common.types`), the exception hierarchy
+(:mod:`repro.common.errors`), canonical binary encoding used both for
+hashing and for byte-accurate ledger-size accounting
+(:mod:`repro.common.encoding`), unit helpers (:mod:`repro.common.units`)
+and deterministic randomness helpers (:mod:`repro.common.rng`).
+"""
+
+from repro.common.errors import (
+    DoubleSpendError,
+    ForkDetectedError,
+    InsufficientFundsError,
+    ReproError,
+    ValidationError,
+)
+from repro.common.types import Address, Hash, TxId
+
+__all__ = [
+    "Address",
+    "DoubleSpendError",
+    "ForkDetectedError",
+    "Hash",
+    "InsufficientFundsError",
+    "ReproError",
+    "TxId",
+    "ValidationError",
+]

@@ -1,0 +1,120 @@
+"""Canonical binary encoding.
+
+Ledger entries are hashed over — and size-accounted by — a canonical byte
+encoding.  The scheme is deliberately simple (fixed-width integers and
+length-prefixed byte strings, all big-endian) but it is *injective* for a
+fixed schema: two distinct field tuples never encode to the same bytes,
+which is the property hashing requires; and every structure's
+``serialize()`` output has a well-defined length, which is the property
+Section V's ledger-size accounting requires.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+
+def encode_uint(value: int, width: int = 8) -> bytes:
+    """Encode a non-negative integer big-endian in ``width`` bytes."""
+    if value < 0:
+        raise ValueError(f"cannot encode negative integer {value}")
+    try:
+        return value.to_bytes(width, "big")
+    except OverflowError as exc:
+        raise ValueError(f"{value} does not fit in {width} bytes") from exc
+
+
+def decode_uint(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+def encode_uint32(value: int) -> bytes:
+    return encode_uint(value, 4)
+
+
+def encode_uint64(value: int) -> bytes:
+    return encode_uint(value, 8)
+
+
+def encode_uint128(value: int) -> bytes:
+    """Nano balances are 128-bit raw amounts."""
+    return encode_uint(value, 16)
+
+
+def encode_bytes(data: bytes) -> bytes:
+    """Length-prefixed byte string (4-byte big-endian length)."""
+    return struct.pack(">I", len(data)) + data
+
+
+def encode_str(text: str) -> bytes:
+    return encode_bytes(text.encode("utf-8"))
+
+
+def encode_bool(flag: bool) -> bytes:
+    return b"\x01" if flag else b"\x00"
+
+
+def encode_list(items: Iterable[bytes]) -> bytes:
+    """Length-prefixed list of pre-encoded items."""
+    materialized = list(items)
+    out = [struct.pack(">I", len(materialized))]
+    out.extend(encode_bytes(item) for item in materialized)
+    return b"".join(out)
+
+
+class Decoder:
+    """Sequential reader over a canonical encoding.
+
+    >>> data = encode_uint64(7) + encode_bytes(b"ab")
+    >>> d = Decoder(data)
+    >>> d.read_uint(8), d.read_bytes()
+    (7, b'ab')
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def _take(self, n: int) -> bytes:
+        if self.remaining < n:
+            raise ValueError(f"decoder underrun: need {n} bytes, have {self.remaining}")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def read_uint(self, width: int = 8) -> int:
+        return decode_uint(self._take(width))
+
+    def read_bytes(self) -> bytes:
+        length = self.read_uint(4)
+        return self._take(length)
+
+    def read_str(self) -> str:
+        return self.read_bytes().decode("utf-8")
+
+    def read_bool(self) -> bool:
+        return self._take(1) == b"\x01"
+
+    def read_list(self) -> List[bytes]:
+        count = self.read_uint(4)
+        return [self.read_bytes() for _ in range(count)]
+
+    def finished(self) -> bool:
+        return self.remaining == 0
+
+
+def encoded_size(*parts: bytes) -> int:
+    """Total byte length of already-encoded parts (size-accounting helper)."""
+    return sum(len(part) for part in parts)
+
+
+def split_pairs(items: Sequence[bytes]) -> List[Tuple[bytes, bytes]]:
+    """Group a flat even-length sequence into (left, right) pairs."""
+    if len(items) % 2 != 0:
+        raise ValueError("expected an even number of items")
+    return [(items[i], items[i + 1]) for i in range(0, len(items), 2)]

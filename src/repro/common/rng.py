@@ -1,0 +1,81 @@
+"""Deterministic randomness helpers.
+
+Every stochastic component (mining, network latency, workloads, voting
+timers) draws from a ``random.Random`` seeded at experiment start, so any
+run is exactly reproducible from its seed.  ``fork_rng`` derives
+independent child streams so that adding a new consumer does not perturb
+the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def make_rng(seed: int) -> random.Random:
+    """A fresh deterministic generator for the given integer seed."""
+    return random.Random(seed)
+
+
+def fork_rng(parent: random.Random, label: str) -> random.Random:
+    """Derive an independent child stream, stable under unrelated changes.
+
+    The child seed mixes a draw from the parent with a label hash, so two
+    forks with different labels are independent even if forked at the same
+    parent state.
+    """
+    raw = parent.getrandbits(64).to_bytes(8, "big") + label.encode("utf-8")
+    digest = hashlib.sha256(raw).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def exponential(rng: random.Random, rate: float) -> float:
+    """Exponential inter-arrival sample; ``rate`` is events per unit time."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    return rng.expovariate(rate)
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one item with probability proportional to its weight.
+
+    This is the primitive behind both the PoW lottery (weight = hash power)
+    and the PoS lottery (weight = stake) of Section III.
+    """
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    point = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        cumulative += weight
+        if point < cumulative:
+            return item
+    return items[-1]
+
+
+def zipf_weights(n: int, alpha: float) -> list:
+    """Zipf popularity weights for ``n`` ranks (alpha=0 ⇒ uniform)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0 / (rank**alpha) for rank in range(1, n + 1)]
+
+
+def poisson_process(rng: random.Random, rate: float, until: float) -> Iterator[float]:
+    """Yield event times of a Poisson process on [0, until)."""
+    t = 0.0
+    while True:
+        t += exponential(rng, rate)
+        if t >= until:
+            return
+        yield t

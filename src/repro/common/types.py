@@ -1,0 +1,100 @@
+"""Typed identifiers shared across the blockchain and DAG subsystems.
+
+The paper compares two ledger paradigms that both identify entries by
+cryptographic hash and owners by address.  Using small frozen wrapper
+classes (instead of raw ``bytes``) makes APIs self-documenting, prevents
+mixing a transaction id with an address, and gives every id a stable
+hex rendering for logs and tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+HASH_SIZE = 32
+ADDRESS_SIZE = 20
+
+
+@dataclass(frozen=True, order=True)
+class Hash:
+    """A 32-byte cryptographic digest identifying a block, node or tx."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, bytes) or len(self.value) != HASH_SIZE:
+            raise ValueError(f"Hash must be {HASH_SIZE} bytes, got {self.value!r}")
+
+    @classmethod
+    def zero(cls) -> "Hash":
+        """The all-zero hash, used as the genesis predecessor reference."""
+        return cls(b"\x00" * HASH_SIZE)
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Hash":
+        return cls(bytes.fromhex(text))
+
+    @property
+    def hex(self) -> str:
+        return self.value.hex()
+
+    def short(self, n: int = 8) -> str:
+        """First ``n`` hex chars — convenient for log lines and diagrams."""
+        return self.value.hex()[:n]
+
+    def is_zero(self) -> bool:
+        return self.value == b"\x00" * HASH_SIZE
+
+    def __bytes__(self) -> bytes:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Hash({self.short()}…)"
+
+
+# A transaction id is a hash; the alias documents intent at call sites.
+TxId = Hash
+BlockId = Hash
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A 20-byte account address derived from a public key."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, bytes) or len(self.value) != ADDRESS_SIZE:
+            raise ValueError(f"Address must be {ADDRESS_SIZE} bytes, got {self.value!r}")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Address":
+        return cls(bytes.fromhex(text))
+
+    @classmethod
+    def zero(cls) -> "Address":
+        return cls(b"\x00" * ADDRESS_SIZE)
+
+    @property
+    def hex(self) -> str:
+        return self.value.hex()
+
+    def short(self, n: int = 8) -> str:
+        return self.value.hex()[:n]
+
+    def __bytes__(self) -> bytes:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Address({self.short()}…)"
+
+
+HashLike = Union[Hash, bytes]
+
+
+def as_hash(value: HashLike) -> Hash:
+    """Coerce raw bytes to :class:`Hash`, passing existing hashes through."""
+    if isinstance(value, Hash):
+        return value
+    return Hash(value)

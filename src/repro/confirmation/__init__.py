@@ -1,0 +1,23 @@
+"""Transaction-confirmation confidence models (Section IV).
+
+Blockchain: the probability that an attacker rewrites history falls
+geometrically with confirmation depth (:mod:`repro.confirmation.nakamoto`),
+and honest soft forks orphan recent blocks at a rate set by propagation
+delay vs. block interval (:mod:`repro.confirmation.orphan`).  DAG:
+confidence is the voted share of representative weight
+(:mod:`repro.confirmation.dag_confirmation`).
+"""
+
+from repro.confirmation.nakamoto import (
+    attacker_success_probability,
+    confirmations_for_confidence,
+)
+from repro.confirmation.orphan import expected_orphan_rate
+from repro.confirmation.dag_confirmation import vote_confidence
+
+__all__ = [
+    "attacker_success_probability",
+    "confirmations_for_confidence",
+    "expected_orphan_rate",
+    "vote_confidence",
+]

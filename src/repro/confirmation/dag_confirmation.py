@@ -1,0 +1,60 @@
+"""DAG confirmation confidence (Section IV-B).
+
+A Nano transaction "is only confirmed when it receives a majority vote"
+of representative weight.  Confidence is therefore a *weight fraction*,
+not a depth, and the time to reach it is one round of vote propagation —
+not k block intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def vote_confidence(voted_weight: int, online_weight: int) -> float:
+    """Fraction of online weight endorsing a block."""
+    if online_weight <= 0:
+        raise ValueError("online weight must be positive")
+    if voted_weight < 0:
+        raise ValueError("voted weight cannot be negative")
+    return min(1.0, voted_weight / online_weight)
+
+
+def is_confirmed(voted_weight: int, online_weight: int, quorum_fraction: float) -> bool:
+    return vote_confidence(voted_weight, online_weight) > quorum_fraction
+
+
+def expected_confirmation_latency(
+    vote_propagation_delay_s: float,
+    weight_distribution: Sequence[float],
+    quorum_fraction: float,
+) -> float:
+    """Time until quorum, assuming representatives vote on first sight.
+
+    Representative i's vote lands after one propagation delay; with all
+    reps at roughly the same distance, confirmation needs only *enough
+    weight* to have voted, so latency ≈ one propagation delay once the
+    cumulative weight of the fastest responders crosses quorum.  With a
+    uniform delay this is simply the propagation delay itself — the model
+    the E5 bench compares against blockchain's k·interval.
+    """
+    if not weight_distribution:
+        raise ValueError("need at least one representative")
+    total = sum(weight_distribution)
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    cumulative = 0.0
+    for share in sorted(weight_distribution, reverse=True):
+        cumulative += share
+        if cumulative / total > quorum_fraction:
+            return vote_propagation_delay_s
+    return float("inf")  # quorum unreachable (too much offline weight)
+
+
+def blockchain_vs_dag_latency(
+    block_interval_s: float,
+    confirmation_depth: int,
+    vote_propagation_delay_s: float,
+) -> Tuple[float, float]:
+    """(blockchain latency, DAG latency) for the headline E5 comparison."""
+    return (block_interval_s * confirmation_depth, vote_propagation_delay_s)

@@ -1,0 +1,277 @@
+"""Ledger-interface adapters for the two paradigms.
+
+:class:`BlockchainLedger` stands up a PoW blockchain network (UTXO or
+account model per its :class:`~repro.blockchain.params.ChainParams`);
+:class:`DagLedger` stands up a Nano testbed.  Both expose the uniform
+:class:`~repro.core.ledger.Ledger` API so the comparison layer can drive
+them with identical workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError, ValidationError
+from repro.common.types import Hash, TxId
+from repro.crypto.keys import KeyPair
+from repro.net.link import LinkParams
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN, ChainParams
+from repro.blockchain.transaction import Transaction
+from repro.blockchain.wallet import AccountWallet, UtxoWallet
+from repro.dag.bootstrap import NanoTestbed, build_nano_testbed, fund_accounts
+from repro.dag.params import NanoParams
+from repro.core.ledger import Ledger, LedgerStats
+from repro.workloads.generators import PaymentEvent
+
+Outpoint = Tuple[TxId, int]
+
+
+class BlockchainLedger(Ledger):
+    """A mining blockchain network behind the uniform interface."""
+
+    paradigm = "blockchain"
+
+    def __init__(
+        self,
+        params: ChainParams = BITCOIN,
+        node_count: int = 5,
+        link_params: Optional[LinkParams] = None,
+        seed: int = 0,
+        fee: int = 1,
+    ) -> None:
+        self.name = params.name
+        self.params = params
+        self.node_count = node_count
+        self.link_params = link_params or LinkParams()
+        self.seed = seed
+        self.fee = fee
+        self._rng = random.Random(seed)
+        self.simulator: Optional[Simulator] = None
+        self.network: Optional[Network] = None
+        self.nodes: List[BlockchainNode] = []
+        self.keys: List[KeyPair] = []
+        self._utxo_wallets: List[UtxoWallet] = []
+        self._account_wallets: List[AccountWallet] = []
+        self._submit_times: Dict[Hash, float] = {}
+        self._stats = LedgerStats()
+
+    # ----------------------------------------------------------------- setup
+
+    def setup(self, accounts: int, initial_balance: int) -> None:
+        self.keys = [KeyPair.generate(self._rng) for _ in range(accounts)]
+        allocations = {kp.address: initial_balance for kp in self.keys}
+        self.simulator = Simulator(seed=self.seed)
+        self.network = Network(self.simulator)
+
+        if self.params.uses_gas:
+            # Account model: allocations live in the state trie; the
+            # genesis block itself carries no transactions.
+            miner_key = KeyPair.generate(self._rng)
+            genesis = build_genesis_with_allocations({miner_key.address: 1})
+            factory = lambda nid: BlockchainNode(  # noqa: E731
+                nid, self.params, genesis, genesis_allocations=allocations
+            )
+        else:
+            genesis = build_genesis_with_allocations(allocations)
+            factory = lambda nid: BlockchainNode(nid, self.params, genesis)  # noqa: E731
+
+        nodes = complete_topology(self.network, self.node_count, factory, self.link_params)
+        self.nodes = [n for n in nodes if isinstance(n, BlockchainNode)]
+        for node in self.nodes:
+            miner = KeyPair.generate(self._rng)
+            node.start_pow_mining(1.0 / self.node_count, miner.address)
+
+        if self.params.uses_gas:
+            self._account_wallets = [AccountWallet(kp) for kp in self.keys]
+        else:
+            coinbase = genesis.transactions[0]
+            self._utxo_wallets = []
+            for kp in self.keys:
+                wallet = UtxoWallet(kp)
+                wallet.track_funding(coinbase)
+                self._utxo_wallets.append(wallet)
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(self, event: PaymentEvent) -> Optional[Hash]:
+        wallet_node = self.nodes[event.sender_index % len(self.nodes)]
+        try:
+            if self.params.uses_gas:
+                tx = self._make_account_tx(event)
+            else:
+                tx = self._make_utxo_tx(event)
+        except ValidationError:
+            return None
+        if not wallet_node.submit_transaction(tx):
+            return None
+        self._stats.entries_created += 1
+        self._submit_times[tx.txid] = self.now()
+        return tx.txid
+
+    def _make_utxo_tx(self, event: PaymentEvent) -> Transaction:
+        sender_wallet = self._utxo_wallets[event.sender_index]
+        recipient_wallet = self._utxo_wallets[event.recipient_index]
+        tx = sender_wallet.pay(recipient_wallet.address, event.amount, fee=self.fee)
+        recipient_wallet.receive_from(tx)
+        return tx
+
+    def _make_account_tx(self, event: PaymentEvent):
+        return self._account_wallets[event.sender_index].pay(
+            self.keys[event.recipient_index].address,
+            event.amount,
+            gas_price=max(self.fee, 1),
+        )
+
+    # ----------------------------------------------------------------- clock
+
+    def advance(self, duration_s: float) -> None:
+        assert self.simulator is not None
+        self.simulator.run(until=self.simulator.now + duration_s)
+
+    def now(self) -> float:
+        return self.simulator.now if self.simulator else 0.0
+
+    # ---------------------------------------------------------------- reads
+
+    def is_confirmed(self, entry: Hash) -> bool:
+        return self.nodes[0].is_confirmed(entry)
+
+    def balance(self, account_index: int) -> int:
+        return self.nodes[0].balance(self.keys[account_index].address)
+
+    def serialized_size(self) -> int:
+        node = self.nodes[0]
+        size = node.chain.total_size_bytes()
+        if node.state is not None:
+            size += node.state.store_size_bytes()
+        return size
+
+    def stats(self) -> LedgerStats:
+        observer = self.nodes[0]
+        self._stats.forks_observed = observer.chain.reorg_count
+        self._stats.reorgs = sum(n.stats.reorgs for n in self.nodes)
+        self._stats.entries_confirmed = sum(
+            1 for txid in self._submit_times if observer.is_confirmed(txid)
+        )
+        self._stats.confirmation_latencies_s = self._confirmation_latencies()
+        self._stats.extra["blocks"] = float(observer.chain.height)
+        self._stats.extra["orphaned_blocks"] = float(
+            sum(n.stats.orphaned_blocks for n in self.nodes)
+        )
+        return self._stats
+
+    def _confirmation_latencies(self) -> List[float]:
+        """Post-hoc: time from submission until the containing block had
+        ``confirmation_depth`` blocks on top (using block timestamps)."""
+        observer = self.nodes[0]
+        depth = self.params.confirmation_depth
+        latencies: List[float] = []
+        for txid, submitted in self._submit_times.items():
+            block_id = observer._tx_blocks.get(txid)  # noqa: SLF001
+            if block_id is None or not observer.chain.is_on_main_chain(block_id):
+                continue
+            included = observer.chain.block(block_id)
+            confirm_height = included.height + depth - 1
+            if confirm_height > observer.chain.height:
+                continue  # not yet confirmed
+            confirm_block = observer.chain.block_at_height(confirm_height)
+            latencies.append(max(0.0, confirm_block.header.timestamp - submitted))
+        return latencies
+
+
+class DagLedger(Ledger):
+    """A Nano block-lattice deployment behind the uniform interface."""
+
+    paradigm = "dag"
+
+    def __init__(
+        self,
+        params: Optional[NanoParams] = None,
+        node_count: int = 8,
+        representative_count: int = 4,
+        link_params: Optional[LinkParams] = None,
+        seed: int = 0,
+    ) -> None:
+        self.params = params or NanoParams(work_difficulty=1)
+        self.name = self.params.name
+        self.node_count = node_count
+        self.representative_count = representative_count
+        self.link_params = link_params or LinkParams()
+        self.seed = seed
+        self.testbed: Optional[NanoTestbed] = None
+        self.keys: List[KeyPair] = []
+        self._submit_times: Dict[Hash, float] = {}
+        self._stats = LedgerStats()
+
+    def setup(self, accounts: int, initial_balance: int) -> None:
+        self.testbed = build_nano_testbed(
+            node_count=self.node_count,
+            representative_count=self.representative_count,
+            params=self.params,
+            link_params=self.link_params,
+            seed=self.seed,
+        )
+        self.keys = fund_accounts(
+            self.testbed, accounts, initial_balance, settle_time=2.0
+        )
+
+    def submit(self, event: PaymentEvent) -> Optional[Hash]:
+        assert self.testbed is not None
+        sender = self.keys[event.sender_index]
+        wallet = self.testbed.node_for(sender.address)
+        try:
+            block = wallet.send_payment(
+                sender.address,
+                self.keys[event.recipient_index].address,
+                event.amount,
+            )
+        except ReproError:
+            return None
+        self._stats.entries_created += 1
+        self._submit_times[block.block_hash] = self.now()
+        return block.block_hash
+
+    def advance(self, duration_s: float) -> None:
+        assert self.testbed is not None
+        sim = self.testbed.simulator
+        sim.run(until=sim.now + duration_s)
+
+    def now(self) -> float:
+        return self.testbed.simulator.now if self.testbed else 0.0
+
+    def is_confirmed(self, entry: Hash) -> bool:
+        assert self.testbed is not None
+        return self.testbed.nodes[0].is_confirmed(entry)
+
+    def balance(self, account_index: int) -> int:
+        assert self.testbed is not None
+        return self.testbed.nodes[0].balance(self.keys[account_index].address)
+
+    def serialized_size(self) -> int:
+        assert self.testbed is not None
+        return self.testbed.nodes[0].lattice.serialized_size()
+
+    def stats(self) -> LedgerStats:
+        assert self.testbed is not None
+        observer = self.testbed.nodes[0]
+        self._stats.forks_observed = sum(
+            n.stats.forks_seen for n in self.testbed.nodes
+        )
+        self._stats.entries_confirmed = sum(
+            1 for h in self._submit_times if observer.is_confirmed(h)
+        )
+        latencies: List[float] = []
+        for block_hash, submitted in self._submit_times.items():
+            confirmed_at = observer.confirmation_times.get(block_hash)
+            if confirmed_at is not None:
+                latencies.append(max(0.0, confirmed_at - submitted))
+        self._stats.confirmation_latencies_s = latencies
+        self._stats.extra["dag_blocks"] = float(observer.lattice.block_count())
+        self._stats.extra["elections"] = float(observer.elections.elections_started)
+        return self._stats

@@ -1,0 +1,130 @@
+"""The five-dimension comparison (the paper's Table-of-its-own).
+
+Runs an identical payment workload through a blockchain deployment and a
+DAG deployment and reports, side by side, the paper's five comparison
+dimensions: data structure, consensus, confirmation, ledger size, and
+scalability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import summarize
+from repro.metrics.tables import render_table
+from repro.core.ledger import Ledger
+from repro.workloads.generators import PaymentEvent
+
+
+@dataclass
+class ParadigmResult:
+    """Measured outcomes for one ledger under the common workload."""
+
+    name: str
+    paradigm: str
+    entries_submitted: int
+    entries_confirmed: int
+    mean_confirmation_s: Optional[float]
+    ledger_bytes: int
+    forks: int
+    throughput_tps: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ComparisonReport:
+    """Side-by-side results plus the qualitative rows of the paper."""
+
+    workload_events: int
+    duration_s: float
+    blockchain: ParadigmResult
+    dag: ParadigmResult
+
+    QUALITATIVE_ROWS = [
+        ("data structure", "transactions bundled in chained blocks",
+         "one transaction per DAG node (block-lattice)"),
+        ("consensus", "leader election by lottery (PoW/PoS)",
+         "owner-ordered chains + weighted representative votes"),
+        ("confirmation", "depth below chain tip (6 / 5-11 blocks)",
+         "majority vote of representative weight"),
+        ("ledger growth", "full blocks incl. headers and all txs",
+         "one balance-carrying block per transaction"),
+        ("scalability cap", "block size / gas over block interval",
+         "no protocol cap; node hardware and network bound"),
+    ]
+
+    def render(self) -> str:
+        quant = render_table(
+            ["metric", self.blockchain.name, self.dag.name],
+            [
+                ["entries submitted", self.blockchain.entries_submitted,
+                 self.dag.entries_submitted],
+                ["entries confirmed", self.blockchain.entries_confirmed,
+                 self.dag.entries_confirmed],
+                ["mean confirmation (s)",
+                 _fmt_opt(self.blockchain.mean_confirmation_s),
+                 _fmt_opt(self.dag.mean_confirmation_s)],
+                ["ledger size (bytes)", self.blockchain.ledger_bytes,
+                 self.dag.ledger_bytes],
+                ["forks observed", self.blockchain.forks, self.dag.forks],
+                ["confirmed TPS", round(self.blockchain.throughput_tps, 3),
+                 round(self.dag.throughput_tps, 3)],
+            ],
+            title=(
+                f"Blockchain vs DAG under an identical workload "
+                f"({self.workload_events} payments, {self.duration_s:.0f}s simulated)"
+            ),
+        )
+        qual = render_table(
+            ["dimension", "blockchain", "dag"],
+            [list(row) for row in self.QUALITATIVE_ROWS],
+            title="Qualitative comparison (paper Sections II-VI)",
+        )
+        return quant + "\n\n" + qual
+
+
+def measure_ledger(
+    ledger: Ledger, events: List[PaymentEvent], settle_s: float
+) -> ParadigmResult:
+    """Run the workload on one ledger and collect its result row."""
+    entries = ledger.run_workload(events, settle_s=settle_s)
+    stats = ledger.stats()
+    latencies = stats.confirmation_latencies_s
+    duration = ledger.now()
+    return ParadigmResult(
+        name=ledger.name,
+        paradigm=ledger.paradigm,
+        entries_submitted=len(entries),
+        entries_confirmed=stats.entries_confirmed,
+        mean_confirmation_s=(summarize(latencies).mean if latencies else None),
+        ledger_bytes=ledger.serialized_size(),
+        forks=stats.forks_observed,
+        throughput_tps=(stats.entries_confirmed / duration if duration > 0 else 0.0),
+        extra=dict(stats.extra),
+    )
+
+
+def compare_ledgers(
+    blockchain: Ledger,
+    dag: Ledger,
+    events: List[PaymentEvent],
+    accounts: int,
+    initial_balance: int,
+    settle_s: float = 60.0,
+) -> ComparisonReport:
+    """Set up both ledgers, run the identical workload, build the report."""
+    blockchain.setup(accounts, initial_balance)
+    dag.setup(accounts, initial_balance)
+    blockchain_result = measure_ledger(blockchain, events, settle_s)
+    dag_result = measure_ledger(dag, events, settle_s)
+    return ComparisonReport(
+        workload_events=len(events),
+        duration_s=max(blockchain.now(), dag.now()),
+        blockchain=blockchain_result,
+        dag=dag_result,
+    )
+
+
+def _fmt_opt(value: Optional[float]) -> str:
+    return f"{value:.2f}" if value is not None else "n/a"

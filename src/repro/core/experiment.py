@@ -1,0 +1,143 @@
+"""Registry of every reproduced figure and quantitative claim.
+
+Mirrors the per-experiment index in DESIGN.md so code and documentation
+cannot drift apart: tests assert that every registered experiment has an
+existing bench file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper."""
+
+    experiment_id: str
+    paper_ref: str
+    claim: str
+    modules: Tuple[str, ...]
+    bench: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.experiment_id: e
+    for e in [
+        Experiment(
+            "F1", "Fig. 1, §II-A",
+            "Blockchain: hash-linked blocks of transactions with Merkle roots",
+            ("repro.blockchain.block", "repro.blockchain.chain", "repro.crypto.merkle"),
+            "bench_f1_blockchain_structure.py",
+        ),
+        Experiment(
+            "F2", "Fig. 2, §II-B",
+            "Block-lattice: per-account chains, one transaction per node",
+            ("repro.dag.lattice", "repro.dag.blocks"),
+            "bench_f2_block_lattice.py",
+        ),
+        Experiment(
+            "F3", "Fig. 3, §II-B",
+            "Send/receive pairs; funds pending until receive; offline receivers",
+            ("repro.dag.lattice", "repro.dag.node"),
+            "bench_f3_send_receive.py",
+        ),
+        Experiment(
+            "F4", "Fig. 4, §IV-A",
+            "Soft forks form under delay and resolve to the longest chain",
+            ("repro.blockchain.chain", "repro.net.network", "repro.sim"),
+            "bench_f4_soft_forks.py",
+        ),
+        Experiment(
+            "E1", "§III-A1",
+            "PoW lottery: win rate tracks hash power; difficulty keeps interval fixed",
+            ("repro.crypto.pow", "repro.blockchain.difficulty", "repro.blockchain.miner"),
+            "bench_e1_pow_lottery.py",
+        ),
+        Experiment(
+            "E2", "§III-A2",
+            "PoS: selection tracks stake; misbehaviour burns stake; energy gap",
+            ("repro.blockchain.pos",),
+            "bench_e2_pos.py",
+        ),
+        Experiment(
+            "E3", "§III-B",
+            "ORV: weighted votes resolve conflicts; anti-spam PoW throttles spam",
+            ("repro.dag.voting", "repro.dag.representatives", "repro.workloads.attacks"),
+            "bench_e3_orv.py",
+        ),
+        Experiment(
+            "E4", "§IV-A",
+            "Reversal probability falls with depth; 6 (Bitcoin) / 5-11 (Ethereum)",
+            ("repro.confirmation.nakamoto",),
+            "bench_e4_confirmation_depth.py",
+        ),
+        Experiment(
+            "E5", "§IV-B",
+            "DAG confirmation = one vote round, not k block intervals",
+            ("repro.dag.voting", "repro.confirmation.dag_confirmation"),
+            "bench_e5_dag_confirmation.py",
+        ),
+        Experiment(
+            "E6", "§V",
+            "Ledger sizes grow linearly; Bitcoin >> Ethereum >> Nano ordering",
+            ("repro.storage.sizing", "repro.storage.growth"),
+            "bench_e6_ledger_growth.py",
+        ),
+        Experiment(
+            "E7", "§V-A",
+            "Bitcoin pruning and Ethereum fast sync shrink replicas",
+            ("repro.storage.pruning", "repro.storage.fast_sync"),
+            "bench_e7_blockchain_pruning.py",
+        ),
+        Experiment(
+            "E8", "§V-B",
+            "Nano pruning to heads; historical/current/light footprints",
+            ("repro.storage.dag_pruning",),
+            "bench_e8_dag_pruning.py",
+        ),
+        Experiment(
+            "E9", "§VI-A",
+            "Bitcoin 3-7 TPS, Ethereum 7-15 TPS, PoS ~4s blocks, Visa 56k",
+            ("repro.scaling.throughput", "repro.blockchain.params"),
+            "bench_e9_blockchain_tps.py",
+        ),
+        Experiment(
+            "E10", "§VI-A",
+            "Bigger blocks: linear TPS gain, linear node-load growth (Segwit2x)",
+            ("repro.scaling.blocksize", "repro.confirmation.orphan"),
+            "bench_e10_blocksize.py",
+        ),
+        Experiment(
+            "E11", "§VI-A",
+            "Channels: 2 on-chain txs buy unbounded off-chain volume",
+            ("repro.scaling.channels",),
+            "bench_e11_channels.py",
+        ),
+        Experiment(
+            "E12", "§VI-A",
+            "Plasma: root chain stores commitments only; fraud proofs slash",
+            ("repro.scaling.plasma",),
+            "bench_e12_plasma.py",
+        ),
+        Experiment(
+            "E13", "§VI-A",
+            "Sharding: ~K-fold throughput, eroded by cross-shard traffic",
+            ("repro.scaling.sharding",),
+            "bench_e13_sharding.py",
+        ),
+        Experiment(
+            "E14", "§VI-B",
+            "Nano TPS uncapped by protocol; bounded by node hardware; peak >> avg",
+            ("repro.dag.node", "repro.scaling.throughput"),
+            "bench_e14_dag_tps.py",
+        ),
+        Experiment(
+            "E15", "§IV-A",
+            "Double-spend success vs attacker share and depth (Monte Carlo)",
+            ("repro.workloads.attacks", "repro.confirmation.nakamoto"),
+            "bench_e15_double_spend.py",
+        ),
+    ]
+}

@@ -1,0 +1,90 @@
+"""The paradigm-agnostic ledger interface.
+
+Both paradigms are "transaction-based state machines" (Section II); this
+interface captures the operations the paper compares them on, so the
+comparison layer, workloads and size accounting treat a blockchain and a
+block-lattice uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.types import Hash
+from repro.workloads.generators import PaymentEvent
+
+
+@dataclass
+class LedgerStats:
+    """Run statistics every adapter reports."""
+
+    entries_created: int = 0
+    entries_confirmed: int = 0
+    forks_observed: int = 0
+    reorgs: int = 0
+    confirmation_latencies_s: List[float] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class Ledger(abc.ABC):
+    """A running DLT deployment processing a payment workload.
+
+    Lifecycle: construct → :meth:`setup` (fund accounts) → interleave
+    :meth:`submit` / :meth:`advance` → read balances, confirmation state
+    and sizes.
+    """
+
+    name: str = "ledger"
+    paradigm: str = "abstract"
+
+    @abc.abstractmethod
+    def setup(self, accounts: int, initial_balance: int) -> None:
+        """Create and fund ``accounts`` user accounts."""
+
+    @abc.abstractmethod
+    def submit(self, event: PaymentEvent) -> Optional[Hash]:
+        """Inject one payment; returns the ledger entry's id (or None if
+        the adapter had to drop it, e.g. sender underfunded)."""
+
+    @abc.abstractmethod
+    def advance(self, duration_s: float) -> None:
+        """Run the deployment forward by simulated time."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current simulated time."""
+
+    @abc.abstractmethod
+    def is_confirmed(self, entry: Hash) -> bool:
+        """Confirmed under the implementation's own convention
+        (depth for blockchain, vote quorum for DAG — Section IV)."""
+
+    @abc.abstractmethod
+    def balance(self, account_index: int) -> int:
+        """Balance of the i-th workload account."""
+
+    @abc.abstractmethod
+    def serialized_size(self) -> int:
+        """Ledger bytes a full (historical) replica stores (Section V)."""
+
+    @abc.abstractmethod
+    def stats(self) -> LedgerStats:
+        """Aggregate run statistics."""
+
+    # Convenience shared by adapters -------------------------------------
+
+    def run_workload(
+        self, events: List[PaymentEvent], settle_s: float = 30.0
+    ) -> List[Hash]:
+        """Feed timed events at their timestamps, then let things settle."""
+        entries: List[Hash] = []
+        for event in sorted(events, key=lambda e: e.time_s):
+            if event.time_s > self.now():
+                self.advance(event.time_s - self.now())
+            entry = self.submit(event)
+            if entry is not None:
+                entries.append(entry)
+        self.advance(settle_s)
+        return entries

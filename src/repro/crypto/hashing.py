@@ -1,0 +1,34 @@
+"""Digest functions.
+
+Bitcoin hashes block headers and transactions with double SHA-256;
+Ethereum and Nano each use a single application of their hash function.
+We use SHA-256 (from the standard library) for every role — the paper's
+claims depend only on the hash being collision-resistant and uniform,
+not on which particular function is used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.common.types import Hash
+
+
+def sha256(data: bytes) -> Hash:
+    """Single SHA-256 digest."""
+    return Hash(hashlib.sha256(data).digest())
+
+
+def sha256d(data: bytes) -> Hash:
+    """Double SHA-256 digest (Bitcoin's block/tx hash)."""
+    return Hash(hashlib.sha256(hashlib.sha256(data).digest()).digest())
+
+
+def hash_concat(left: Hash, right: Hash) -> Hash:
+    """Digest of two child hashes — the Merkle-tree inner-node rule."""
+    return sha256d(bytes(left) + bytes(right))
+
+
+def hash_to_int(digest: Hash) -> int:
+    """Interpret a digest as a big-endian integer (PoW target comparison)."""
+    return int.from_bytes(bytes(digest), "big")

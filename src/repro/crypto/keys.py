@@ -1,0 +1,93 @@
+"""Simulated signature scheme.
+
+**Substitution note (see DESIGN.md §2).**  The real systems use ECDSA
+(Bitcoin, Ethereum) and ed25519 (Nano).  The paper's comparative claims
+never depend on the algebraic structure of the signatures — only on the
+contract *"holders of the private key, and nobody else, can authorize a
+transaction"* and on the signature's byte size for ledger accounting.
+
+We therefore implement a keyed-hash scheme: a signature over ``message``
+is ``HMAC-SHA256(seed, message)`` extended to 64 bytes (the size of a real
+ed25519 / compact-ECDSA signature).  Verification resolves the public key
+to its seed through a process-local registry populated at key generation.
+Within a simulation this gives exactly the needed adversary model: an
+attacker node that does not hold a ``KeyPair`` object cannot produce a
+signature that verifies, and tampering with a signed message makes
+verification fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.types import ADDRESS_SIZE, Address, Hash
+
+SIGNATURE_SIZE = 64
+PUBLIC_KEY_SIZE = 32
+
+# Process-local oracle mapping public keys to signing seeds. Verification
+# is a pure function of (public_key, message, signature) given this table.
+_KEY_REGISTRY: Dict[bytes, bytes] = {}
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing identity: private seed plus derived public key/address."""
+
+    seed: bytes
+    public_key: bytes
+
+    @classmethod
+    def generate(cls, rng: random.Random) -> "KeyPair":
+        """Create a fresh keypair from the experiment's deterministic RNG."""
+        seed = rng.getrandbits(256).to_bytes(32, "big")
+        return cls.from_seed(seed)
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "KeyPair":
+        if len(seed) != 32:
+            raise ValueError("seed must be 32 bytes")
+        public_key = hashlib.sha256(b"repro-pubkey" + seed).digest()
+        _KEY_REGISTRY[public_key] = seed
+        return cls(seed=seed, public_key=public_key)
+
+    @property
+    def address(self) -> Address:
+        """20-byte address: truncated hash of the public key."""
+        digest = hashlib.sha256(b"repro-address" + self.public_key).digest()
+        return Address(digest[:ADDRESS_SIZE])
+
+    def sign(self, message: bytes) -> bytes:
+        """64-byte signature over ``message``."""
+        mac = hmac.new(self.seed, message, hashlib.sha256).digest()
+        ext = hmac.new(self.seed, mac + message, hashlib.sha256).digest()
+        return mac + ext
+
+    def sign_hash(self, digest: Hash) -> bytes:
+        return self.sign(bytes(digest))
+
+
+def verify_signature(public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """Check that ``signature`` was produced by the holder of ``public_key``."""
+    if len(signature) != SIGNATURE_SIZE:
+        return False
+    seed = _KEY_REGISTRY.get(public_key)
+    if seed is None:
+        return False
+    mac = hmac.new(seed, message, hashlib.sha256).digest()
+    ext = hmac.new(seed, mac + message, hashlib.sha256).digest()
+    return hmac.compare_digest(signature, mac + ext)
+
+
+def verify_hash_signature(public_key: bytes, digest: Hash, signature: bytes) -> bool:
+    return verify_signature(public_key, bytes(digest), signature)
+
+
+def address_of(public_key: bytes) -> Address:
+    """Address for a bare public key (no private seed required)."""
+    digest = hashlib.sha256(b"repro-address" + public_key).digest()
+    return Address(digest[:ADDRESS_SIZE])

@@ -1,0 +1,508 @@
+"""Merkle-Patricia trie — Ethereum's authenticated key/value store.
+
+Ethereum (Section II-A and V-A of the paper) keeps *three* authenticated
+structures per block: the transaction trie, the receipt trie, and the
+global *state trie* whose root changes with every state delta.  This
+module implements a hex-nibble Patricia trie with the three Ethereum node
+kinds (leaf, extension, branch), content-addressed node storage, and
+Merkle inclusion proofs.
+
+The state-delta bookkeeping that Ethereum's fast sync prunes (Section V-A)
+falls out naturally: every ``put`` creates new nodes along one path while
+old nodes remain in the node store, so the *delta* between two roots is
+exactly the set of nodes reachable from one root but not the other
+(:meth:`MerklePatriciaTrie.reachable_nodes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.common.encoding import encode_bytes, encode_list, encode_uint
+from repro.common.types import Hash
+from repro.crypto.hashing import sha256
+
+_BRANCH_WIDTH = 16
+
+# Node kind tags used in the canonical node encoding.
+_KIND_LEAF = 0
+_KIND_EXTENSION = 1
+_KIND_BRANCH = 2
+
+_EMPTY_ROOT = sha256(b"repro-empty-trie")
+
+
+def _to_nibbles(key: bytes) -> Tuple[int, ...]:
+    nibbles: List[int] = []
+    for byte in key:
+        nibbles.append(byte >> 4)
+        nibbles.append(byte & 0x0F)
+    return tuple(nibbles)
+
+
+def _common_prefix(a: Tuple[int, ...], b: Tuple[int, ...]) -> int:
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+@dataclass(frozen=True)
+class _Node:
+    """One trie node.  Exactly one interpretation per ``kind``:
+
+    * leaf:       ``path`` is the remaining key suffix, ``value`` the payload.
+    * extension:  ``path`` is a shared prefix, ``child`` the next node hash.
+    * branch:     ``children`` is a 16-slot table, ``value`` an optional
+                  payload for a key ending exactly here.
+    """
+
+    kind: int
+    path: Tuple[int, ...] = ()
+    value: Optional[bytes] = None
+    child: Optional[Hash] = None
+    children: Tuple[Optional[Hash], ...] = field(default=(None,) * _BRANCH_WIDTH)
+
+    def encode(self) -> bytes:
+        parts = [encode_uint(self.kind, 1)]
+        parts.append(encode_bytes(bytes(self.path)))
+        parts.append(encode_bytes(self.value if self.value is not None else b""))
+        parts.append(encode_uint(1 if self.value is not None else 0, 1))
+        parts.append(encode_bytes(bytes(self.child) if self.child else b""))
+        child_hashes = [bytes(c) if c else b"" for c in self.children]
+        parts.append(encode_list(child_hashes))
+        return b"".join(parts)
+
+    def hash(self) -> Hash:
+        return sha256(self.encode())
+
+
+@dataclass(frozen=True)
+class TrieProof:
+    """Merkle proof: the encoded nodes on the root-to-leaf path."""
+
+    key: bytes
+    value: Optional[bytes]
+    nodes: Tuple[bytes, ...]
+
+
+class MerklePatriciaTrie:
+    """Authenticated mapping ``bytes -> bytes`` with persistent versions.
+
+    The node store is append-only and content-addressed, so old roots stay
+    valid after updates — the behaviour Ethereum relies on to roll back to
+    a pre-fork state (Section V-A).  Use :meth:`checkout` to obtain a view
+    of a historical root, and :meth:`prune` to discard nodes unreachable
+    from a set of retained roots (the fast-sync "database pruned of the
+    state deltas").
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[Hash, _Node] = {}
+        self._root: Optional[Hash] = None
+
+    # ------------------------------------------------------------------ core
+
+    @property
+    def root_hash(self) -> Hash:
+        """Digest committing to the current contents (empty ⇒ sentinel)."""
+        return self._root if self._root is not None else _EMPTY_ROOT
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._get(self._root, _to_nibbles(key))
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def put(self, key: bytes, value: bytes) -> Hash:
+        """Insert/update; returns the new root hash."""
+        if not isinstance(value, bytes):
+            raise TypeError("trie values must be bytes")
+        self._root = self._put(self._root, _to_nibbles(key), value)
+        return self.root_hash
+
+    def delete(self, key: bytes) -> Hash:
+        """Remove ``key`` if present; returns the new root hash."""
+        self._root = self._delete(self._root, _to_nibbles(key))
+        return self.root_hash
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All (key, value) pairs under the current root, sorted by key."""
+        yield from self._walk(self._root, ())
+
+    # --------------------------------------------------------------- history
+
+    def set_root(self, root: Hash) -> None:
+        """Rewind/advance the *current* version to a stored root.
+
+        Because the node store is persistent, switching roots is O(1);
+        this is how account state rolls back across a chain reorg
+        (Section IV-A) — Ethereum "keeps track of the deltas ... when a
+        state needs to be rolled back".
+        """
+        if root == _EMPTY_ROOT:
+            self._root = None
+            return
+        if root not in self._nodes:
+            raise KeyError(f"unknown trie root {root.short()}")
+        self._root = root
+
+    def checkout(self, root: Hash) -> "TrieView":
+        """Read-only view of a historical root."""
+        return TrieView(self, None if root == _EMPTY_ROOT else root)
+
+    def node_count(self) -> int:
+        """Total nodes in the store, including historical versions."""
+        return len(self._nodes)
+
+    def store_size_bytes(self) -> int:
+        """Serialized size of every stored node (Section V accounting)."""
+        return sum(len(node.encode()) for node in self._nodes.values())
+
+    def reachable_nodes(self, root: Hash) -> Set[Hash]:
+        """Hashes of all nodes reachable from ``root``."""
+        if root == _EMPTY_ROOT:
+            return set()
+        seen: Set[Hash] = set()
+        stack = [root]
+        while stack:
+            h = stack.pop()
+            if h in seen or h not in self._nodes:
+                continue
+            seen.add(h)
+            node = self._nodes[h]
+            if node.child is not None:
+                stack.append(node.child)
+            stack.extend(c for c in node.children if c is not None)
+        return seen
+
+    def prune(self, keep_roots: List[Hash]) -> int:
+        """Discard nodes unreachable from ``keep_roots``; returns bytes freed."""
+        keep: Set[Hash] = set()
+        for root in keep_roots:
+            keep |= self.reachable_nodes(root)
+        freed = 0
+        for h in list(self._nodes):
+            if h not in keep:
+                freed += len(self._nodes[h].encode())
+                del self._nodes[h]
+        return freed
+
+    # ---------------------------------------------------------------- proofs
+
+    def prove(self, key: bytes) -> TrieProof:
+        """Inclusion (or exclusion) proof for ``key`` under the current root."""
+        nodes: List[bytes] = []
+        value = self._collect_proof(self._root, _to_nibbles(key), nodes)
+        return TrieProof(key=key, value=value, nodes=tuple(nodes))
+
+    @staticmethod
+    def verify_proof(root: Hash, proof: TrieProof) -> bool:
+        """Check a proof against a trusted root without the full trie."""
+        if root == _EMPTY_ROOT:
+            return proof.value is None and not proof.nodes
+        # Rebuild a miniature node store from the supplied nodes and replay
+        # the lookup; every referenced node must be present and hash-valid.
+        store: Dict[Hash, _Node] = {}
+        for raw in proof.nodes:
+            node = _decode_node(raw)
+            store[sha256(raw)] = node
+        value = _lookup_in_store(store, root, _to_nibbles(proof.key))
+        return value == proof.value
+
+    # ------------------------------------------------------------- internals
+
+    def _store(self, node: _Node) -> Hash:
+        h = node.hash()
+        self._nodes[h] = node
+        return h
+
+    def _load(self, h: Hash) -> _Node:
+        try:
+            return self._nodes[h]
+        except KeyError:
+            raise KeyError(f"trie node {h.short()} missing (pruned?)") from None
+
+    def _get(self, root: Optional[Hash], nibbles: Tuple[int, ...]) -> Optional[bytes]:
+        if root is None:
+            return None
+        node = self._load(root)
+        if node.kind == _KIND_LEAF:
+            return node.value if node.path == nibbles else None
+        if node.kind == _KIND_EXTENSION:
+            plen = len(node.path)
+            if nibbles[:plen] == node.path:
+                return self._get(node.child, nibbles[plen:])
+            return None
+        # branch
+        if not nibbles:
+            return node.value
+        return self._get(node.children[nibbles[0]], nibbles[1:])
+
+    def _put(self, root: Optional[Hash], nibbles: Tuple[int, ...], value: bytes) -> Hash:
+        if root is None:
+            return self._store(_Node(kind=_KIND_LEAF, path=nibbles, value=value))
+        node = self._load(root)
+        if node.kind == _KIND_LEAF:
+            return self._put_into_leaf(node, nibbles, value)
+        if node.kind == _KIND_EXTENSION:
+            return self._put_into_extension(node, nibbles, value)
+        return self._put_into_branch(node, nibbles, value)
+
+    def _put_into_leaf(self, node: _Node, nibbles: Tuple[int, ...], value: bytes) -> Hash:
+        if node.path == nibbles:
+            return self._store(_Node(kind=_KIND_LEAF, path=nibbles, value=value))
+        prefix = _common_prefix(node.path, nibbles)
+        branch_children: List[Optional[Hash]] = [None] * _BRANCH_WIDTH
+        branch_value: Optional[bytes] = None
+
+        old_rest = node.path[prefix:]
+        new_rest = nibbles[prefix:]
+        if old_rest:
+            child = self._store(_Node(kind=_KIND_LEAF, path=old_rest[1:], value=node.value))
+            branch_children[old_rest[0]] = child
+        else:
+            branch_value = node.value
+        if new_rest:
+            child = self._store(_Node(kind=_KIND_LEAF, path=new_rest[1:], value=value))
+            branch_children[new_rest[0]] = child
+        else:
+            branch_value = value
+
+        branch = self._store(
+            _Node(kind=_KIND_BRANCH, children=tuple(branch_children), value=branch_value)
+        )
+        if prefix:
+            return self._store(
+                _Node(kind=_KIND_EXTENSION, path=nibbles[:prefix], child=branch)
+            )
+        return branch
+
+    def _put_into_extension(self, node: _Node, nibbles: Tuple[int, ...], value: bytes) -> Hash:
+        prefix = _common_prefix(node.path, nibbles)
+        if prefix == len(node.path):
+            new_child = self._put(node.child, nibbles[prefix:], value)
+            return self._store(
+                _Node(kind=_KIND_EXTENSION, path=node.path, child=new_child)
+            )
+        # Split the extension at the divergence point.
+        branch_children: List[Optional[Hash]] = [None] * _BRANCH_WIDTH
+        branch_value: Optional[bytes] = None
+
+        old_rest = node.path[prefix:]
+        assert node.child is not None
+        if len(old_rest) == 1:
+            branch_children[old_rest[0]] = node.child
+        else:
+            sub = self._store(
+                _Node(kind=_KIND_EXTENSION, path=old_rest[1:], child=node.child)
+            )
+            branch_children[old_rest[0]] = sub
+
+        new_rest = nibbles[prefix:]
+        if new_rest:
+            leaf = self._store(_Node(kind=_KIND_LEAF, path=new_rest[1:], value=value))
+            branch_children[new_rest[0]] = leaf
+        else:
+            branch_value = value
+
+        branch = self._store(
+            _Node(kind=_KIND_BRANCH, children=tuple(branch_children), value=branch_value)
+        )
+        if prefix:
+            return self._store(
+                _Node(kind=_KIND_EXTENSION, path=nibbles[:prefix], child=branch)
+            )
+        return branch
+
+    def _put_into_branch(self, node: _Node, nibbles: Tuple[int, ...], value: bytes) -> Hash:
+        if not nibbles:
+            return self._store(
+                _Node(kind=_KIND_BRANCH, children=node.children, value=value)
+            )
+        slot = nibbles[0]
+        new_child = self._put(node.children[slot], nibbles[1:], value)
+        children = list(node.children)
+        children[slot] = new_child
+        return self._store(
+            _Node(kind=_KIND_BRANCH, children=tuple(children), value=node.value)
+        )
+
+    def _delete(self, root: Optional[Hash], nibbles: Tuple[int, ...]) -> Optional[Hash]:
+        if root is None:
+            return None
+        node = self._load(root)
+        if node.kind == _KIND_LEAF:
+            return None if node.path == nibbles else root
+        if node.kind == _KIND_EXTENSION:
+            plen = len(node.path)
+            if nibbles[:plen] != node.path:
+                return root
+            new_child = self._delete(node.child, nibbles[plen:])
+            if new_child is None:
+                return None
+            return self._normalize_extension(node.path, new_child)
+        # branch
+        if not nibbles:
+            if node.value is None:
+                return root
+            return self._normalize_branch(node.children, None)
+        slot = nibbles[0]
+        if node.children[slot] is None:
+            return root
+        new_child = self._delete(node.children[slot], nibbles[1:])
+        children = list(node.children)
+        children[slot] = new_child
+        return self._normalize_branch(tuple(children), node.value)
+
+    def _normalize_branch(
+        self, children: Tuple[Optional[Hash], ...], value: Optional[bytes]
+    ) -> Optional[Hash]:
+        """Collapse degenerate branches so structure stays canonical."""
+        live = [(i, c) for i, c in enumerate(children) if c is not None]
+        if value is None and not live:
+            return None
+        if value is None and len(live) == 1:
+            slot, child_hash = live[0]
+            child = self._load(child_hash)
+            if child.kind == _KIND_LEAF:
+                return self._store(
+                    _Node(kind=_KIND_LEAF, path=(slot,) + child.path, value=child.value)
+                )
+            if child.kind == _KIND_EXTENSION:
+                return self._store(
+                    _Node(
+                        kind=_KIND_EXTENSION,
+                        path=(slot,) + child.path,
+                        child=child.child,
+                    )
+                )
+            return self._store(_Node(kind=_KIND_EXTENSION, path=(slot,), child=child_hash))
+        if value is not None and not live:
+            return self._store(_Node(kind=_KIND_LEAF, path=(), value=value))
+        return self._store(_Node(kind=_KIND_BRANCH, children=tuple(children), value=value))
+
+    def _normalize_extension(self, path: Tuple[int, ...], child_hash: Hash) -> Hash:
+        child = self._load(child_hash)
+        if child.kind == _KIND_LEAF:
+            return self._store(
+                _Node(kind=_KIND_LEAF, path=path + child.path, value=child.value)
+            )
+        if child.kind == _KIND_EXTENSION:
+            return self._store(
+                _Node(kind=_KIND_EXTENSION, path=path + child.path, child=child.child)
+            )
+        return self._store(_Node(kind=_KIND_EXTENSION, path=path, child=child_hash))
+
+    def _walk(
+        self, root: Optional[Hash], prefix: Tuple[int, ...]
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        if root is None:
+            return
+        node = self._load(root)
+        if node.kind == _KIND_LEAF:
+            assert node.value is not None
+            yield _from_nibbles(prefix + node.path), node.value
+            return
+        if node.kind == _KIND_EXTENSION:
+            yield from self._walk(node.child, prefix + node.path)
+            return
+        if node.value is not None:
+            yield _from_nibbles(prefix), node.value
+        for slot, child in enumerate(node.children):
+            if child is not None:
+                yield from self._walk(child, prefix + (slot,))
+
+    def _collect_proof(
+        self, root: Optional[Hash], nibbles: Tuple[int, ...], out: List[bytes]
+    ) -> Optional[bytes]:
+        if root is None:
+            return None
+        node = self._load(root)
+        out.append(node.encode())
+        if node.kind == _KIND_LEAF:
+            return node.value if node.path == nibbles else None
+        if node.kind == _KIND_EXTENSION:
+            plen = len(node.path)
+            if nibbles[:plen] != node.path:
+                return None
+            return self._collect_proof(node.child, nibbles[plen:], out)
+        if not nibbles:
+            return node.value
+        return self._collect_proof(node.children[nibbles[0]], nibbles[1:], out)
+
+
+class TrieView:
+    """Read-only lens over a historical root of a trie's node store."""
+
+    def __init__(self, trie: MerklePatriciaTrie, root: Optional[Hash]) -> None:
+        self._trie = trie
+        self._root = root
+
+    @property
+    def root_hash(self) -> Hash:
+        return self._root if self._root is not None else _EMPTY_ROOT
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._trie._get(self._root, _to_nibbles(key))
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        yield from self._trie._walk(self._root, ())
+
+
+def _from_nibbles(nibbles: Tuple[int, ...]) -> bytes:
+    if len(nibbles) % 2 != 0:
+        raise ValueError("cannot pack an odd nibble count into bytes")
+    return bytes((nibbles[i] << 4) | nibbles[i + 1] for i in range(0, len(nibbles), 2))
+
+
+def _decode_node(raw: bytes) -> _Node:
+    from repro.common.encoding import Decoder
+
+    d = Decoder(raw)
+    kind = d.read_uint(1)
+    path = tuple(d.read_bytes())
+    value_bytes = d.read_bytes()
+    has_value = d.read_uint(1) == 1
+    child_raw = d.read_bytes()
+    children_raw = d.read_list()
+    return _Node(
+        kind=kind,
+        path=path,
+        value=value_bytes if has_value else None,
+        child=Hash(child_raw) if child_raw else None,
+        children=tuple(Hash(c) if c else None for c in children_raw),
+    )
+
+
+def _lookup_in_store(
+    store: Dict[Hash, _Node], root: Hash, nibbles: Tuple[int, ...]
+) -> Optional[bytes]:
+    current: Optional[Hash] = root
+    while current is not None:
+        node = store.get(current)
+        if node is None:
+            return None  # proof incomplete
+        if node.kind == _KIND_LEAF:
+            return node.value if node.path == nibbles else None
+        if node.kind == _KIND_EXTENSION:
+            plen = len(node.path)
+            if nibbles[:plen] != node.path:
+                return None
+            nibbles = nibbles[plen:]
+            current = node.child
+            continue
+        if not nibbles:
+            return node.value
+        current = node.children[nibbles[0]]
+        nibbles = nibbles[1:]
+    return None
+
+
+EMPTY_TRIE_ROOT = _EMPTY_ROOT

@@ -1,0 +1,39 @@
+"""Nano-style block-lattice DAG (Sections II-B, III-B, IV-B, V-B, VI-B).
+
+Every account owns its own chain; a node in the DAG holds exactly one
+transaction.  Transfers take a *send* block on the sender's chain and a
+matching *receive* block on the recipient's chain.  Conflicts are
+resolved by weighted representative voting (Open Representative Voting),
+not leader election.
+"""
+
+from repro.dag.blocks import BlockType, NanoBlock, make_change, make_open, make_receive, make_send
+from repro.dag.lattice import Lattice, PendingInfo
+from repro.dag.node import NanoNode
+from repro.dag.params import NANO, NanoParams
+from repro.dag.representatives import RepresentativeLedger
+from repro.dag.tangle import Tangle, TangleTransaction, issue_transaction
+from repro.dag.tangle_node import TangleNode
+from repro.dag.voting import Election, ElectionManager, Vote
+
+__all__ = [
+    "BlockType",
+    "Election",
+    "ElectionManager",
+    "Lattice",
+    "NANO",
+    "NanoBlock",
+    "NanoNode",
+    "NanoParams",
+    "PendingInfo",
+    "RepresentativeLedger",
+    "Tangle",
+    "TangleNode",
+    "TangleTransaction",
+    "Vote",
+    "issue_transaction",
+    "make_change",
+    "make_open",
+    "make_receive",
+    "make_send",
+]

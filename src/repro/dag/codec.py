@@ -1,0 +1,39 @@
+"""Wire codec for block-lattice structures (inverse of serialize())."""
+
+from __future__ import annotations
+
+from repro.common.encoding import Decoder
+from repro.common.errors import ValidationError
+from repro.common.types import Address, Hash
+from repro.dag.blocks import BlockType, NanoBlock
+
+
+def decode_nano_block(data: bytes) -> NanoBlock:
+    """Inverse of :meth:`NanoBlock.serialize`."""
+    d = Decoder(data)
+    type_raw = d._take(8).rstrip(b"\x00").decode("ascii")  # noqa: SLF001
+    try:
+        block_type = BlockType(type_raw)
+    except ValueError:
+        raise ValidationError(f"unknown block type {type_raw!r}") from None
+    account = Address(d._take(20))  # noqa: SLF001
+    previous = Hash(d._take(32))  # noqa: SLF001
+    representative = Address(d._take(20))  # noqa: SLF001
+    balance = d.read_uint(16)
+    link = d._take(32)  # noqa: SLF001
+    public_key = d._take(32)  # noqa: SLF001 - fixed width, no padding strip
+    signature = d._take(64).rstrip(b"\x00")  # noqa: SLF001
+    work = d.read_uint(8)
+    if not d.finished():
+        raise ValidationError("trailing bytes after nano block")
+    return NanoBlock(
+        block_type=block_type,
+        account=account,
+        previous=previous,
+        representative=representative,
+        balance=balance,
+        link=link,
+        public_key=public_key,
+        signature=signature,
+        work=work,
+    )

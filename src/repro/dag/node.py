@@ -1,0 +1,500 @@
+"""A Nano network node (Sections II-B, III-B, IV-B, VI-B).
+
+Each node keeps a full replica of the block-lattice, relays blocks and
+votes, and — when it holds a representative key — votes on first sight of
+every valid block and in every conflict election.  Account owners attached
+to the node create their own send/receive blocks: "users are obligated to
+order their own transactions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ForkDetectedError, ReproError, ValidationError
+from repro.common.types import Address, Hash
+from repro.crypto.keys import KeyPair
+from repro.net.message import Message
+from repro.net.node import NetworkNode
+from repro.dag.blocks import (
+    BlockType,
+    NanoBlock,
+    make_change,
+    make_open,
+    make_receive,
+    make_send,
+)
+from repro.dag.lattice import Lattice
+from repro.dag.params import NanoParams
+from repro.dag.voting import ElectionManager, Vote
+
+MSG_NANO_BLOCK = "nano_block"
+MSG_NANO_VOTE = "nano_vote"
+
+
+@dataclass(frozen=True)
+class VotePayload:
+    """A vote on the wire, optionally bound to a conflict election."""
+
+    vote: Vote
+    #: For conflict votes: the contested (account, previous) root.
+    conflict_account: Optional[Address] = None
+    conflict_previous: Optional[Hash] = None
+
+    @property
+    def is_conflict_vote(self) -> bool:
+        return self.conflict_account is not None
+
+
+@dataclass
+class NanoNodeStats:
+    blocks_processed: int = 0
+    blocks_rejected: int = 0
+    forks_seen: int = 0
+    votes_cast: int = 0
+    votes_heard: int = 0
+    rollbacks: int = 0
+    receives_generated: int = 0
+
+
+class NanoNode(NetworkNode):
+    """Full DAG node with optional representative role."""
+
+    def __init__(
+        self,
+        node_id: str,
+        params: Optional[NanoParams] = None,
+        representative_key: Optional[KeyPair] = None,
+        auto_receive: bool = True,
+        processing_tps: Optional[float] = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.params = params or NanoParams()
+        self.lattice = Lattice(self.params)
+        self.elections = ElectionManager(self.lattice.reps, self.params.quorum_fraction)
+        self.representative_key = representative_key
+        self.auto_receive = auto_receive
+        self.stats = NanoNodeStats()
+        #: Accounts whose keys this node holds (it creates their blocks).
+        self.local_accounts: Dict[Address, KeyPair] = {}
+        self._vote_sequence = 0
+        self._conflict_buffer: Dict[Hash, NanoBlock] = {}
+        #: Optional node-hardware model: service rate in blocks/second
+        #: (Section VI-B — throughput "determined by the quality of
+        #: consumer grade hardware").  None = infinitely fast hardware.
+        self.processing_tps = processing_tps
+        self._busy_until = 0.0
+        #: Blocks whose dependency (predecessor or source send) has not
+        #: arrived yet, keyed by the missing hash.  Gossip gives no
+        #: ordering guarantee, so a receive can overtake its send.
+        self._unchecked: Dict[Hash, List[NanoBlock]] = {}
+        #: Simulated time at which each block reached quorum here —
+        #: feeds the confirmation-latency comparison (Section IV).
+        self.confirmation_times: Dict[Hash, float] = {}
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    def is_representative(self) -> bool:
+        return self.representative_key is not None
+
+    @property
+    def representative_address(self) -> Optional[Address]:
+        return self.representative_key.address if self.representative_key else None
+
+    def add_account(self, keypair: KeyPair) -> None:
+        self.local_accounts[keypair.address] = keypair
+
+    # ----------------------------------------------------------- user actions
+
+    def seed_genesis(self, keypair: KeyPair, supply: int) -> NanoBlock:
+        """Create the genesis transaction on this node's replica only;
+        use the experiment harness to copy it to peers."""
+        self.add_account(keypair)
+        return self.lattice.create_genesis(keypair, supply)
+
+    def send_payment(
+        self, sender: Address, destination: Address, amount: int
+    ) -> NanoBlock:
+        """Create, apply and broadcast a send block (Figure 3's 'S')."""
+        keypair = self._require_key(sender)
+        chain = self.lattice.chain(sender)
+        if chain is None:
+            raise ValidationError(f"account {sender.short()} has no chain")
+        block = make_send(
+            keypair,
+            previous=chain.head,
+            destination=destination,
+            amount=amount,
+            work_difficulty=self.params.work_difficulty,
+        )
+        self._apply_and_broadcast(block)
+        return block
+
+    def change_representative(
+        self, account: Address, representative: Address
+    ) -> NanoBlock:
+        """Rotate an account's representative (Section III-B: the choice
+        "can be changed over time").  Moves the account's full weight to
+        the new representative on every replica that processes it."""
+        keypair = self._require_key(account)
+        chain = self.lattice.chain(account)
+        if chain is None:
+            raise ValidationError(f"account {account.short()} has no chain")
+        block = make_change(
+            keypair,
+            previous=chain.head,
+            representative=representative,
+            work_difficulty=self.params.work_difficulty,
+        )
+        self._apply_and_broadcast(block)
+        return block
+
+    def receive_pending(self, account: Address) -> List[NanoBlock]:
+        """Settle every pending send to ``account`` (Figure 3's 'R').
+
+        A node must be online and issue these blocks itself — "the
+        downside of this approach is that a node has to be online in
+        order to receive a transaction".
+        """
+        keypair = self._require_key(account)
+        created: List[NanoBlock] = []
+        for pending in self.lattice.pending_for(account):
+            chain = self.lattice.chain(account)
+            if chain is None:
+                block = make_open(
+                    keypair,
+                    source=pending.source_hash,
+                    amount=pending.amount,
+                    representative=self._default_representative(),
+                    work_difficulty=self.params.work_difficulty,
+                )
+            else:
+                block = make_receive(
+                    keypair,
+                    previous=chain.head,
+                    source=pending.source_hash,
+                    amount=pending.amount,
+                    work_difficulty=self.params.work_difficulty,
+                )
+            self._apply_and_broadcast(block)
+            created.append(block)
+            self.stats.receives_generated += 1
+        return created
+
+    def _default_representative(self) -> Address:
+        if self.representative_key is not None:
+            return self.representative_key.address
+        if self.lattice.genesis_account is not None:
+            return self.lattice.reps.representative_of(self.lattice.genesis_account)
+        raise ValidationError("no representative available for new account")
+
+    def _require_key(self, account: Address) -> KeyPair:
+        keypair = self.local_accounts.get(account)
+        if keypair is None:
+            raise ValidationError(f"node holds no key for {account.short()}")
+        return keypair
+
+    def _apply_and_broadcast(self, block: NanoBlock) -> None:
+        self._ingest(block)
+        self.broadcast(
+            Message(
+                kind=MSG_NANO_BLOCK,
+                payload=block,
+                size_bytes=block.size_bytes,
+                dedup_key=block.block_hash,
+            )
+        )
+
+    # --------------------------------------------------------------- gossip
+
+    def handle_message(self, sender_id: str, message: Message) -> None:
+        if message.kind == MSG_NANO_BLOCK:
+            self._receive_block(message.payload)
+        elif message.kind == MSG_NANO_VOTE:
+            self._receive_vote(message.payload)
+
+    def _receive_block(self, block: NanoBlock) -> None:
+        if self.processing_tps is None or self.network is None:
+            self._ingest_quietly(block)
+            return
+        # Hardware model: blocks queue behind a fixed per-block service
+        # time; a saturated node processes at its capacity, no faster.
+        sim = self.network.simulator
+        service = 1.0 / self.processing_tps
+        start = max(sim.now, self._busy_until)
+        self._busy_until = start + service
+        sim.schedule(
+            self._busy_until - sim.now,
+            lambda: self._ingest_quietly(block),
+            label=f"dag-process:{self.node_id}",
+        )
+
+    def _ingest_quietly(self, block: NanoBlock) -> None:
+        try:
+            self._ingest(block)
+        except ReproError:
+            pass  # invalid or conflicting blocks are not re-raised to peers
+
+    def _ingest(self, block: NanoBlock) -> None:
+        missing = self._missing_dependency(block)
+        if missing is not None:
+            # Park until the dependency arrives — the "not properly
+            # broadcasted" case of Section IV-B, resolved by retry.
+            self._unchecked.setdefault(missing, []).append(block)
+            return
+        try:
+            self.lattice.process(block)
+        except ForkDetectedError:
+            self.stats.forks_seen += 1
+            self._handle_fork(block)
+            return
+        except ValidationError:
+            self.stats.blocks_rejected += 1
+            raise
+        self.stats.blocks_processed += 1
+        self._maybe_auto_receive(block)
+        self._maybe_vote_on_sight(block)
+        self._retry_unchecked(block.block_hash)
+
+    def _missing_dependency(self, block: NanoBlock) -> Optional[Hash]:
+        """The hash this block cannot be validated without, if absent."""
+        if not block.previous.is_zero() and block.previous not in self.lattice:
+            return block.previous
+        if block.block_type in (BlockType.OPEN, BlockType.RECEIVE):
+            source = block.source
+            if not source.is_zero() and source not in self.lattice:
+                return source
+        return None
+
+    def _retry_unchecked(self, arrived: Hash) -> None:
+        for parked in self._unchecked.pop(arrived, []):
+            self._ingest_quietly(parked)
+
+    # ------------------------------------------------------------- bootstrap
+
+    def bootstrap_from(self, peer: "NanoNode") -> int:
+        """Pull blocks this replica is missing from a peer's ledger.
+
+        A node that was offline misses gossip permanently (Section II-B);
+        real Nano nodes catch up through bootstrapping.  Blocks are
+        ingested locally (no re-gossip); cross-chain ordering is handled
+        by the unchecked buffer.  Returns the number of blocks adopted.
+        """
+        adopted = 0
+        for account in list(peer.lattice._chains):  # noqa: SLF001
+            chain = peer.lattice.chain(account)
+            assert chain is not None
+            for block in chain.blocks:
+                if block.block_hash in self.lattice:
+                    continue
+                before = self.stats.blocks_processed
+                self._ingest_quietly(block)
+                adopted += self.stats.blocks_processed - before
+        return adopted
+
+    # ---------------------------------------------------------------- forks
+
+    def _handle_fork(self, challenger: NanoBlock) -> None:
+        """Open an election between the applied successor and the
+        challenger (Section III-B: representatives resolve the conflict)."""
+        self._conflict_buffer[challenger.block_hash] = challenger
+        if self.elections.is_confirmed(challenger.block_hash):
+            # Votes outran the block: the network already reached quorum
+            # on the challenger, so adopt it instead of electing.
+            self._adopt_confirmed(challenger.block_hash)
+            return
+        incumbent = self._incumbent_for(challenger)
+        candidates = [challenger.block_hash]
+        if incumbent is not None:
+            candidates.append(incumbent.block_hash)
+            self._conflict_buffer[incumbent.block_hash] = incumbent
+        self.elections.open_election(
+            challenger.account, challenger.previous, candidates
+        )
+        # A representative votes for the version it saw first — the one
+        # already on its chain.
+        if self.representative_key is not None and incumbent is not None:
+            vote = self._make_vote(incumbent.block_hash)
+            payload = VotePayload(
+                vote=vote,
+                conflict_account=challenger.account,
+                conflict_previous=challenger.previous,
+            )
+            self._record_conflict_vote(payload)
+            self._broadcast_vote(payload)
+
+    def _incumbent_for(self, challenger: NanoBlock) -> Optional[NanoBlock]:
+        chain = self.lattice.chain(challenger.account)
+        if chain is None:
+            return None
+        if challenger.previous.is_zero():
+            return chain.blocks[0] if chain.blocks else None
+        for i, blk in enumerate(chain.blocks):
+            if blk.block_hash == challenger.previous and i + 1 < len(chain.blocks):
+                return chain.blocks[i + 1]
+        return None
+
+    # ---------------------------------------------------------------- votes
+
+    def _make_vote(self, block_hash: Hash) -> Vote:
+        assert self.representative_key is not None
+        self._vote_sequence += 1
+        unsigned = Vote(
+            representative=self.representative_key.address,
+            block_hash=block_hash,
+            sequence=self._vote_sequence,
+            public_key=self.representative_key.public_key,
+        )
+        signature = self.representative_key.sign(unsigned.signed_payload())
+        self.stats.votes_cast += 1
+        return Vote(
+            representative=unsigned.representative,
+            block_hash=unsigned.block_hash,
+            sequence=unsigned.sequence,
+            public_key=unsigned.public_key,
+            signature=signature,
+        )
+
+    def _maybe_vote_on_sight(self, block: NanoBlock) -> None:
+        """"Representatives vote automatically on blocks they have not
+        seen before ... the network automatically broadcasts consensus
+        information while the transaction is making its way through."""
+        if self.representative_key is None:
+            return
+        vote = self._make_vote(block.block_hash)
+        payload = VotePayload(vote=vote)
+        self._record_observation_vote(payload)
+        self._broadcast_vote(payload)
+
+    def _broadcast_vote(self, payload: VotePayload) -> None:
+        if self.network is None:
+            return
+        self.broadcast(
+            Message(
+                kind=MSG_NANO_VOTE,
+                payload=payload,
+                size_bytes=payload.vote.size_bytes,
+                dedup_key=None,
+            )
+        )
+
+    def _receive_vote(self, payload: VotePayload) -> None:
+        self.stats.votes_heard += 1
+        if not payload.vote.verify():
+            return
+        if payload.is_conflict_vote:
+            self._record_conflict_vote(payload)
+        else:
+            self._record_observation_vote(payload)
+
+    def _record_observation_vote(self, payload: VotePayload) -> None:
+        newly_confirmed = self.elections.record_observation_vote(payload.vote)
+        if newly_confirmed:
+            block_hash = payload.vote.block_hash
+            if self.network is not None:
+                self.confirmation_times[block_hash] = self.network.simulator.now
+            if block_hash not in self.lattice:
+                # Quorum confirmed a block we rejected as conflicting:
+                # the network chose the other fork branch — adopt it.
+                self._adopt_confirmed(block_hash)
+            if block_hash in self.lattice:
+                self.lattice.cement(block_hash)
+
+    def _adopt_confirmed(self, winner: Hash) -> None:
+        winning_block = self._conflict_buffer.get(winner)
+        if winning_block is None:
+            return
+        incumbent = self._applied_successor(
+            winning_block.account, winning_block.previous
+        )
+        if incumbent is not None:
+            try:
+                removed = self.lattice.rollback(incumbent.block_hash)
+            except ReproError:
+                return
+            self.stats.rollbacks += len(removed)
+        try:
+            self.lattice.process(winning_block)
+            self.stats.blocks_processed += 1
+        except ReproError:
+            pass
+
+    def _record_conflict_vote(self, payload: VotePayload) -> None:
+        assert payload.conflict_account is not None
+        assert payload.conflict_previous is not None
+        election = self.elections.election_for(
+            payload.conflict_account, payload.conflict_previous
+        )
+        if election is None:
+            election = self.elections.open_election(
+                payload.conflict_account,
+                payload.conflict_previous,
+                [payload.vote.block_hash],
+            )
+        election.add_candidate(payload.vote.block_hash)
+        winner = self.elections.record_conflict_vote(
+            payload.conflict_account, payload.conflict_previous, payload.vote
+        )
+        if winner is not None:
+            self._settle_election(
+                payload.conflict_account, payload.conflict_previous, winner
+            )
+
+    def _settle_election(
+        self, account: Address, contested_previous: Hash, winner: Hash
+    ) -> None:
+        """Adopt the winning block, rolling back a losing one if applied."""
+        if winner in self.lattice:
+            return  # our chain already holds the winner
+        incumbent = self._applied_successor(account, contested_previous)
+        if incumbent is not None:
+            try:
+                removed = self.lattice.rollback(incumbent.block_hash)
+            except ReproError:
+                return  # cemented: this replica keeps its version
+            self.stats.rollbacks += len(removed)
+        winning_block = self._conflict_buffer.get(winner)
+        if winning_block is not None:
+            try:
+                self.lattice.process(winning_block)
+                self.stats.blocks_processed += 1
+            except ReproError:
+                pass
+
+    def _applied_successor(
+        self, account: Address, contested_previous: Hash
+    ) -> Optional[NanoBlock]:
+        chain = self.lattice.chain(account)
+        if chain is None:
+            return None
+        if contested_previous.is_zero():
+            return chain.blocks[0] if chain.blocks else None
+        for i, blk in enumerate(chain.blocks):
+            if blk.block_hash == contested_previous and i + 1 < len(chain.blocks):
+                return chain.blocks[i + 1]
+        return None
+
+    # ----------------------------------------------------------- auto-receive
+
+    def _maybe_auto_receive(self, block: NanoBlock) -> None:
+        """Settle an incoming send immediately when we hold the recipient
+        key and auto-receive is on (an online wallet)."""
+        if not self.auto_receive or block.block_type != BlockType.SEND:
+            return
+        destination = block.destination
+        if destination in self.local_accounts:
+            self.receive_pending(destination)
+
+    # --------------------------------------------------------------- queries
+
+    def is_confirmed(self, block_hash: Hash) -> bool:
+        """Confirmed = majority representative vote (Section IV-B)."""
+        return self.elections.is_confirmed(block_hash)
+
+    def confirmation_confidence(self, block_hash: Hash) -> float:
+        return self.elections.confirmation_confidence(block_hash)
+
+    def balance(self, account: Address) -> int:
+        return self.lattice.balance(account)

@@ -1,0 +1,118 @@
+"""A networked tangle participant.
+
+Wraps :class:`repro.dag.tangle.Tangle` in a
+:class:`~repro.net.node.NetworkNode`: transactions gossip through the
+overlay, out-of-order arrivals park in an unchecked buffer until their
+approved parents show up, and issuance picks tips from the node's *local*
+view — so, as in Nano, "users are obligated to order their own
+transactions" and there is no leader and no protocol throughput cap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ReproError
+from repro.common.types import Hash
+from repro.crypto.keys import KeyPair
+from repro.net.message import Message
+from repro.net.node import NetworkNode
+from repro.dag.tangle import Tangle, TangleTransaction, issue_transaction
+
+MSG_TANGLE_TX = "tangle_tx"
+
+
+@dataclass
+class TangleNodeStats:
+    issued: int = 0
+    processed: int = 0
+    parked: int = 0
+
+
+class TangleNode(NetworkNode):
+    """Full tangle node: replica + gossip + local tip selection."""
+
+    def __init__(
+        self,
+        node_id: str,
+        work_difficulty: float = 1.0,
+        mcmc_alpha: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(node_id)
+        self.tangle = Tangle(work_difficulty=work_difficulty)
+        self.mcmc_alpha = mcmc_alpha
+        self.stats = TangleNodeStats()
+        self._rng = random.Random(seed)
+        self._unchecked: Dict[Hash, List[TangleTransaction]] = {}
+
+    # --------------------------------------------------------------- genesis
+
+    def seed_genesis(self, keypair: KeyPair) -> TangleTransaction:
+        return self.tangle.create_genesis(keypair)
+
+    def install_genesis(self, genesis: TangleTransaction) -> None:
+        """Adopt the shared genesis on a fresh replica."""
+        self.tangle._txs[genesis.tx_hash] = genesis  # noqa: SLF001
+        self.tangle._approvers[genesis.tx_hash] = []  # noqa: SLF001
+        self.tangle._tips = {genesis.tx_hash}  # noqa: SLF001
+        self.tangle.genesis_hash = genesis.tx_hash
+
+    # -------------------------------------------------------------- issuance
+
+    def issue(self, keypair: KeyPair, payload: bytes) -> TangleTransaction:
+        """Create a transaction approving two locally selected tips."""
+        if self.network is None:
+            raise RuntimeError("attach the node to a network first")
+        trunk, branch = self.tangle.select_tips_mcmc(self._rng, alpha=self.mcmc_alpha)
+        tx = issue_transaction(
+            keypair,
+            trunk,
+            branch,
+            payload,
+            timestamp=self.network.simulator.now,
+            work_difficulty=(
+                self.tangle.work_difficulty if self.tangle.work_difficulty > 1 else None
+            ),
+        )
+        self.tangle.attach(tx)
+        self.stats.issued += 1
+        self.broadcast(
+            Message(
+                kind=MSG_TANGLE_TX,
+                payload=tx,
+                size_bytes=tx.size_bytes,
+                dedup_key=tx.tx_hash,
+            )
+        )
+        return tx
+
+    # --------------------------------------------------------------- gossip
+
+    def handle_message(self, sender_id: str, message: Message) -> None:
+        if message.kind == MSG_TANGLE_TX:
+            self._ingest(message.payload)
+
+    def _ingest(self, tx: TangleTransaction) -> None:
+        if tx.tx_hash in self.tangle:
+            return
+        missing = self._missing_parent(tx)
+        if missing is not None:
+            self._unchecked.setdefault(missing, []).append(tx)
+            self.stats.parked += 1
+            return
+        try:
+            self.tangle.attach(tx)
+        except ReproError:
+            return
+        self.stats.processed += 1
+        for parked in self._unchecked.pop(tx.tx_hash, []):
+            self._ingest(parked)
+
+    def _missing_parent(self, tx: TangleTransaction) -> Optional[Hash]:
+        for parent in (tx.trunk, tx.branch):
+            if parent not in self.tangle:
+                return parent
+        return None

@@ -1,0 +1,14 @@
+"""Metric collection, summary statistics and report tables."""
+
+from repro.metrics.collector import MetricCollector
+from repro.metrics.stats import SummaryStats, confidence_interval, percentile, summarize
+from repro.metrics.tables import render_table
+
+__all__ = [
+    "MetricCollector",
+    "SummaryStats",
+    "confidence_interval",
+    "percentile",
+    "render_table",
+    "summarize",
+]

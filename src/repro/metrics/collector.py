@@ -1,0 +1,37 @@
+"""Time-series metric collection for simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.metrics.stats import SummaryStats, summarize
+
+
+@dataclass
+class MetricCollector:
+    """Named counters and sample series recorded during a run."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def record(self, name: str, time_s: float, value: float) -> None:
+        self.series.setdefault(name, []).append((time_s, value))
+
+    def values(self, name: str) -> List[float]:
+        return [v for _, v in self.series.get(name, [])]
+
+    def summary(self, name: str) -> SummaryStats:
+        return summarize(self.values(name))
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def merge(self, other: "MetricCollector") -> None:
+        for name, value in other.counters.items():
+            self.incr(name, value)
+        for name, samples in other.series.items():
+            self.series.setdefault(name, []).extend(samples)

@@ -1,0 +1,83 @@
+"""Plain-text table rendering for bench output.
+
+The benchmark harness prints the same rows/series the paper reports;
+this renderer keeps those tables aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 8,
+    label: str = "",
+) -> str:
+    """ASCII chart of a numeric series (bench/report eye candy).
+
+    >>> print(render_series([0, 1, 2, 3], width=4, height=2))  # doctest: +SKIP
+    """
+    if not values:
+        raise ValueError("cannot render an empty series")
+    if width < 2 or height < 2:
+        raise ValueError("chart must be at least 2x2")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        lo = hi - 1.0  # constant series renders as a full band
+    span = hi - lo
+    # Resample to the requested width.
+    samples = [
+        values[min(int(i * len(values) / width), len(values) - 1)]
+        for i in range(width)
+    ]
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = lo + span * (level - 0.5) / height
+        row = "".join("█" if s >= threshold else " " for s in samples)
+        rows.append(row)
+    header = f"{label}  [{_fmt(lo)} .. {_fmt(hi)}]" if label else f"[{_fmt(lo)} .. {_fmt(hi)}]"
+    return header + "\n" + "\n".join(rows)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)

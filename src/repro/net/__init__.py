@@ -1,0 +1,23 @@
+"""Simulated peer-to-peer network.
+
+Nodes exchange messages over links with configurable latency, bandwidth
+and loss; broadcast uses gossip flooding with duplicate suppression —
+the propagation model whose delays create the soft forks of Section IV
+and bound the throughput of Section VI.
+"""
+
+from repro.net.link import LinkParams
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.net.topology import complete_topology, random_regular_topology, small_world_topology
+
+__all__ = [
+    "LinkParams",
+    "Message",
+    "Network",
+    "NetworkNode",
+    "complete_topology",
+    "random_regular_topology",
+    "small_world_topology",
+]

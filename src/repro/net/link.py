@@ -1,0 +1,51 @@
+"""Point-to-point link model.
+
+Delivery time = propagation latency (base + jitter) + transmission time
+(message size / bandwidth).  Loss drops a message with fixed probability.
+These three knobs are what turn protocol parameters into the fork rates
+and throughput ceilings the paper discusses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Transmission characteristics of one directed link."""
+
+    latency_s: float = 0.1
+    jitter_s: float = 0.02
+    bandwidth_bps: float = 10_000_000.0  # 10 Mbit/s consumer-grade default
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.jitter_s < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+
+    def delivery_delay(self, message: Message, rng: random.Random) -> Optional[float]:
+        """Seconds until delivery, or ``None`` if the message is lost."""
+        if self.loss_probability and rng.random() < self.loss_probability:
+            return None
+        jitter = rng.uniform(0.0, self.jitter_s) if self.jitter_s else 0.0
+        transmission = (message.wire_size * 8) / self.bandwidth_bps
+        return self.latency_s + jitter + transmission
+
+
+#: A fast LAN-like link — used to isolate protocol effects from the network.
+FAST_LINK = LinkParams(latency_s=0.005, jitter_s=0.001, bandwidth_bps=1_000_000_000.0)
+
+#: Wide-area internet link, roughly what public DLT nodes see.
+WAN_LINK = LinkParams(latency_s=0.1, jitter_s=0.05, bandwidth_bps=50_000_000.0)
+
+#: Poor consumer link — the "real world limitations" of Section VI-B.
+SLOW_LINK = LinkParams(latency_s=0.3, jitter_s=0.1, bandwidth_bps=5_000_000.0)

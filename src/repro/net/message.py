@@ -1,0 +1,41 @@
+"""Network messages.
+
+A message wraps an application payload with a kind tag, a stable id used
+for gossip duplicate suppression, and a byte size used for bandwidth
+modelling and traffic accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.types import Hash
+
+_MESSAGE_COUNTER = itertools.count()
+
+#: Fixed protocol overhead per message (framing, headers), in bytes.
+MESSAGE_OVERHEAD_BYTES = 24
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application payload in flight."""
+
+    kind: str
+    payload: Any
+    size_bytes: int
+    dedup_key: Optional[Hash] = None
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire including protocol overhead."""
+        return self.size_bytes + MESSAGE_OVERHEAD_BYTES
+
+    def gossip_key(self) -> object:
+        """Identity used for duplicate suppression while flooding."""
+        if self.dedup_key is not None:
+            return (self.kind, self.dedup_key)
+        return (self.kind, self.msg_id)

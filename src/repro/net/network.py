@@ -1,0 +1,146 @@
+"""The network fabric: nodes + links + gossip flooding."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.link import LinkParams
+from repro.net.message import Message
+from repro.net.node import NetworkNode
+from repro.sim.simulator import Simulator
+
+
+class Network:
+    """A set of nodes joined by directed links over a simulator.
+
+    Gossip is implemented as flooding with per-node duplicate suppression:
+    on first sight of a message a node forwards it to all neighbours
+    except the one it came from.  This reproduces the propagation-delay
+    distribution that drives soft-fork rates (Section IV-A) — a message
+    reaches distant nodes only after several store-and-forward hops.
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self._nodes: Dict[str, NetworkNode] = {}
+        self._links: Dict[Tuple[str, str], LinkParams] = {}
+        self._neighbors: Dict[str, List[str]] = {}
+        self._seen: Dict[str, Set[object]] = {}
+        self._partitions: List[Set[str]] = []
+        self._rng = simulator.fork_rng("network")
+        self.messages_delivered = 0
+        self.messages_lost = 0
+        self.bytes_transferred = 0
+
+    # ---------------------------------------------------------------- wiring
+
+    def add_node(self, node: NetworkNode) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._neighbors[node.node_id] = []
+        self._seen[node.node_id] = set()
+        node.attached(self)
+
+    def connect(self, a: str, b: str, params: Optional[LinkParams] = None) -> None:
+        """Create a bidirectional link between two nodes."""
+        params = params or LinkParams()
+        for src, dst in ((a, b), (b, a)):
+            if src not in self._nodes or dst not in self._nodes:
+                raise KeyError(f"unknown node in link {src}->{dst}")
+            if (src, dst) not in self._links:
+                self._neighbors[src].append(dst)
+            self._links[(src, dst)] = params
+
+    def node(self, node_id: str) -> NetworkNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterable[NetworkNode]:
+        return self._nodes.values()
+
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    def neighbors(self, node_id: str) -> List[str]:
+        return list(self._neighbors[node_id])
+
+    # ------------------------------------------------------------ partitions
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network: traffic crosses group boundaries no more.
+
+        Models the transient disagreement windows in which conflicting
+        histories form (Section IV).  Call :meth:`heal` to reconnect.
+        """
+        self._partitions = [set(group) for group in groups]
+
+    def heal(self) -> None:
+        self._partitions = []
+
+    def _crosses_partition(self, src: str, dst: str) -> bool:
+        for group in self._partitions:
+            if (src in group) != (dst in group):
+                return True
+        return False
+
+    # --------------------------------------------------------------- traffic
+
+    def transmit(self, src: str, dst: str, message: Message) -> None:
+        """Send over the direct link; silently drops on loss/partition."""
+        link = self._links.get((src, dst))
+        if link is None:
+            raise KeyError(f"no link {src}->{dst}")
+        if self._crosses_partition(src, dst):
+            self.messages_lost += 1
+            return
+        delay = link.delivery_delay(message, self._rng)
+        if delay is None:
+            self.messages_lost += 1
+            return
+
+        def deliver() -> None:
+            self.messages_delivered += 1
+            self.bytes_transferred += message.wire_size
+            self._nodes[dst].deliver(src, message)
+
+        self.simulator.schedule(delay, deliver, label=f"msg:{message.kind}")
+
+    def gossip(self, origin: str, message: Message) -> None:
+        """Flood ``message`` from ``origin`` through the whole topology."""
+        self._seen[origin].add(message.gossip_key())
+        self._forward(origin, origin, message)
+
+    def _forward(self, node_id: str, came_from: str, message: Message) -> None:
+        for peer in self._neighbors[node_id]:
+            if peer == came_from:
+                continue
+            if message.gossip_key() in self._seen[peer]:
+                continue
+            link = self._links[(node_id, peer)]
+            if self._crosses_partition(node_id, peer):
+                self.messages_lost += 1
+                continue
+            delay = link.delivery_delay(message, self._rng)
+            if delay is None:
+                self.messages_lost += 1
+                continue
+            # Mark as seen at scheduling time so concurrent floods do not
+            # duplicate deliveries; the node still processes it on arrival.
+            self._seen[peer].add(message.gossip_key())
+
+            def deliver(peer=peer, node_id=node_id) -> None:
+                self.messages_delivered += 1
+                self.bytes_transferred += message.wire_size
+                self._nodes[peer].deliver(node_id, message)
+                self._forward(peer, node_id, message)
+
+            self.simulator.schedule(delay, deliver, label=f"gossip:{message.kind}")
+
+    # --------------------------------------------------------------- metrics
+
+    def traffic_stats(self) -> Dict[str, float]:
+        return {
+            "messages_delivered": self.messages_delivered,
+            "messages_lost": self.messages_lost,
+            "bytes_transferred": self.bytes_transferred,
+        }

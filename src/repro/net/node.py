@@ -1,0 +1,75 @@
+"""Base network node."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+class NetworkNode:
+    """A participant attached to a :class:`~repro.net.network.Network`.
+
+    Subclasses (blockchain nodes, DAG nodes, channel parties...) override
+    :meth:`handle_message`.  Traffic counters feed the per-node load
+    analysis of Section VI (the "consumer hardware" centralization
+    argument).
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.network: Optional["Network"] = None
+        self.online = True
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self.messages_received = 0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attached(self, network: "Network") -> None:
+        """Called by the network when the node joins."""
+        self.network = network
+
+    def set_online(self, online: bool) -> None:
+        """Offline nodes silently drop traffic (Section II-B: a Nano node
+        must be online to receive)."""
+        self.online = online
+
+    # ----------------------------------------------------------------- sends
+
+    def send(self, peer_id: str, message: Message) -> None:
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        if not self.online:
+            return  # an offline node neither receives nor transmits
+        self.bytes_sent += message.wire_size
+        self.messages_sent += 1
+        self.network.transmit(self.node_id, peer_id, message)
+
+    def broadcast(self, message: Message) -> None:
+        """Gossip ``message`` to the whole network via flooding."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        if not self.online:
+            return
+        self.network.gossip(self.node_id, message)
+
+    # --------------------------------------------------------------- receive
+
+    def deliver(self, sender_id: str, message: Message) -> None:
+        """Entry point invoked by the network; applies online gating."""
+        if not self.online:
+            return
+        self.bytes_received += message.wire_size
+        self.messages_received += 1
+        self.handle_message(sender_id, message)
+
+    def handle_message(self, sender_id: str, message: Message) -> None:
+        """Application hook — override in subclasses."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.node_id})"

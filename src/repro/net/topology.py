@@ -1,0 +1,88 @@
+"""Topology builders.
+
+Public DLT networks are unstructured peer-to-peer graphs; we provide the
+three standard shapes used in protocol studies: complete (tiny control
+experiments), random regular (uniform degree, the usual gossip model) and
+Watts-Strogatz small world (clustering + shortcuts, closest to measured
+overlay topologies).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+import networkx as nx
+
+from repro.net.link import LinkParams
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+
+NodeFactory = Callable[[str], NetworkNode]
+
+
+def _build(
+    network: Network,
+    graph: nx.Graph,
+    factory: NodeFactory,
+    link_params: Optional[LinkParams],
+) -> List[NetworkNode]:
+    nodes: List[NetworkNode] = []
+    for index in sorted(graph.nodes()):
+        node = factory(f"n{index}")
+        network.add_node(node)
+        nodes.append(node)
+    for a, b in graph.edges():
+        network.connect(f"n{a}", f"n{b}", link_params)
+    return nodes
+
+
+def complete_topology(
+    network: Network,
+    count: int,
+    factory: NodeFactory,
+    link_params: Optional[LinkParams] = None,
+) -> List[NetworkNode]:
+    """Every node linked to every other — one-hop propagation."""
+    if count < 1:
+        raise ValueError("need at least one node")
+    return _build(network, nx.complete_graph(count), factory, link_params)
+
+
+def random_regular_topology(
+    network: Network,
+    count: int,
+    degree: int,
+    factory: NodeFactory,
+    link_params: Optional[LinkParams] = None,
+    seed: int = 0,
+) -> List[NetworkNode]:
+    """Random graph where every node has exactly ``degree`` peers."""
+    if count <= degree:
+        raise ValueError("count must exceed degree")
+    graph = nx.random_regular_graph(degree, count, seed=seed)
+    return _build(network, graph, factory, link_params)
+
+
+def small_world_topology(
+    network: Network,
+    count: int,
+    factory: NodeFactory,
+    k: int = 4,
+    rewire_p: float = 0.3,
+    link_params: Optional[LinkParams] = None,
+    seed: int = 0,
+) -> List[NetworkNode]:
+    """Watts-Strogatz small-world graph (connected variant)."""
+    graph = nx.connected_watts_strogatz_graph(count, k, rewire_p, seed=seed)
+    return _build(network, graph, factory, link_params)
+
+
+def line_topology(
+    network: Network,
+    count: int,
+    factory: NodeFactory,
+    link_params: Optional[LinkParams] = None,
+) -> List[NetworkNode]:
+    """A path graph — worst-case propagation diameter, useful in tests."""
+    return _build(network, nx.path_graph(count), factory, link_params)

@@ -1,0 +1,28 @@
+"""Scalability mechanisms surveyed in Section VI-A, implemented.
+
+* :mod:`repro.scaling.blocksize` — bigger blocks (Segwit2x) vs. node load;
+* :mod:`repro.scaling.channels` — off-chain payment channels
+  (Lightning / Raiden);
+* :mod:`repro.scaling.plasma` — nested chains committing Merkle roots;
+* :mod:`repro.scaling.sharding` — K partitions with cross-shard traffic;
+* :mod:`repro.scaling.throughput` — TPS measurement and the Visa
+  comparator.
+"""
+
+from repro.scaling.blocksize import blocksize_sweep, node_load_for
+from repro.scaling.channels import Channel, ChannelNetwork
+from repro.scaling.plasma import PlasmaChain, PlasmaOperator
+from repro.scaling.sharding import ShardedLedger
+from repro.scaling.throughput import VISA_TPS, ThroughputMeter
+
+__all__ = [
+    "Channel",
+    "ChannelNetwork",
+    "PlasmaChain",
+    "PlasmaOperator",
+    "ShardedLedger",
+    "ThroughputMeter",
+    "VISA_TPS",
+    "blocksize_sweep",
+    "node_load_for",
+]

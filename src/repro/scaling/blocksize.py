@@ -1,0 +1,71 @@
+"""Block-size scaling and its centralization cost (Section VI-A).
+
+"Increasing the block size also increases the maximum amount of
+transactions that fit into a block, effectively increasing transaction
+rate.  However, the block size increase would eventually lead to
+centralization due to the fact that consumer hardware would become unable
+to process blocks."  Segwit2x's 2 MB blocks are one point on this sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.units import MB
+from repro.blockchain.params import ChainParams
+
+#: Sustained validation + bandwidth budget of consumer hardware, bytes/s.
+#: (A few MB/s of signature checking and disk I/O on a 2018 desktop.)
+CONSUMER_NODE_CAPACITY_BPS = 4 * MB
+
+
+@dataclass(frozen=True)
+class BlockSizePoint:
+    """One row of the block-size sweep."""
+
+    block_size_bytes: int
+    tps: float
+    node_load_bps: float
+    consumer_viable: bool
+
+
+def node_load_for(block_size_bytes: int, block_interval_s: float) -> float:
+    """Average bytes/second every full node must validate and relay."""
+    if block_size_bytes <= 0 or block_interval_s <= 0:
+        raise ValueError("size and interval must be positive")
+    return block_size_bytes / block_interval_s
+
+
+def blocksize_sweep(
+    base: ChainParams,
+    sizes_bytes: List[int],
+    avg_tx_size_bytes: int = 250,
+    consumer_capacity_bps: float = CONSUMER_NODE_CAPACITY_BPS,
+) -> List[BlockSizePoint]:
+    """TPS and per-node load across block sizes (bench E10).
+
+    TPS rises linearly with size; so does every node's processing load,
+    and past ``consumer_capacity_bps`` only datacenter nodes keep up —
+    the centralization threshold.
+    """
+    points: List[BlockSizePoint] = []
+    for size in sizes_bytes:
+        variant = base.with_block_size(size)
+        load = node_load_for(size, variant.target_block_interval_s)
+        points.append(
+            BlockSizePoint(
+                block_size_bytes=size,
+                tps=variant.max_tps(avg_tx_size_bytes=avg_tx_size_bytes),
+                node_load_bps=load,
+                consumer_viable=load <= consumer_capacity_bps,
+            )
+        )
+    return points
+
+
+def centralization_threshold_bytes(
+    base: ChainParams, consumer_capacity_bps: float = CONSUMER_NODE_CAPACITY_BPS
+) -> int:
+    """Block size beyond which consumer nodes drop out."""
+    return int(consumer_capacity_bps * base.target_block_interval_s)

@@ -1,0 +1,161 @@
+"""Hashed Time-Locked Contracts — atomic multi-hop channel payments.
+
+Section VI-A's Lightning Network does not trust intermediaries: a routed
+payment is locked hop by hop under the *same* payment hash, and funds
+move only when the recipient reveals the preimage — which then unlocks
+every hop.  If the preimage never appears, timelocks refund everyone.
+This module adds that mechanism on top of
+:class:`repro.scaling.channels.Channel`.
+
+Protocol (for a route A → B → C):
+
+1. C invents a secret, hands A ``H = sha256(secret)`` (the invoice).
+2. A locks the amount toward B under H with timeout ``T``;
+   B locks toward C under H with timeout ``T - Δ``.
+3. C reveals the secret to claim from B; B uses the same secret to claim
+   from A.  Atomicity: one secret settles every hop or none.
+4. On timeout, locks refund their senders.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ChannelError
+from repro.common.types import Address, Hash
+from repro.crypto.hashing import sha256
+from repro.scaling.channels import Channel, ChannelNetwork, ChannelPhase
+
+#: Safety margin per hop: an inner hop must be able to claim before the
+#: outer lock expires.
+HOP_DELTA_S = 60.0
+
+
+class HtlcState(enum.Enum):
+    PENDING = "pending"
+    FULFILLED = "fulfilled"
+    REFUNDED = "refunded"
+
+
+@dataclass
+class Htlc:
+    """One hop's conditional payment inside a channel."""
+
+    channel: Channel
+    payer: Address
+    payee: Address
+    amount: int
+    payment_hash: Hash
+    expires_at: float
+    state: HtlcState = HtlcState.PENDING
+
+    def fulfill(self, preimage: bytes, now: float) -> None:
+        """Reveal the preimage: the lock pays out to the payee."""
+        if self.state != HtlcState.PENDING:
+            raise ChannelError(f"HTLC already {self.state.value}")
+        if now >= self.expires_at:
+            raise ChannelError("HTLC expired; only refund is possible")
+        if sha256(preimage) != self.payment_hash:
+            raise ChannelError("preimage does not match the payment hash")
+        self.channel.pay(self.payer, self.amount)
+        self.state = HtlcState.FULFILLED
+
+    def refund(self, now: float) -> None:
+        """After expiry the locked amount returns to the payer."""
+        if self.state != HtlcState.PENDING:
+            raise ChannelError(f"HTLC already {self.state.value}")
+        if now < self.expires_at:
+            raise ChannelError("HTLC not yet expired")
+        self.state = HtlcState.REFUNDED  # lock dissolves; no transfer happened
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """What the recipient hands the payer: amount + payment hash."""
+
+    payment_hash: Hash
+    amount: int
+    recipient: Address
+
+
+class HtlcRouter:
+    """Multi-hop HTLC payments over a :class:`ChannelNetwork`."""
+
+    def __init__(self, network: ChannelNetwork) -> None:
+        self.network = network
+        self._secrets: Dict[Hash, bytes] = {}
+        self.payments_settled = 0
+        self.payments_refunded = 0
+
+    # --------------------------------------------------------------- invoice
+
+    def create_invoice(self, recipient: Address, amount: int, secret: bytes) -> Invoice:
+        """Recipient side: register the secret, publish its hash."""
+        if amount <= 0:
+            raise ChannelError("invoice amount must be positive")
+        payment_hash = sha256(secret)
+        self._secrets[payment_hash] = secret
+        return Invoice(payment_hash=payment_hash, amount=amount, recipient=recipient)
+
+    # ----------------------------------------------------------------- route
+
+    def lock_route(
+        self, payer: Address, invoice: Invoice, now: float, timeout_s: float = 600.0
+    ) -> List[Htlc]:
+        """Phase 1: place an HTLC on every hop, outermost expiring last.
+
+        Capacity is checked per hop; a failure midway releases nothing
+        because locks don't move funds until fulfilment.
+        """
+        path = self.network.find_route(payer, invoice.recipient, invoice.amount)
+        locks: List[Htlc] = []
+        for hop_index, (u, v) in enumerate(zip(path, path[1:])):
+            channel = self.network.channel(u, v)
+            if channel.phase != ChannelPhase.OPEN:
+                raise ChannelError("route crosses a closed channel")
+            if channel.balance_of(u) < invoice.amount:
+                raise ChannelError(f"hop {u.short()} lacks capacity")
+            locks.append(
+                Htlc(
+                    channel=channel,
+                    payer=u,
+                    payee=v,
+                    amount=invoice.amount,
+                    payment_hash=invoice.payment_hash,
+                    expires_at=now + timeout_s - hop_index * HOP_DELTA_S,
+                )
+            )
+        if locks and locks[-1].expires_at <= now:
+            raise ChannelError("route too long for the requested timeout")
+        return locks
+
+    def settle(self, locks: List[Htlc], preimage: bytes, now: float) -> None:
+        """Phase 2: the recipient's preimage unwinds the route inner-to-
+        outer.  One secret, every hop — that's the atomicity."""
+        for htlc in reversed(locks):
+            htlc.fulfill(preimage, now)
+        self.payments_settled += 1
+
+    def pay(
+        self, payer: Address, invoice: Invoice, now: float, timeout_s: float = 600.0
+    ) -> List[Htlc]:
+        """Lock and settle in one step (the cooperative fast path)."""
+        locks = self.lock_route(payer, invoice, now, timeout_s)
+        secret = self._secrets.get(invoice.payment_hash)
+        if secret is None:
+            raise ChannelError("recipient never published this invoice")
+        self.settle(locks, secret, now)
+        return locks
+
+    def refund_expired(self, locks: List[Htlc], now: float) -> int:
+        """Phase 2': nobody revealed the secret; expire the locks."""
+        refunded = 0
+        for htlc in locks:
+            if htlc.state == HtlcState.PENDING and now >= htlc.expires_at:
+                htlc.refund(now)
+                refunded += 1
+        if refunded and all(h.state == HtlcState.REFUNDED for h in locks):
+            self.payments_refunded += 1
+        return refunded

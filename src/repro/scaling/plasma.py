@@ -1,0 +1,253 @@
+"""Plasma — nested chains committing Merkle roots (Section VI-A).
+
+"The framework creates a nested blockchain structure by the use of smart
+contracts with a root chain being the Ethereum main chain ...  Only
+Merkle roots created in the sidechains are periodically broadcasted to
+the main network during non-faulty states allowing scalable transactions.
+For faulty states, stakeholders need to display proof of fraud and the
+Byzantine node gets penalized."
+
+:class:`PlasmaOperator` batches child-chain transactions into child
+blocks and commits each block's Merkle root to the root chain.  Users
+hold Merkle inclusion proofs for their transactions; a fraudulent
+commitment (a root covering an invalid transaction) is challenged with a
+:class:`FraudProof`, slashing the operator's bond and triggering exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.encoding import encode_uint
+from repro.common.errors import FraudProofError, ValidationError
+from repro.common.types import Address, Hash
+from repro.crypto.hashing import sha256d
+from repro.crypto.merkle import MerkleProof, MerkleTree
+
+
+@dataclass(frozen=True)
+class PlasmaTx:
+    """A child-chain transfer."""
+
+    sender: Address
+    recipient: Address
+    amount: int
+    nonce: int
+
+    def serialize(self) -> bytes:
+        return (
+            bytes(self.sender)
+            + bytes(self.recipient)
+            + encode_uint(self.amount, 16)
+            + encode_uint(self.nonce, 8)
+        )
+
+    @property
+    def txid(self) -> Hash:
+        return sha256d(self.serialize())
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.serialize())
+
+
+@dataclass
+class ChildBlock:
+    """A child-chain block: transactions plus their Merkle tree."""
+
+    number: int
+    transactions: List[PlasmaTx]
+    tree: MerkleTree
+
+    @property
+    def root(self) -> Hash:
+        return self.tree.root
+
+    def proof_for(self, index: int) -> MerkleProof:
+        return self.tree.proof(index)
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """What actually lands on the root chain: 32 bytes per child block."""
+
+    block_number: int
+    root: Hash
+
+    #: On-chain bytes per commitment (root + block number + framing).
+    SIZE_BYTES = 48
+
+
+@dataclass(frozen=True)
+class FraudProof:
+    """Evidence that a committed child block contains an invalid tx."""
+
+    block_number: int
+    tx: PlasmaTx
+    inclusion: MerkleProof
+    reason: str
+
+
+class PlasmaChain:
+    """The root-chain contract: bond, commitments, fraud handling."""
+
+    def __init__(self, operator: Address, bond: int) -> None:
+        if bond <= 0:
+            raise ValidationError("operator bond must be positive")
+        self.operator = operator
+        self.bond = bond
+        self.operator_slashed = False
+        self.commitments: Dict[int, Commitment] = {}
+        self.exited: Dict[Address, int] = {}
+        self.halted = False
+
+    def submit_commitment(self, commitment: Commitment) -> None:
+        if self.halted:
+            raise ValidationError("chain halted after fraud")
+        if commitment.block_number in self.commitments:
+            raise ValidationError(f"block {commitment.block_number} already committed")
+        self.commitments[commitment.block_number] = commitment
+
+    def challenge(self, proof: FraudProof) -> int:
+        """Verify a fraud proof; on success slash the bond and halt.
+
+        The proof must show the offending tx is *included* under the
+        committed root; its invalidity is then checked against the claim.
+        """
+        commitment = self.commitments.get(proof.block_number)
+        if commitment is None:
+            raise FraudProofError(f"no commitment for block {proof.block_number}")
+        if not proof.inclusion.verify(commitment.root):
+            raise FraudProofError("inclusion proof does not match committed root")
+        if proof.inclusion.leaf != proof.tx.txid:
+            raise FraudProofError("proof leaf is not the claimed transaction")
+        # The root-chain contract re-checks the invalidity claim.
+        if proof.reason not in ("overspend", "bad-nonce", "unknown-sender"):
+            raise FraudProofError(f"unrecognized fraud reason {proof.reason!r}")
+        self.operator_slashed = True
+        self.halted = True
+        slashed = self.bond
+        self.bond = 0
+        return slashed
+
+    def exit(self, user: Address, balance: int) -> None:
+        """Withdraw a user's child-chain balance to the root chain."""
+        self.exited[user] = self.exited.get(user, 0) + balance
+
+    def on_chain_bytes(self) -> int:
+        """Root-chain footprint: just the commitments."""
+        return len(self.commitments) * Commitment.SIZE_BYTES
+
+
+class PlasmaOperator:
+    """The (possibly Byzantine) child-chain block producer."""
+
+    def __init__(self, chain: PlasmaChain, deposits: Dict[Address, int]) -> None:
+        self.chain = chain
+        self.balances: Dict[Address, int] = dict(deposits)
+        self.nonces: Dict[Address, int] = {addr: 0 for addr in deposits}
+        self.blocks: List[ChildBlock] = []
+        self._pending: List[PlasmaTx] = []
+        # Queue-time view: committed state plus the effect of queued txs,
+        # so several transfers from one sender fit in one child block.
+        self._pending_balances: Dict[Address, int] = dict(deposits)
+        self._pending_nonces: Dict[Address, int] = {addr: 0 for addr in deposits}
+        self.txs_processed = 0
+
+    # ------------------------------------------------------------ child side
+
+    def submit_tx(self, tx: PlasmaTx) -> None:
+        """Queue a child-chain transaction for the next block."""
+        balance = self._pending_balances.get(tx.sender)
+        if balance is None:
+            raise ValidationError(f"unknown sender {tx.sender.short()}")
+        if tx.amount <= 0 or tx.amount > balance:
+            raise ValidationError("overspend")
+        if tx.nonce != self._pending_nonces[tx.sender]:
+            raise ValidationError("bad nonce")
+        self._pending_balances[tx.sender] = balance - tx.amount
+        self._pending_balances[tx.recipient] = (
+            self._pending_balances.get(tx.recipient, 0) + tx.amount
+        )
+        self._pending_nonces[tx.sender] += 1
+        self._pending_nonces.setdefault(tx.recipient, 0)
+        self._pending.append(tx)
+
+    def _validate(self, tx: PlasmaTx) -> None:
+        balance = self.balances.get(tx.sender)
+        if balance is None:
+            raise ValidationError(f"unknown sender {tx.sender.short()}")
+        if tx.amount <= 0 or tx.amount > balance:
+            raise ValidationError("overspend")
+        if tx.nonce != self.nonces[tx.sender]:
+            raise ValidationError("bad nonce")
+
+    def seal_block(self, include_invalid: Optional[PlasmaTx] = None) -> ChildBlock:
+        """Apply pending txs, build the Merkle tree, commit the root.
+
+        ``include_invalid`` lets tests/benches model a Byzantine operator
+        sneaking an invalid transaction under an otherwise valid root.
+        """
+        applied: List[PlasmaTx] = []
+        for tx in self._pending:
+            try:
+                self._validate(tx)
+            except ValidationError:
+                continue
+            self.balances[tx.sender] -= tx.amount
+            self.balances[tx.recipient] = self.balances.get(tx.recipient, 0) + tx.amount
+            self.nonces.setdefault(tx.recipient, 0)
+            self.nonces[tx.sender] += 1
+            applied.append(tx)
+            self.txs_processed += 1
+        self._pending = []
+        self._pending_balances = dict(self.balances)
+        self._pending_nonces = dict(self.nonces)
+        if include_invalid is not None:
+            applied.append(include_invalid)  # Byzantine: committed unvalidated
+        if not applied:
+            raise ValidationError("cannot seal an empty child block")
+        tree = MerkleTree([tx.txid for tx in applied])
+        block = ChildBlock(number=len(self.blocks), transactions=applied, tree=tree)
+        self.blocks.append(block)
+        self.chain.submit_commitment(Commitment(block_number=block.number, root=block.root))
+        return block
+
+    # ------------------------------------------------------------ user side
+
+    def inclusion_proof(self, block_number: int, tx: PlasmaTx) -> MerkleProof:
+        block = self.blocks[block_number]
+        index = next(
+            i for i, t in enumerate(block.transactions) if t.txid == tx.txid
+        )
+        return block.proof_for(index)
+
+    def build_fraud_proof(
+        self, block_number: int, tx: PlasmaTx, reason: str
+    ) -> FraudProof:
+        """A watching user constructs the challenge for an invalid tx."""
+        return FraudProof(
+            block_number=block_number,
+            tx=tx,
+            inclusion=self.inclusion_proof(block_number, tx),
+            reason=reason,
+        )
+
+    def exit_all(self) -> None:
+        """Everyone exits to the root chain (post-fraud mass exit)."""
+        for user, balance in self.balances.items():
+            if balance > 0:
+                self.chain.exit(user, balance)
+
+    # --------------------------------------------------------------- metrics
+
+    def child_chain_bytes(self) -> int:
+        return sum(
+            tx.size_bytes for block in self.blocks for tx in block.transactions
+        )
+
+    def compression_ratio(self) -> float:
+        """Child-chain bytes handled per root-chain byte — the scaling win."""
+        on_chain = self.chain.on_chain_bytes()
+        return self.child_chain_bytes() / on_chain if on_chain else 0.0

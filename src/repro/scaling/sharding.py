@@ -1,0 +1,161 @@
+"""Sharding (Section VI-A).
+
+"Sharding splits the network in K partitions, no longer forcing all nodes
+in the network to process all incoming transactions.  Every shard k ∈ K,
+in its simplest form, has its own transaction history ...  In a more
+complex scenario, cross shard communication is available, meaning that
+for k, m ∈ K, k ≠ m a transaction from k can trigger an event in m."
+
+Accounts map to shards by address hash.  Intra-shard transfers execute
+locally; cross-shard transfers use a two-phase lock-and-relay: debit plus
+an outbound *receipt* on the source shard, then the receipt is applied on
+the target shard one "slot" later — so cross-shard traffic costs two
+entries and extra latency, the overhead the E13 bench measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import InsufficientFundsError, ShardingError
+from repro.common.types import Address
+from repro.crypto.hashing import sha256
+
+
+@dataclass(frozen=True)
+class CrossShardReceipt:
+    """An outbound transfer waiting to be applied on its target shard."""
+
+    source_shard: int
+    target_shard: int
+    recipient: Address
+    amount: int
+    created_slot: int
+
+
+@dataclass
+class Shard:
+    """One partition: balances plus its own entry history."""
+
+    index: int
+    balances: Dict[Address, int] = field(default_factory=dict)
+    entries_processed: int = 0
+    outbound: List[CrossShardReceipt] = field(default_factory=list)
+
+    def credit(self, account: Address, amount: int) -> None:
+        self.balances[account] = self.balances.get(account, 0) + amount
+
+    def debit(self, account: Address, amount: int) -> None:
+        balance = self.balances.get(account, 0)
+        if balance < amount:
+            raise InsufficientFundsError(
+                f"shard {self.index}: {account.short()} has {balance} < {amount}"
+            )
+        self.balances[account] = balance - amount
+
+
+class ShardedLedger:
+    """K shards with deterministic account placement and 2-phase
+    cross-shard transfers."""
+
+    def __init__(self, shard_count: int, per_shard_tps: float = 10.0) -> None:
+        if shard_count < 1:
+            raise ShardingError("need at least one shard")
+        if per_shard_tps <= 0:
+            raise ShardingError("per-shard capacity must be positive")
+        self.shards = [Shard(index=i) for i in range(shard_count)]
+        self.per_shard_tps = per_shard_tps
+        self.slot = 0
+        self.intra_shard_txs = 0
+        self.cross_shard_txs = 0
+
+    # ------------------------------------------------------------- placement
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, account: Address) -> int:
+        """Deterministic address-to-shard mapping."""
+        digest = sha256(bytes(account))
+        return int.from_bytes(bytes(digest)[:8], "big") % self.shard_count
+
+    def balance(self, account: Address) -> int:
+        return self.shards[self.shard_of(account)].balances.get(account, 0)
+
+    def credit(self, account: Address, amount: int) -> None:
+        self.shards[self.shard_of(account)].credit(account, amount)
+
+    # -------------------------------------------------------------- transfers
+
+    def transfer(self, sender: Address, recipient: Address, amount: int) -> bool:
+        """Execute a transfer; returns True if it stayed intra-shard."""
+        if amount <= 0:
+            raise ShardingError("amount must be positive")
+        src = self.shard_of(sender)
+        dst = self.shard_of(recipient)
+        source_shard = self.shards[src]
+        source_shard.debit(sender, amount)
+        source_shard.entries_processed += 1
+        if src == dst:
+            source_shard.credit(recipient, amount)
+            self.intra_shard_txs += 1
+            return True
+        # Cross-shard: phase one emits a receipt; phase two applies it on
+        # the target shard at the next slot boundary.
+        source_shard.outbound.append(
+            CrossShardReceipt(
+                source_shard=src,
+                target_shard=dst,
+                recipient=recipient,
+                amount=amount,
+                created_slot=self.slot,
+            )
+        )
+        self.cross_shard_txs += 1
+        return False
+
+    def advance_slot(self) -> int:
+        """Apply all receipts created in earlier slots; returns how many."""
+        self.slot += 1
+        applied = 0
+        for shard in self.shards:
+            remaining: List[CrossShardReceipt] = []
+            for receipt in shard.outbound:
+                if receipt.created_slot < self.slot:
+                    target = self.shards[receipt.target_shard]
+                    target.credit(receipt.recipient, receipt.amount)
+                    target.entries_processed += 1
+                    applied += 1
+                else:
+                    remaining.append(receipt)
+            shard.outbound = remaining
+        return applied
+
+    def settle(self) -> None:
+        """Drain all in-flight receipts."""
+        while any(shard.outbound for shard in self.shards):
+            self.advance_slot()
+
+    # --------------------------------------------------------------- metrics
+
+    def total_supply(self) -> int:
+        on_shards = sum(sum(s.balances.values()) for s in self.shards)
+        in_flight = sum(r.amount for s in self.shards for r in s.outbound)
+        return on_shards + in_flight
+
+    def entries_by_shard(self) -> List[int]:
+        return [s.entries_processed for s in self.shards]
+
+    def effective_tps(self, cross_shard_fraction: float) -> float:
+        """Analytic throughput for the E13 sweep.
+
+        Intra-shard txs cost 1 entry; cross-shard cost 2 (debit+receipt
+        apply).  With K shards each processing ``per_shard_tps`` entries:
+        TPS = K · per_shard / (1 + cross_fraction).
+        """
+        if not 0.0 <= cross_shard_fraction <= 1.0:
+            raise ShardingError("cross-shard fraction must be in [0, 1]")
+        capacity = self.shard_count * self.per_shard_tps
+        return capacity / (1.0 + cross_shard_fraction)

@@ -1,0 +1,58 @@
+"""Event queue: the heart of the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is (time, sequence): two events at the same instant fire in
+    scheduling order, which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it (O(1) lazy deletion)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of events with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, action: Action, label: str = "") -> Event:
+        event = Event(time=time, sequence=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Next live event, or ``None`` when the queue is drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

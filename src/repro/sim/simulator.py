@@ -1,0 +1,101 @@
+"""The discrete-event simulator."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.common.rng import fork_rng, make_rng
+from repro.sim.events import Action, Event, EventQueue
+
+
+class Simulator:
+    """Deterministic event loop with a simulated clock.
+
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self.rng = make_rng(seed)
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def fork_rng(self, label: str) -> random.Random:
+        """Independent random stream for one component (see common.rng)."""
+        return fork_rng(self.rng, label)
+
+    # -------------------------------------------------------------- schedule
+
+    def schedule(self, delay: float, action: Action, label: str = "") -> Event:
+        """Run ``action`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, action, label)
+
+    def schedule_at(self, time: float, action: Action, label: str = "") -> Event:
+        """Run ``action`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push(time, action, label)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        *,
+        start_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Fire ``action`` every ``interval`` seconds until ``until``."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        first = interval if start_delay is None else start_delay
+
+        def tick() -> None:
+            if until is not None and self._now > until:
+                return
+            action()
+            self.schedule(interval, tick, label="periodic")
+
+        self.schedule(first, tick, label="periodic")
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the queue empties, ``until`` is reached, or
+        ``max_events`` have fired.  The clock ends at ``until`` when given,
+        even if the queue drained earlier."""
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            event.action()
+            self._events_processed += 1
+            processed += 1
+        if until is not None and until > self._now:
+            self._now = until

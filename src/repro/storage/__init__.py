@@ -1,0 +1,29 @@
+"""Ledger size accounting and pruning (Section V).
+
+"As every ledger contains all information since its genesis, its size is
+constantly increasing."  This package measures real serialized sizes of
+our ledgers and implements each reference implementation's remedy:
+Bitcoin's block-file pruning, Ethereum's fast sync over state deltas, and
+Nano's balance-based pruning with historical/current/light node types.
+"""
+
+from repro.storage.sizing import LedgerSizeReport, blockchain_size_report, dag_size_report
+from repro.storage.pruning import PruneResult, prune_chain
+from repro.storage.fast_sync import FastSyncResult, fast_sync
+from repro.storage.dag_pruning import DagNodeType, dag_footprint, prune_lattice
+from repro.storage.growth import GrowthModel, LEDGER_SNAPSHOT_2018
+
+__all__ = [
+    "DagNodeType",
+    "FastSyncResult",
+    "GrowthModel",
+    "LEDGER_SNAPSHOT_2018",
+    "LedgerSizeReport",
+    "PruneResult",
+    "blockchain_size_report",
+    "dag_footprint",
+    "dag_size_report",
+    "fast_sync",
+    "prune_chain",
+    "prune_lattice",
+]

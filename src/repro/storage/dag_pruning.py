@@ -1,0 +1,107 @@
+"""Nano ledger pruning and node types (Section V-B).
+
+"Nano distinguishes between three types of nodes: *historical* which keep
+record of all transactions, *current* which keep only the head of
+account-chains, and *light* that do not hold any ledger data."  And:
+"since the accounts keep record of account balances instead of unspent
+transaction inputs, all other historical data can be discarded."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.types import Address
+from repro.dag.blocks import NanoBlock
+from repro.dag.lattice import Lattice
+
+
+class DagNodeType(enum.Enum):
+    HISTORICAL = "historical"  # full transaction record
+    CURRENT = "current"  # account-chain heads only
+    LIGHT = "light"  # no ledger data
+
+
+@dataclass
+class DagPruneResult:
+    """Outcome of pruning a lattice replica down to chain heads."""
+
+    blocks_before: int
+    blocks_after: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def bytes_freed(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+    @property
+    def fraction_freed(self) -> float:
+        return self.bytes_freed / self.bytes_before if self.bytes_before else 0.0
+
+
+def head_blocks(lattice: Lattice) -> Dict[Address, NanoBlock]:
+    """The minimal state a *current* node keeps: one head per account.
+
+    The head alone carries the balance and representative — sufficient to
+    validate future blocks, which is exactly why balance-carrying blocks
+    make history discardable.
+    """
+    heads: Dict[Address, NanoBlock] = {}
+    for account in list(lattice._chains):  # noqa: SLF001 - read-only introspection
+        chain = lattice.chain(account)
+        assert chain is not None
+        heads[account] = chain.head
+    return heads
+
+
+def prune_lattice(lattice: Lattice) -> DagPruneResult:
+    """Discard all non-head blocks from every account chain in place.
+
+    Pending (unsettled) sends are *not* prunable: their receive has not
+    been generated, so the send block must stay available.
+    """
+    bytes_before = lattice.serialized_size()
+    blocks_before = lattice.block_count()
+    keep = set()
+    for account, head in head_blocks(lattice).items():
+        keep.add(head.block_hash)
+    # Unsettled sends must survive pruning.
+    for pending in list(lattice._pending.values()):  # noqa: SLF001
+        keep.add(pending.source_hash)
+
+    for account in list(lattice._chains):  # noqa: SLF001
+        chain = lattice.chain(account)
+        assert chain is not None
+        kept_blocks = [b for b in chain.blocks if b.block_hash in keep]
+        for block in chain.blocks:
+            if block.block_hash not in keep:
+                del lattice._blocks[block.block_hash]  # noqa: SLF001
+        chain.blocks = kept_blocks
+
+    return DagPruneResult(
+        blocks_before=blocks_before,
+        blocks_after=lattice.block_count(),
+        bytes_before=bytes_before,
+        bytes_after=lattice.serialized_size(),
+    )
+
+
+def dag_footprint(lattice: Lattice, node_type: DagNodeType) -> int:
+    """Ledger bytes a node of the given type stores."""
+    if node_type == DagNodeType.LIGHT:
+        return 0
+    if node_type == DagNodeType.HISTORICAL:
+        return lattice.serialized_size()
+    # CURRENT: heads plus unsettled sends.
+    keep_hashes = {b.block_hash for b in head_blocks(lattice).values()}
+    for pending in lattice._pending.values():  # noqa: SLF001
+        keep_hashes.add(pending.source_hash)
+    return sum(lattice.block(h).size_bytes for h in keep_hashes)
+
+
+def footprint_by_type(lattice: Lattice) -> Dict[str, int]:
+    """Bytes per node type — the E8 bench's table."""
+    return {t.value: dag_footprint(lattice, t) for t in DagNodeType}

@@ -1,0 +1,78 @@
+"""Ledger growth projection (Section V).
+
+The paper's 2018 snapshot: "Bitcoin is estimated to be 145.95 GB ...
+Ethereum 39.62 GB ... Nano's ledger size is 3.42 GB with around 6,700,078
+blocks."  The E6 bench grows all three ledgers under equivalent payment
+workloads and checks that the *ordering and rough ratios* of the snapshot
+emerge from the protocols' per-transaction footprints and throughputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.units import GB
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """One system's observed size at the paper's measurement date."""
+
+    name: str
+    size_bytes: float
+    date: str
+    block_count: int = 0
+
+
+#: The paper's Section V reference points.
+LEDGER_SNAPSHOT_2018: Dict[str, LedgerSnapshot] = {
+    "bitcoin": LedgerSnapshot("bitcoin", 145.95 * GB, "2018-01-02"),
+    "ethereum": LedgerSnapshot("ethereum", 39.62 * GB, "2018-01-02"),
+    "nano": LedgerSnapshot("nano", 3.42 * GB, "2018-02-25", block_count=6_700_078),
+}
+
+
+@dataclass(frozen=True)
+class GrowthModel:
+    """Linear ledger growth: size(t) = genesis + rate · per_entry · t.
+
+    ``entries_per_second`` is the system's realized (not peak) entry rate;
+    ``bytes_per_entry`` is measured from our serialized structures.
+    """
+
+    name: str
+    entries_per_second: float
+    bytes_per_entry: float
+    genesis_bytes: float = 0.0
+
+    def size_at(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time must be non-negative")
+        return self.genesis_bytes + self.entries_per_second * self.bytes_per_entry * seconds
+
+    def growth_per_year(self) -> float:
+        return self.entries_per_second * self.bytes_per_entry * 365 * 86_400
+
+    def series(self, horizon_s: float, points: int = 20) -> List[Tuple[float, float]]:
+        """(t, size) samples for plotting/reporting."""
+        if points < 2:
+            raise ValueError("need at least two points")
+        step = horizon_s / (points - 1)
+        return [(i * step, self.size_at(i * step)) for i in range(points)]
+
+
+def snapshot_ratios() -> Dict[str, float]:
+    """Size of each ledger relative to Nano's, from the paper's snapshot."""
+    nano = LEDGER_SNAPSHOT_2018["nano"].size_bytes
+    return {
+        name: snap.size_bytes / nano for name, snap in LEDGER_SNAPSHOT_2018.items()
+    }
+
+
+def ordering_matches_snapshot(measured: Dict[str, float]) -> bool:
+    """True when measured sizes preserve Bitcoin > Ethereum > Nano."""
+    try:
+        return measured["bitcoin"] > measured["ethereum"] > measured["nano"]
+    except KeyError as exc:
+        raise ValueError(f"measured dict missing {exc}") from exc

@@ -1,0 +1,11 @@
+"""Workload and attack generators driving the experiments."""
+
+from repro.workloads.generators import PaymentEvent, PaymentWorkload
+from repro.workloads.attacks import DoubleSpendAttacker, SpamAttacker
+
+__all__ = [
+    "DoubleSpendAttacker",
+    "PaymentEvent",
+    "PaymentWorkload",
+    "SpamAttacker",
+]

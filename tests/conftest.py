@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.dag.lattice import Lattice
+from repro.dag.params import NanoParams
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def keypair(rng: random.Random) -> KeyPair:
+    return KeyPair.generate(rng)
+
+
+@pytest.fixture
+def keypairs(rng: random.Random):
+    """Ten distinct keypairs."""
+    return [KeyPair.generate(rng) for _ in range(10)]
+
+
+@pytest.fixture
+def fast_nano_params() -> NanoParams:
+    """Nano params with trivially cheap anti-spam work, for fast tests."""
+    return NanoParams(work_difficulty=1)
+
+
+@pytest.fixture
+def funded_lattice(fast_nano_params: NanoParams, rng: random.Random):
+    """A lattice with a genesis and two funded user accounts.
+
+    Returns (lattice, genesis_key, user_a_key, user_b_key); each user
+    holds 1_000_000 raw settled on their own chain.
+    """
+    from repro.dag.blocks import make_open, make_send
+
+    lattice = Lattice(fast_nano_params)
+    genesis_key = KeyPair.generate(rng)
+    genesis = lattice.create_genesis(genesis_key, 10**12)
+    users = []
+    prev = genesis
+    for _ in range(2):
+        user = KeyPair.generate(rng)
+        send = make_send(
+            genesis_key, prev, user.address, 1_000_000, work_difficulty=1
+        )
+        lattice.process(send)
+        open_block = make_open(
+            user, send.block_hash, 1_000_000,
+            representative=genesis_key.address, work_difficulty=1,
+        )
+        lattice.process(open_block)
+        users.append(user)
+        prev = send
+    return lattice, genesis_key, users[0], users[1]

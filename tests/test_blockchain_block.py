@@ -1,0 +1,104 @@
+"""Tests for repro.blockchain.block (Figure 1 structures)."""
+
+import pytest
+
+from repro.common.types import Hash
+from repro.crypto.keys import KeyPair
+from repro.crypto.pow import MAX_TARGET, difficulty_to_target, solve_pow
+from repro.blockchain.block import (
+    Block,
+    assemble_block,
+    build_genesis_block,
+    build_genesis_with_allocations,
+)
+from repro.blockchain.transaction import build_transaction, make_coinbase
+
+
+class TestGenesis:
+    def test_no_predecessor(self, keypair):
+        genesis = build_genesis_block(keypair.address, 1000)
+        assert genesis.is_genesis()
+        assert genesis.parent_id.is_zero()
+        assert genesis.height == 0
+
+    def test_mints_initial_supply(self, keypair):
+        genesis = build_genesis_block(keypair.address, 1000)
+        assert genesis.transactions[0].total_output() == 1000
+
+    def test_allocations_genesis(self, keypairs):
+        allocations = {kp.address: 100 * (i + 1) for i, kp in enumerate(keypairs[:3])}
+        genesis = build_genesis_with_allocations(allocations)
+        coinbase = genesis.transactions[0]
+        assert coinbase.total_output() == 100 + 200 + 300
+        assert len(coinbase.outputs) == 3
+
+    def test_empty_allocations_rejected(self):
+        with pytest.raises(ValueError):
+            build_genesis_with_allocations({})
+
+
+class TestHeaderAndLinking:
+    def test_child_references_parent(self, keypair):
+        genesis = build_genesis_block(keypair.address, 1000)
+        child = assemble_block(
+            parent=genesis.header,
+            transactions=[make_coinbase(keypair.address, 50, nonce=1)],
+            timestamp=1.0,
+            target=MAX_TARGET,
+        )
+        assert child.parent_id == genesis.block_id
+        assert child.height == 1
+
+    def test_block_id_covers_nonce(self, keypair):
+        genesis = build_genesis_block(keypair.address, 1000)
+        bumped = Block(
+            header=genesis.header.with_nonce(99), transactions=genesis.transactions
+        )
+        assert bumped.block_id != genesis.block_id
+
+    def test_merkle_root_commits_to_body(self, keypair, rng):
+        genesis = build_genesis_block(keypair.address, 1000)
+        bob = KeyPair.generate(rng)
+        coinbase = genesis.transactions[0]
+        spend = build_transaction(keypair, [(coinbase.txid, 0, 1000)], bob.address, 10)
+        block = assemble_block(
+            parent=genesis.header,
+            transactions=[make_coinbase(keypair.address, 50, nonce=1), spend],
+            timestamp=1.0,
+            target=MAX_TARGET,
+        )
+        assert block.merkle_root_matches()
+        # Swap the body: commitment must break.
+        forged = Block(header=block.header, transactions=(block.transactions[0],))
+        assert not forged.merkle_root_matches()
+
+    def test_size_is_header_plus_body(self, keypair):
+        genesis = build_genesis_block(keypair.address, 1000)
+        assert genesis.size_bytes == genesis.header.size_bytes + genesis.body_size_bytes
+
+    def test_work_inverse_to_target(self, keypair):
+        easy = assemble_block(None, [make_coinbase(keypair.address, 1)], 0.0, MAX_TARGET)
+        hard = assemble_block(
+            None, [make_coinbase(keypair.address, 1)], 0.0, MAX_TARGET // 1000
+        )
+        assert hard.header.work > easy.header.work * 500
+
+
+class TestProofOfWork:
+    def test_real_pow_round_trip(self, keypair):
+        target = difficulty_to_target(64)
+        candidate = assemble_block(
+            None, [make_coinbase(keypair.address, 1)], 0.0, target
+        )
+        solution = solve_pow(candidate.header.pow_payload(), target)
+        solved = Block(
+            header=candidate.header.with_nonce(solution.nonce),
+            transactions=candidate.transactions,
+        )
+        assert solved.header.check_proof_of_work()
+
+    def test_unsolved_header_fails_hard_target(self, keypair):
+        candidate = assemble_block(
+            None, [make_coinbase(keypair.address, 1)], 0.0, 1
+        )
+        assert not candidate.header.check_proof_of_work()

@@ -1,0 +1,183 @@
+"""Integration tests: smart contracts inside AccountState (§VI-A)."""
+
+import pytest
+
+from repro.common.errors import InsufficientFundsError
+from repro.common.types import Address
+from repro.crypto.keys import KeyPair
+from repro.blockchain.state import (
+    AccountState,
+    contract_address,
+    encode_call_args,
+)
+from repro.blockchain.transaction import sign_account_transaction
+from repro.blockchain.vm import counter_contract, vault_contract
+
+
+@pytest.fixture
+def world(rng):
+    """(state, alice, miner) with alice holding plenty of funds."""
+    state = AccountState()
+    alice = KeyPair.generate(rng)
+    miner = KeyPair.generate(rng)
+    state.credit(alice.address, 10**12)
+    return state, alice, miner
+
+
+def deploy(state, sender, miner, code, value=0, gas_limit=200_000):
+    tx = sign_account_transaction(
+        sender, nonce=state.nonce(sender.address), recipient=Address.zero(),
+        value=value, gas_limit=gas_limit, gas_price=1, data=code,
+    )
+    receipt = state.apply_transaction(tx, miner.address)
+    return contract_address(sender.address, tx.nonce), receipt
+
+
+def call(state, sender, miner, target, value=0, args=b"", gas_limit=100_000):
+    tx = sign_account_transaction(
+        sender, nonce=state.nonce(sender.address), recipient=target,
+        value=value, gas_limit=gas_limit, gas_price=1, data=args,
+    )
+    return state.apply_transaction(tx, miner.address)
+
+
+class TestDeployment:
+    def test_deploy_creates_contract_account(self, world):
+        state, alice, miner = world
+        address, receipt = deploy(state, alice, miner, counter_contract())
+        assert receipt.success
+        assert state.account(address).is_contract
+        assert state.code(address) == counter_contract()
+
+    def test_deploy_gas_includes_code_deposit(self, world):
+        state, alice, miner = world
+        _, receipt = deploy(state, alice, miner, counter_contract())
+        from repro.blockchain.gas import intrinsic_gas
+        from repro.blockchain.state import CODE_DEPOSIT_GAS_PER_BYTE, CREATE_GAS
+
+        code = counter_contract()
+        assert receipt.gas_used > CREATE_GAS + len(code) * CODE_DEPOSIT_GAS_PER_BYTE
+
+    def test_deploy_out_of_gas_fails_burning_limit(self, world):
+        state, alice, miner = world
+        balance_before = state.balance(alice.address)
+        address, receipt = deploy(
+            state, alice, miner, counter_contract(), gas_limit=40_000
+        )
+        assert not receipt.success
+        assert not state.account(address).is_contract
+        # The whole gas limit was burned and paid to the miner.
+        assert state.balance(miner.address) == 40_000
+        assert state.balance(alice.address) == balance_before - 40_000
+
+    def test_deploy_with_endowment(self, world):
+        state, alice, miner = world
+        address, receipt = deploy(
+            state, alice, miner, counter_contract(), value=5_000
+        )
+        assert state.balance(address) == 5_000
+
+    def test_contract_addresses_unique_per_nonce(self, world):
+        state, alice, miner = world
+        a1, _ = deploy(state, alice, miner, counter_contract())
+        a2, _ = deploy(state, alice, miner, counter_contract())
+        assert a1 != a2
+
+
+class TestCalls:
+    def test_counter_increments_across_transactions(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, counter_contract())
+        for expected in (1, 2, 3):
+            receipt = call(state, alice, miner, address)
+            assert receipt.success
+            assert state.storage(address, 0) == expected
+
+    def test_call_with_arguments(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, counter_contract())
+        call(state, alice, miner, address, args=encode_call_args(10))
+        assert state.storage(address, 0) == 11
+
+    def test_vault_accepts_value(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, vault_contract())
+        call(state, alice, miner, address, value=700)
+        call(state, alice, miner, address, value=300)
+        assert state.balance(address) == 1_000
+        assert state.storage(address, 0) == 1_000
+
+    def test_reverted_call_moves_no_value(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, vault_contract())
+        balance_before = state.balance(alice.address)
+        receipt = call(state, alice, miner, address, value=0)  # vault reverts
+        assert not receipt.success
+        assert state.balance(address) == 0
+        assert state.storage(address, 0) == 0
+        # Sender lost only the gas fee, nothing else; nonce advanced.
+        assert state.balance(alice.address) == balance_before - receipt.gas_used
+
+    def test_failed_call_still_advances_nonce(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, vault_contract())
+        nonce_before = state.nonce(alice.address)
+        call(state, alice, miner, address, value=0)
+        assert state.nonce(alice.address) == nonce_before + 1
+
+    def test_out_of_gas_call_burns_gas_limit(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, counter_contract())
+        miner_before = state.balance(miner.address)
+        receipt = call(state, alice, miner, address, gas_limit=21_300)
+        assert not receipt.success
+        assert state.storage(address, 0) == 0
+        assert state.balance(miner.address) == miner_before + 21_300
+
+    def test_gas_refund_for_unused_allowance(self, world):
+        state, alice, miner = world
+        bob = Address(b"\x09" * 20)
+        balance_before = state.balance(alice.address)
+        tx = sign_account_transaction(
+            alice, nonce=0, recipient=bob, value=100,
+            gas_limit=90_000, gas_price=1,  # far above the 21k needed
+        )
+        receipt = state.apply_transaction(tx, miner.address)
+        assert receipt.gas_used == 21_000
+        assert state.balance(alice.address) == balance_before - 100 - 21_000
+
+    def test_upfront_allowance_must_be_affordable(self, world, rng):
+        state, alice, miner = world
+        pauper = KeyPair.generate(rng)
+        state.credit(pauper.address, 25_000)
+        tx = sign_account_transaction(
+            pauper, nonce=0, recipient=alice.address, value=1,
+            gas_limit=90_000, gas_price=1,
+        )
+        with pytest.raises(InsufficientFundsError):
+            state.apply_transaction(tx, miner.address)
+
+
+class TestStateCommitment:
+    def test_storage_in_state_root(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, counter_contract())
+        root_before = state.root_hash
+        call(state, alice, miner, address)
+        assert state.root_hash != root_before
+
+    def test_rollback_undoes_contract_effects(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, counter_contract())
+        checkpoint = state.checkpoint()
+        call(state, alice, miner, address)
+        assert state.storage(address, 0) == 1
+        state.rollback_to(checkpoint)
+        assert state.storage(address, 0) == 0
+
+    def test_supply_conserved_through_contract_traffic(self, world):
+        state, alice, miner = world
+        address, _ = deploy(state, alice, miner, vault_contract())
+        for value in (100, 0, 250):  # includes one revert
+            call(state, alice, miner, address, value=value)
+        assert state.total_supply() == 10**12

@@ -1,0 +1,90 @@
+"""Tests for repro.blockchain.difficulty (Section VI-A retargeting)."""
+
+import pytest
+
+from repro.crypto.pow import MAX_TARGET
+from repro.blockchain.difficulty import (
+    bitcoin_retarget,
+    epoch_duration,
+    ethereum_adjust,
+    simulated_difficulty_for_interval,
+)
+
+
+class TestBitcoinRetarget:
+    def test_on_schedule_keeps_target(self):
+        target = MAX_TARGET // 1000
+        assert bitcoin_retarget(target, 600.0, 600.0) == target
+
+    def test_fast_epoch_raises_difficulty(self):
+        target = MAX_TARGET // 1000
+        new = bitcoin_retarget(target, 300.0, 600.0)
+        assert new == target // 2  # target halves, difficulty doubles
+
+    def test_slow_epoch_lowers_difficulty(self):
+        target = MAX_TARGET // 1000
+        new = bitcoin_retarget(target, 1200.0, 600.0)
+        assert new == target * 2
+
+    def test_clamped_to_4x(self):
+        target = MAX_TARGET // 1000
+        assert bitcoin_retarget(target, 1.0, 600.0) == target // 4
+        assert bitcoin_retarget(target, 10**9, 600.0) == target * 4
+
+    def test_never_exceeds_max_target(self):
+        assert bitcoin_retarget(MAX_TARGET, 2400.0, 600.0) == MAX_TARGET
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bitcoin_retarget(0, 600, 600)
+        with pytest.raises(ValueError):
+            bitcoin_retarget(MAX_TARGET, 600, 0)
+
+    def test_convergence_under_hashrate_growth(self):
+        """Difficulty tracks a 10x hashrate increase: the interval returns
+        to target — the Section VI-A point that more nodes do not mean
+        more throughput."""
+        target = MAX_TARGET // 1_000
+        hashrate = 1_000.0
+        for _ in range(30):
+            difficulty = MAX_TARGET / target
+            interval = difficulty / hashrate  # seconds per block
+            epoch = interval * 2016
+            target = bitcoin_retarget(target, epoch, 600.0 * 2016)
+            hashrate = 10_000.0  # stepped up once
+        final_interval = (MAX_TARGET / target) / hashrate
+        assert final_interval == pytest.approx(600.0, rel=0.05)
+
+
+class TestEthereumAdjust:
+    def test_fast_parent_raises_difficulty(self):
+        target = MAX_TARGET // 1000
+        assert ethereum_adjust(target, 10.0, 15.0) < target
+
+    def test_slow_parent_lowers_difficulty(self):
+        target = MAX_TARGET // 1000
+        assert ethereum_adjust(target, 20.0, 15.0) > target
+
+    def test_on_time_parent_keeps_target(self):
+        target = MAX_TARGET // 1000
+        assert ethereum_adjust(target, 15.0, 15.0) == target
+
+    def test_step_is_one_2048th(self):
+        target = 2048 * 10**6
+        assert ethereum_adjust(target, 10.0, 15.0) == target - target // 2048
+
+
+class TestHelpers:
+    def test_epoch_duration(self):
+        assert epoch_duration([0.0, 5.0, 11.0]) == 11.0
+
+    def test_epoch_duration_needs_two(self):
+        with pytest.raises(ValueError):
+            epoch_duration([1.0])
+
+    def test_planning_arithmetic(self):
+        assert simulated_difficulty_for_interval(100.0, 600.0) == 60_000.0
+
+    def test_planning_validates(self):
+        with pytest.raises(ValueError):
+            simulated_difficulty_for_interval(0, 600)

@@ -1,0 +1,113 @@
+"""Integration tests: Casper-style finality cementing a live chain."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.errors import CementedBlockError
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.finality import FinalityDriver
+from repro.blockchain.node import BlockchainNode, PosSlotDriver
+from repro.blockchain.params import ETHEREUM_POS
+from repro.blockchain.pos import ValidatorSet
+
+
+@pytest.fixture
+def pos_world():
+    """A 3-node PoS network plus its validator set and slot driver."""
+    keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(2)]
+    allocations = {kp.address: 10**9 for kp in keys}
+    genesis = build_genesis_with_allocations(allocations)
+    sim = Simulator(seed=0)
+    net = Network(sim)
+    factory = lambda nid: BlockchainNode(  # noqa: E731
+        nid, ETHEREUM_POS, genesis, genesis_allocations=allocations
+    )
+    nodes = [
+        n for n in complete_topology(net, 3, factory, FAST_LINK)
+        if isinstance(n, BlockchainNode)
+    ]
+    validator_keys = [KeyPair.from_seed(bytes([40 + i]) * 32) for i in range(3)]
+    validators = ValidatorSet()
+    for i, vk in enumerate(validator_keys):
+        validators.deposit(vk.address, 1_000 * (i + 1))
+    slot_driver = PosSlotDriver(
+        {vk.address: node for vk, node in zip(validator_keys, nodes)}, validators
+    )
+    return sim, nodes, validators, slot_driver
+
+
+class TestFinalityDriver:
+    def test_checkpoints_finalize_and_cement(self, pos_world):
+        sim, nodes, validators, slots = pos_world
+        slots.start(sim, until=200)
+        driver = FinalityDriver(nodes, validators, epoch_length=10)
+        sim.run(until=205)
+        finalized = driver.run_available_epochs()
+        assert finalized >= 2
+        assert driver.finalized_height >= 20
+        assert all(n.chain.cemented_height >= 20 for n in nodes)
+        assert driver.stats.checkpoints_finalized == finalized
+
+    def test_finalized_history_cannot_reorg(self, pos_world):
+        from repro.crypto.pow import MAX_TARGET
+        from repro.blockchain.block import assemble_block
+        from repro.blockchain.transaction import make_coinbase
+
+        sim, nodes, validators, slots = pos_world
+        slots.start(sim, until=120)
+        driver = FinalityDriver(nodes, validators, epoch_length=5)
+        sim.run(until=125)
+        driver.run_available_epochs()
+        cemented = nodes[0].chain.cemented_height
+        assert cemented >= 5
+
+        # Build a long attacker branch from genesis and feed it in.
+        key = KeyPair.from_seed(b"\x55" * 32)
+        side = nodes[0].chain.genesis
+        with pytest.raises(CementedBlockError):
+            for n in range(nodes[0].chain.height + 5):
+                block = assemble_block(
+                    side.header,
+                    [make_coinbase(key.address, 1, nonce=900 + n)],
+                    float(n),
+                    MAX_TARGET,
+                )
+                nodes[0].chain.add_block(block)
+                side = block
+
+    def test_low_participation_stalls_finality(self, pos_world):
+        """Fewer than 2/3 of stake voting ⇒ no checkpoint justifies —
+        finality is a supermajority property."""
+        sim, nodes, validators, slots = pos_world
+        slots.start(sim, until=120)
+        sim.run(until=125)
+        # Only the smallest validator votes: 1000 of 6000 stake.
+        driver = FinalityDriver(
+            nodes, validators, epoch_length=10, participation=0.2
+        )
+        finalized = driver.run_available_epochs()
+        assert finalized == 0
+        assert all(n.chain.cemented_height <= 0 for n in nodes)
+
+    def test_epoch_checkpoint_lookup(self, pos_world):
+        sim, nodes, validators, slots = pos_world
+        slots.start(sim, until=60)
+        sim.run(until=65)
+        driver = FinalityDriver(nodes, validators, epoch_length=10)
+        cp1 = driver.checkpoint_for_epoch(nodes[0].chain, 1)
+        assert cp1 is not None and cp1.epoch == 1
+        assert cp1.block_id == nodes[0].chain.block_at_height(10).block_id
+        assert driver.checkpoint_for_epoch(nodes[0].chain, 999) is None
+
+    def test_parameter_validation(self, pos_world):
+        _, nodes, validators, _ = pos_world
+        with pytest.raises(ValueError):
+            FinalityDriver(nodes, validators, epoch_length=0)
+        with pytest.raises(ValueError):
+            FinalityDriver(nodes, validators, epoch_length=5, participation=1.5)

@@ -1,0 +1,120 @@
+"""Tests for repro.blockchain.mempool."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.transaction import (
+    build_transaction,
+    make_coinbase,
+    sign_account_transaction,
+)
+
+
+@pytest.fixture
+def payments(rng):
+    """Three UTXO payments with fees 1, 5, 10 (by construction)."""
+    alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+    txs = []
+    for i, fee in enumerate((1, 5, 10)):
+        funding = make_coinbase(alice.address, 100, nonce=i)
+        txs.append(
+            (build_transaction(alice, [(funding.txid, 0, 100)], bob.address, 50, fee=fee), fee)
+        )
+    return txs
+
+
+class TestAdmission:
+    def test_add_and_contains(self, payments):
+        pool = Mempool()
+        tx, fee = payments[0]
+        assert pool.add(tx, fee=fee)
+        assert tx.txid in pool
+        assert len(pool) == 1
+
+    def test_duplicate_rejected(self, payments):
+        pool = Mempool()
+        tx, fee = payments[0]
+        pool.add(tx, fee=fee)
+        assert not pool.add(tx, fee=fee)
+
+    def test_account_tx_fee_derived(self, rng):
+        alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+        tx = sign_account_transaction(alice, 0, bob.address, 5, gas_price=2)
+        pool = Mempool()
+        pool.add(tx)
+        assert pool._fees[tx.txid] == 21_000 * 2  # intrinsic gas * price
+
+    def test_remove(self, payments):
+        pool = Mempool()
+        tx, fee = payments[0]
+        pool.add(tx, fee=fee)
+        assert pool.remove(tx.txid) is tx
+        assert tx.txid not in pool
+
+
+class TestSelection:
+    def test_fee_rate_ordering(self, payments):
+        pool = Mempool()
+        for tx, fee in payments:
+            pool.add(tx, fee=fee)
+        selected = pool.select_by_size(10**6)
+        fees = [pool._fees[tx.txid] for tx in selected]
+        assert fees == sorted(fees, reverse=True)
+
+    def test_size_cap_respected(self, payments):
+        pool = Mempool()
+        for tx, fee in payments:
+            pool.add(tx, fee=fee)
+        one_tx_size = payments[0][0].size_bytes
+        selected = pool.select_by_size(one_tx_size)
+        assert len(selected) == 1
+
+    def test_gas_cap_respected(self, rng):
+        alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+        pool = Mempool()
+        for n in range(5):
+            pool.add(sign_account_transaction(alice, n, bob.address, 1))
+        selected = pool.select_by_gas(21_000 * 2)
+        assert len(selected) == 2
+
+    def test_gas_selection_prefers_high_price(self, rng):
+        alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+        pool = Mempool()
+        cheap = sign_account_transaction(alice, 0, bob.address, 1, gas_price=1)
+        dear = sign_account_transaction(alice, 1, bob.address, 1, gas_price=9)
+        pool.add(cheap)
+        pool.add(dear)
+        assert pool.select_by_gas(21_000)[0].txid == dear.txid
+
+
+class TestLifecycle:
+    def test_remove_included(self, payments):
+        pool = Mempool()
+        for tx, fee in payments:
+            pool.add(tx, fee=fee)
+        removed = pool.remove_included([payments[0][0], payments[1][0]])
+        assert removed == 2 and len(pool) == 1
+
+    def test_readmit_skips_coinbase(self, payments, rng):
+        pool = Mempool()
+        cb = make_coinbase(KeyPair.generate(rng).address, 50)
+        readmitted = pool.readmit([cb, payments[0][0]])
+        assert readmitted == 1
+        assert cb.txid not in pool
+
+    def test_evict_keeps_best(self, payments):
+        pool = Mempool()
+        for tx, fee in payments:
+            pool.add(tx, fee=fee)
+        dropped = pool.evict(keep=1)
+        assert dropped == 2
+        # Survivor is the fee-10 transaction.
+        survivor = pool.pending()[0]
+        assert pool._fees[survivor.txid] == 10
+
+    def test_size_bytes(self, payments):
+        pool = Mempool()
+        tx, fee = payments[0]
+        pool.add(tx, fee=fee)
+        assert pool.size_bytes() == tx.size_bytes

@@ -1,0 +1,83 @@
+"""Tests for repro.blockchain.miner (Section III-A1 lottery)."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.pow import difficulty_to_target
+from repro.blockchain.block import build_genesis_block
+from repro.blockchain.miner import Miner, SimulatedMiner, mining_race
+from repro.blockchain.transaction import make_coinbase
+
+
+class TestRealMiner:
+    def test_mined_block_passes_pow(self, keypair):
+        genesis = build_genesis_block(keypair.address, 1000)
+        miner = Miner(keypair.address)
+        block = miner.mine_block(
+            parent=genesis.header,
+            transactions=[make_coinbase(keypair.address, 50, nonce=1)],
+            timestamp=1.0,
+            target=difficulty_to_target(32),
+        )
+        assert block is not None
+        assert block.header.check_proof_of_work()
+        assert block.parent_id == genesis.block_id
+        assert miner.stats.blocks_mined == 1
+        assert miner.stats.hash_attempts >= 1
+
+    def test_bounded_attempts_can_fail(self, keypair):
+        miner = Miner(keypair.address)
+        block = miner.mine_block(
+            parent=None,
+            transactions=[make_coinbase(keypair.address, 1)],
+            timestamp=0.0,
+            target=1,  # effectively unsolvable
+            max_attempts=5,
+        )
+        assert block is None
+        assert miner.stats.blocks_mined == 0
+
+
+class TestSimulatedMiner:
+    def test_block_rate(self, keypair):
+        miner = SimulatedMiner(keypair.address, 0.25, 600.0, random.Random(0))
+        assert miner.block_rate == pytest.approx(0.25 / 600.0)
+
+    def test_delay_mean_matches_rate(self, keypair):
+        miner = SimulatedMiner(keypair.address, 0.5, 10.0, random.Random(1))
+        samples = [miner.next_block_delay() for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(20.0, rel=0.05)
+
+    def test_invalid_share_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            SimulatedMiner(keypair.address, 0.0, 600.0, random.Random(0))
+        with pytest.raises(ValueError):
+            SimulatedMiner(keypair.address, 1.5, 600.0, random.Random(0))
+
+    def test_make_block_unique_ids(self, keypair):
+        miner = SimulatedMiner(keypair.address, 0.5, 10.0, random.Random(2))
+        genesis = build_genesis_block(keypair.address, 1000)
+        cb = [make_coinbase(keypair.address, 1, nonce=1)]
+        a = miner.make_block(genesis.header, cb, 1.0, 2**256 - 1)
+        b = miner.make_block(genesis.header, cb, 1.0, 2**256 - 1)
+        assert a.block_id != b.block_id  # RNG nonce differentiates
+
+
+class TestMiningRace:
+    def test_win_rate_tracks_hash_power(self):
+        """The E1 claim: leader-election win frequency ∝ hash power."""
+        shares = [0.5, 0.3, 0.2]
+        wins = mining_race(shares, rounds=20_000, rng=random.Random(3))
+        total = sum(wins)
+        for share, win_count in zip(shares, wins):
+            assert win_count / total == pytest.approx(share, abs=0.02)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            mining_race([0.5, 0.2], 10, random.Random(0))
+
+    def test_zero_share_never_wins(self):
+        wins = mining_race([1.0, 0.0], 500, random.Random(1))
+        assert wins[1] == 0

@@ -1,0 +1,183 @@
+"""Integration tests for repro.blockchain.node over the simulated network."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK, LinkParams
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode, PosSlotDriver
+from repro.blockchain.params import BITCOIN, ETHEREUM, ETHEREUM_POS
+from repro.blockchain.pos import ValidatorSet
+from repro.blockchain.transaction import build_transaction, sign_account_transaction
+
+
+FAST_BITCOIN = replace(BITCOIN, target_block_interval_s=10.0, confirmation_depth=3)
+FAST_ETHEREUM = replace(ETHEREUM, target_block_interval_s=5.0, confirmation_depth=3)
+
+
+def build_pow_network(params, accounts, node_count=4, seed=0, link=FAST_LINK):
+    rng_keys = [KeyPair.from_seed(bytes([i]) * 32) for i in range(accounts)]
+    allocations = {kp.address: 1_000_000 for kp in rng_keys}
+    genesis = build_genesis_with_allocations(allocations)
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    if params.uses_gas:
+        factory = lambda nid: BlockchainNode(  # noqa: E731
+            nid, params, genesis, genesis_allocations=allocations
+        )
+    else:
+        factory = lambda nid: BlockchainNode(nid, params, genesis)  # noqa: E731
+    nodes = complete_topology(net, node_count, factory, link)
+    for i, node in enumerate(nodes):
+        miner_key = KeyPair.from_seed(bytes([100 + i]) * 32)
+        node.start_pow_mining(1.0 / node_count, miner_key.address)
+    return sim, net, list(nodes), rng_keys
+
+
+class TestUtxoNetwork:
+    def test_blocks_propagate_and_converge(self):
+        sim, net, nodes, keys = build_pow_network(FAST_BITCOIN, accounts=2)
+        sim.run(until=600)
+        heads = {n.chain.head.block_id for n in nodes}
+        assert len(heads) == 1
+        assert nodes[0].chain.height > 30  # ~60 expected at 10s interval
+
+    def test_transaction_reaches_confirmation(self):
+        sim, net, nodes, keys = build_pow_network(FAST_BITCOIN, accounts=2)
+        alice, bob = keys
+        genesis_cb = nodes[0].chain.genesis.transactions[0]
+        spendable = nodes[0].utxo.spendable(alice.address)
+        tx = build_transaction(alice, spendable, bob.address, 500, fee=10)
+        nodes[0].submit_transaction(tx)
+        sim.run(until=600)
+        assert all(n.balance(bob.address) == 1_000_500 for n in nodes)
+        assert nodes[0].is_confirmed(tx.txid)
+        assert nodes[0].confirmations(tx.txid) >= FAST_BITCOIN.confirmation_depth
+
+    def test_fees_flow_to_miner(self):
+        sim, net, nodes, keys = build_pow_network(FAST_BITCOIN, accounts=2)
+        alice, bob = keys
+        tx = build_transaction(
+            alice, nodes[0].utxo.spendable(alice.address), bob.address, 500, fee=10
+        )
+        nodes[0].submit_transaction(tx)
+        sim.run(until=600)
+        # Total supply = genesis + rewards*height + (fee moved, not burned).
+        total = nodes[0].utxo.total_value()
+        expected = 2_000_000 + FAST_BITCOIN.block_reward * nodes[0].chain.height
+        assert total == expected
+
+    def test_invalid_transaction_not_admitted(self):
+        sim, net, nodes, keys = build_pow_network(FAST_BITCOIN, accounts=2)
+        alice, bob = keys
+        tx = build_transaction(
+            alice, nodes[0].utxo.spendable(alice.address), bob.address, 500
+        )
+        from repro.blockchain.transaction import Transaction, TxInput
+
+        mallory = KeyPair.from_seed(bytes([200]) * 32)
+        forged = Transaction(
+            inputs=tuple(
+                TxInput(i.prev_txid, i.prev_index, mallory.public_key, i.signature)
+                for i in tx.inputs
+            ),
+            outputs=tx.outputs,
+        )
+        assert not nodes[0].submit_transaction(forged)
+
+    def test_soft_forks_resolve_under_high_latency(self):
+        slow = LinkParams(latency_s=3.0, jitter_s=1.0, bandwidth_bps=1e9)
+        sim, net, nodes, keys = build_pow_network(
+            FAST_BITCOIN, accounts=2, link=slow, seed=4
+        )
+        sim.run(until=3000)
+        # With latency ~1/3 of the interval, forks must have occurred...
+        assert sum(n.stats.reorgs for n in nodes) > 0
+        # ...and still converged to a single chain.
+        assert len({n.chain.head.block_id for n in nodes}) == 1
+
+    def test_orphaned_transactions_are_remined(self):
+        slow = LinkParams(latency_s=3.0, jitter_s=1.0, bandwidth_bps=1e9)
+        sim, net, nodes, keys = build_pow_network(
+            FAST_BITCOIN, accounts=2, link=slow, seed=4
+        )
+        alice, bob = keys
+        tx = build_transaction(
+            alice, nodes[0].utxo.spendable(alice.address), bob.address, 123
+        )
+        nodes[0].submit_transaction(tx)
+        sim.run(until=3000)
+        assert all(n.balance(bob.address) == 1_000_123 for n in nodes)
+
+
+class TestAccountNetwork:
+    def test_account_transfer_confirms(self):
+        sim, net, nodes, keys = build_pow_network(FAST_ETHEREUM, accounts=2)
+        alice, bob = keys
+        tx = sign_account_transaction(alice, 0, bob.address, 777, gas_price=1)
+        nodes[1].submit_transaction(tx)
+        sim.run(until=300)
+        assert all(n.balance(bob.address) == 1_000_777 for n in nodes)
+        assert nodes[0].is_confirmed(tx.txid)
+
+    def test_state_roots_agree_across_nodes(self):
+        sim, net, nodes, keys = build_pow_network(FAST_ETHEREUM, accounts=3)
+        alice, bob, carol = keys
+        nodes[0].submit_transaction(
+            sign_account_transaction(alice, 0, bob.address, 10, gas_price=1)
+        )
+        nodes[1].submit_transaction(
+            sign_account_transaction(bob, 0, carol.address, 20, gas_price=1)
+        )
+        sim.run(until=300)
+        roots = {n.state.root_hash for n in nodes}
+        assert len(roots) == 1
+
+    def test_nonce_ordering_enforced_end_to_end(self):
+        sim, net, nodes, keys = build_pow_network(FAST_ETHEREUM, accounts=2)
+        alice, bob = keys
+        # Submit nonce 1 before nonce 0: it waits in mempools but cannot
+        # execute until nonce 0 lands.
+        tx1 = sign_account_transaction(alice, 1, bob.address, 5, gas_price=1)
+        tx0 = sign_account_transaction(alice, 0, bob.address, 5, gas_price=1)
+        nodes[0].submit_transaction(tx1)
+        sim.run(until=60)
+        nodes[0].submit_transaction(tx0)
+        sim.run(until=400)
+        assert nodes[0].balance(bob.address) == 1_000_010
+
+
+class TestPosNetwork:
+    def test_pos_chain_advances_without_mining(self):
+        keys = [KeyPair.from_seed(bytes([i]) * 32) for i in range(2)]
+        allocations = {kp.address: 1_000_000 for kp in keys}
+        genesis = build_genesis_with_allocations(allocations)
+        sim = Simulator(seed=0)
+        net = Network(sim)
+        factory = lambda nid: BlockchainNode(  # noqa: E731
+            nid, ETHEREUM_POS, genesis, genesis_allocations=allocations
+        )
+        nodes = list(complete_topology(net, 3, factory, FAST_LINK))
+
+        validator_keys = [KeyPair.from_seed(bytes([50 + i]) * 32) for i in range(3)]
+        validators = ValidatorSet()
+        for i, vk in enumerate(validator_keys):
+            validators.deposit(vk.address, (i + 1) * 1000)
+        driver = PosSlotDriver(
+            {vk.address: node for vk, node in zip(validator_keys, nodes)}, validators
+        )
+        driver.start(sim, until=200)
+        sim.run(until=205)  # let the final slot's block propagate
+        assert nodes[0].chain.height == pytest.approx(200 / 4.0, abs=2)
+        assert len({n.chain.head.block_id for n in nodes}) == 1
+        # Stake-weighted proposer mix: heaviest staker proposes most.
+        counts = {
+            vk.address: driver.proposer_history.count(vk.address)
+            for vk in validator_keys
+        }
+        assert counts[validator_keys[2].address] > counts[validator_keys[0].address]

@@ -1,0 +1,167 @@
+"""Tests for repro.blockchain.pos (Section III-A2 + Casper finality)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.types import Hash
+from repro.crypto.keys import KeyPair
+from repro.blockchain.pos import (
+    Checkpoint,
+    FinalityGadget,
+    FinalityVote,
+    ValidatorSet,
+    energy_ratio,
+)
+
+
+@pytest.fixture
+def validators(keypairs):
+    vs = ValidatorSet()
+    for i, kp in enumerate(keypairs[:4]):
+        vs.deposit(kp.address, (i + 1) * 100)  # stakes 100..400
+    return vs, [kp.address for kp in keypairs[:4]]
+
+
+def cp(n, epoch):
+    return Checkpoint(block_id=Hash(bytes([n]) * 32), epoch=epoch)
+
+
+class TestStaking:
+    def test_deposit_and_total(self, validators):
+        vs, addrs = validators
+        assert vs.total_stake() == 1000
+        assert vs.stake_of(addrs[3]) == 400
+
+    def test_incremental_deposit(self, validators):
+        vs, addrs = validators
+        vs.deposit(addrs[0], 50)
+        assert vs.stake_of(addrs[0]) == 150
+
+    def test_withdraw(self, validators):
+        vs, addrs = validators
+        vs.withdraw(addrs[0], 60)
+        assert vs.stake_of(addrs[0]) == 40
+
+    def test_overdraw_rejected(self, validators):
+        vs, addrs = validators
+        with pytest.raises(ValidationError):
+            vs.withdraw(addrs[0], 101)
+
+    def test_nonpositive_deposit_rejected(self, validators):
+        vs, addrs = validators
+        with pytest.raises(ValidationError):
+            vs.deposit(addrs[0], 0)
+
+    def test_slash_burns_entire_stake(self, validators):
+        vs, addrs = validators
+        burned = vs.slash(addrs[3])
+        assert burned == 400
+        assert vs.stake_of(addrs[3]) == 0
+        assert vs.burned_stake == 400
+        assert vs.total_stake() == 600
+
+    def test_slashed_validator_cannot_rejoin(self, validators):
+        vs, addrs = validators
+        vs.slash(addrs[0])
+        with pytest.raises(ValidationError):
+            vs.deposit(addrs[0], 100)
+
+
+class TestLottery:
+    def test_selection_tracks_stake(self, validators):
+        """The E2 claim: proposer frequency ∝ stake."""
+        vs, addrs = validators
+        counts = vs.selection_distribution(random.Random(0), rounds=20_000)
+        total = sum(counts.values())
+        for i, addr in enumerate(addrs):
+            expected = (i + 1) * 100 / 1000
+            assert counts.get(addr, 0) / total == pytest.approx(expected, abs=0.02)
+
+    def test_slashed_never_selected(self, validators):
+        vs, addrs = validators
+        vs.slash(addrs[3])
+        counts = vs.selection_distribution(random.Random(1), rounds=2_000)
+        assert addrs[3] not in counts
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValidationError):
+            ValidatorSet().select_proposer(random.Random(0))
+
+
+class TestFinalityGadget:
+    def make_gadget(self, validators):
+        vs, addrs = validators
+        return FinalityGadget(vs, cp(0, 0)), vs, addrs
+
+    def test_genesis_justified_and_finalized(self, validators):
+        gadget, _, _ = self.make_gadget(validators)
+        assert gadget.is_justified(cp(0, 0))
+        assert gadget.is_finalized(cp(0, 0))
+
+    def test_two_thirds_justifies(self, validators):
+        gadget, vs, addrs = self.make_gadget(validators)
+        target = cp(1, 1)
+        # addrs[2]+addrs[3] = 700/1000 >= 2/3
+        gadget.cast_vote(FinalityVote(addrs[3], cp(0, 0), target))
+        assert not gadget.is_justified(target)
+        gadget.cast_vote(FinalityVote(addrs[2], cp(0, 0), target))
+        assert gadget.is_justified(target)
+
+    def test_finalization_of_source(self, validators):
+        gadget, vs, addrs = self.make_gadget(validators)
+        target = cp(1, 1)
+        for addr in addrs:
+            gadget.cast_vote(FinalityVote(addr, cp(0, 0), target))
+        # cp(0,0) source finalized by its direct-child justification.
+        assert gadget.is_finalized(cp(0, 0))
+        assert gadget.last_finalized == cp(0, 0)
+
+    def test_minority_cannot_justify(self, validators):
+        gadget, vs, addrs = self.make_gadget(validators)
+        target = cp(1, 1)
+        gadget.cast_vote(FinalityVote(addrs[0], cp(0, 0), target))
+        gadget.cast_vote(FinalityVote(addrs[1], cp(0, 0), target))
+        assert not gadget.is_justified(target)  # 300/1000
+
+    def test_double_vote_slashed(self, validators):
+        gadget, vs, addrs = self.make_gadget(validators)
+        gadget.cast_vote(FinalityVote(addrs[3], cp(0, 0), cp(1, 1)))
+        slashed = gadget.cast_vote(FinalityVote(addrs[3], cp(0, 0), cp(2, 1)))
+        assert slashed == addrs[3]
+        assert vs.stake_of(addrs[3]) == 0
+        assert addrs[3] in gadget.slashings
+
+    def test_surround_vote_slashed(self, validators):
+        gadget, vs, addrs = self.make_gadget(validators)
+        # First a (1 -> 2) link, then a surrounding (0 -> 3) link.
+        for addr in addrs:
+            gadget.cast_vote(FinalityVote(addr, cp(0, 0), cp(1, 1)))
+        gadget.cast_vote(FinalityVote(addrs[2], cp(1, 1), cp(2, 2)))
+        slashed = gadget.cast_vote(FinalityVote(addrs[2], cp(0, 0), cp(3, 3)))
+        assert slashed == addrs[2]
+
+    def test_unjustified_source_does_not_count(self, validators):
+        gadget, vs, addrs = self.make_gadget(validators)
+        bogus_source = cp(9, 1)
+        for addr in addrs:
+            gadget.cast_vote(FinalityVote(addr, bogus_source, cp(5, 2)))
+        assert not gadget.is_justified(cp(5, 2))
+
+    def test_vote_requires_stake(self, validators, rng):
+        gadget, vs, addrs = self.make_gadget(validators)
+        outsider = KeyPair.generate(rng).address
+        with pytest.raises(ValidationError):
+            gadget.cast_vote(FinalityVote(outsider, cp(0, 0), cp(1, 1)))
+
+    def test_vote_epoch_ordering_enforced(self, validators):
+        _, _, addrs = self.make_gadget(validators)
+        with pytest.raises(ValidationError):
+            FinalityVote(addrs[0], cp(1, 1), cp(2, 1))
+
+
+class TestEnergy:
+    def test_pow_energy_dwarfs_pos(self):
+        """Section III-A2: PoS "consumes far less electricity"."""
+        assert energy_ratio() > 10**6

@@ -1,0 +1,95 @@
+"""Integration tests for live difficulty retargeting."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+from repro.blockchain.retarget import LiveRetargeter, apply_hashrate_shock
+
+PARAMS = replace(BITCOIN, target_block_interval_s=10.0)
+
+
+def build_network(seed=0):
+    key = KeyPair.from_seed(b"\x41" * 32)
+    genesis = build_genesis_with_allocations({key.address: 10**6})
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    nodes = [
+        n for n in complete_topology(
+            net, 4, lambda nid: BlockchainNode(nid, PARAMS, genesis), FAST_LINK
+        )
+        if isinstance(n, BlockchainNode)
+    ]
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(0.25, KeyPair.from_seed(bytes([30 + i]) * 32).address)
+    return sim, nodes
+
+
+def measured_interval(nodes, sim, window_s):
+    start_height = nodes[0].chain.height
+    start_time = sim.now
+    sim.run(until=sim.now + window_s)
+    blocks = nodes[0].chain.height - start_height
+    return (sim.now - start_time) / max(blocks, 1)
+
+
+class TestHashrateShock:
+    def test_boost_speeds_up_blocks(self):
+        sim, nodes = build_network(seed=3)
+        baseline = measured_interval(nodes, sim, 600)
+        apply_hashrate_shock(nodes, 8.0)
+        boosted = measured_interval(nodes, sim, 600)
+        assert baseline == pytest.approx(10.0, rel=0.4)
+        assert boosted < baseline / 4
+
+    def test_boost_validation(self):
+        sim, nodes = build_network()
+        with pytest.raises(ValueError):
+            apply_hashrate_shock(nodes, 0)
+
+
+class TestLiveRetargeter:
+    def test_interval_restored_after_shock(self):
+        """The Section VI-A loop, closed live: 8x hash power arrives, the
+        retargeter raises difficulty, the interval returns to target."""
+        sim, nodes = build_network(seed=4)
+        retargeter = LiveRetargeter(nodes, target_interval_s=10.0, check_every_s=200.0)
+        retargeter.start(sim, until=4000)
+        sim.run(until=600)
+        apply_hashrate_shock(nodes, 8.0)
+        sim.run(until=3600)
+        final = measured_interval(nodes, sim, 400)
+        assert final == pytest.approx(10.0, rel=0.5)
+        # Difficulty ended up ~8x the calibration point.
+        assert nodes[0].miner.difficulty_factor == pytest.approx(8.0, rel=0.5)
+        assert len(retargeter.history) > 3
+
+    def test_steady_state_barely_adjusts(self):
+        sim, nodes = build_network(seed=5)
+        retargeter = LiveRetargeter(nodes, target_interval_s=10.0, check_every_s=300.0)
+        retargeter.start(sim, until=3000)
+        sim.run(until=3000)
+        # Without a shock, cumulative adjustment hovers near 1.
+        assert nodes[0].miner.difficulty_factor == pytest.approx(1.0, rel=0.6)
+
+    def test_clamped_steps(self):
+        sim, nodes = build_network(seed=6)
+        retargeter = LiveRetargeter(nodes, target_interval_s=10.0, check_every_s=150.0)
+        retargeter.start(sim, until=2000)
+        apply_hashrate_shock(nodes, 100.0)  # extreme shock
+        sim.run(until=2000)
+        for record in retargeter.history:
+            assert 1.0 / 4 <= record.factor_applied <= 4.0
+
+    def test_parameter_validation(self):
+        sim, nodes = build_network()
+        with pytest.raises(ValueError):
+            LiveRetargeter(nodes, target_interval_s=0, check_every_s=10)

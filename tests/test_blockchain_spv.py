@@ -1,0 +1,157 @@
+"""Tests for repro.blockchain.spv (headers-only light client)."""
+
+import pytest
+
+from repro.common.errors import (
+    InvalidProofOfWorkError,
+    UnknownParentError,
+    ValidationError,
+)
+from repro.crypto.keys import KeyPair
+from repro.crypto.pow import MAX_TARGET
+from repro.blockchain.block import assemble_block, build_genesis_block
+from repro.blockchain.chain import ChainStore
+from repro.blockchain.spv import PaymentProof, SpvClient, make_payment_proof
+from repro.blockchain.transaction import build_transaction, make_coinbase
+
+
+@pytest.fixture
+def full_node(rng):
+    """A full node with 20 blocks; alice paid bob in block 5."""
+    alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+    genesis = build_genesis_block(alice.address, 10**9)
+    store = ChainStore(genesis)
+    parent = genesis
+    payment = None
+    for height in range(1, 21):
+        body = [make_coinbase(alice.address, 50, nonce=height)]
+        if height == 5:
+            payment = build_transaction(
+                alice, [(genesis.transactions[0].txid, 0, 10**9)], bob.address, 777
+            )
+            body.append(payment)
+        block = assemble_block(parent.header, body, float(height), MAX_TARGET)
+        store.add_block(block)
+        parent = block
+    return store, payment, alice
+
+
+class TestHeaderSync:
+    def test_sync_follows_chain(self, full_node):
+        store, _, _ = full_node
+        client = SpvClient(store.genesis.header)
+        added = client.sync_from(store)
+        assert added == 20
+        assert client.height == store.height
+        assert client.tip().block_id == store.head.block_id
+
+    def test_storage_is_headers_only(self, full_node):
+        store, _, _ = full_node
+        client = SpvClient(store.genesis.header)
+        client.sync_from(store)
+        assert client.storage_bytes() < store.total_size_bytes()
+        assert client.storage_bytes() == sum(
+            b.header.size_bytes for b in store.main_chain()
+        )
+
+    def test_non_linking_header_rejected(self, full_node):
+        store, _, alice = full_node
+        client = SpvClient(store.genesis.header)
+        stray = assemble_block(
+            store.head.header, [make_coinbase(alice.address, 1, nonce=99)],
+            99.0, MAX_TARGET,
+        )
+        with pytest.raises(UnknownParentError):
+            client.add_header(stray.header)
+
+    def test_bad_pow_header_rejected(self, full_node):
+        store, _, alice = full_node
+        client = SpvClient(store.genesis.header)
+        bogus = assemble_block(
+            store.genesis.header, [make_coinbase(alice.address, 1, nonce=1)],
+            1.0, target=1,  # unsolvable target, unsolved nonce
+        )
+        with pytest.raises(InvalidProofOfWorkError):
+            client.add_header(bogus.header)
+
+    def test_requires_genesis_start(self, full_node):
+        store, _, _ = full_node
+        with pytest.raises(ValidationError):
+            SpvClient(store.head.header)
+
+
+class TestReorgs:
+    def test_adopts_heavier_chain(self, full_node, rng):
+        store, _, alice = full_node
+        client = SpvClient(store.genesis.header)
+        client.sync_from(store)
+        # Build a longer (heavier) competing header chain.
+        competing = [store.genesis.header]
+        parent = store.genesis
+        for height in range(1, 25):
+            block = assemble_block(
+                parent.header, [make_coinbase(alice.address, 1, nonce=500 + height)],
+                float(height), MAX_TARGET,
+            )
+            competing.append(block.header)
+            parent = block
+        assert client.adopt_chain(competing)
+        assert client.height == 24
+
+    def test_rejects_lighter_chain(self, full_node, rng):
+        store, _, alice = full_node
+        client = SpvClient(store.genesis.header)
+        client.sync_from(store)
+        short = [store.genesis.header, store.block_at_height(1).header]
+        assert not client.adopt_chain(short)
+        assert client.height == 20
+
+    def test_rejects_foreign_genesis(self, full_node, rng):
+        store, _, _ = full_node
+        client = SpvClient(store.genesis.header)
+        other_key = KeyPair.generate(rng)
+        foreign = build_genesis_block(other_key.address, 5)
+        assert not client.adopt_chain([foreign.header])
+
+
+class TestPaymentVerification:
+    def test_valid_payment_verifies_with_depth(self, full_node):
+        store, payment, _ = full_node
+        client = SpvClient(store.genesis.header)
+        client.sync_from(store)
+        block = store.block_at_height(5)
+        proof = make_payment_proof(block, payment.txid)
+        confirmations = client.verify_payment(proof)
+        assert confirmations == 20 - 5 + 1
+        assert client.is_confirmed(proof, depth=6)
+
+    def test_proof_for_foreign_block_rejected(self, full_node, rng):
+        store, payment, alice = full_node
+        client = SpvClient(store.genesis.header)
+        client.sync_from(store)
+        orphan = assemble_block(
+            store.genesis.header, [payment], 1.0, MAX_TARGET
+        )
+        proof = make_payment_proof(orphan, payment.txid)
+        with pytest.raises(ValidationError):
+            client.verify_payment(proof)
+
+    def test_tampered_proof_rejected(self, full_node):
+        store, payment, _ = full_node
+        client = SpvClient(store.genesis.header)
+        client.sync_from(store)
+        block = store.block_at_height(5)
+        honest = make_payment_proof(block, payment.txid)
+        other_txid = block.transactions[0].txid
+        forged = PaymentProof(
+            txid=other_txid, block_id=honest.block_id,
+            merkle_proof=honest.merkle_proof,  # proof of a different leaf
+        )
+        with pytest.raises(ValidationError):
+            client.verify_payment(forged)
+
+    def test_missing_tx_has_no_proof(self, full_node, rng):
+        store, payment, alice = full_node
+        block = store.block_at_height(3)
+        with pytest.raises(ValidationError):
+            make_payment_proof(block, payment.txid)  # payment is in block 5

@@ -1,0 +1,93 @@
+"""Tests for blockchain catch-up sync and determinism guarantees."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+
+PARAMS = replace(BITCOIN, target_block_interval_s=10.0, confirmation_depth=3)
+
+
+def build_world(seed=9, node_count=4):
+    keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(2)]
+    genesis = build_genesis_with_allocations({k.address: 10**6 for k in keys})
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    nodes = [
+        n for n in complete_topology(
+            net, node_count, lambda nid: BlockchainNode(nid, PARAMS, genesis),
+            FAST_LINK,
+        )
+        if isinstance(n, BlockchainNode)
+    ]
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(
+            1 / node_count, KeyPair.from_seed(bytes([77 + i]) * 32).address
+        )
+    return sim, net, nodes, genesis
+
+
+class TestSyncFrom:
+    def test_lagging_replica_catches_up(self):
+        sim, net, nodes, genesis = build_world()
+        laggard = BlockchainNode("laggard", PARAMS, genesis)
+        sim.run(until=300)
+        adopted = laggard.sync_from(nodes[0])
+        assert adopted == nodes[0].chain.height
+        assert laggard.chain.head.block_id == nodes[0].chain.head.block_id
+        # UTXO state replayed correctly too.
+        assert laggard.utxo.total_value() == nodes[0].utxo.total_value()
+
+    def test_sync_is_idempotent(self):
+        sim, net, nodes, genesis = build_world()
+        sim.run(until=200)
+        laggard = BlockchainNode("laggard", PARAMS, genesis)
+        laggard.sync_from(nodes[0])
+        assert laggard.sync_from(nodes[0]) == 0
+
+    def test_sync_applies_fork_choice(self):
+        """Syncing from a lighter peer after following a heavier one
+        must not regress the chain."""
+        sim, net, nodes, genesis = build_world()
+        sim.run(until=300)
+        heavy, light = nodes[0], BlockchainNode("light", PARAMS, genesis)
+        light.sync_from(heavy)
+        short_peer = BlockchainNode("short", PARAMS, genesis)
+        # short_peer only has genesis; syncing from it adopts nothing.
+        assert light.sync_from(short_peer) == 0
+        assert light.chain.head.block_id == heavy.chain.head.block_id
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_universe(self):
+        """Full-stack regression guard: same seed ⇒ byte-identical chain
+        heads, heights, and UTXO totals."""
+
+        def fingerprint(seed):
+            sim, net, nodes, _ = build_world(seed=seed)
+            sim.run(until=400)
+            observer = nodes[0]
+            return (
+                observer.chain.head.block_id.hex,
+                observer.chain.height,
+                observer.utxo.total_value(),
+                net.messages_delivered,
+            )
+
+        assert fingerprint(123) == fingerprint(123)
+
+    def test_different_seeds_differ(self):
+        def head(seed):
+            sim, net, nodes, _ = build_world(seed=seed)
+            sim.run(until=400)
+            return nodes[0].chain.head.block_id
+
+        assert head(1) != head(2)

@@ -1,0 +1,174 @@
+"""Tests for repro.blockchain.validation."""
+
+import pytest
+
+from repro.common.errors import (
+    DoubleSpendError,
+    InvalidProofOfWorkError,
+    ValidationError,
+)
+from repro.crypto.keys import KeyPair
+from repro.crypto.pow import MAX_TARGET
+from repro.blockchain.block import Block, assemble_block, build_genesis_block
+from repro.blockchain.params import BITCOIN
+from repro.blockchain.transaction import build_transaction, make_coinbase
+from repro.blockchain.utxo import UTXOSet
+from repro.blockchain.validation import (
+    apply_block,
+    revert_block,
+    validate_block_structure,
+    validate_block_transactions,
+    validate_transaction,
+)
+
+
+@pytest.fixture
+def world(rng):
+    """Genesis-funded UTXO world: (utxo, genesis, alice, bob)."""
+    alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+    genesis = build_genesis_block(alice.address, 10_000)
+    utxo = UTXOSet()
+    utxo.apply_transaction(genesis.transactions[0])
+    return utxo, genesis, alice, bob
+
+
+def make_block(parent, txs, miner, reward, nonce=1):
+    coinbase = make_coinbase(miner.address, reward, nonce=nonce)
+    return assemble_block(
+        parent=parent.header,
+        transactions=[coinbase] + txs,
+        timestamp=parent.header.timestamp + 1,
+        target=MAX_TARGET,
+    )
+
+
+class TestStructure:
+    def test_valid_block_passes(self, world):
+        utxo, genesis, alice, _ = world
+        block = make_block(genesis, [], alice, BITCOIN.block_reward)
+        validate_block_structure(block, BITCOIN)
+
+    def test_merkle_mismatch_rejected(self, world):
+        utxo, genesis, alice, bob = world
+        block = make_block(genesis, [], alice, BITCOIN.block_reward)
+        forged = Block(
+            header=block.header,
+            transactions=(make_coinbase(bob.address, 1, nonce=7),),
+        )
+        with pytest.raises(ValidationError):
+            validate_block_structure(forged, BITCOIN)
+
+    def test_pow_checked_for_hard_target(self, world):
+        _, genesis, alice, _ = world
+        block = assemble_block(
+            genesis.header,
+            [make_coinbase(alice.address, 1, nonce=1)],
+            1.0,
+            target=1,  # impossible without grinding
+        )
+        with pytest.raises(InvalidProofOfWorkError):
+            validate_block_structure(block, BITCOIN)
+
+    def test_oversize_block_rejected(self, world, rng):
+        _, genesis, alice, _ = world
+        # Even a lone coinbase exceeds a sub-coinbase-sized cap.
+        from dataclasses import replace
+
+        tiny = replace(BITCOIN, max_block_size_bytes=10)
+        block = make_block(genesis, [], alice, BITCOIN.block_reward)
+        with pytest.raises(ValidationError):
+            validate_block_structure(block, tiny)
+
+
+class TestTransactionValidation:
+    def test_valid_spend(self, world):
+        utxo, genesis, alice, bob = world
+        tx = build_transaction(alice, utxo.spendable(alice.address), bob.address, 10, fee=2)
+        assert validate_transaction(tx, utxo) == 2
+
+    def test_coinbase_rejected_standalone(self, world):
+        utxo, _, alice, _ = world
+        with pytest.raises(ValidationError):
+            validate_transaction(make_coinbase(alice.address, 1), utxo)
+
+    def test_bad_signature_rejected(self, world, rng):
+        utxo, genesis, alice, bob = world
+        mallory = KeyPair.generate(rng)
+        tx = build_transaction(alice, utxo.spendable(alice.address), bob.address, 10)
+        from repro.blockchain.transaction import Transaction, TxInput
+
+        stolen = Transaction(
+            inputs=tuple(
+                TxInput(i.prev_txid, i.prev_index, mallory.public_key, i.signature)
+                for i in tx.inputs
+            ),
+            outputs=tx.outputs,
+        )
+        with pytest.raises(ValidationError):
+            validate_transaction(stolen, utxo)
+
+
+class TestBlockTransactions:
+    def test_valid_block_with_fees(self, world):
+        utxo, genesis, alice, bob = world
+        tx = build_transaction(alice, utxo.spendable(alice.address), bob.address, 10, fee=3)
+        block = make_block(genesis, [tx], alice, BITCOIN.block_reward + 3)
+        assert validate_block_transactions(block, utxo, BITCOIN) == 3
+
+    def test_missing_coinbase_rejected(self, world):
+        utxo, genesis, alice, bob = world
+        tx = build_transaction(alice, utxo.spendable(alice.address), bob.address, 10)
+        block = assemble_block(genesis.header, [tx], 1.0, MAX_TARGET)
+        with pytest.raises(ValidationError):
+            validate_block_transactions(block, utxo, BITCOIN)
+
+    def test_intra_block_double_spend_rejected(self, world):
+        utxo, genesis, alice, bob = world
+        spendable = utxo.spendable(alice.address)
+        tx1 = build_transaction(alice, spendable, bob.address, 10)
+        tx2 = build_transaction(alice, spendable, bob.address, 20)
+        block = make_block(genesis, [tx1, tx2], alice, BITCOIN.block_reward)
+        with pytest.raises(DoubleSpendError):
+            validate_block_transactions(block, utxo, BITCOIN)
+
+    def test_chained_spend_within_block_allowed(self, world):
+        utxo, genesis, alice, bob = world
+        tx1 = build_transaction(alice, utxo.spendable(alice.address), bob.address, 100)
+        # bob immediately spends the output created by tx1 in the same block
+        tx2 = build_transaction(bob, [(tx1.txid, 0, 100)], alice.address, 40)
+        block = make_block(genesis, [tx1, tx2], alice, BITCOIN.block_reward)
+        assert validate_block_transactions(block, utxo, BITCOIN) == 0
+
+    def test_excessive_coinbase_rejected(self, world):
+        utxo, genesis, alice, _ = world
+        block = make_block(genesis, [], alice, BITCOIN.block_reward + 1)
+        with pytest.raises(ValidationError):
+            validate_block_transactions(block, utxo, BITCOIN)
+
+    def test_second_coinbase_rejected(self, world):
+        utxo, genesis, alice, _ = world
+        extra_cb = make_coinbase(alice.address, 1, nonce=55)
+        block = make_block(genesis, [extra_cb], alice, BITCOIN.block_reward)
+        with pytest.raises(ValidationError):
+            validate_block_transactions(block, utxo, BITCOIN)
+
+
+class TestApplyRevert:
+    def test_apply_then_revert_round_trip(self, world):
+        utxo, genesis, alice, bob = world
+        tx = build_transaction(alice, utxo.spendable(alice.address), bob.address, 10)
+        block = make_block(genesis, [tx], alice, BITCOIN.block_reward)
+        balance_before = utxo.balance(alice.address)
+        undos = apply_block(block, utxo, BITCOIN)
+        assert utxo.balance(bob.address) == 10
+        revert_block(undos, utxo)
+        assert utxo.balance(alice.address) == balance_before
+        assert utxo.balance(bob.address) == 0
+
+    def test_apply_rejects_invalid_without_mutation(self, world):
+        utxo, genesis, alice, _ = world
+        bad = make_block(genesis, [], alice, BITCOIN.block_reward + 99)
+        total_before = utxo.total_value()
+        with pytest.raises(ValidationError):
+            apply_block(bad, utxo, BITCOIN)
+        assert utxo.total_value() == total_before

@@ -1,0 +1,211 @@
+"""Tests for repro.blockchain.vm (the gas-metered contract VM)."""
+
+import pytest
+
+from repro.blockchain.vm import (
+    ExecutionContext,
+    Op,
+    VmError,
+    assemble,
+    counter_contract,
+    execute,
+    vault_contract,
+)
+
+
+def run(code, gas=1_000_000, **ctx_kwargs):
+    defaults = dict(caller=0xABC, call_value=0)
+    defaults.update(ctx_kwargs)
+    return execute(code, gas, ExecutionContext(**defaults))
+
+
+class TestAssembler:
+    def test_push_encodes_operand(self):
+        code = assemble(Op.PUSH, 258)
+        assert code[0] == Op.PUSH
+        assert int.from_bytes(code[1:9], "big") == 258
+
+    def test_push_requires_operand(self):
+        with pytest.raises(VmError):
+            assemble(Op.PUSH)
+        with pytest.raises(VmError):
+            assemble(Op.PUSH, Op.ADD)
+
+    def test_non_opcode_rejected(self):
+        with pytest.raises(VmError):
+            assemble(42)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (Op.ADD, 2, 3, 5),
+            (Op.SUB, 7, 3, 4),
+            (Op.MUL, 6, 7, 42),
+            (Op.DIV, 20, 5, 4),
+            (Op.DIV, 1, 0, 0),  # div-by-zero yields 0, not a crash
+            (Op.MOD, 17, 5, 2),
+            (Op.MOD, 1, 0, 0),
+            (Op.LT, 1, 2, 1),
+            (Op.LT, 2, 1, 0),
+            (Op.GT, 2, 1, 1),
+            (Op.EQ, 5, 5, 1),
+        ],
+    )
+    def test_binary_ops(self, op, a, b, expected):
+        # Operands push b first so `a` ends on top (ops use top OP second).
+        result = run(assemble(Op.PUSH, b, Op.PUSH, a, op, Op.RETURN))
+        assert result.success
+        assert result.return_value == expected
+
+    def test_words_wrap_at_256_bits(self):
+        # (2^64-1)^8 overflows 256 bits; the VM must reduce mod 2^256.
+        x = 2**64 - 1
+        code = assemble(
+            Op.PUSH, x, Op.DUP, Op.MUL, Op.DUP, Op.MUL, Op.DUP, Op.MUL,
+            Op.RETURN,
+        )
+        assert run(code).return_value == pow(x, 8, 2**256)
+
+    def test_iszero_and_not(self):
+        assert run(assemble(Op.PUSH, 0, Op.ISZERO, Op.RETURN)).return_value == 1
+        assert run(assemble(Op.PUSH, 9, Op.ISZERO, Op.RETURN)).return_value == 0
+
+
+class TestControlFlow:
+    def test_jump_skips_code(self):
+        # jump over a PUSH 99 to the RETURN of PUSH 1
+        code = assemble(
+            Op.PUSH, 1,           # [1]
+            Op.PUSH, 28, Op.JUMP,  # jump to RETURN (pc 28)
+            Op.PUSH, 99,          # skipped
+            Op.RETURN,            # pc 28
+        )
+        assert run(code).return_value == 1
+
+    def test_jumpi_taken_and_not_taken(self):
+        def branchy(flag):
+            return run(assemble(
+                Op.PUSH, flag,
+                Op.PUSH, 29, Op.JUMPI,   # if flag -> skip to pc 29
+                Op.PUSH, 111, Op.RETURN,
+                Op.PUSH, 222, Op.RETURN,  # pc 29
+            ))
+        assert branchy(0).return_value == 111
+        assert branchy(1).return_value == 222
+
+    def test_jump_out_of_bounds_fails(self):
+        result = run(assemble(Op.PUSH, 9999, Op.JUMP))
+        assert not result.success
+        assert "out of bounds" in result.error
+
+    def test_fallthrough_halts_successfully(self):
+        result = run(assemble(Op.PUSH, 1, Op.POP))
+        assert result.success and result.return_value is None
+
+    def test_invalid_opcode(self):
+        result = run(b"\xfe")
+        assert not result.success and "invalid opcode" in result.error
+
+    def test_stack_underflow(self):
+        result = run(assemble(Op.ADD))
+        assert not result.success and "underflow" in result.error
+
+
+class TestGas:
+    def test_gas_metered_per_opcode(self):
+        result = run(assemble(Op.PUSH, 1, Op.PUSH, 2, Op.ADD, Op.RETURN))
+        assert result.gas_used == 3 + 3 + 3 + 0
+
+    def test_out_of_gas_burns_everything(self):
+        # An infinite loop must terminate by gas exhaustion.
+        code = assemble(Op.PUSH, 0, Op.JUMP)
+        result = execute(code, 500, ExecutionContext(caller=0, call_value=0))
+        assert not result.success
+        assert result.gas_used == 500  # all gas consumed
+        assert "out of gas" in result.error
+
+    def test_out_of_gas_discards_writes(self):
+        code = assemble(Op.PUSH, 7, Op.PUSH, 0, Op.SSTORE, Op.PUSH, 0, Op.JUMP)
+        result = execute(code, 6_000, ExecutionContext(caller=0, call_value=0))
+        assert not result.success
+        assert result.storage_writes == {}
+
+    def test_sstore_is_expensive(self):
+        cheap = run(assemble(Op.PUSH, 1, Op.POP)).gas_used
+        dear = run(assemble(Op.PUSH, 1, Op.PUSH, 0, Op.SSTORE)).gas_used
+        assert dear > cheap + 4_000
+
+
+class TestStorageAndEnvironment:
+    def test_sload_reads_context(self):
+        result = run(
+            assemble(Op.PUSH, 5, Op.SLOAD, Op.RETURN),
+            storage_read=lambda slot: 100 + slot,
+        )
+        assert result.return_value == 105
+
+    def test_sload_sees_own_writes(self):
+        code = assemble(
+            Op.PUSH, 42, Op.PUSH, 3, Op.SSTORE,  # storage[3] = 42
+            Op.PUSH, 3, Op.SLOAD, Op.RETURN,
+        )
+        result = run(code, storage_read=lambda slot: 0)
+        assert result.return_value == 42
+        assert result.storage_writes == {3: 42}
+
+    def test_caller_and_callvalue(self):
+        assert run(assemble(Op.CALLER, Op.RETURN), caller=77).return_value == 77
+        assert run(assemble(Op.CALLVALUE, Op.RETURN), call_value=9).return_value == 9
+
+    def test_args(self):
+        result = run(
+            assemble(Op.PUSH, 1, Op.ARG, Op.RETURN), call_args=(10, 20, 30)
+        )
+        assert result.return_value == 20
+
+    def test_missing_arg_is_zero(self):
+        assert run(assemble(Op.PUSH, 5, Op.ARG, Op.RETURN)).return_value == 0
+
+    def test_balance_opcode(self):
+        result = run(
+            assemble(Op.PUSH, 123, Op.BALANCE, Op.RETURN),
+            balance_read=lambda addr: addr * 2,
+        )
+        assert result.return_value == 246
+
+    def test_revert_reports_failure_without_writes(self):
+        code = assemble(Op.PUSH, 9, Op.PUSH, 0, Op.SSTORE, Op.REVERT)
+        result = run(code)
+        assert not result.success
+        assert result.storage_writes == {}
+        assert result.error == "explicit revert"
+
+
+class TestSamplePrograms:
+    def test_counter_increments(self):
+        code = counter_contract()
+        first = run(code, storage_read=lambda slot: 0)
+        assert first.success and first.return_value == 1
+        second = run(code, storage_read=lambda slot: first.storage_writes.get(slot, 0))
+        assert second.return_value == 2
+
+    def test_counter_adds_argument(self):
+        code = counter_contract()
+        result = run(code, storage_read=lambda s: 10, call_args=(5,))
+        assert result.return_value == 16
+
+    def test_vault_accumulates_deposits(self):
+        code = vault_contract()
+        first = run(code, call_value=100, storage_read=lambda s: 0)
+        assert first.success and first.return_value == 100
+        second = run(
+            code, call_value=50,
+            storage_read=lambda s: first.storage_writes.get(s, 0),
+        )
+        assert second.return_value == 150
+
+    def test_vault_rejects_zero_deposit(self):
+        result = run(vault_contract(), call_value=0)
+        assert not result.success and result.error == "explicit revert"

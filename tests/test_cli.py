@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E9" in out and "F1" in out
+        assert "bench_e9_blockchain_tps.py" in out
+
+    def test_tps_table(self, capsys):
+        assert main(["tps"]) == 0
+        out = capsys.readouterr().out
+        assert "bitcoin" in out and "visa" in out
+
+    def test_tps_respects_tx_bytes(self, capsys):
+        main(["tps", "--tx-bytes", "500"])
+        heavy = capsys.readouterr().out
+        main(["tps", "--tx-bytes", "250"])
+        light = capsys.readouterr().out
+        assert heavy != light
+
+    def test_confirmation_table(self, capsys):
+        assert main(["confirmation"]) == 0
+        out = capsys.readouterr().out
+        assert "10%" in out and "confirmations" in out
+
+    def test_growth_table(self, capsys):
+        assert main(["growth"]) == 0
+        out = capsys.readouterr().out
+        assert "145.95 GB" in out and "3.42 GB" in out
+
+    def test_compare_end_to_end(self, capsys):
+        code = main([
+            "compare", "--accounts", "4", "--rate", "0.05",
+            "--duration", "120", "--nodes", "3", "--block-interval", "10",
+            "--depth", "2", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "entries confirmed" in out
+        assert "nano" in out and "bitcoin" in out
+
+    def test_report_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Results report" in out
+        assert "Sharding throughput" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "results.md"
+        assert main(["report", "-o", str(target)]) == 0
+        assert "# Results report" in target.read_text()
+
+    def test_compare_ethereum_chain(self, capsys):
+        code = main([
+            "compare", "--chain", "ethereum", "--accounts", "4",
+            "--rate", "0.05", "--duration", "120", "--nodes", "3",
+            "--block-interval", "5", "--depth", "2", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ethereum" in out

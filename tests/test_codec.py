@@ -1,0 +1,155 @@
+"""Round-trip tests for the wire codecs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.types import Address, Hash
+from repro.crypto.keys import KeyPair
+from repro.crypto.pow import MAX_TARGET
+from repro.blockchain.block import assemble_block, build_genesis_block
+from repro.blockchain.codec import (
+    decode_account_transaction,
+    decode_block,
+    decode_header,
+    decode_receipt,
+    decode_transaction,
+    encode_block,
+)
+from repro.blockchain.receipts import Receipt
+from repro.blockchain.transaction import (
+    build_transaction,
+    make_coinbase,
+    sign_account_transaction,
+)
+from repro.dag.blocks import make_open, make_send
+from repro.dag.codec import decode_nano_block
+
+
+class TestTransactionCodec:
+    def test_utxo_round_trip(self, rng):
+        alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+        funding = make_coinbase(alice.address, 100)
+        tx = build_transaction(alice, [(funding.txid, 0, 100)], bob.address, 40, fee=3)
+        decoded = decode_transaction(tx.serialize())
+        assert decoded == tx
+        assert decoded.txid == tx.txid
+        assert decoded.verify_input_signatures()
+
+    def test_coinbase_round_trip(self, rng):
+        cb = make_coinbase(KeyPair.generate(rng).address, 50, nonce=7)
+        assert decode_transaction(cb.serialize()) == cb
+
+    def test_trailing_bytes_rejected(self, rng):
+        cb = make_coinbase(KeyPair.generate(rng).address, 50)
+        with pytest.raises(ValidationError):
+            decode_transaction(cb.serialize() + b"\x00")
+
+    def test_account_round_trip(self, rng):
+        alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+        tx = sign_account_transaction(
+            alice, 3, bob.address, 999, gas_limit=50_000, gas_price=7,
+            data=b"\x01\x02\x03",
+        )
+        decoded = decode_account_transaction(tx.serialize())
+        assert decoded == tx
+        assert decoded.verify_signature()
+
+    @settings(max_examples=25)
+    @given(
+        nonce=st.integers(min_value=0, max_value=2**32),
+        value=st.integers(min_value=0, max_value=10**18),
+        data=st.binary(max_size=64),
+    )
+    def test_account_round_trip_property(self, nonce, value, data):
+        alice = KeyPair.from_seed(b"\x31" * 32)
+        bob = KeyPair.from_seed(b"\x32" * 32)
+        tx = sign_account_transaction(
+            alice, nonce, bob.address, value, gas_limit=100_000, gas_price=2,
+            data=data,
+        )
+        assert decode_account_transaction(tx.serialize()) == tx
+
+
+class TestHeaderAndBlockCodec:
+    def test_header_round_trip(self, rng):
+        genesis = build_genesis_block(KeyPair.generate(rng).address, 100)
+        decoded = decode_header(genesis.header.serialize())
+        assert decoded == genesis.header
+        assert decoded.block_id == genesis.block_id
+
+    def test_header_with_proposer(self, rng):
+        proposer = KeyPair.generate(rng).address
+        block = assemble_block(
+            None, [make_coinbase(proposer, 1)], 12.345, MAX_TARGET,
+            proposer=proposer,
+        )
+        decoded = decode_header(block.header.serialize())
+        assert decoded.proposer == proposer
+        assert decoded.timestamp == pytest.approx(12.345)
+
+    def test_block_round_trip_mixed_txs(self, rng):
+        alice, bob = KeyPair.generate(rng), KeyPair.generate(rng)
+        utxo_tx = make_coinbase(alice.address, 50, nonce=1)
+        account_tx = sign_account_transaction(alice, 0, bob.address, 10)
+        genesis = build_genesis_block(alice.address, 100)
+        block = assemble_block(
+            genesis.header, [utxo_tx, account_tx], 2.0, MAX_TARGET
+        )
+        decoded = decode_block(encode_block(block))
+        assert decoded.block_id == block.block_id
+        assert decoded.transactions == block.transactions
+
+    def test_tampered_body_rejected(self, rng):
+        alice = KeyPair.generate(rng)
+        genesis = build_genesis_block(alice.address, 100)
+        block = assemble_block(
+            genesis.header, [make_coinbase(alice.address, 50, nonce=1)], 1.0,
+            MAX_TARGET,
+        )
+        other = assemble_block(
+            genesis.header, [make_coinbase(alice.address, 99, nonce=2)], 1.0,
+            MAX_TARGET,
+        )
+        # Header from one block, body from another: Merkle check fails.
+        frankenstein = encode_block(block)[: block.header.size_bytes] + encode_block(
+            other
+        )[other.header.size_bytes :]
+        with pytest.raises(ValidationError):
+            decode_block(frankenstein)
+
+    def test_receipt_round_trip(self, rng):
+        receipt = Receipt(
+            txid=Hash(b"\x05" * 32), success=False, gas_used=21_000,
+            cumulative_gas=63_000,
+        )
+        assert decode_receipt(receipt.serialize()) == receipt
+
+
+class TestNanoCodec:
+    def test_open_round_trip(self, rng):
+        kp = KeyPair.generate(rng)
+        block = make_open(kp, Hash.zero(), 500, representative=kp.address)
+        decoded = decode_nano_block(block.serialize())
+        assert decoded.block_hash == block.block_hash
+        assert decoded.verify_signature()
+        assert decoded.balance == 500
+
+    def test_send_round_trip_preserves_work(self, rng):
+        kp, dest = KeyPair.generate(rng), KeyPair.generate(rng)
+        head = make_open(kp, Hash.zero(), 500, representative=kp.address)
+        send = make_send(kp, head, dest.address, 123, work_difficulty=64)
+        decoded = decode_nano_block(send.serialize())
+        assert decoded == send
+        assert decoded.verify_work(64)
+        assert decoded.destination == dest.address
+
+    def test_garbage_type_rejected(self, rng):
+        kp = KeyPair.generate(rng)
+        block = make_open(kp, Hash.zero(), 1, representative=kp.address)
+        raw = bytearray(block.serialize())
+        raw[0:8] = b"bogus\x00\x00\x00"
+        with pytest.raises(ValidationError):
+            decode_nano_block(bytes(raw))

@@ -1,0 +1,106 @@
+"""Tests for repro.common.rng."""
+
+import random
+
+import pytest
+
+from repro.common.rng import (
+    exponential,
+    fork_rng,
+    make_rng,
+    poisson_process,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+
+class TestForkRng:
+    def test_labels_give_independent_streams(self):
+        parent = make_rng(0)
+        a = fork_rng(parent, "a")
+        parent2 = make_rng(0)
+        b = fork_rng(parent2, "b")
+        assert a.random() != b.random()
+
+    def test_same_label_same_parent_state_reproducible(self):
+        a = fork_rng(make_rng(0), "x")
+        b = fork_rng(make_rng(0), "x")
+        assert [a.random() for _ in range(3)] == [b.random() for _ in range(3)]
+
+
+class TestExponential:
+    def test_mean_close_to_inverse_rate(self):
+        rng = make_rng(7)
+        samples = [exponential(rng, 2.0) for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 0.5) < 0.02
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            exponential(make_rng(0), 0.0)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = make_rng(3)
+        counts = {"a": 0, "b": 0}
+        for _ in range(10_000):
+            counts[weighted_choice(rng, ["a", "b"], [3.0, 1.0])] += 1
+        ratio = counts["a"] / counts["b"]
+        assert 2.5 < ratio < 3.5
+
+    def test_single_item(self):
+        assert weighted_choice(make_rng(0), ["only"], [1.0]) == "only"
+
+    def test_zero_weight_never_chosen(self):
+        rng = make_rng(1)
+        for _ in range(1000):
+            assert weighted_choice(rng, ["a", "b"], [1.0, 0.0]) == "a"
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), ["a"], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), [], [])
+
+    def test_zero_total_raises(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), ["a"], [0.0])
+
+
+class TestZipfWeights:
+    def test_alpha_zero_is_uniform(self):
+        assert zipf_weights(4, 0.0) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestPoissonProcess:
+    def test_rate_matches_count(self):
+        rng = make_rng(9)
+        events = list(poisson_process(rng, rate=5.0, until=1000.0))
+        assert 4500 < len(events) < 5500
+
+    def test_all_events_within_horizon(self):
+        events = list(poisson_process(make_rng(2), 1.0, 50.0))
+        assert all(0 < t < 50.0 for t in events)
+
+    def test_times_strictly_increasing(self):
+        events = list(poisson_process(make_rng(4), 3.0, 100.0))
+        assert all(a < b for a, b in zip(events, events[1:]))

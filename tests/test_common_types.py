@@ -1,0 +1,74 @@
+"""Tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import ADDRESS_SIZE, Address, Hash, as_hash
+
+
+class TestHash:
+    def test_requires_exactly_32_bytes(self):
+        with pytest.raises(ValueError):
+            Hash(b"short")
+        with pytest.raises(ValueError):
+            Hash(b"x" * 33)
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(ValueError):
+            Hash("00" * 32)  # type: ignore[arg-type]
+
+    def test_zero_is_all_zero(self):
+        assert Hash.zero().value == b"\x00" * 32
+        assert Hash.zero().is_zero()
+
+    def test_nonzero_hash_is_not_zero(self):
+        assert not Hash(b"\x01" + b"\x00" * 31).is_zero()
+
+    def test_hex_round_trip(self):
+        h = Hash(bytes(range(32)))
+        assert Hash.from_hex(h.hex) == h
+
+    def test_short_prefix(self):
+        h = Hash(bytes(range(32)))
+        assert h.short(4) == h.hex[:4]
+
+    def test_hashable_and_equal(self):
+        a = Hash(b"\x07" * 32)
+        b = Hash(b"\x07" * 32)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_ordering_is_bytewise(self):
+        lo = Hash(b"\x00" * 32)
+        hi = Hash(b"\xff" + b"\x00" * 31)
+        assert lo < hi
+
+    def test_bytes_conversion(self):
+        h = Hash(b"\x09" * 32)
+        assert bytes(h) == b"\x09" * 32
+
+
+class TestAddress:
+    def test_requires_exactly_20_bytes(self):
+        with pytest.raises(ValueError):
+            Address(b"x" * 19)
+        with pytest.raises(ValueError):
+            Address(b"x" * 21)
+
+    def test_hex_round_trip(self):
+        a = Address(bytes(range(ADDRESS_SIZE)))
+        assert Address.from_hex(a.hex) == a
+
+    def test_zero(self):
+        assert Address.zero().value == b"\x00" * 20
+
+    def test_distinct_addresses_unequal(self):
+        assert Address(b"\x01" * 20) != Address(b"\x02" * 20)
+
+
+class TestAsHash:
+    def test_passes_hash_through(self):
+        h = Hash(b"\x03" * 32)
+        assert as_hash(h) is h
+
+    def test_wraps_raw_bytes(self):
+        assert as_hash(b"\x04" * 32) == Hash(b"\x04" * 32)

@@ -1,0 +1,85 @@
+"""Tests for repro.confirmation.nakamoto (Section IV-A)."""
+
+import pytest
+
+from repro.confirmation.nakamoto import (
+    attacker_success_probability,
+    catch_up_probability,
+    confirmations_for_confidence,
+    success_curve,
+)
+
+
+class TestCatchUp:
+    def test_zero_deficit_certain(self):
+        assert catch_up_probability(0.3, 0) == 1.0
+
+    def test_majority_always_wins(self):
+        assert catch_up_probability(0.5, 10) == 1.0
+        assert catch_up_probability(0.7, 100) == 1.0
+
+    def test_geometric_decay(self):
+        p1 = catch_up_probability(0.1, 1)
+        p2 = catch_up_probability(0.1, 2)
+        assert p2 == pytest.approx(p1**2)
+
+    def test_known_value(self):
+        # q=0.25: (0.25/0.75)^3 = (1/3)^3
+        assert catch_up_probability(0.25, 3) == pytest.approx((1 / 3) ** 3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            catch_up_probability(1.0, 1)
+        with pytest.raises(ValueError):
+            catch_up_probability(0.3, -1)
+
+
+class TestNakamotoFormula:
+    def test_zero_confirmations_certain(self):
+        assert attacker_success_probability(0.1, 0) == 1.0
+
+    def test_monotone_decreasing_in_depth(self):
+        probs = success_curve(0.2, 12)
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_monotone_increasing_in_share(self):
+        assert attacker_success_probability(0.1, 6) < attacker_success_probability(
+            0.3, 6
+        )
+
+    def test_whitepaper_reference_values(self):
+        """Nakamoto's Section 11 table: q=0.1 ⇒ P<0.1%% at z=5;
+        q=0.3 ⇒ z=24 needed for P<0.1%."""
+        assert attacker_success_probability(0.1, 5) < 0.001
+        assert attacker_success_probability(0.1, 4) > 0.001
+        assert attacker_success_probability(0.3, 24) < 0.001
+        assert attacker_success_probability(0.3, 23) > 0.001
+
+    def test_majority_attacker_always_succeeds(self):
+        assert attacker_success_probability(0.5, 100) == 1.0
+
+
+class TestDepthSolver:
+    def test_bitcoin_six_confirmation_regime(self):
+        """The '6 confirmations' convention corresponds to ~10% attacker
+        at ~0.1% risk (Nakamoto's own table gives z=6 for q=0.15/P<1%%...
+        we check the solver brackets the convention sensibly)."""
+        z = confirmations_for_confidence(0.1, 0.001)
+        assert z == 5
+        z = confirmations_for_confidence(0.15, 0.001)
+        assert 6 <= z <= 9
+
+    def test_deeper_for_stronger_attacker(self):
+        weak = confirmations_for_confidence(0.1, 0.001)
+        strong = confirmations_for_confidence(0.35, 0.001)
+        assert strong > weak
+
+    def test_majority_attacker_unsatisfiable(self):
+        with pytest.raises(ValueError):
+            confirmations_for_confidence(0.5, 0.001)
+
+    def test_risk_bounds_validated(self):
+        with pytest.raises(ValueError):
+            confirmations_for_confidence(0.1, 0.0)
+        with pytest.raises(ValueError):
+            confirmations_for_confidence(0.1, 1.0)

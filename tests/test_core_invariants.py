@@ -1,0 +1,108 @@
+"""Tests for repro.core.invariants (deployment auditing)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK, LinkParams
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+from repro.core.invariants import audit_blockchain, audit_lattice
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+
+PARAMS = replace(BITCOIN, target_block_interval_s=10.0, confirmation_depth=3)
+
+
+@pytest.fixture
+def mined_network():
+    keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(2)]
+    genesis = build_genesis_with_allocations({k.address: 10**6 for k in keys})
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    nodes = [
+        n for n in complete_topology(
+            net, 4, lambda nid: BlockchainNode(nid, PARAMS, genesis), FAST_LINK
+        )
+        if isinstance(n, BlockchainNode)
+    ]
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(0.25, KeyPair.from_seed(bytes([60 + i]) * 32).address)
+    sim.run(until=400)
+    return nodes, 2 * 10**6
+
+
+class TestBlockchainAudit:
+    def test_healthy_network_passes(self, mined_network):
+        nodes, supply = mined_network
+        report = audit_blockchain(nodes, expected_supply_base=supply)
+        assert report.ok, report.render()
+
+    def test_supply_violation_detected(self, mined_network):
+        nodes, supply = mined_network
+        report = audit_blockchain(nodes, expected_supply_base=supply + 999)
+        assert not report.ok
+        assert any(v.invariant == "supply" for v in report.violations)
+
+    def test_render_mentions_nodes(self, mined_network):
+        nodes, supply = mined_network
+        report = audit_blockchain(nodes, expected_supply_base=supply + 1)
+        assert "n0" in report.render()
+
+    def test_empty_deployment_flagged(self):
+        report = audit_blockchain([], expected_supply_base=0)
+        assert not report.ok
+
+    def test_lagging_replica_detected(self, mined_network):
+        """A replica that stopped hearing blocks long ago fails the
+        liveness check."""
+        from repro.blockchain.node import BlockchainNode as BN
+
+        nodes, supply = mined_network
+        keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(2)]
+        genesis = build_genesis_with_allocations({k.address: 10**6 for k in keys})
+        stale = BN("stale", PARAMS, genesis)
+        report = audit_blockchain(nodes + [stale], expected_supply_base=supply)
+        assert any(v.invariant == "liveness" for v in report.violations)
+        assert "stale" in report.render()
+
+
+class TestLatticeAudit:
+    def test_healthy_testbed_passes(self):
+        tb = build_nano_testbed(
+            node_count=5, representative_count=2, seed=2,
+            link_params=LinkParams(latency_s=0.05, jitter_s=0.01),
+        )
+        users = fund_accounts(tb, 3, 10**6, settle_time=2.0)
+        tb.node_for(users[0].address).send_payment(
+            users[0].address, users[1].address, 500
+        )
+        tb.simulator.run(until=tb.simulator.now + 10)
+        report = audit_lattice(tb.nodes, expected_supply=10**15)
+        assert report.ok, report.render()
+
+    def test_wrong_supply_detected(self):
+        tb = build_nano_testbed(node_count=3, representative_count=1, seed=3)
+        report = audit_lattice(tb.nodes, expected_supply=123)
+        assert not report.ok
+        assert all(v.invariant == "supply" for v in report.violations)
+
+    def test_divergent_head_detected(self):
+        tb = build_nano_testbed(
+            node_count=4, representative_count=2, seed=4,
+            link_params=LinkParams(latency_s=0.05, jitter_s=0.01),
+        )
+        users = fund_accounts(tb, 2, 10**6, settle_time=2.0)
+        tb.simulator.run(until=tb.simulator.now + 5)
+        # Partition one node and keep transacting: its heads go stale.
+        tb.nodes[-1].set_online(False)
+        tb.node_for(users[0].address).send_payment(
+            users[0].address, users[1].address, 77
+        )
+        tb.simulator.run(until=tb.simulator.now + 10)
+        report = audit_lattice(tb.nodes, expected_supply=10**15)
+        assert any(v.invariant == "agreement" for v in report.violations)

@@ -1,0 +1,80 @@
+"""Tests for the abstract Ledger helpers (repro.core.ledger)."""
+
+from typing import List, Optional
+
+from repro.common.types import Hash
+from repro.crypto.hashing import sha256
+from repro.core.ledger import Ledger, LedgerStats
+from repro.workloads.generators import PaymentEvent
+
+
+class FakeLedger(Ledger):
+    """Minimal in-memory ledger recording the driver's behaviour."""
+
+    name = "fake"
+    paradigm = "test"
+
+    def __init__(self, reject_amounts_over: Optional[int] = None):
+        self._now = 0.0
+        self.submissions: List[tuple] = []
+        self.reject_over = reject_amounts_over
+
+    def setup(self, accounts, initial_balance):
+        self.accounts = accounts
+
+    def submit(self, event: PaymentEvent):
+        if self.reject_over is not None and event.amount > self.reject_over:
+            return None
+        self.submissions.append((self._now, event))
+        return sha256(repr(event).encode())
+
+    def advance(self, duration_s):
+        self._now += duration_s
+
+    def now(self):
+        return self._now
+
+    def is_confirmed(self, entry):
+        return True
+
+    def balance(self, account_index):
+        return 0
+
+    def serialized_size(self):
+        return 0
+
+    def stats(self):
+        return LedgerStats(entries_created=len(self.submissions))
+
+
+def ev(t, amount=10):
+    return PaymentEvent(time_s=t, sender_index=0, recipient_index=1, amount=amount)
+
+
+class TestRunWorkload:
+    def test_events_delivered_at_their_timestamps(self):
+        ledger = FakeLedger()
+        ledger.run_workload([ev(5.0), ev(1.0), ev(3.0)], settle_s=0.0)
+        times = [t for t, _ in ledger.submissions]
+        assert times == [1.0, 3.0, 5.0]  # sorted and clock-aligned
+
+    def test_settle_time_appended(self):
+        ledger = FakeLedger()
+        ledger.run_workload([ev(2.0)], settle_s=30.0)
+        assert ledger.now() == 32.0
+
+    def test_rejected_events_not_counted(self):
+        ledger = FakeLedger(reject_amounts_over=50)
+        entries = ledger.run_workload([ev(1.0, amount=10), ev(2.0, amount=100)])
+        assert len(entries) == 1
+        assert len(ledger.submissions) == 1
+
+    def test_empty_workload(self):
+        ledger = FakeLedger()
+        assert ledger.run_workload([], settle_s=5.0) == []
+        assert ledger.now() == 5.0
+
+    def test_simultaneous_events_keep_order(self):
+        ledger = FakeLedger()
+        entries = ledger.run_workload([ev(1.0, 1), ev(1.0, 2)], settle_s=0.0)
+        assert len(entries) == 2

@@ -1,0 +1,45 @@
+"""Tests for repro.crypto.hashing."""
+
+import hashlib
+
+from repro.common.types import Hash
+from repro.crypto.hashing import hash_concat, hash_to_int, sha256, sha256d
+
+
+class TestSha256:
+    def test_matches_stdlib(self):
+        assert bytes(sha256(b"abc")) == hashlib.sha256(b"abc").digest()
+
+    def test_double_hash(self):
+        inner = hashlib.sha256(b"abc").digest()
+        assert bytes(sha256d(b"abc")) == hashlib.sha256(inner).digest()
+
+    def test_returns_hash_type(self):
+        assert isinstance(sha256(b""), Hash)
+
+    def test_deterministic(self):
+        assert sha256(b"x") == sha256(b"x")
+
+    def test_distinct_inputs_distinct_digests(self):
+        assert sha256(b"a") != sha256(b"b")
+
+
+class TestHashConcat:
+    def test_order_matters(self):
+        a, b = sha256(b"a"), sha256(b"b")
+        assert hash_concat(a, b) != hash_concat(b, a)
+
+    def test_is_sha256d_of_concatenation(self):
+        a, b = sha256(b"a"), sha256(b"b")
+        assert hash_concat(a, b) == sha256d(bytes(a) + bytes(b))
+
+
+class TestHashToInt:
+    def test_zero(self):
+        assert hash_to_int(Hash.zero()) == 0
+
+    def test_max(self):
+        assert hash_to_int(Hash(b"\xff" * 32)) == 2**256 - 1
+
+    def test_big_endian(self):
+        assert hash_to_int(Hash(b"\x00" * 31 + b"\x01")) == 1

@@ -1,0 +1,238 @@
+"""Tests for repro.crypto.trie (Ethereum state structures, Section II/V)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.trie import EMPTY_TRIE_ROOT, MerklePatriciaTrie
+
+
+class TestBasicOperations:
+    def test_empty_root_is_sentinel(self):
+        assert MerklePatriciaTrie().root_hash == EMPTY_TRIE_ROOT
+
+    def test_get_missing_returns_none(self):
+        assert MerklePatriciaTrie().get(b"missing") is None
+
+    def test_put_get(self):
+        t = MerklePatriciaTrie()
+        t.put(b"key", b"value")
+        assert t.get(b"key") == b"value"
+
+    def test_overwrite(self):
+        t = MerklePatriciaTrie()
+        t.put(b"k", b"v1")
+        t.put(b"k", b"v2")
+        assert t.get(b"k") == b"v2"
+
+    def test_prefix_keys_coexist(self):
+        t = MerklePatriciaTrie()
+        t.put(b"ab", b"1")
+        t.put(b"abc", b"2")
+        t.put(b"a", b"3")
+        assert t.get(b"ab") == b"1"
+        assert t.get(b"abc") == b"2"
+        assert t.get(b"a") == b"3"
+
+    def test_contains(self):
+        t = MerklePatriciaTrie()
+        t.put(b"x", b"1")
+        assert b"x" in t and b"y" not in t
+
+    def test_len_counts_live_entries(self):
+        t = MerklePatriciaTrie()
+        for i in range(5):
+            t.put(bytes([i]), b"v")
+        assert len(t) == 5
+
+    def test_items_sorted_round_trip(self):
+        t = MerklePatriciaTrie()
+        data = {bytes([i, j]): bytes([i + j]) for i in range(4) for j in range(4)}
+        for k, v in data.items():
+            t.put(k, v)
+        assert dict(t.items()) == data
+
+    def test_non_bytes_value_rejected(self):
+        with pytest.raises(TypeError):
+            MerklePatriciaTrie().put(b"k", "str")  # type: ignore[arg-type]
+
+
+class TestDelete:
+    def test_delete_restores_empty_root(self):
+        t = MerklePatriciaTrie()
+        t.put(b"k", b"v")
+        t.delete(b"k")
+        assert t.root_hash == EMPTY_TRIE_ROOT
+
+    def test_delete_missing_is_noop(self):
+        t = MerklePatriciaTrie()
+        t.put(b"k", b"v")
+        root = t.root_hash
+        t.delete(b"missing")
+        assert t.root_hash == root
+
+    def test_delete_leaves_siblings(self):
+        t = MerklePatriciaTrie()
+        t.put(b"aa", b"1")
+        t.put(b"ab", b"2")
+        t.delete(b"aa")
+        assert t.get(b"aa") is None
+        assert t.get(b"ab") == b"2"
+
+
+class TestRootDeterminism:
+    def test_insertion_order_irrelevant(self):
+        # The state-root property: same contents, same root.
+        a = MerklePatriciaTrie()
+        b = MerklePatriciaTrie()
+        pairs = [(bytes([i]), bytes([i * 2])) for i in range(20)]
+        for k, v in pairs:
+            a.put(k, v)
+        for k, v in reversed(pairs):
+            b.put(k, v)
+        assert a.root_hash == b.root_hash
+
+    def test_delete_restores_prior_root(self):
+        t = MerklePatriciaTrie()
+        t.put(b"base", b"1")
+        root_before = t.root_hash
+        t.put(b"extra", b"2")
+        t.delete(b"extra")
+        assert t.root_hash == root_before
+
+    def test_root_reflects_value_change(self):
+        t = MerklePatriciaTrie()
+        t.put(b"k", b"v1")
+        r1 = t.root_hash
+        t.put(b"k", b"v2")
+        assert t.root_hash != r1
+
+
+class TestHistory:
+    def test_old_roots_remain_readable(self):
+        t = MerklePatriciaTrie()
+        t.put(b"acct", b"balance=10")
+        old_root = t.root_hash
+        t.put(b"acct", b"balance=20")
+        view = t.checkout(old_root)
+        assert view.get(b"acct") == b"balance=10"
+        assert t.get(b"acct") == b"balance=20"
+
+    def test_set_root_rolls_back(self):
+        t = MerklePatriciaTrie()
+        t.put(b"a", b"1")
+        old = t.root_hash
+        t.put(b"b", b"2")
+        t.set_root(old)
+        assert t.get(b"b") is None
+        assert t.get(b"a") == b"1"
+
+    def test_set_root_unknown_raises(self):
+        from repro.common.types import Hash
+
+        with pytest.raises(KeyError):
+            MerklePatriciaTrie().set_root(Hash(b"\x01" * 32))
+
+    def test_set_root_to_empty(self):
+        t = MerklePatriciaTrie()
+        t.put(b"a", b"1")
+        t.set_root(EMPTY_TRIE_ROOT)
+        assert t.get(b"a") is None
+
+    def test_prune_keeps_current_root(self):
+        t = MerklePatriciaTrie()
+        for i in range(30):
+            t.put(b"hot", bytes([i]))
+        freed = t.prune([t.root_hash])
+        assert freed > 0
+        assert t.get(b"hot") == bytes([29])
+
+    def test_prune_drops_old_versions(self):
+        t = MerklePatriciaTrie()
+        t.put(b"k", b"old")
+        old_root = t.root_hash
+        t.put(b"k", b"new")
+        t.prune([t.root_hash])
+        with pytest.raises(KeyError):
+            t.checkout(old_root).get(b"k")
+
+    def test_reachable_nodes_of_empty(self):
+        assert MerklePatriciaTrie().reachable_nodes(EMPTY_TRIE_ROOT) == set()
+
+    def test_store_grows_with_history(self):
+        t = MerklePatriciaTrie()
+        t.put(b"k", b"0")
+        size_one = t.store_size_bytes()
+        for i in range(10):
+            t.put(b"k", bytes([i]))
+        assert t.store_size_bytes() > size_one
+
+
+class TestProofs:
+    def test_inclusion_proof(self):
+        t = MerklePatriciaTrie()
+        for i in range(50):
+            t.put(bytes([i]), bytes([i]))
+        proof = t.prove(bytes([7]))
+        assert proof.value == bytes([7])
+        assert MerklePatriciaTrie.verify_proof(t.root_hash, proof)
+
+    def test_exclusion_proof(self):
+        t = MerklePatriciaTrie()
+        t.put(b"present", b"1")
+        proof = t.prove(b"absent")
+        assert proof.value is None
+        assert MerklePatriciaTrie.verify_proof(t.root_hash, proof)
+
+    def test_proof_rejected_against_other_root(self):
+        t = MerklePatriciaTrie()
+        t.put(b"k", b"v")
+        proof = t.prove(b"k")
+        other = MerklePatriciaTrie()
+        other.put(b"k", b"different")
+        assert not MerklePatriciaTrie.verify_proof(other.root_hash, proof)
+
+    def test_empty_trie_proof(self):
+        t = MerklePatriciaTrie()
+        proof = t.prove(b"anything")
+        assert MerklePatriciaTrie.verify_proof(t.root_hash, proof)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=8), st.binary(min_size=1, max_size=8),
+        min_size=1, max_size=40,
+    ),
+)
+def test_trie_behaves_like_dict(model):
+    """Property: after arbitrary puts, the trie equals the reference dict
+    and deleting half restores exact agreement again."""
+    t = MerklePatriciaTrie()
+    for k, v in model.items():
+        t.put(k, v)
+    assert dict(t.items()) == model
+    victims = list(model)[::2]
+    for k in victims:
+        t.delete(k)
+        del model[k]
+    assert dict(t.items()) == model
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=1, max_size=6), st.binary(min_size=1, max_size=4)),
+        min_size=1, max_size=30,
+    )
+)
+def test_root_is_content_addressed(ops):
+    """Property: the root depends only on final contents, not history."""
+    final = {}
+    trie_with_history = MerklePatriciaTrie()
+    for k, v in ops:
+        trie_with_history.put(k, v)
+        final[k] = v
+    fresh = MerklePatriciaTrie()
+    for k, v in final.items():
+        fresh.put(k, v)
+    assert trie_with_history.root_hash == fresh.root_hash

@@ -1,0 +1,161 @@
+"""Tests for repro.dag.blocks (Figure 2/3 block types)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.types import Hash
+from repro.crypto.keys import KeyPair
+from repro.dag.blocks import (
+    BlockType,
+    NanoBlock,
+    make_change,
+    make_open,
+    make_receive,
+    make_send,
+)
+
+
+@pytest.fixture
+def opened(rng):
+    """(keypair, open_block) — an account opened with 1000."""
+    kp = KeyPair.generate(rng)
+    block = make_open(kp, Hash.zero(), 1000, representative=kp.address)
+    return kp, block
+
+
+class TestStructure:
+    def test_open_has_no_predecessor(self, opened):
+        _, block = opened
+        assert block.block_type == BlockType.OPEN
+        assert block.previous.is_zero()
+
+    def test_open_with_predecessor_rejected(self, rng):
+        kp = KeyPair.generate(rng)
+        with pytest.raises(ValidationError):
+            NanoBlock(
+                block_type=BlockType.OPEN,
+                account=kp.address,
+                previous=Hash(b"\x01" * 32),
+                representative=kp.address,
+                balance=10,
+                link=b"\x00" * 32,
+            )
+
+    def test_successor_needs_predecessor(self, rng):
+        kp = KeyPair.generate(rng)
+        with pytest.raises(ValidationError):
+            NanoBlock(
+                block_type=BlockType.SEND,
+                account=kp.address,
+                previous=Hash.zero(),
+                representative=kp.address,
+                balance=10,
+                link=b"\x00" * 32,
+            )
+
+    def test_negative_balance_rejected(self, rng):
+        kp = KeyPair.generate(rng)
+        with pytest.raises(ValidationError):
+            NanoBlock(
+                block_type=BlockType.OPEN,
+                account=kp.address,
+                previous=Hash.zero(),
+                representative=kp.address,
+                balance=-1,
+                link=b"\x00" * 32,
+            )
+
+    def test_hash_covers_balance(self, opened, rng):
+        kp, block = opened
+        other = make_open(kp, Hash.zero(), 999, representative=kp.address)
+        assert other.block_hash != block.block_hash
+
+
+class TestSend:
+    def test_balance_decreases(self, opened, rng):
+        kp, head = opened
+        dest = KeyPair.generate(rng)
+        send = make_send(kp, head, dest.address, 300)
+        assert send.balance == 700
+        assert send.destination == dest.address
+        assert send.previous == head.block_hash
+
+    def test_overdraw_rejected(self, opened, rng):
+        kp, head = opened
+        dest = KeyPair.generate(rng)
+        with pytest.raises(ValidationError):
+            make_send(kp, head, dest.address, 1001)
+
+    def test_zero_send_rejected(self, opened, rng):
+        kp, head = opened
+        dest = KeyPair.generate(rng)
+        with pytest.raises(ValidationError):
+            make_send(kp, head, dest.address, 0)
+
+    def test_full_balance_send_allowed(self, opened, rng):
+        kp, head = opened
+        dest = KeyPair.generate(rng)
+        assert make_send(kp, head, dest.address, 1000).balance == 0
+
+
+class TestReceiveAndChange:
+    def test_receive_adds_amount(self, opened, rng):
+        kp, head = opened
+        source = Hash(b"\x42" * 32)
+        receive = make_receive(kp, head, source, 250)
+        assert receive.balance == 1250
+        assert receive.source == source
+
+    def test_change_keeps_balance(self, opened, rng):
+        kp, head = opened
+        new_rep = KeyPair.generate(rng)
+        change = make_change(kp, head, new_rep.address)
+        assert change.balance == head.balance
+        assert change.representative == new_rep.address
+
+    def test_destination_only_on_sends(self, opened):
+        _, block = opened
+        with pytest.raises(ValidationError):
+            _ = block.destination
+
+    def test_source_only_on_open_receive(self, opened, rng):
+        kp, head = opened
+        send = make_send(kp, head, KeyPair.generate(rng).address, 1)
+        with pytest.raises(ValidationError):
+            _ = send.source
+
+
+class TestSignatureAndWork:
+    def test_signature_verifies(self, opened):
+        _, block = opened
+        assert block.verify_signature()
+
+    def test_foreign_signature_fails(self, opened, rng):
+        kp, block = opened
+        from dataclasses import replace
+
+        mallory = KeyPair.generate(rng)
+        forged = replace(block, public_key=mallory.public_key)
+        assert not forged.verify_signature()
+
+    def test_work_attached_and_checked(self, rng):
+        kp = KeyPair.generate(rng)
+        block = make_open(
+            kp, Hash.zero(), 100, representative=kp.address, work_difficulty=32
+        )
+        assert block.verify_work(32)
+
+    def test_work_root_is_previous_or_account(self, opened, rng):
+        kp, head = opened
+        assert head.work_root() == bytes(kp.address)
+        send = make_send(kp, head, KeyPair.generate(rng).address, 1)
+        assert send.work_root() == bytes(head.block_hash)
+
+    def test_serialized_size_fixed_overhead(self, opened):
+        _, block = opened
+        # body + 32-byte public key + 64-byte signature + 8-byte work
+        from repro.dag.blocks import NanoBlock
+
+        assert block.size_bytes == (
+            len(block._signed_body()) + NanoBlock.AUTH_OVERHEAD_BYTES
+        )

@@ -1,0 +1,196 @@
+"""Tests for repro.dag.byteball (the witnessed, totally-ordered DAG)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import UnknownParentError, ValidationError
+from repro.crypto.keys import KeyPair
+from repro.dag.byteball import ByteballDag, make_unit
+
+
+@pytest.fixture
+def world(rng):
+    """(dag, witness_keys, user_key, genesis) with 5 witnesses.
+
+    The genesis is authored by a non-witness founder so witnessed-level
+    expectations count only explicit witness units.
+    """
+    witness_keys = [KeyPair.generate(rng) for _ in range(5)]
+    founder = KeyPair.generate(rng)
+    user = KeyPair.generate(rng)
+    dag = ByteballDag([w.address for w in witness_keys], stability_depth=2)
+    genesis = dag.create_genesis(founder)
+    return dag, witness_keys, user, genesis
+
+
+def grow_chain(dag, keys, count, rng, start_time=1.0):
+    """Issue ``count`` units, each on the current best tip, round-robin
+    authored by ``keys``; returns the units."""
+    units = []
+    for i in range(count):
+        author = keys[i % len(keys)]
+        unit = make_unit(author, [dag.best_tip()], f"u{i}".encode(), start_time + i)
+        dag.attach(unit)
+        units.append(unit)
+    return units
+
+
+class TestStructure:
+    def test_genesis(self, world):
+        dag, _, _, genesis = world
+        assert len(dag) == 1
+        assert dag.tips() == [genesis.unit_hash]
+        assert dag.level(genesis.unit_hash) == 0
+
+    def test_single_genesis(self, world, rng):
+        dag, witness_keys, _, _ = world
+        with pytest.raises(ValidationError):
+            dag.create_genesis(witness_keys[1])
+
+    def test_levels_increase(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        units = grow_chain(dag, witness_keys, 4, rng)
+        assert [dag.level(u.unit_hash) for u in units] == [1, 2, 3, 4]
+
+    def test_unknown_parent_rejected(self, world, rng):
+        from repro.common.types import Hash
+
+        dag, _, user, _ = world
+        ghost = Hash(b"\x01" * 32)
+        with pytest.raises(UnknownParentError):
+            dag.attach(make_unit(user, [ghost], b"x", 1.0))
+
+    def test_duplicate_parents_rejected(self, world):
+        dag, _, user, genesis = world
+        with pytest.raises(ValidationError):
+            dag.attach(
+                make_unit(user, [genesis.unit_hash, genesis.unit_hash], b"x", 1.0)
+            )
+
+    def test_multi_parent_merge(self, world):
+        """Two side tips merged by one unit referencing both."""
+        dag, witness_keys, user, genesis = world
+        a = make_unit(user, [genesis.unit_hash], b"a", 1.0)
+        b = make_unit(user, [genesis.unit_hash], b"b", 1.1)
+        dag.attach(a)
+        dag.attach(b)
+        assert len(dag.tips()) == 2
+        merge = make_unit(witness_keys[0], [a.unit_hash, b.unit_hash], b"m", 2.0)
+        dag.attach(merge)
+        assert dag.tips() == [merge.unit_hash]
+
+    def test_bad_signature_rejected(self, world, rng):
+        from dataclasses import replace
+
+        dag, _, user, genesis = world
+        unit = make_unit(user, [genesis.unit_hash], b"x", 1.0)
+        forged = replace(unit, public_key=KeyPair.generate(rng).public_key)
+        with pytest.raises(ValidationError):
+            dag.attach(forged)
+
+
+class TestWitnessedLevels:
+    def test_witness_units_raise_witnessed_level(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        units = grow_chain(dag, witness_keys[:3], 6, rng)
+        # After units by 3 distinct witnesses, witnessed level reaches 3.
+        assert dag.witnessed_level(units[-1].unit_hash) == 3
+
+    def test_non_witness_units_do_not_count(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        units = grow_chain(dag, [user], 5, rng)
+        assert dag.witnessed_level(units[-1].unit_hash) == 0
+
+    def test_best_tip_prefers_witnessed_branch(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        # Branch A: witnessed; branch B: one lone user unit.
+        lone = make_unit(user, [genesis.unit_hash], b"lone", 0.5)
+        dag.attach(lone)
+        grow_chain(dag, witness_keys, 4, rng)
+        best = dag.best_tip()
+        assert best != lone.unit_hash
+        assert dag.witnessed_level(best) > 0
+
+
+class TestTotalOrder:
+    def test_main_chain_spans_genesis_to_best_tip(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        grow_chain(dag, witness_keys, 5, rng)
+        chain = dag.main_chain()
+        assert chain[0] == genesis.unit_hash
+        assert chain[-1] == dag.best_tip()
+
+    def test_every_reachable_unit_gets_an_mci(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        witnessed = grow_chain(dag, witness_keys, 2, rng)
+        side = make_unit(user, [genesis.unit_hash], b"side", 0.5)
+        dag.attach(side)
+        # A witness unit referencing the side unit pulls it into the order.
+        merge = make_unit(
+            witness_keys[0], [side.unit_hash, witnessed[-1].unit_hash], b"m", 5.0
+        )
+        dag.attach(merge)
+        grow_chain(dag, witness_keys, 3, rng, start_time=10.0)
+        assignments = dag.mci_assignments()
+        assert side.unit_hash in assignments
+        order = dag.total_order()
+        assert order.index(genesis.unit_hash) == 0
+        assert assignments[side.unit_hash] <= assignments[merge.unit_hash]
+
+    def test_order_is_total_and_stable_under_growth(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        grow_chain(dag, witness_keys, 6, rng)
+        prefix = dag.total_order()
+        grow_chain(dag, witness_keys, 4, rng, start_time=50.0)
+        extended = dag.total_order()
+        assert extended[: len(prefix)] == prefix  # order only appends
+
+    def test_conflict_resolution_deterministic(self, world, rng):
+        """Two conflicting units: the earlier MCI wins, everywhere,
+        without any vote."""
+        dag, witness_keys, user, genesis = world
+        first = make_unit(user, [genesis.unit_hash], b"spend-A", 0.1)
+        dag.attach(first)
+        grow_chain(dag, witness_keys, 3, rng)  # MC advances over `first`
+        second = make_unit(user, [genesis.unit_hash], b"spend-B", 0.2)
+        dag.attach(second)
+        merge = make_unit(
+            witness_keys[1], [second.unit_hash, dag.best_tip()], b"m", 9.0
+        )
+        dag.attach(merge)
+        winner = dag.resolve_conflict(first.unit_hash, second.unit_hash)
+        assert winner == first.unit_hash  # included earlier in the order
+
+    def test_unordered_conflict_returns_none(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        grow_chain(dag, witness_keys, 3, rng)  # witnessed main chain
+        # A side tip nobody references: outside every MC past cone.
+        a = make_unit(user, [genesis.unit_hash], b"a", 0.1)
+        dag.attach(a)
+        assert dag.best_tip() != a.unit_hash
+        assert dag.resolve_conflict(a.unit_hash, genesis.unit_hash) is None
+
+
+class TestStability:
+    def test_units_become_stable_behind_witness_majority(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        grow_chain(dag, witness_keys, 10, rng)
+        assert dag.last_stable_mci() >= 0
+        assert dag.is_stable(genesis.unit_hash)
+
+    def test_fresh_tip_not_stable(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        units = grow_chain(dag, witness_keys, 10, rng)
+        assert not dag.is_stable(units[-1].unit_hash)
+
+    def test_no_stability_without_witness_majority(self, world, rng):
+        dag, witness_keys, user, genesis = world
+        grow_chain(dag, [user, witness_keys[0]], 10, rng)  # only 1 witness
+        assert dag.last_stable_mci() == -1
+
+    def test_parameter_validation(self, world, rng):
+        with pytest.raises(ValidationError):
+            ByteballDag([], stability_depth=2)
+        with pytest.raises(ValidationError):
+            ByteballDag([KeyPair.generate(rng).address], stability_depth=0)

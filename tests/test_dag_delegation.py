@@ -1,0 +1,70 @@
+"""End-to-end representative rotation (Section III-B delegation)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.crypto.keys import KeyPair
+from repro.net.link import LinkParams
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+
+LINK = LinkParams(latency_s=0.05, jitter_s=0.02)
+
+
+@pytest.fixture
+def world():
+    tb = build_nano_testbed(
+        node_count=6, representative_count=3, seed=14, link_params=LINK
+    )
+    users = fund_accounts(tb, 3, 10**9, settle_time=1.5)
+    tb.simulator.run(until=tb.simulator.now + 5)
+    return tb, users
+
+
+class TestDelegation:
+    def test_change_moves_weight_on_all_replicas(self, world):
+        tb, users = world
+        user = users[0]
+        wallet = tb.node_for(user.address)
+        old_rep = wallet.lattice.reps.representative_of(user.address)
+        new_rep = tb.representatives[2].address
+        assert old_rep != new_rep
+
+        old_weights = [n.lattice.reps.weight(new_rep) for n in tb.nodes]
+        wallet.change_representative(user.address, new_rep)
+        tb.simulator.run(until=tb.simulator.now + 5)
+
+        for node, before in zip(tb.nodes, old_weights):
+            assert node.lattice.reps.weight(new_rep) == before + 10**9
+        # Balance unchanged by a change block.
+        assert {n.balance(user.address) for n in tb.nodes} == {10**9}
+
+    def test_change_block_confirmed_by_votes(self, world):
+        tb, users = world
+        user = users[1]
+        wallet = tb.node_for(user.address)
+        block = wallet.change_representative(
+            user.address, tb.representatives[0].address
+        )
+        tb.simulator.run(until=tb.simulator.now + 5)
+        assert tb.nodes[-1].is_confirmed(block.block_hash)
+
+    def test_future_sends_count_toward_new_rep(self, world):
+        tb, users = world
+        user = users[0]
+        wallet = tb.node_for(user.address)
+        new_rep = tb.representatives[1].address
+        wallet.change_representative(user.address, new_rep)
+        tb.simulator.run(until=tb.simulator.now + 3)
+        before = tb.nodes[0].lattice.reps.weight(new_rep)
+        wallet.send_payment(user.address, users[2].address, 1_000)
+        tb.simulator.run(until=tb.simulator.now + 5)
+        # The send decreased the account's balance and thus the rep's weight.
+        assert tb.nodes[0].lattice.reps.weight(new_rep) == before - 1_000
+
+    def test_change_requires_local_key(self, world):
+        tb, users = world
+        stranger_node = tb.nodes[-1]
+        with pytest.raises(ValidationError):
+            stranger_node.change_representative(
+                users[0].address, tb.representatives[0].address
+            )

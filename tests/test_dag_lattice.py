@@ -1,0 +1,303 @@
+"""Tests for repro.dag.lattice (the block-lattice, Sections II-B/IV-B)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import (
+    CementedBlockError,
+    ForkDetectedError,
+    PrunedHistoryError,
+    ValidationError,
+)
+from repro.common.types import Hash
+from repro.crypto.keys import KeyPair
+from repro.dag.blocks import make_change, make_open, make_receive, make_send
+from repro.dag.lattice import Lattice
+from repro.dag.params import NanoParams
+
+
+class TestGenesis:
+    def test_creates_initial_state(self, fast_nano_params, rng):
+        lattice = Lattice(fast_nano_params)
+        gk = KeyPair.generate(rng)
+        genesis = lattice.create_genesis(gk, 10**9)
+        assert lattice.balance(gk.address) == 10**9
+        assert lattice.total_supply() == 10**9
+        assert lattice.is_cemented(genesis.block_hash)
+
+    def test_single_genesis_enforced(self, fast_nano_params, rng):
+        lattice = Lattice(fast_nano_params)
+        lattice.create_genesis(KeyPair.generate(rng), 100)
+        with pytest.raises(ValidationError):
+            lattice.create_genesis(KeyPair.generate(rng), 100)
+
+    def test_install_genesis_replica(self, fast_nano_params, rng):
+        a = Lattice(fast_nano_params)
+        gk = KeyPair.generate(rng)
+        genesis = a.create_genesis(gk, 500)
+        b = Lattice(fast_nano_params)
+        b.install_genesis(genesis)
+        assert b.balance(gk.address) == 500
+
+
+class TestTransfers:
+    def test_send_creates_pending(self, funded_lattice, rng):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 100,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        assert lattice.balance(alice.address) == 999_900
+        assert not lattice.is_settled(send.block_hash)
+        pending = lattice.pending_for(bob.address)
+        assert len(pending) == 1 and pending[0].amount == 100
+
+    def test_receive_settles(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 100,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        receive = make_receive(
+            bob, lattice.chain(bob.address).head, send.block_hash, 100,
+            work_difficulty=1,
+        )
+        lattice.process(receive)
+        assert lattice.balance(bob.address) == 1_000_100
+        assert lattice.is_settled(send.block_hash)
+        assert lattice.pending_for(bob.address) == []
+
+    def test_supply_conserved_through_pending(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        supply = lattice.total_supply()
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 777,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        assert lattice.total_supply() == supply  # value parked in pending
+
+    def test_double_receive_rejected(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 100,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        r1 = make_receive(
+            bob, lattice.chain(bob.address).head, send.block_hash, 100,
+            work_difficulty=1,
+        )
+        lattice.process(r1)
+        r2 = make_receive(
+            bob, lattice.chain(bob.address).head, send.block_hash, 100,
+            work_difficulty=1,
+        )
+        with pytest.raises(ValidationError):
+            lattice.process(r2)
+
+    def test_wrong_amount_receive_rejected(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 100,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        bad = make_receive(
+            bob, lattice.chain(bob.address).head, send.block_hash, 150,
+            work_difficulty=1,
+        )
+        with pytest.raises(ValidationError):
+            lattice.process(bad)
+
+    def test_receive_to_wrong_account_rejected(self, funded_lattice, rng):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 100,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        thief = make_receive(
+            gk, lattice.chain(gk.address).head, send.block_hash, 100,
+            work_difficulty=1,
+        )
+        with pytest.raises(ValidationError):
+            lattice.process(thief)
+
+    def test_change_updates_representative_weight(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        before = lattice.reps.weight(gk.address)
+        change = make_change(
+            alice, lattice.chain(alice.address).head, bob.address,
+            work_difficulty=1,
+        )
+        lattice.process(change)
+        assert lattice.reps.weight(bob.address) == 1_000_000
+        assert lattice.reps.weight(gk.address) == before - 1_000_000
+
+
+class TestValidationGuards:
+    def test_duplicate_block_rejected(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 5,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        with pytest.raises(ValidationError):
+            lattice.process(send)
+
+    def test_insufficient_work_rejected(self, rng):
+        lattice = Lattice(NanoParams(work_difficulty=2**30))
+        gk = KeyPair.generate(rng)
+        lattice.create_genesis(gk, 1000)
+        bob = KeyPair.generate(rng)
+        send = make_send(gk, lattice.chain(gk.address).head, bob.address, 10,
+                         work_difficulty=1)
+        with pytest.raises(ValidationError):
+            lattice.process(send)
+
+    def test_unknown_predecessor_rejected(self, funded_lattice, rng):
+        lattice, gk, alice, bob = funded_lattice
+        # Build a send on a head the lattice never saw.
+        ghost_head = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 1,
+            work_difficulty=1,
+        )  # never processed
+        orphan = make_send(alice, ghost_head, bob.address, 1, work_difficulty=1)
+        with pytest.raises(ValidationError):
+            lattice.process(orphan)
+
+    def test_unknown_block_lookup_raises(self, funded_lattice):
+        lattice, *_ = funded_lattice
+        with pytest.raises(PrunedHistoryError):
+            lattice.block(Hash(b"\x99" * 32))
+
+
+class TestForkDetection:
+    def test_two_sends_same_previous_is_fork(self, funded_lattice, rng):
+        """Section IV-B: "two transactions may claim the same predecessor
+        causing a fork"."""
+        lattice, gk, alice, bob = funded_lattice
+        head = lattice.chain(alice.address).head
+        s1 = make_send(alice, head, bob.address, 10, work_difficulty=1)
+        s2 = make_send(alice, head, gk.address, 999, work_difficulty=1)
+        lattice.process(s1)
+        with pytest.raises(ForkDetectedError):
+            lattice.process(s2)
+        assert lattice.forks_detected == 1
+
+    def test_duplicate_open_is_fork(self, funded_lattice, rng):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 10,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        dup_open = make_open(
+            bob, send.block_hash, 10, representative=gk.address, work_difficulty=1
+        )
+        with pytest.raises(ForkDetectedError):
+            lattice.process(dup_open)
+
+
+class TestRollback:
+    def test_rollback_send_restores_balance_and_pending(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 10,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        removed = lattice.rollback(send.block_hash)
+        assert [b.block_hash for b in removed] == [send.block_hash]
+        assert lattice.balance(alice.address) == 1_000_000
+        assert lattice.pending_for(bob.address) == []
+
+    def test_rollback_receive_reinstates_pending(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 10,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        receive = make_receive(
+            bob, lattice.chain(bob.address).head, send.block_hash, 10,
+            work_difficulty=1,
+        )
+        lattice.process(receive)
+        lattice.rollback(receive.block_hash)
+        assert lattice.balance(bob.address) == 1_000_000
+        assert len(lattice.pending_for(bob.address)) == 1
+        assert not lattice.is_settled(send.block_hash)
+
+    def test_rollback_cascades_along_chain(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        head = lattice.chain(alice.address).head
+        s1 = make_send(alice, head, bob.address, 10, work_difficulty=1)
+        lattice.process(s1)
+        s2 = make_send(alice, s1, bob.address, 20, work_difficulty=1)
+        lattice.process(s2)
+        removed = lattice.rollback(s1.block_hash)
+        assert len(removed) == 2
+        assert lattice.balance(alice.address) == 1_000_000
+
+    def test_cemented_block_cannot_roll_back(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 10,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        lattice.cement(send.block_hash)
+        with pytest.raises(CementedBlockError):
+            lattice.rollback(send.block_hash)
+
+    def test_cementing_is_monotone_along_chain(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        head = lattice.chain(alice.address).head
+        s1 = make_send(alice, head, bob.address, 1, work_difficulty=1)
+        lattice.process(s1)
+        s2 = make_send(alice, s1, bob.address, 2, work_difficulty=1)
+        lattice.process(s2)
+        lattice.cement(s2.block_hash)
+        assert lattice.is_cemented(s1.block_hash)
+
+
+@settings(max_examples=20, deadline=None)
+@given(amounts=st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=10))
+def test_supply_invariant_property(amounts):
+    """Property: total supply (chains + pending) never changes, whatever
+    mix of sends and receives is applied."""
+    import random as _random
+
+    rng = _random.Random(7)
+    params = NanoParams(work_difficulty=1)
+    lattice = Lattice(params)
+    gk = KeyPair.generate(rng)
+    lattice.create_genesis(gk, 10**9)
+    bob = KeyPair.generate(rng)
+    opened = False
+    for i, amount in enumerate(amounts):
+        send = make_send(
+            gk, lattice.chain(gk.address).head, bob.address, amount,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        assert lattice.total_supply() == 10**9
+        if i % 2 == 0:  # settle every other send
+            if not opened:
+                block = make_open(
+                    bob, send.block_hash, amount,
+                    representative=gk.address, work_difficulty=1,
+                )
+                opened = True
+            else:
+                block = make_receive(
+                    bob, lattice.chain(bob.address).head, send.block_hash,
+                    amount, work_difficulty=1,
+                )
+            lattice.process(block)
+            assert lattice.total_supply() == 10**9

@@ -1,0 +1,200 @@
+"""Integration tests for repro.dag.node over the simulated network."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.crypto.keys import KeyPair
+from repro.net.link import LinkParams
+from repro.dag.blocks import make_send
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+from repro.dag.params import NanoParams
+
+
+LINK = LinkParams(latency_s=0.05, jitter_s=0.02)
+
+
+@pytest.fixture
+def testbed():
+    tb = build_nano_testbed(
+        node_count=6, representative_count=3, seed=11, link_params=LINK
+    )
+    return tb
+
+
+@pytest.fixture
+def funded(testbed):
+    users = fund_accounts(testbed, 4, 100_000, settle_time=2.0)
+    testbed.simulator.run(until=testbed.simulator.now + 5)
+    return testbed, users
+
+
+class TestReplication:
+    def test_transfer_converges_on_all_replicas(self, funded):
+        tb, users = funded
+        u0, u1 = users[0], users[1]
+        tb.node_for(u0.address).send_payment(u0.address, u1.address, 4_000)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        assert {n.balance(u1.address) for n in tb.nodes} == {104_000}
+        assert {n.balance(u0.address) for n in tb.nodes} == {96_000}
+        assert len({n.lattice.block_count() for n in tb.nodes}) == 1
+
+    def test_user_orders_own_transactions(self, funded):
+        """Section VI-B: account owner orders its chain — rapid back-to-
+        back sends chain correctly."""
+        tb, users = funded
+        u0, u1 = users[0], users[1]
+        wallet = tb.node_for(u0.address)
+        for amount in (100, 200, 300):
+            wallet.send_payment(u0.address, u1.address, amount)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        assert {n.balance(u1.address) for n in tb.nodes} == {100_600}
+        chain = wallet.lattice.chain(u0.address)
+        assert chain.height == 4  # open + 3 sends
+
+    def test_send_to_unopened_account_creates_open(self, funded, rng):
+        tb, users = funded
+        newcomer = KeyPair.generate(rng)
+        tb.nodes[2].add_account(newcomer)
+        tb.wallets[newcomer.address] = tb.nodes[2]
+        u0 = users[0]
+        tb.node_for(u0.address).send_payment(u0.address, newcomer.address, 500)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        assert {n.balance(newcomer.address) for n in tb.nodes} == {500}
+
+    def test_offline_receiver_leaves_send_pending(self, funded):
+        """Section II-B: "a node has to be online in order to receive"."""
+        tb, users = funded
+        u0, u1 = users[0], users[1]
+        receiver_node = tb.node_for(u1.address)
+        receiver_node.set_online(False)
+        tb.node_for(u0.address).send_payment(u0.address, u1.address, 999)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        online_pending = [
+            n.lattice.pending_count() for n in tb.nodes if n is not receiver_node
+        ]
+        assert all(count == 1 for count in online_pending)
+        # Receiver comes back online, bootstraps the missed blocks, settles.
+        receiver_node.set_online(True)
+        adopted = receiver_node.bootstrap_from(tb.nodes[0])
+        assert adopted >= 1
+        receiver_node.receive_pending(u1.address)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        live_balances = {
+            n.balance(u1.address) for n in tb.nodes if n is not receiver_node
+        }
+        assert live_balances == {100_999}
+
+
+class TestConfirmation:
+    def test_votes_confirm_and_cement(self, funded):
+        tb, users = funded
+        u0, u1 = users[0], users[1]
+        block = tb.node_for(u0.address).send_payment(u0.address, u1.address, 10)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        for node in tb.nodes:
+            assert node.is_confirmed(block.block_hash)
+            assert node.confirmation_confidence(block.block_hash) > 0.5
+        assert tb.nodes[0].lattice.is_cemented(block.block_hash)
+
+    def test_confirmation_latency_is_subsecond_here(self, funded):
+        """DAG confirmation = vote propagation, not block intervals."""
+        tb, users = funded
+        u0, u1 = users[0], users[1]
+        start = tb.simulator.now
+        block = tb.node_for(u0.address).send_payment(u0.address, u1.address, 10)
+        tb.simulator.run(until=start + 10)
+        confirmed_at = tb.nodes[0].confirmation_times[block.block_hash]
+        assert confirmed_at - start < 1.0
+
+    def test_no_voting_overhead_without_reps(self):
+        """A rep-less node relays but never votes (Section III-B)."""
+        tb = build_nano_testbed(
+            node_count=4, representative_count=2, seed=3, link_params=LINK
+        )
+        non_rep = tb.nodes[3]
+        users = fund_accounts(tb, 2, 1_000, settle_time=2.0)
+        tb.simulator.run(until=tb.simulator.now + 5)
+        assert non_rep.stats.votes_cast == 0
+        assert not non_rep.is_representative
+
+
+class TestDoubleSpendResolution:
+    def test_conflicting_sends_resolve_to_one_winner(self, funded):
+        """Section III-B: representatives resolve the fork; exactly one
+        of two conflicting sends survives on every replica."""
+        tb, users = funded
+        u0, u1, u2 = users[0], users[1], users[2]
+        wallet = tb.node_for(u0.address)
+        head = wallet.lattice.chain(u0.address).head
+        honest = wallet.send_payment(u0.address, u1.address, 50_000)
+        # The attacker signs a conflicting send from the same head and
+        # injects it at a distant node.
+        u0_key = wallet.local_accounts[u0.address]
+        conflicting = make_send(
+            u0_key, head, u2.address, 50_000, work_difficulty=1
+        )
+        far_node = tb.nodes[-1]
+        far_node.deliver(
+            "attacker",
+            __import__("repro.net.message", fromlist=["Message"]).Message(
+                kind="nano_block",
+                payload=conflicting,
+                size_bytes=conflicting.size_bytes,
+                dedup_key=conflicting.block_hash,
+            ),
+        )
+        tb.simulator.run(until=tb.simulator.now + 15)
+        # All replicas agree on a single successor of `head`.
+        successors = set()
+        for node in tb.nodes:
+            chain = node.lattice.chain(u0.address)
+            for i, blk in enumerate(chain.blocks):
+                if blk.block_hash == head.block_hash and i + 1 < len(chain.blocks):
+                    successors.add(chain.blocks[i + 1].block_hash)
+        assert len(successors) == 1
+        assert sum(n.stats.forks_seen for n in tb.nodes) >= 1
+
+    def test_total_supply_preserved_after_conflict(self, funded):
+        tb, users = funded
+        supply_before = tb.nodes[0].lattice.total_supply()
+        self_test = TestDoubleSpendResolution()
+        # (reuse the scenario above by sending conflicting payments)
+        u0, u1, u2 = users[0], users[1], users[2]
+        wallet = tb.node_for(u0.address)
+        head = wallet.lattice.chain(u0.address).head
+        wallet.send_payment(u0.address, u1.address, 1_000)
+        u0_key = wallet.local_accounts[u0.address]
+        conflicting = make_send(u0_key, head, u2.address, 1_000, work_difficulty=1)
+        from repro.net.message import Message
+
+        tb.nodes[-1].deliver(
+            "attacker",
+            Message(
+                kind="nano_block",
+                payload=conflicting,
+                size_bytes=conflicting.size_bytes,
+                dedup_key=conflicting.block_hash,
+            ),
+        )
+        tb.simulator.run(until=tb.simulator.now + 15)
+        for node in tb.nodes:
+            assert node.lattice.total_supply() == supply_before
+
+
+class TestSpamThrottle:
+    def test_work_required_for_blocks(self, rng):
+        """Section III-B: blocks without valid anti-spam work are dropped."""
+        params = NanoParams(work_difficulty=2**14)
+        tb = build_nano_testbed(
+            node_count=3, representative_count=2, seed=5,
+            params=params, link_params=LINK,
+        )
+        cheap = make_send(
+            tb.genesis_key,
+            tb.genesis_block,
+            KeyPair.generate(rng).address,
+            10,
+            work_difficulty=1,  # far below required difficulty
+        )
+        with pytest.raises(ValidationError):
+            tb.nodes[0]._ingest(cheap)

@@ -1,0 +1,74 @@
+"""Tests for repro.dag.representatives (Section III-B weights)."""
+
+from repro.crypto.keys import KeyPair
+from repro.dag.representatives import RepresentativeLedger
+
+
+def addresses(rng, n):
+    return [KeyPair.generate(rng).address for _ in range(n)]
+
+
+class TestWeights:
+    def test_weight_is_sum_of_delegated_balances(self, rng):
+        rep, a, b = addresses(rng, 3)
+        ledger = RepresentativeLedger()
+        ledger.set_account(a, 100, rep)
+        ledger.set_account(b, 250, rep)
+        assert ledger.weight(rep) == 350
+
+    def test_balance_update_adjusts_weight(self, rng):
+        rep, a = addresses(rng, 2)
+        ledger = RepresentativeLedger()
+        ledger.set_account(a, 100, rep)
+        ledger.set_account(a, 40, rep)  # spent 60
+        assert ledger.weight(rep) == 40
+
+    def test_redelegation_moves_weight(self, rng):
+        rep1, rep2, a = addresses(rng, 3)
+        ledger = RepresentativeLedger()
+        ledger.set_account(a, 100, rep1)
+        ledger.set_account(a, 100, rep2)
+        assert ledger.weight(rep1) == 0
+        assert ledger.weight(rep2) == 100
+
+    def test_remove_account(self, rng):
+        rep, a = addresses(rng, 2)
+        ledger = RepresentativeLedger()
+        ledger.set_account(a, 100, rep)
+        ledger.remove_account(a)
+        assert ledger.weight(rep) == 0
+        assert ledger.total_weight() == 0
+
+    def test_total_weight(self, rng):
+        rep1, rep2, a, b = addresses(rng, 4)
+        ledger = RepresentativeLedger()
+        ledger.set_account(a, 10, rep1)
+        ledger.set_account(b, 20, rep2)
+        assert ledger.total_weight() == 30
+
+    def test_representative_of(self, rng):
+        rep, a = addresses(rng, 2)
+        ledger = RepresentativeLedger()
+        ledger.set_account(a, 5, rep)
+        assert ledger.representative_of(a) == rep
+
+
+class TestOnline:
+    def test_online_weight_counts_only_online(self, rng):
+        rep1, rep2, a, b = addresses(rng, 4)
+        ledger = RepresentativeLedger()
+        ledger.set_account(a, 10, rep1)
+        ledger.set_account(b, 20, rep2)
+        ledger.set_online(rep1)
+        assert ledger.online_weight() == 10
+        ledger.set_online(rep2)
+        assert ledger.online_weight() == 30
+
+    def test_going_offline(self, rng):
+        rep, a = addresses(rng, 2)
+        ledger = RepresentativeLedger()
+        ledger.set_account(a, 10, rep)
+        ledger.set_online(rep)
+        ledger.set_online(rep, online=False)
+        assert ledger.online_weight() == 0
+        assert not ledger.is_online(rep)

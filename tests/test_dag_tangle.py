@@ -1,0 +1,221 @@
+"""Tests for repro.dag.tangle (the IOTA-style DAG, paper footnote 1)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import UnknownParentError, ValidationError
+from repro.common.types import Hash
+from repro.crypto.keys import KeyPair
+from repro.dag.tangle import Tangle, issue_transaction
+
+
+@pytest.fixture
+def tangle(rng):
+    t = Tangle(work_difficulty=1)
+    key = KeyPair.generate(rng)
+    genesis = t.create_genesis(key)
+    return t, key, genesis
+
+
+def grow(tangle, key, count, rng, strategy="uniform", start_time=1.0):
+    """Attach ``count`` transactions via tip selection; returns them."""
+    txs = []
+    for i in range(count):
+        if strategy == "uniform":
+            trunk, branch = tangle.select_tips_uniform(rng)
+        else:
+            trunk, branch = tangle.select_tips_mcmc(rng, alpha=0.05)
+        tx = issue_transaction(
+            key, trunk, branch, f"tx-{i}".encode(), start_time + i
+        )
+        tangle.attach(tx)
+        txs.append(tx)
+    return txs
+
+
+class TestStructure:
+    def test_genesis_is_the_first_tip(self, tangle):
+        t, key, genesis = tangle
+        assert t.tips() == [genesis.tx_hash]
+        assert len(t) == 1
+
+    def test_single_genesis_enforced(self, tangle, rng):
+        t, key, _ = tangle
+        with pytest.raises(ValidationError):
+            t.create_genesis(KeyPair.generate(rng))
+
+    def test_attachment_moves_tips(self, tangle, rng):
+        t, key, genesis = tangle
+        tx = issue_transaction(key, genesis.tx_hash, genesis.tx_hash, b"a", 1.0)
+        t.attach(tx)
+        assert t.tips() == [tx.tx_hash]
+        assert t.approvers(genesis.tx_hash) == [tx.tx_hash]
+
+    def test_unknown_parent_rejected(self, tangle):
+        t, key, _ = tangle
+        ghost = Hash(b"\x01" * 32)
+        tx = issue_transaction(key, ghost, ghost, b"x", 1.0)
+        with pytest.raises(UnknownParentError):
+            t.attach(tx)
+
+    def test_duplicate_rejected(self, tangle):
+        t, key, genesis = tangle
+        tx = issue_transaction(key, genesis.tx_hash, genesis.tx_hash, b"a", 1.0)
+        t.attach(tx)
+        with pytest.raises(ValidationError):
+            t.attach(tx)
+
+    def test_second_genesis_rejected_via_attach(self, tangle):
+        t, key, _ = tangle
+        fake = issue_transaction(key, Hash.zero(), Hash.zero(), b"g2", 1.0)
+        with pytest.raises(ValidationError):
+            t.attach(fake)
+
+    def test_bad_signature_rejected(self, tangle, rng):
+        from dataclasses import replace
+
+        t, key, genesis = tangle
+        tx = issue_transaction(key, genesis.tx_hash, genesis.tx_hash, b"a", 1.0)
+        forged = replace(tx, public_key=KeyPair.generate(rng).public_key)
+        with pytest.raises(ValidationError):
+            t.attach(forged)
+
+    def test_work_required_when_configured(self, rng):
+        t = Tangle(work_difficulty=2**14)
+        key = KeyPair.generate(rng)
+        genesis = t.create_genesis(key)
+        lazy = issue_transaction(
+            key, genesis.tx_hash, genesis.tx_hash, b"spam", 1.0, work_difficulty=1
+        )
+        with pytest.raises(ValidationError):
+            t.attach(lazy)
+        diligent = issue_transaction(
+            key, genesis.tx_hash, genesis.tx_hash, b"ok", 1.0,
+            work_difficulty=2**14,
+        )
+        t.attach(diligent)
+
+    def test_growth_keeps_dag_acyclic(self, tangle, rng):
+        t, key, _ = tangle
+        grow(t, key, 60, rng)
+        order = t._topological_order()
+        assert len(order) == len(t)
+
+
+class TestWeights:
+    def test_genesis_weight_counts_everything(self, tangle, rng):
+        t, key, genesis = tangle
+        grow(t, key, 30, rng)
+        assert t.cumulative_weight(genesis.tx_hash) == 31
+
+    def test_tip_weight_is_one(self, tangle, rng):
+        t, key, _ = tangle
+        grow(t, key, 20, rng)
+        tip = t.tips()[0]
+        assert t.cumulative_weight(tip) == 1
+
+    def test_weight_monotone_under_growth(self, tangle, rng):
+        t, key, _ = tangle
+        (first,) = grow(t, key, 1, rng)
+        before = t.cumulative_weight(first.tx_hash)
+        grow(t, key, 20, rng)
+        assert t.cumulative_weight(first.tx_hash) >= before
+
+    def test_bulk_weights_match_individual(self, tangle, rng):
+        t, key, _ = tangle
+        grow(t, key, 25, rng)
+        bulk = t._all_cumulative_weights()
+        for tx_hash, weight in bulk.items():
+            assert weight == t.cumulative_weight(tx_hash)
+
+    def test_past_cone_contains_genesis(self, tangle, rng):
+        t, key, genesis = tangle
+        txs = grow(t, key, 15, rng)
+        assert genesis.tx_hash in t.past_cone(txs[-1].tx_hash)
+
+
+class TestTipSelection:
+    def test_uniform_selection_returns_tips(self, tangle, rng):
+        t, key, _ = tangle
+        grow(t, key, 20, rng)
+        trunk, branch = t.select_tips_uniform(rng)
+        assert trunk in set(t.tips()) and branch in set(t.tips())
+
+    def test_mcmc_walk_ends_at_a_tip(self, tangle, rng):
+        t, key, _ = tangle
+        grow(t, key, 30, rng)
+        trunk, branch = t.select_tips_mcmc(rng, alpha=0.05)
+        tips = set(t.tips())
+        assert trunk in tips and branch in tips
+
+    def test_high_alpha_prefers_heavy_subtangle(self, tangle, rng):
+        """Build two branches off genesis: one heavy (many approvals),
+        one a lone lazy tip.  A high-alpha walk should essentially never
+        pick the lazy tip."""
+        t, key, genesis = tangle
+        lazy = issue_transaction(key, genesis.tx_hash, genesis.tx_hash, b"lazy", 1.0)
+        t.attach(lazy)
+        heavy_root = issue_transaction(
+            key, genesis.tx_hash, genesis.tx_hash, b"heavy", 1.1
+        )
+        t.attach(heavy_root)
+        current = heavy_root
+        for i in range(15):  # a heavy chain on top of heavy_root
+            nxt = issue_transaction(
+                key, current.tx_hash, current.tx_hash, f"h{i}".encode(), 2.0 + i
+            )
+            t.attach(nxt)
+            current = nxt
+        picks = [t.select_tips_mcmc(rng, alpha=2.0)[0] for _ in range(40)]
+        assert picks.count(lazy.tx_hash) == 0
+
+    def test_lazy_tips_detected(self, tangle, rng):
+        t, key, genesis = tangle
+        lazy = issue_transaction(key, genesis.tx_hash, genesis.tx_hash, b"lazy", 1.0)
+        t.attach(lazy)
+        heavy = issue_transaction(key, genesis.tx_hash, genesis.tx_hash, b"h", 1.1)
+        t.attach(heavy)
+        for i in range(5):
+            tx = issue_transaction(key, heavy.tx_hash, heavy.tx_hash, bytes([i]), 2.0 + i)
+            t.attach(tx)
+            heavy = tx
+        assert lazy.tx_hash in t.left_behind_tips()
+
+
+class TestConfidence:
+    def test_old_transactions_reach_full_confidence(self, tangle, rng):
+        t, key, _ = tangle
+        txs = grow(t, key, 40, rng)
+        early = txs[0]
+        confidence = t.confirmation_confidence(early.tx_hash, rng, samples=30)
+        assert confidence == 1.0
+
+    def test_fresh_tip_has_low_confidence(self, tangle, rng):
+        t, key, genesis = tangle
+        grow(t, key, 30, rng)
+        # A brand-new tip attached at the side.
+        newcomer = issue_transaction(
+            key, genesis.tx_hash, genesis.tx_hash, b"new", 99.0
+        )
+        t.attach(newcomer)
+        # A weight-biased walk (alpha=0.5) almost never ends at the
+        # weight-1 newcomer next to a 30-deep subtangle.
+        confidence = t.confirmation_confidence(
+            newcomer.tx_hash, rng, samples=30, alpha=0.5
+        )
+        assert confidence < 0.5
+
+    def test_confidence_grows_with_approvals(self, tangle, rng):
+        t, key, _ = tangle
+        (target,) = grow(t, key, 1, rng)
+        low = t.confirmation_confidence(target.tx_hash, rng, samples=30)
+        grow(t, key, 30, rng)  # new txs approve (directly or not) the target
+        high = t.confirmation_confidence(target.tx_hash, rng, samples=30)
+        assert high >= low
+        assert high > 0.9
+
+    def test_unknown_tx_confidence_raises(self, tangle, rng):
+        t, _, _ = tangle
+        with pytest.raises(UnknownParentError):
+            t.confirmation_confidence(Hash(b"\x02" * 32), rng)

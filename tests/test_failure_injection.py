@@ -1,0 +1,171 @@
+"""Failure injection: partitions, message loss, and offline actors.
+
+These are the conditions under which the paper's consistency stories
+actually bite: a partition is exactly the "two different histories
+stored within the ledger" window of Section IV, and lossy links are the
+"network conditions" bounding Section VI.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK, LinkParams
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+from repro.blockchain.transaction import build_transaction
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+
+FAST_PARAMS = replace(BITCOIN, target_block_interval_s=10.0, confirmation_depth=3)
+
+
+def build_pow_network(node_count=6, seed=0, link=FAST_LINK):
+    keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(2)]
+    genesis = build_genesis_with_allocations({k.address: 10**9 for k in keys})
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    nodes = complete_topology(
+        net, node_count, lambda nid: BlockchainNode(nid, FAST_PARAMS, genesis), link
+    )
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(
+            1.0 / node_count, KeyPair.from_seed(bytes([80 + i]) * 32).address
+        )
+    return sim, net, list(nodes), keys
+
+
+class TestBlockchainPartitions:
+    def test_partition_creates_two_histories(self):
+        """Section IV: during the partition each side builds its own
+        chain — two conflicting histories exist simultaneously."""
+        sim, net, nodes, keys = build_pow_network(seed=2)
+        sim.run(until=100)
+        net.partition([["n0", "n1", "n2"], ["n3", "n4", "n5"]])
+        sim.run(until=400)
+        left_head = nodes[0].chain.head.block_id
+        right_head = nodes[3].chain.head.block_id
+        assert left_head != right_head
+        assert nodes[0].chain.height > 10
+        assert nodes[3].chain.height > 10
+
+    def test_heal_resolves_to_single_history(self):
+        """After healing, the heavier branch wins everywhere and the
+        loser is orphaned (the Fig. 4 resolution, at partition scale)."""
+        sim, net, nodes, keys = build_pow_network(seed=2)
+        sim.run(until=100)
+        net.partition([["n0", "n1", "n2"], ["n3", "n4", "n5"]])
+        sim.run(until=400)
+        net.heal()
+        # Reconnect protocol: each side announces its chain.
+        nodes[0].announce_chain()
+        nodes[3].announce_chain()
+        sim.run(until=700)
+        deep = [
+            n.chain.block_at_height(min(m.chain.height for m in nodes) - 3).block_id
+            for n in nodes
+            for m in [n]
+        ]
+        assert len(set(deep)) == 1
+        assert sum(n.stats.reorgs for n in nodes) > 0
+
+    def test_double_spend_across_partition_resolves_once(self):
+        """The same output spent differently on each side of a partition:
+        after healing exactly one spend survives."""
+        sim, net, nodes, keys = build_pow_network(seed=5)
+        alice, bob = keys
+        sim.run(until=50)
+        net.partition([["n0", "n1", "n2"], ["n3", "n4", "n5"]])
+        spendable = nodes[0].utxo.spendable(alice.address)
+        left_tx = build_transaction(alice, spendable, bob.address, 100)
+        right_tx = build_transaction(alice, spendable, bob.address, 200)
+        assert left_tx.txid != right_tx.txid
+        nodes[0].submit_transaction(left_tx)
+        nodes[3].submit_transaction(right_tx)
+        sim.run(until=300)
+        net.heal()
+        nodes[0].announce_chain()
+        nodes[3].announce_chain()
+        sim.run(until=900)
+        # Consensus: every node sees exactly one of the two spends on its
+        # main chain, and it is the same one everywhere.
+        outcomes = set()
+        for node in nodes:
+            left_in = node.confirmations(left_tx.txid) > 0
+            right_in = node.confirmations(right_tx.txid) > 0
+            assert left_in != right_in  # exactly one
+            outcomes.add("left" if left_in else "right")
+        assert len(outcomes) == 1
+        winner = 100 if outcomes.pop() == "left" else 200
+        assert all(n.balance(bob.address) == 10**9 + winner for n in nodes)
+
+
+class TestLossyLinks:
+    def test_consensus_survives_heavy_message_loss(self):
+        """30% per-hop loss: gossip redundancy still converges the chain."""
+        lossy = LinkParams(
+            latency_s=0.05, jitter_s=0.02, bandwidth_bps=1e9, loss_probability=0.3
+        )
+        sim, net, nodes, keys = build_pow_network(seed=7, link=lossy)
+        sim.run(until=800)
+        assert net.messages_lost > 0
+        heights = [n.chain.height for n in nodes]
+        # Everyone made progress; deep prefixes agree.
+        assert min(heights) > 20
+        check = min(heights) - 5
+        assert len({n.chain.block_at_height(check).block_id for n in nodes}) == 1
+
+
+class TestDagFailures:
+    def test_offline_majority_rep_stalls_then_recovers(self):
+        """Confirmation needs quorum: with the heavyweight representative
+        offline nothing confirms; when it returns, votes resume."""
+        tb = build_nano_testbed(
+            node_count=5, representative_count=2, seed=9,
+            link_params=LinkParams(latency_s=0.05, jitter_s=0.01),
+        )
+        # Four users, round-robin wallets n0..n3; the transfer below runs
+        # between wallets n2/n3 so the offline rep node is not involved.
+        users = fund_accounts(tb, 4, 10**6, settle_time=1.5)
+        heavy_rep = tb.representative_nodes()[0]  # holds genesis weight
+        heavy_rep.set_online(False)
+        block = tb.node_for(users[2].address).send_payment(
+            users[2].address, users[3].address, 9
+        )
+        tb.simulator.run(until=tb.simulator.now + 10)
+        observer = tb.nodes[-1]
+        assert not observer.is_confirmed(block.block_hash)
+        # The transfer still *settled* (balances moved) — Section IV-B
+        # distinguishes settled from confirmed.
+        assert observer.balance(users[3].address) == 10**6 + 9
+
+        heavy_rep.set_online(True)
+        heavy_rep.bootstrap_from(observer)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        assert observer.is_confirmed(block.block_hash)
+
+    def test_lattice_converges_under_loss(self):
+        lossy = LinkParams(
+            latency_s=0.05, jitter_s=0.02, bandwidth_bps=1e9, loss_probability=0.2
+        )
+        tb = build_nano_testbed(
+            node_count=6, representative_count=3, seed=11, link_params=lossy,
+        )
+        users = fund_accounts(tb, 3, 10**6, settle_time=4.0)
+        for i in range(6):
+            sender = users[i % 3]
+            recipient = users[(i + 1) % 3]
+            tb.node_for(sender.address).send_payment(
+                sender.address, recipient.address, 50
+            )
+            tb.simulator.run(until=tb.simulator.now + 4)
+        tb.simulator.run(until=tb.simulator.now + 20)
+        # Gossip is redundant across the clique: all replicas converge.
+        counts = {n.lattice.block_count() for n in tb.nodes}
+        assert len(counts) == 1
+        for user in users:
+            assert len({n.balance(user.address) for n in tb.nodes}) == 1

@@ -1,0 +1,108 @@
+"""Fee-market behaviour under congestion (Section VI's backlog picture).
+
+When offered load exceeds a chain's capacity, the mempool backs up
+(Bitcoin had ~187k pending transactions at the paper's snapshot) and
+miners pick by fee rate — so fees become the rationing mechanism.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+from repro.blockchain.transaction import build_transaction
+
+#: A deliberately tiny chain: ~2 txs per block, one block per 20 s.
+CONGESTED = replace(
+    BITCOIN, target_block_interval_s=20.0, max_block_size_bytes=500,
+    confirmation_depth=1,
+)
+
+
+@pytest.fixture
+def congested_world():
+    payers = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(30)]
+    merchant = KeyPair.from_seed(b"\x7f" * 32)
+    genesis = build_genesis_with_allocations(
+        {kp.address: 10**6 for kp in payers}
+    )
+    sim = Simulator(seed=21)
+    net = Network(sim)
+    nodes = [
+        n for n in complete_topology(
+            net, 3, lambda nid: BlockchainNode(nid, CONGESTED, genesis), FAST_LINK
+        )
+        if isinstance(n, BlockchainNode)
+    ]
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(1 / 3, KeyPair.from_seed(bytes([90 + i]) * 32).address)
+    return sim, nodes, payers, merchant
+
+
+def submit_all(nodes, payers, merchant, fee_of):
+    """Every payer submits one payment with a caller-chosen fee."""
+    txs = []
+    for index, payer in enumerate(payers):
+        spendable = nodes[0].utxo.spendable(payer.address)
+        tx = build_transaction(
+            payer, spendable, merchant.address, 1_000, fee=fee_of(index)
+        )
+        nodes[0].submit_transaction(tx)
+        txs.append(tx)
+    return txs
+
+
+class TestFeeMarket:
+    def test_backlog_grows_under_congestion(self, congested_world):
+        sim, nodes, payers, merchant = congested_world
+        submit_all(nodes, payers, merchant, fee_of=lambda i: 1)
+        sim.run(until=100)  # ~5 blocks x ~2 txs: most remain pending
+        assert len(nodes[0].mempool) > len(payers) // 2
+
+    def test_high_fee_transactions_confirm_first(self, congested_world):
+        sim, nodes, payers, merchant = congested_world
+        # Fees 1..30: the miner should clear high-fee txs first.
+        txs = submit_all(nodes, payers, merchant, fee_of=lambda i: 1 + i)
+        sim.run(until=150)
+        confirmed_fees = [
+            1 + i for i, tx in enumerate(txs) if nodes[0].confirmations(tx.txid) > 0
+        ]
+        pending_fees = [
+            1 + i for i, tx in enumerate(txs) if nodes[0].confirmations(tx.txid) == 0
+        ]
+        assert confirmed_fees and pending_fees
+        # Every confirmed fee beats the median pending fee: fee ordering
+        # held (Poisson block timing adds a little noise at the margin).
+        pending_fees.sort()
+        median_pending = pending_fees[len(pending_fees) // 2]
+        assert min(confirmed_fees) > median_pending - 5
+        assert sum(confirmed_fees) / len(confirmed_fees) > sum(pending_fees) / len(
+            pending_fees
+        )
+
+    def test_miners_collect_the_fees(self, congested_world):
+        sim, nodes, payers, merchant = congested_world
+        submit_all(nodes, payers, merchant, fee_of=lambda i: 10)
+        sim.run(until=200)
+        # Total supply = genesis + rewards; fees moved, never minted.
+        expected = 30 * 10**6 + CONGESTED.block_reward * nodes[0].chain.height
+        assert nodes[0].utxo.total_value() == expected
+
+    def test_mempool_eviction_under_pressure(self, congested_world):
+        sim, nodes, payers, merchant = congested_world
+        submit_all(nodes, payers, merchant, fee_of=lambda i: 1 + i)
+        pool = nodes[0].mempool
+        kept = 10
+        dropped = pool.evict(keep=kept)
+        assert len(pool) == kept
+        assert dropped > 0
+        # Survivors are the highest-fee-rate entries.
+        surviving_fees = sorted(pool._fees.values(), reverse=True)  # noqa: SLF001
+        assert surviving_fees[-1] >= 20  # the top of the 1..30 fee ladder

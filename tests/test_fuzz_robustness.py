@@ -1,0 +1,121 @@
+"""Fuzz tests: untrusted bytes must fail cleanly, never crash.
+
+Nodes consume attacker-controlled bytes (blocks, transactions, votes on
+the wire) and attacker-controlled programs (contract code).  Whatever
+the input, the library must either succeed or raise its own error
+types — no unhandled exceptions, no hangs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ReproError
+from repro.blockchain import codec as bc_codec
+from repro.blockchain.vm import ExecutionContext, ExecutionResult, execute
+from repro.dag.codec import decode_nano_block
+
+CLEAN_FAILURES = (ReproError, ValueError)
+
+
+class TestVmFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(code=st.binary(max_size=200))
+    def test_arbitrary_code_never_crashes(self, code):
+        """Any byte string is a 'program'; execution always returns a
+        result (success or clean failure) within the gas budget."""
+        result = execute(
+            code, gas_limit=10_000, context=ExecutionContext(caller=1, call_value=0)
+        )
+        assert isinstance(result, ExecutionResult)
+        assert result.gas_used <= 10_000
+
+    @settings(max_examples=100, deadline=None)
+    @given(code=st.binary(max_size=64), gas=st.integers(min_value=0, max_value=500))
+    def test_tiny_gas_budgets_terminate(self, code, gas):
+        result = execute(code, gas, ExecutionContext(caller=0, call_value=0))
+        assert result.gas_used <= max(gas, 0) or not result.success
+
+
+class TestCodecFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.binary(max_size=300))
+    def test_transaction_decoder(self, data):
+        try:
+            bc_codec.decode_transaction(data)
+        except CLEAN_FAILURES:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.binary(max_size=300))
+    def test_account_transaction_decoder(self, data):
+        try:
+            bc_codec.decode_account_transaction(data)
+        except CLEAN_FAILURES:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.binary(max_size=400))
+    def test_header_decoder(self, data):
+        try:
+            bc_codec.decode_header(data)
+        except CLEAN_FAILURES:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(max_size=500))
+    def test_block_decoder(self, data):
+        try:
+            bc_codec.decode_block(data)
+        except CLEAN_FAILURES:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.binary(max_size=300))
+    def test_nano_block_decoder(self, data):
+        try:
+            decode_nano_block(data)
+        except CLEAN_FAILURES:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(max_size=100))
+    def test_receipt_decoder(self, data):
+        try:
+            bc_codec.decode_receipt(data)
+        except CLEAN_FAILURES:
+            pass
+
+
+class TestNodeIngestFuzz:
+    def test_corrupted_block_flood_does_not_poison_a_node(self, rng):
+        """A node fed mutated copies of a valid nano block rejects or
+        parks them all and keeps serving the honest ledger."""
+        import random as _r
+
+        from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+        from repro.dag.codec import decode_nano_block as decode
+        from repro.net.message import Message
+
+        tb = build_nano_testbed(node_count=3, representative_count=1, seed=8)
+        users = fund_accounts(tb, 2, 10**6, settle_time=1.0)
+        victim = tb.nodes[0]
+        honest = victim.lattice.chain(users[0].address).head
+        raw = bytearray(honest.serialize())
+        mutator = _r.Random(0)
+        for _ in range(100):
+            corrupted = bytearray(raw)
+            for _ in range(mutator.randint(1, 4)):
+                corrupted[mutator.randrange(len(corrupted))] ^= mutator.randrange(1, 256)
+            try:
+                block = decode(bytes(corrupted))
+            except CLEAN_FAILURES:
+                continue
+            victim.deliver(
+                "attacker",
+                Message(kind="nano_block", payload=block,
+                        size_bytes=block.size_bytes, dedup_key=block.block_hash),
+            )
+        tb.simulator.run(until=tb.simulator.now + 5)
+        # The honest ledger is intact and supply unchanged.
+        assert victim.lattice.balance(users[0].address) == 10**6
+        assert victim.lattice.total_supply() == 10**15

@@ -1,0 +1,124 @@
+"""Tests for repro.metrics (stats, collector, tables)."""
+
+import pytest
+
+from repro.metrics.collector import MetricCollector
+from repro.metrics.stats import (
+    binomial_ci,
+    confidence_interval,
+    percentile,
+    summarize,
+)
+from repro.metrics.tables import render_table
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_extremes(self):
+        values = list(range(100))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 99
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.mean == 3.0
+        assert stats.minimum == 1 and stats.maximum == 5
+        assert stats.p50 == 3
+
+    def test_stdev(self):
+        stats = summarize([2, 2, 2])
+        assert stats.stdev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_render(self):
+        text = summarize([1.0, 2.0]).render(label="latency", unit="s")
+        assert "latency" in text and "mean=1.500s" in text
+
+
+class TestConfidenceIntervals:
+    def test_interval_contains_mean(self):
+        lo, hi = confidence_interval([1, 2, 3, 4, 5])
+        assert lo < 3.0 < hi
+
+    def test_single_sample_degenerate(self):
+        assert confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_binomial_wilson(self):
+        lo, hi = binomial_ci(50, 100)
+        assert lo < 0.5 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_binomial_extremes(self):
+        lo, hi = binomial_ci(0, 100)
+        assert lo == 0.0 and hi < 0.1
+        with pytest.raises(ValueError):
+            binomial_ci(5, 0)
+        with pytest.raises(ValueError):
+            binomial_ci(11, 10)
+
+
+class TestCollector:
+    def test_counters(self):
+        collector = MetricCollector()
+        collector.incr("blocks")
+        collector.incr("blocks", 2)
+        assert collector.counter("blocks") == 3
+        assert collector.counter("missing") == 0
+
+    def test_series_and_summary(self):
+        collector = MetricCollector()
+        for t, v in [(0, 1.0), (1, 2.0), (2, 3.0)]:
+            collector.record("latency", t, v)
+        assert collector.values("latency") == [1.0, 2.0, 3.0]
+        assert collector.summary("latency").mean == 2.0
+
+    def test_merge(self):
+        a, b = MetricCollector(), MetricCollector()
+        a.incr("x")
+        b.incr("x", 4)
+        b.record("s", 0, 1.0)
+        a.merge(b)
+        assert a.counter("x") == 5
+        assert a.values("s") == [1.0]
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["name", "tps"], [["bitcoin", 7.0], ["nano", 306.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "bitcoin" in lines[2]
+        assert "306" in lines[3]
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.000001], [123456.0], [1.5]])
+        assert "1.00e-06" in text
+        assert "123,456" in text

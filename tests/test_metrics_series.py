@@ -1,0 +1,36 @@
+"""Tests for repro.metrics.tables.render_series."""
+
+import pytest
+
+from repro.metrics.tables import render_series
+
+
+class TestRenderSeries:
+    def test_shape(self):
+        chart = render_series([1, 2, 3, 4], width=10, height=4)
+        lines = chart.splitlines()
+        assert len(lines) == 5  # header + 4 rows
+        assert all(len(line) == 10 for line in lines[1:])
+
+    def test_monotone_series_fills_monotonically(self):
+        chart = render_series(list(range(20)), width=20, height=4)
+        bottom = chart.splitlines()[-1]
+        top = chart.splitlines()[1]
+        assert bottom.count("█") >= top.count("█")
+
+    def test_constant_series_renders(self):
+        chart = render_series([5, 5, 5], width=6, height=3)
+        assert "█" in chart
+
+    def test_label_and_range_in_header(self):
+        chart = render_series([0.0, 10.0], width=4, height=2, label="tps")
+        header = chart.splitlines()[0]
+        assert "tps" in header and "10" in header
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([])
+
+    def test_tiny_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], width=1, height=5)

@@ -1,0 +1,32 @@
+"""Tests for repro.net.message."""
+
+from repro.common.types import Hash
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
+
+
+class TestMessage:
+    def test_wire_size_adds_overhead(self):
+        msg = Message(kind="tx", payload=None, size_bytes=100)
+        assert msg.wire_size == 100 + MESSAGE_OVERHEAD_BYTES
+
+    def test_unique_ids(self):
+        a = Message(kind="x", payload=None, size_bytes=1)
+        b = Message(kind="x", payload=None, size_bytes=1)
+        assert a.msg_id != b.msg_id
+
+    def test_gossip_key_uses_dedup_when_present(self):
+        key = Hash(b"\x01" * 32)
+        a = Message(kind="block", payload=1, size_bytes=1, dedup_key=key)
+        b = Message(kind="block", payload=2, size_bytes=9, dedup_key=key)
+        assert a.gossip_key() == b.gossip_key()
+
+    def test_gossip_key_distinguishes_kinds(self):
+        key = Hash(b"\x01" * 32)
+        a = Message(kind="block", payload=1, size_bytes=1, dedup_key=key)
+        b = Message(kind="vote", payload=1, size_bytes=1, dedup_key=key)
+        assert a.gossip_key() != b.gossip_key()
+
+    def test_gossip_key_falls_back_to_msg_id(self):
+        a = Message(kind="x", payload=1, size_bytes=1)
+        b = Message(kind="x", payload=1, size_bytes=1)
+        assert a.gossip_key() != b.gossip_key()

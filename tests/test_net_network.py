@@ -1,0 +1,212 @@
+"""Tests for repro.net (links, nodes, gossip network)."""
+
+import random
+
+import pytest
+
+from repro.net.link import FAST_LINK, LinkParams
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.net.topology import (
+    complete_topology,
+    line_topology,
+    random_regular_topology,
+    small_world_topology,
+)
+from repro.sim.simulator import Simulator
+
+
+class Recorder(NetworkNode):
+    """Test node that remembers everything it receives."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def handle_message(self, sender_id, message):
+        self.received.append((sender_id, message.payload))
+
+
+def make_message(payload="x", size=100, dedup=None):
+    return Message(kind="test", payload=payload, size_bytes=size, dedup_key=dedup)
+
+
+class TestLinkParams:
+    def test_delay_includes_transmission(self):
+        link = LinkParams(latency_s=1.0, jitter_s=0.0, bandwidth_bps=8_000.0)
+        msg = make_message(size=1000 - MESSAGE_OVERHEAD_BYTES)
+        delay = link.delivery_delay(msg, random.Random(0))
+        assert delay == pytest.approx(1.0 + 1.0)  # 1000 B over 1 kB/s
+
+    def test_loss(self):
+        link = LinkParams(loss_probability=0.999999)
+        lost = sum(
+            1
+            for i in range(50)
+            if link.delivery_delay(make_message(), random.Random(i)) is None
+        )
+        assert lost == 50
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinkParams(latency_s=-1)
+        with pytest.raises(ValueError):
+            LinkParams(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            LinkParams(loss_probability=1.0)
+
+    def test_jitter_bounded(self):
+        link = LinkParams(latency_s=1.0, jitter_s=0.5, bandwidth_bps=1e12)
+        rng = random.Random(1)
+        for _ in range(100):
+            delay = link.delivery_delay(make_message(size=0), rng)
+            assert 1.0 <= delay <= 1.5 + 1e-9
+
+
+class TestDirectTransmission:
+    def test_point_to_point(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Recorder("a"), Recorder("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.connect("a", "b", FAST_LINK)
+        a.send("b", make_message("hello"))
+        sim.run()
+        assert b.received == [("a", "hello")]
+
+    def test_unknown_link_raises(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_node(Recorder("a"))
+        net.add_node(Recorder("b"))
+        with pytest.raises(KeyError):
+            net.transmit("a", "b", make_message())
+
+    def test_duplicate_node_rejected(self):
+        net = Network(Simulator())
+        net.add_node(Recorder("a"))
+        with pytest.raises(ValueError):
+            net.add_node(Recorder("a"))
+
+    def test_offline_node_drops_traffic(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Recorder("a"), Recorder("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.connect("a", "b")
+        b.set_online(False)
+        a.send("b", make_message())
+        sim.run()
+        assert b.received == []
+
+    def test_traffic_counters(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Recorder("a"), Recorder("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.connect("a", "b", FAST_LINK)
+        a.send("b", make_message(size=100))
+        sim.run()
+        assert a.bytes_sent == 100 + MESSAGE_OVERHEAD_BYTES
+        assert b.bytes_received == 100 + MESSAGE_OVERHEAD_BYTES
+        assert net.messages_delivered == 1
+
+
+class TestGossip:
+    def test_flood_reaches_all_nodes(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = line_topology(net, 10, Recorder, FAST_LINK)
+        nodes[0].broadcast(make_message("flood"))
+        sim.run()
+        for node in nodes[1:]:
+            assert ("flood" in [p for _, p in node.received])
+
+    def test_each_node_receives_once(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = complete_topology(net, 6, Recorder, FAST_LINK)
+        nodes[0].broadcast(make_message("once"))
+        sim.run()
+        for node in nodes[1:]:
+            assert len(node.received) == 1
+
+    def test_dedup_key_suppresses_second_flood(self):
+        from repro.common.types import Hash
+
+        sim = Simulator()
+        net = Network(sim)
+        nodes = complete_topology(net, 4, Recorder, FAST_LINK)
+        key = Hash(b"\x05" * 32)
+        nodes[0].broadcast(make_message("first", dedup=key))
+        sim.run()
+        nodes[1].broadcast(make_message("second", dedup=key))
+        sim.run()
+        # "second" has the same gossip identity, so nobody sees it.
+        for node in nodes:
+            assert "second" not in [p for _, p in node.received]
+
+    def test_propagation_takes_hops_on_a_line(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = LinkParams(latency_s=1.0, jitter_s=0.0, bandwidth_bps=1e12)
+        nodes = line_topology(net, 5, Recorder, link)
+        nodes[0].broadcast(make_message("hop"))
+        sim.run()
+        # Last node is 4 hops away at 1 s latency each.
+        assert sim.now == pytest.approx(4.0, abs=0.01)
+
+
+class TestPartitions:
+    def test_partition_blocks_cross_traffic(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = complete_topology(net, 4, Recorder, FAST_LINK)
+        net.partition([["n0", "n1"], ["n2", "n3"]])
+        nodes[0].broadcast(make_message("partitioned"))
+        sim.run()
+        assert [p for _, p in nodes[1].received] == ["partitioned"]
+        assert nodes[2].received == []
+        assert nodes[3].received == []
+
+    def test_heal_restores_traffic(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = complete_topology(net, 4, Recorder, FAST_LINK)
+        net.partition([["n0", "n1"], ["n2", "n3"]])
+        net.heal()
+        nodes[0].broadcast(make_message("healed"))
+        sim.run()
+        assert all(len(n.received) == 1 for n in nodes[1:])
+
+
+class TestTopologies:
+    def test_complete_edge_count(self):
+        net = Network(Simulator())
+        complete_topology(net, 5, Recorder)
+        assert all(len(net.neighbors(f"n{i}")) == 4 for i in range(5))
+
+    def test_random_regular_degree(self):
+        net = Network(Simulator())
+        random_regular_topology(net, 10, 4, Recorder, seed=1)
+        assert all(len(net.neighbors(f"n{i}")) == 4 for i in range(10))
+
+    def test_random_regular_validates(self):
+        with pytest.raises(ValueError):
+            random_regular_topology(Network(Simulator()), 4, 4, Recorder)
+
+    def test_small_world_connected(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = small_world_topology(net, 20, Recorder, link_params=FAST_LINK, seed=2)
+        nodes[0].broadcast(make_message("sw"))
+        sim.run()
+        assert all(len(n.received) == 1 for n in nodes[1:])
+
+    def test_complete_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            complete_topology(Network(Simulator()), 0, Recorder)

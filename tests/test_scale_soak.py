@@ -1,0 +1,77 @@
+"""Moderate-scale soak tests: bigger networks, longer runs.
+
+These exist to catch emergent problems the small fixtures can't (gossip
+storms, queue growth, drift between replicas over many blocks).
+"""
+
+from dataclasses import replace
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import LinkParams
+from repro.net.network import Network
+from repro.net.topology import random_regular_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+from repro.core.invariants import audit_blockchain, audit_lattice
+from repro.dag.bootstrap import build_nano_testbed, fund_accounts
+
+LINK = LinkParams(latency_s=0.1, jitter_s=0.05)
+
+
+def test_thirty_node_pow_network_soak():
+    """30 miners on a random 6-regular overlay for ~2.5 simulated hours:
+    chains converge, invariants hold, the orphan rate stays sane."""
+    params = replace(BITCOIN, target_block_interval_s=30.0)
+    key = KeyPair.from_seed(b"\x42" * 32)
+    genesis = build_genesis_with_allocations({key.address: 10**9})
+    sim = Simulator(seed=23)
+    net = Network(sim)
+    nodes = [
+        n for n in random_regular_topology(
+            net, 30, 6,
+            lambda nid: BlockchainNode(nid, params, genesis),
+            LINK, seed=23,
+        )
+        if isinstance(n, BlockchainNode)
+    ]
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(
+            1 / 30, KeyPair.from_seed(bytes([i + 1, 7] + [0] * 30)).address
+        )
+    sim.run(until=9_000)
+
+    report = audit_blockchain(nodes, expected_supply_base=10**9)
+    assert report.ok, report.render()
+    heights = [n.chain.height for n in nodes]
+    assert min(heights) > 200
+    orphaned = sum(n.stats.orphaned_blocks for n in nodes) / len(nodes)
+    assert orphaned / max(heights) < 0.2
+
+
+def test_sixteen_node_nano_soak():
+    """16-node lattice, 8 reps, 200 payments: full convergence + audit."""
+    import random
+
+    tb = build_nano_testbed(
+        node_count=16, representative_count=8, seed=31, link_params=LINK,
+    )
+    users = fund_accounts(tb, 8, 10**9, settle_time=1.5)
+    rng = random.Random(5)
+    for i in range(200):
+        sender = rng.choice(users)
+        recipient = rng.choice([u for u in users if u is not sender])
+        wallet = tb.node_for(sender.address)
+        if wallet.balance(sender.address) > 1_000:
+            wallet.send_payment(sender.address, recipient.address,
+                                rng.randint(1, 1_000))
+        tb.simulator.run(until=tb.simulator.now + 0.5)
+    tb.simulator.run(until=tb.simulator.now + 30)
+
+    report = audit_lattice(tb.nodes, expected_supply=10**15)
+    assert report.ok, report.render()
+    assert len({n.lattice.block_count() for n in tb.nodes}) == 1
+    # Votes confirmed essentially everything that settled.
+    observer = tb.nodes[0]
+    assert observer.elections.confirmed_count() > 150

@@ -1,0 +1,190 @@
+"""Tests for repro.scaling.channels (Lightning/Raiden, Section VI-A)."""
+
+import pytest
+
+from repro.common.errors import ChannelError
+from repro.crypto.keys import KeyPair
+from repro.scaling.channels import Channel, ChannelNetwork, ChannelState
+
+
+@pytest.fixture
+def parties(rng):
+    return KeyPair.generate(rng), KeyPair.generate(rng), KeyPair.generate(rng)
+
+
+class TestChannel:
+    def test_open_locks_deposits(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        assert channel.capacity == 150
+        assert channel.balance_of(a.address) == 100
+        assert channel.balance_of(b.address) == 50
+        assert channel.on_chain_txs == 1  # the funding tx
+
+    def test_invalid_deposits_rejected(self, parties):
+        a, b, _ = parties
+        with pytest.raises(ChannelError):
+            Channel(a, b, 0, 0)
+        with pytest.raises(ChannelError):
+            Channel(a, b, -1, 10)
+
+    def test_off_chain_payment_shifts_balance(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        channel.pay(a.address, 30)
+        assert channel.balance_of(a.address) == 70
+        assert channel.balance_of(b.address) == 80
+        assert channel.off_chain_txs == 1
+        assert channel.on_chain_txs == 1  # unchanged: payment was off chain
+
+    def test_bidirectional_payments(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        channel.pay(a.address, 30)
+        channel.pay(b.address, 10)
+        assert channel.balance_of(a.address) == 80
+
+    def test_capacity_enforced(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        with pytest.raises(ChannelError):
+            channel.pay(a.address, 101)
+
+    def test_non_member_rejected(self, parties):
+        a, b, c = parties
+        channel = Channel(a, b, 100, 50)
+        with pytest.raises(ChannelError):
+            channel.pay(c.address, 10)
+
+    def test_states_doubly_signed(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        state = channel.pay(a.address, 5)
+        assert channel.verify_state(state)
+        forged = ChannelState(
+            channel_id=state.channel_id,
+            sequence=state.sequence + 1,
+            balance_a=0,
+            balance_b=150,
+            signature_a=state.signature_a,
+            signature_b=state.signature_b,
+        )
+        assert not channel.verify_state(forged)
+
+
+class TestClose:
+    def test_close_settles_latest_state(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        channel.pay(a.address, 30)
+        final = channel.close()
+        assert final == (70, 80)
+        assert channel.on_chain_txs == 2  # open + close: the whole lifetime
+
+    def test_value_conserved_at_close(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        for _ in range(10):
+            channel.pay(a.address, 1)
+        assert sum(channel.close()) == 150
+
+    def test_stale_close_defeated(self, parties):
+        """Submitting an old state is the channel fraud; the newer
+        doubly-signed state wins."""
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        stale = channel.pay(a.address, 10)  # seq 1
+        channel.pay(a.address, 40)  # seq 2: a now has 50
+        final = channel.close(submitted=stale)
+        assert final == (50, 100)  # latest state, not the stale one
+
+    def test_double_close_rejected(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        channel.close()
+        with pytest.raises(ChannelError):
+            channel.close()
+
+    def test_pay_after_close_rejected(self, parties):
+        a, b, _ = parties
+        channel = Channel(a, b, 100, 50)
+        channel.close()
+        with pytest.raises(ChannelError):
+            channel.pay(a.address, 1)
+
+    def test_amplification_metric(self, parties):
+        """The E11 payoff: off-chain txs per on-chain tx."""
+        a, b, _ = parties
+        channel = Channel(a, b, 1000, 1000)
+        for _ in range(500):
+            channel.pay(a.address, 1)
+        channel.close()
+        assert channel.amplification == 250.0  # 500 off / 2 on
+
+
+class TestChannelNetwork:
+    def build(self, parties):
+        a, b, c = parties
+        network = ChannelNetwork()
+        for p in parties:
+            network.register(p)
+        network.open_channel(a.address, b.address, 100, 100)
+        network.open_channel(b.address, c.address, 100, 100)
+        return network
+
+    def test_direct_route(self, parties):
+        a, b, _ = parties
+        network = self.build(parties)
+        path = network.send(a.address, b.address, 10)
+        assert path == [a.address, b.address]
+
+    def test_multi_hop_route(self, parties):
+        a, b, c = parties
+        network = self.build(parties)
+        path = network.send(a.address, c.address, 10)
+        assert path == [a.address, b.address, c.address]
+        # Intermediary b's balances net out across its two channels.
+        ab = network.channel(a.address, b.address)
+        bc = network.channel(b.address, c.address)
+        assert ab.balance_of(b.address) == 110
+        assert bc.balance_of(b.address) == 90
+        assert bc.balance_of(c.address) == 110
+
+    def test_insufficient_capacity_no_route(self, parties):
+        a, _, c = parties
+        network = self.build(parties)
+        with pytest.raises(ChannelError):
+            network.send(a.address, c.address, 150)
+        assert network.payments_failed == 1
+
+    def test_no_path(self, parties, rng):
+        a, _, _ = parties
+        network = self.build(parties)
+        loner = KeyPair.generate(rng)
+        network.register(loner)
+        with pytest.raises(ChannelError):
+            network.send(a.address, loner.address, 1)
+
+    def test_duplicate_channel_rejected(self, parties):
+        a, b, _ = parties
+        network = self.build(parties)
+        with pytest.raises(ChannelError):
+            network.open_channel(a.address, b.address, 1, 1)
+
+    def test_close_all_settles_on_chain(self, parties):
+        a, b, c = parties
+        network = self.build(parties)
+        network.send(a.address, c.address, 25)
+        settled = network.close_all()
+        assert settled[a.address] == 75
+        assert settled[b.address] == 200  # 125 + 75 across two channels
+        assert settled[c.address] == 125
+        assert network.total_on_chain_txs() == 4  # 2 opens + 2 closes
+
+    def test_volume_counters(self, parties):
+        a, b, c = parties
+        network = self.build(parties)
+        for _ in range(10):
+            network.send(a.address, c.address, 1)
+        assert network.total_off_chain_txs() == 20  # 2 hops each
+        assert network.payments_routed == 10

@@ -1,0 +1,125 @@
+"""Tests for repro.scaling.htlc (atomic multi-hop channel payments)."""
+
+import pytest
+
+from repro.common.errors import ChannelError
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import KeyPair
+from repro.scaling.channels import ChannelNetwork
+from repro.scaling.htlc import HtlcRouter, HtlcState
+
+
+@pytest.fixture
+def route_world(rng):
+    """A -> B -> C channel line plus a router."""
+    a, b, c = (KeyPair.generate(rng) for _ in range(3))
+    network = ChannelNetwork()
+    for party in (a, b, c):
+        network.register(party)
+    network.open_channel(a.address, b.address, 1_000, 1_000)
+    network.open_channel(b.address, c.address, 1_000, 1_000)
+    return HtlcRouter(network), network, a, b, c
+
+
+class TestInvoice:
+    def test_invoice_hash_is_of_secret(self, route_world):
+        router, _, _, _, c = route_world
+        invoice = router.create_invoice(c.address, 100, b"secret-1")
+        assert invoice.payment_hash == sha256(b"secret-1")
+
+    def test_nonpositive_amount_rejected(self, route_world):
+        router, _, _, _, c = route_world
+        with pytest.raises(ChannelError):
+            router.create_invoice(c.address, 0, b"x")
+
+
+class TestHappyPath:
+    def test_two_hop_payment_settles_atomically(self, route_world):
+        router, network, a, b, c = route_world
+        invoice = router.create_invoice(c.address, 200, b"s")
+        locks = router.pay(a.address, invoice, now=0.0)
+        assert len(locks) == 2
+        assert all(h.state == HtlcState.FULFILLED for h in locks)
+        ab = network.channel(a.address, b.address)
+        bc = network.channel(b.address, c.address)
+        assert ab.balance_of(a.address) == 800
+        assert bc.balance_of(c.address) == 1_200
+        # The intermediary nets to zero: +200 in one channel, -200 in the other.
+        assert ab.balance_of(b.address) + bc.balance_of(b.address) == 2_000
+        assert router.payments_settled == 1
+
+    def test_lock_moves_no_funds_until_fulfilment(self, route_world):
+        router, network, a, b, c = route_world
+        invoice = router.create_invoice(c.address, 200, b"s")
+        locks = router.lock_route(a.address, invoice, now=0.0)
+        ab = network.channel(a.address, b.address)
+        assert ab.balance_of(a.address) == 1_000  # still locked, not paid
+        router.settle(locks, b"s", now=1.0)
+        assert ab.balance_of(a.address) == 800
+
+    def test_timeouts_decrease_toward_recipient(self, route_world):
+        router, _, a, _, c = route_world
+        invoice = router.create_invoice(c.address, 50, b"s")
+        locks = router.lock_route(a.address, invoice, now=0.0)
+        assert locks[0].expires_at > locks[1].expires_at
+
+
+class TestFailureModes:
+    def test_wrong_preimage_rejected(self, route_world):
+        router, _, a, _, c = route_world
+        invoice = router.create_invoice(c.address, 100, b"right")
+        locks = router.lock_route(a.address, invoice, now=0.0)
+        with pytest.raises(ChannelError):
+            router.settle(locks, b"wrong", now=1.0)
+        assert all(h.state == HtlcState.PENDING for h in locks)
+
+    def test_expired_htlc_cannot_fulfill(self, route_world):
+        router, _, a, _, c = route_world
+        invoice = router.create_invoice(c.address, 100, b"s")
+        locks = router.lock_route(a.address, invoice, now=0.0, timeout_s=120.0)
+        with pytest.raises(ChannelError):
+            locks[-1].fulfill(b"s", now=10_000.0)
+
+    def test_refund_after_expiry_restores_everyone(self, route_world):
+        router, network, a, b, c = route_world
+        invoice = router.create_invoice(c.address, 100, b"s")
+        locks = router.lock_route(a.address, invoice, now=0.0, timeout_s=120.0)
+        refunded = router.refund_expired(locks, now=10_000.0)
+        assert refunded == 2
+        assert router.payments_refunded == 1
+        ab = network.channel(a.address, b.address)
+        assert ab.balance_of(a.address) == 1_000  # nothing ever moved
+
+    def test_refund_before_expiry_rejected(self, route_world):
+        router, _, a, _, c = route_world
+        invoice = router.create_invoice(c.address, 100, b"s")
+        locks = router.lock_route(a.address, invoice, now=0.0)
+        with pytest.raises(ChannelError):
+            locks[0].refund(now=1.0)
+
+    def test_double_fulfill_rejected(self, route_world):
+        router, _, a, _, c = route_world
+        invoice = router.create_invoice(c.address, 100, b"s")
+        locks = router.pay(a.address, invoice, now=0.0)
+        with pytest.raises(ChannelError):
+            locks[0].fulfill(b"s", now=1.0)
+
+    def test_insufficient_hop_capacity_fails_cleanly(self, route_world):
+        router, network, a, b, c = route_world
+        invoice = router.create_invoice(c.address, 5_000, b"s")  # > capacity
+        with pytest.raises(ChannelError):
+            router.lock_route(a.address, invoice, now=0.0)
+
+    def test_unknown_invoice_cannot_settle(self, route_world, rng):
+        from repro.scaling.htlc import Invoice
+
+        router, _, a, _, c = route_world
+        rogue = Invoice(payment_hash=sha256(b"nobody"), amount=10, recipient=c.address)
+        with pytest.raises(ChannelError):
+            router.pay(a.address, rogue, now=0.0)
+
+    def test_route_too_long_for_timeout(self, route_world):
+        router, _, a, _, c = route_world
+        invoice = router.create_invoice(c.address, 10, b"s")
+        with pytest.raises(ChannelError):
+            router.lock_route(a.address, invoice, now=0.0, timeout_s=60.0)

@@ -1,0 +1,149 @@
+"""Tests for repro.scaling.plasma (Section VI-A nested chains)."""
+
+import pytest
+
+from repro.common.errors import FraudProofError, ValidationError
+from repro.crypto.keys import KeyPair
+from repro.scaling.plasma import (
+    Commitment,
+    PlasmaChain,
+    PlasmaOperator,
+    PlasmaTx,
+)
+
+
+@pytest.fixture
+def plasma(rng):
+    users = [KeyPair.generate(rng) for _ in range(3)]
+    operator_addr = KeyPair.generate(rng).address
+    chain = PlasmaChain(operator=operator_addr, bond=10_000)
+    operator = PlasmaOperator(
+        chain, deposits={u.address: 1_000 for u in users}
+    )
+    return chain, operator, users
+
+
+class TestChildChain:
+    def test_transfer_applies(self, plasma):
+        chain, operator, users = plasma
+        a, b, _ = users
+        operator.submit_tx(PlasmaTx(a.address, b.address, 100, nonce=0))
+        block = operator.seal_block()
+        assert operator.balances[a.address] == 900
+        assert operator.balances[b.address] == 1_100
+        assert block.number == 0
+
+    def test_overspend_rejected_at_submit(self, plasma):
+        chain, operator, users = plasma
+        a, b, _ = users
+        with pytest.raises(ValidationError):
+            operator.submit_tx(PlasmaTx(a.address, b.address, 9_999, nonce=0))
+
+    def test_bad_nonce_rejected(self, plasma):
+        chain, operator, users = plasma
+        a, b, _ = users
+        with pytest.raises(ValidationError):
+            operator.submit_tx(PlasmaTx(a.address, b.address, 1, nonce=5))
+
+    def test_empty_block_rejected(self, plasma):
+        chain, operator, _ = plasma
+        with pytest.raises(ValidationError):
+            operator.seal_block()
+
+    def test_value_conserved(self, plasma):
+        chain, operator, users = plasma
+        a, b, c = users
+        operator.submit_tx(PlasmaTx(a.address, b.address, 100, nonce=0))
+        operator.submit_tx(PlasmaTx(b.address, c.address, 50, nonce=0))
+        operator.seal_block()
+        assert sum(operator.balances.values()) == 3_000
+
+
+class TestCommitments:
+    def test_only_roots_reach_the_root_chain(self, plasma):
+        """"Only Merkle roots created in the sidechains are periodically
+        broadcasted to the main network"."""
+        chain, operator, users = plasma
+        a, b, _ = users
+        for n in range(5):
+            operator.submit_tx(PlasmaTx(a.address, b.address, 10, nonce=n))
+            operator.seal_block()
+        assert len(chain.commitments) == 5
+        assert chain.on_chain_bytes() == 5 * Commitment.SIZE_BYTES
+        assert operator.child_chain_bytes() > chain.on_chain_bytes()
+        assert operator.compression_ratio() > 1.0
+
+    def test_duplicate_commitment_rejected(self, plasma):
+        chain, operator, users = plasma
+        a, b, _ = users
+        operator.submit_tx(PlasmaTx(a.address, b.address, 10, nonce=0))
+        block = operator.seal_block()
+        with pytest.raises(ValidationError):
+            chain.submit_commitment(
+                Commitment(block_number=block.number, root=block.root)
+            )
+
+    def test_inclusion_proofs_verify_against_commitment(self, plasma):
+        chain, operator, users = plasma
+        a, b, _ = users
+        tx = PlasmaTx(a.address, b.address, 10, nonce=0)
+        operator.submit_tx(tx)
+        block = operator.seal_block()
+        proof = operator.inclusion_proof(block.number, tx)
+        assert proof.verify(chain.commitments[block.number].root)
+
+
+class TestFraud:
+    def sneak_invalid(self, plasma):
+        chain, operator, users = plasma
+        a, b, _ = users
+        operator.submit_tx(PlasmaTx(a.address, b.address, 10, nonce=0))
+        invalid = PlasmaTx(a.address, b.address, 999_999, nonce=7)  # overspend
+        block = operator.seal_block(include_invalid=invalid)
+        return chain, operator, users, block, invalid
+
+    def test_fraud_proof_slashes_bond(self, plasma):
+        """"Stakeholders need to display proof of fraud and the Byzantine
+        node gets penalized"."""
+        chain, operator, users, block, invalid = self.sneak_invalid(plasma)
+        proof = operator.build_fraud_proof(block.number, invalid, "overspend")
+        slashed = chain.challenge(proof)
+        assert slashed == 10_000
+        assert chain.operator_slashed
+        assert chain.halted
+
+    def test_halted_chain_rejects_commitments(self, plasma):
+        chain, operator, users, block, invalid = self.sneak_invalid(plasma)
+        chain.challenge(operator.build_fraud_proof(block.number, invalid, "overspend"))
+        a, b, _ = users
+        operator.submit_tx(PlasmaTx(a.address, b.address, 1, nonce=1))
+        with pytest.raises(ValidationError):
+            operator.seal_block()
+
+    def test_fraud_proof_must_match_commitment(self, plasma):
+        chain, operator, users, block, invalid = self.sneak_invalid(plasma)
+        proof = operator.build_fraud_proof(block.number, invalid, "overspend")
+        from dataclasses import replace
+
+        with pytest.raises(FraudProofError):
+            chain.challenge(replace(proof, block_number=99))
+
+    def test_honest_tx_cannot_be_framed(self, plasma):
+        chain, operator, users = plasma
+        a, b, _ = users
+        tx = PlasmaTx(a.address, b.address, 10, nonce=0)
+        operator.submit_tx(tx)
+        block = operator.seal_block()
+        proof = operator.build_fraud_proof(block.number, tx, "not-a-reason")
+        with pytest.raises(FraudProofError):
+            chain.challenge(proof)
+
+    def test_mass_exit_after_fraud(self, plasma):
+        chain, operator, users, block, invalid = self.sneak_invalid(plasma)
+        chain.challenge(operator.build_fraud_proof(block.number, invalid, "overspend"))
+        operator.exit_all()
+        assert sum(chain.exited.values()) == 3_000
+
+    def test_bond_must_be_positive(self, rng):
+        with pytest.raises(ValidationError):
+            PlasmaChain(KeyPair.generate(rng).address, bond=0)

@@ -1,0 +1,141 @@
+"""Tests for repro.scaling.sharding and blocksize (Section VI-A)."""
+
+import pytest
+
+from repro.common.errors import InsufficientFundsError, ShardingError
+from repro.crypto.keys import KeyPair
+from repro.common.units import MB
+from repro.blockchain.params import BITCOIN
+from repro.scaling.blocksize import (
+    CONSUMER_NODE_CAPACITY_BPS,
+    blocksize_sweep,
+    centralization_threshold_bytes,
+    node_load_for,
+)
+from repro.scaling.sharding import ShardedLedger
+
+
+def users(rng, n):
+    return [KeyPair.generate(rng).address for _ in range(n)]
+
+
+class TestPlacement:
+    def test_deterministic_assignment(self, rng):
+        ledger = ShardedLedger(shard_count=4)
+        account = users(rng, 1)[0]
+        assert ledger.shard_of(account) == ledger.shard_of(account)
+
+    def test_accounts_spread_across_shards(self, rng):
+        ledger = ShardedLedger(shard_count=4)
+        shards = {ledger.shard_of(a) for a in users(rng, 64)}
+        assert len(shards) == 4
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ShardingError):
+            ShardedLedger(shard_count=0)
+
+
+class TestTransfers:
+    def test_intra_shard_immediate(self, rng):
+        ledger = ShardedLedger(shard_count=4)
+        pool = users(rng, 200)
+        a = pool[0]
+        same = next(x for x in pool[1:] if ledger.shard_of(x) == ledger.shard_of(a))
+        ledger.credit(a, 100)
+        assert ledger.transfer(a, same, 40) is True
+        assert ledger.balance(same) == 40
+        assert ledger.intra_shard_txs == 1
+
+    def test_cross_shard_deferred_one_slot(self, rng):
+        ledger = ShardedLedger(shard_count=4)
+        pool = users(rng, 200)
+        a = pool[0]
+        other = next(x for x in pool[1:] if ledger.shard_of(x) != ledger.shard_of(a))
+        ledger.credit(a, 100)
+        assert ledger.transfer(a, other, 40) is False
+        assert ledger.balance(other) == 0  # receipt not applied yet
+        ledger.advance_slot()
+        assert ledger.balance(other) == 40
+        assert ledger.cross_shard_txs == 1
+
+    def test_supply_conserved_in_flight(self, rng):
+        ledger = ShardedLedger(shard_count=4)
+        pool = users(rng, 100)
+        for a in pool[:10]:
+            ledger.credit(a, 1_000)
+        import random as _r
+
+        rnd = _r.Random(0)
+        for _ in range(50):
+            src = rnd.choice(pool[:10])
+            dst = rnd.choice(pool)
+            if ledger.balance(src) >= 10 and src != dst:
+                ledger.transfer(src, dst, 10)
+        assert ledger.total_supply() == 10_000
+        ledger.settle()
+        assert ledger.total_supply() == 10_000
+
+    def test_overdraw_rejected(self, rng):
+        ledger = ShardedLedger(shard_count=2)
+        a, b = users(rng, 2)
+        with pytest.raises(InsufficientFundsError):
+            ledger.transfer(a, b, 1)
+
+    def test_nonpositive_amount_rejected(self, rng):
+        ledger = ShardedLedger(shard_count=2)
+        a, b = users(rng, 2)
+        with pytest.raises(ShardingError):
+            ledger.transfer(a, b, 0)
+
+    def test_cross_shard_costs_two_entries(self, rng):
+        ledger = ShardedLedger(shard_count=4)
+        pool = users(rng, 200)
+        a = pool[0]
+        other = next(x for x in pool[1:] if ledger.shard_of(x) != ledger.shard_of(a))
+        ledger.credit(a, 100)
+        ledger.transfer(a, other, 10)
+        ledger.settle()
+        assert sum(ledger.entries_by_shard()) == 2
+
+
+class TestThroughputModel:
+    def test_linear_in_shards_when_local(self):
+        k1 = ShardedLedger(1, per_shard_tps=10).effective_tps(0.0)
+        k8 = ShardedLedger(8, per_shard_tps=10).effective_tps(0.0)
+        assert k8 == pytest.approx(8 * k1)
+
+    def test_cross_shard_erodes_gain(self):
+        ledger = ShardedLedger(8, per_shard_tps=10)
+        assert ledger.effective_tps(1.0) == pytest.approx(
+            ledger.effective_tps(0.0) / 2
+        )
+
+    def test_fraction_validated(self):
+        with pytest.raises(ShardingError):
+            ShardedLedger(2).effective_tps(1.5)
+
+
+class TestBlockSize:
+    def test_tps_linear_in_size(self):
+        points = blocksize_sweep(BITCOIN, [1 * MB, 2 * MB, 4 * MB])
+        assert points[1].tps == pytest.approx(2 * points[0].tps)
+        assert points[2].tps == pytest.approx(4 * points[0].tps)
+
+    def test_segwit2x_point(self):
+        """Section VI-A: Segwit2x doubles capacity to ~6-13 TPS."""
+        (point,) = blocksize_sweep(BITCOIN, [2 * MB])
+        assert 6 <= point.tps <= 14
+
+    def test_node_load_linear(self):
+        assert node_load_for(2 * MB, 600) == pytest.approx(2 * node_load_for(1 * MB, 600))
+
+    def test_centralization_threshold(self):
+        threshold = centralization_threshold_bytes(BITCOIN)
+        assert threshold == int(CONSUMER_NODE_CAPACITY_BPS * 600)
+        points = blocksize_sweep(BITCOIN, [1 * MB, threshold + MB])
+        assert points[0].consumer_viable
+        assert not points[1].consumer_viable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            node_load_for(0, 600)

@@ -1,0 +1,126 @@
+"""Security-oriented property tests: tampered proofs and conserved value."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.trie import MerklePatriciaTrie, TrieProof
+from repro.crypto.hashing import sha256d
+
+
+class TestMerkleProofTampering:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        leaf_count=st.integers(min_value=2, max_value=32),
+        data=st.data(),
+    )
+    def test_any_single_bit_flip_breaks_the_proof(self, leaf_count, data):
+        leaves = [sha256d(bytes([i])) for i in range(leaf_count)]
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=leaf_count - 1))
+        proof = tree.proof(index)
+        step_index = data.draw(
+            st.integers(min_value=0, max_value=len(proof.steps) - 1)
+        )
+        byte_index = data.draw(st.integers(min_value=0, max_value=31))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+
+        from repro.common.types import Hash
+        from repro.crypto.merkle import MerkleProofStep
+
+        victim = proof.steps[step_index]
+        raw = bytearray(bytes(victim.sibling))
+        raw[byte_index] ^= 1 << bit
+        tampered_steps = list(proof.steps)
+        tampered_steps[step_index] = MerkleProofStep(
+            sibling=Hash(bytes(raw)), sibling_is_left=victim.sibling_is_left
+        )
+        tampered = MerkleProof(leaf=proof.leaf, steps=tampered_steps)
+        assert not tampered.verify(tree.root)
+
+    @settings(max_examples=20, deadline=None)
+    @given(leaf_count=st.integers(min_value=2, max_value=16), data=st.data())
+    def test_proof_not_transferable_between_leaves(self, leaf_count, data):
+        leaves = [sha256d(bytes([i])) for i in range(leaf_count)]
+        tree = MerkleTree(leaves)
+        i = data.draw(st.integers(min_value=0, max_value=leaf_count - 1))
+        j = data.draw(
+            st.integers(min_value=0, max_value=leaf_count - 1).filter(lambda x: x != i)
+        )
+        stolen = MerkleProof(leaf=leaves[j], steps=tree.proof(i).steps)
+        assert not stolen.verify(tree.root)
+
+
+class TestTrieProofTampering:
+    def build(self, entries=20):
+        trie = MerklePatriciaTrie()
+        for i in range(entries):
+            trie.put(bytes([i]), bytes([i * 2 % 256]))
+        return trie
+
+    def test_value_substitution_detected(self):
+        trie = self.build()
+        proof = trie.prove(bytes([5]))
+        forged = TrieProof(key=proof.key, value=b"forged", nodes=proof.nodes)
+        assert not MerklePatriciaTrie.verify_proof(trie.root_hash, forged)
+
+    def test_key_substitution_detected(self):
+        trie = self.build()
+        proof = trie.prove(bytes([5]))
+        forged = TrieProof(key=bytes([6]), value=proof.value, nodes=proof.nodes)
+        assert not MerklePatriciaTrie.verify_proof(trie.root_hash, forged)
+
+    def test_node_mutation_detected(self):
+        trie = self.build()
+        proof = trie.prove(bytes([5]))
+        mutated_nodes = list(proof.nodes)
+        raw = bytearray(mutated_nodes[0])
+        raw[len(raw) // 2] ^= 0xFF
+        mutated_nodes[0] = bytes(raw)
+        forged = TrieProof(key=proof.key, value=proof.value, nodes=tuple(mutated_nodes))
+        assert not MerklePatriciaTrie.verify_proof(trie.root_hash, forged)
+
+    def test_truncated_proof_detected(self):
+        trie = self.build()
+        proof = trie.prove(bytes([5]))
+        if len(proof.nodes) > 1:
+            forged = TrieProof(key=proof.key, value=proof.value, nodes=proof.nodes[:1])
+            assert not MerklePatriciaTrie.verify_proof(trie.root_hash, forged)
+
+
+class TestChannelConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        payments=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=5),
+                      st.integers(min_value=0, max_value=5),
+                      st.integers(min_value=1, max_value=50)),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_hub_network_conserves_value(self, payments):
+        """Property: any routable payment sequence settles to exactly the
+        deposited total; unroutable ones change nothing."""
+        from repro.common.errors import ChannelError
+        from repro.scaling.channels import ChannelNetwork
+
+        rng = random.Random(99)
+        network = ChannelNetwork()
+        hub = KeyPair.generate(rng)
+        network.register(hub)
+        clients = [KeyPair.generate(rng) for _ in range(6)]
+        for client in clients:
+            network.register(client)
+            network.open_channel(client.address, hub.address, 200, 200)
+        for a, b, amount in payments:
+            if a == b:
+                continue
+            try:
+                network.send(clients[a].address, clients[b].address, amount)
+            except ChannelError:
+                pass  # insufficient capacity: nothing may change
+        settled = network.close_all()
+        assert sum(settled.values()) == 6 * 400

@@ -1,0 +1,132 @@
+"""Tests for repro.sim (event queue + simulator)."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("late"))
+        q.push(1.0, lambda: fired.append("early"))
+        q.pop().action()
+        assert fired == ["early"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        second = q.push(1.0, lambda: None)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_cancellation(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        event.cancel()
+        assert q.pop() is None
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        event.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_empty_pop(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(3.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [3.5]
+        assert sim.now == 3.5
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        sim.run(until=20.0)
+        assert sim.now == 20.0
+        assert sim.events_processed == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: order.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_periodic(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(2.0, lambda: ticks.append(sim.now), until=9.0)
+        sim.run(until=9.0)
+        assert ticks == [2.0, 4.0, 6.0, 8.0]
+
+    def test_periodic_requires_positive_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_determinism_across_runs(self):
+        def run():
+            sim = Simulator(seed=77)
+            values = []
+            for _ in range(5):
+                sim.schedule(sim.rng.random(), lambda: values.append(sim.now))
+            sim.run()
+            return values
+
+        assert run() == run()
+
+    def test_fork_rng_independent(self):
+        sim = Simulator(seed=1)
+        a = sim.fork_rng("a")
+        b = sim.fork_rng("b")
+        assert a.random() != b.random()
+
+    def test_cancel_scheduled_event(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []

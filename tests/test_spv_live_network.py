@@ -1,0 +1,59 @@
+"""SPV client following a live mining network (integration)."""
+
+from dataclasses import replace
+
+from repro.crypto.keys import KeyPair
+from repro.net.link import FAST_LINK
+from repro.net.network import Network
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.params import BITCOIN
+from repro.blockchain.spv import SpvClient, make_payment_proof
+from repro.blockchain.transaction import build_transaction
+
+PARAMS = replace(BITCOIN, target_block_interval_s=10.0, confirmation_depth=3)
+
+
+def test_spv_wallet_tracks_payment_through_live_network():
+    """End to end: a payment is mined on a live PoW network; a light
+    wallet that only syncs headers verifies it and waits for depth."""
+    alice = KeyPair.from_seed(b"\x61" * 32)
+    bob = KeyPair.from_seed(b"\x62" * 32)
+    genesis = build_genesis_with_allocations(
+        {alice.address: 10**9, bob.address: 10**9}
+    )
+    sim = Simulator(seed=13)
+    net = Network(sim)
+    nodes = [
+        n for n in complete_topology(
+            net, 4, lambda nid: BlockchainNode(nid, PARAMS, genesis), FAST_LINK
+        )
+        if isinstance(n, BlockchainNode)
+    ]
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(0.25, KeyPair.from_seed(bytes([70 + i]) * 32).address)
+
+    tx = build_transaction(
+        alice, nodes[0].utxo.spendable(alice.address), bob.address, 4242
+    )
+    nodes[0].submit_transaction(tx)
+    sim.run(until=400)
+
+    # Bob's light wallet syncs headers from any full node...
+    wallet = SpvClient(genesis.header, check_pow=False)  # sim blocks use MAX_TARGET
+    wallet.sync_from(nodes[1].chain)
+    assert wallet.height == nodes[1].chain.height
+
+    # ...and asks a full node for the payment proof.
+    full = nodes[1]
+    containing_id = full._tx_blocks[tx.txid]  # noqa: SLF001 - test introspection
+    containing = full.chain.block(containing_id)
+    proof = make_payment_proof(containing, tx.txid)
+
+    confirmations = wallet.verify_payment(proof)
+    assert confirmations >= PARAMS.confirmation_depth
+    assert wallet.is_confirmed(proof, PARAMS.confirmation_depth)
+    # Wallet storage is a small fraction of the full node's.
+    assert wallet.storage_bytes() < full.chain.total_size_bytes()

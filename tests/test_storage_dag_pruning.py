@@ -1,0 +1,136 @@
+"""Tests for repro.storage.dag_pruning and growth models (Section V-B)."""
+
+import pytest
+
+from repro.common.units import GB
+from repro.crypto.keys import KeyPair
+from repro.dag.blocks import make_receive, make_send
+from repro.storage.dag_pruning import (
+    DagNodeType,
+    dag_footprint,
+    footprint_by_type,
+    head_blocks,
+    prune_lattice,
+)
+from repro.storage.growth import (
+    GrowthModel,
+    LEDGER_SNAPSHOT_2018,
+    ordering_matches_snapshot,
+    snapshot_ratios,
+)
+
+
+def churn(lattice, alice, bob, rounds=10):
+    """alice -> bob settled transfers to grow both chains."""
+    for _ in range(rounds):
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 10,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        receive = make_receive(
+            bob, lattice.chain(bob.address).head, send.block_hash, 10,
+            work_difficulty=1,
+        )
+        lattice.process(receive)
+
+
+class TestPruneLattice:
+    def test_prune_keeps_balances(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        churn(lattice, alice, bob, rounds=10)
+        balance_a = lattice.balance(alice.address)
+        balance_b = lattice.balance(bob.address)
+        result = prune_lattice(lattice)
+        assert result.bytes_freed > 0
+        assert lattice.balance(alice.address) == balance_a
+        assert lattice.balance(bob.address) == balance_b
+
+    def test_prune_leaves_one_head_per_account(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        churn(lattice, alice, bob, rounds=10)
+        accounts = lattice.account_count()
+        prune_lattice(lattice)
+        assert lattice.block_count() == accounts  # nothing pending here
+
+    def test_unsettled_sends_survive_pruning(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 42,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        prune_lattice(lattice)
+        assert send.block_hash in lattice
+        pending = lattice.pending_for(bob.address)
+        assert len(pending) == 1 and pending[0].amount == 42
+
+    def test_fraction_freed_grows_with_history(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        churn(lattice, alice, bob, rounds=20)
+        result = prune_lattice(lattice)
+        assert result.fraction_freed > 0.8  # long chains, few heads
+
+
+class TestNodeTypes:
+    def test_footprints_ordered(self, funded_lattice):
+        """Section V-B: historical > current > light."""
+        lattice, gk, alice, bob = funded_lattice
+        churn(lattice, alice, bob, rounds=10)
+        footprints = footprint_by_type(lattice)
+        assert (
+            footprints["historical"]
+            > footprints["current"]
+            > footprints["light"] == 0
+        )
+
+    def test_current_counts_heads_and_pending(self, funded_lattice):
+        lattice, gk, alice, bob = funded_lattice
+        churn(lattice, alice, bob, rounds=5)
+        heads = head_blocks(lattice)
+        expected = sum(b.size_bytes for b in heads.values())
+        assert dag_footprint(lattice, DagNodeType.CURRENT) == expected
+
+    def test_historical_is_full_ledger(self, funded_lattice):
+        lattice, *_ = funded_lattice
+        assert dag_footprint(lattice, DagNodeType.HISTORICAL) == (
+            lattice.serialized_size()
+        )
+
+
+class TestGrowthModels:
+    def test_linear_growth(self):
+        model = GrowthModel("x", entries_per_second=2.0, bytes_per_entry=100.0)
+        assert model.size_at(0) == 0
+        assert model.size_at(10) == 2000
+        assert model.growth_per_year() == pytest.approx(2 * 100 * 365 * 86400)
+
+    def test_genesis_offset(self):
+        model = GrowthModel("x", 1.0, 1.0, genesis_bytes=500.0)
+        assert model.size_at(0) == 500
+
+    def test_series_endpoints(self):
+        model = GrowthModel("x", 1.0, 10.0)
+        series = model.series(horizon_s=100.0, points=5)
+        assert len(series) == 5
+        assert series[0] == (0.0, 0.0)
+        assert series[-1][0] == pytest.approx(100.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            GrowthModel("x", 1.0, 1.0).size_at(-1)
+
+    def test_snapshot_constants(self):
+        assert LEDGER_SNAPSHOT_2018["bitcoin"].size_bytes == pytest.approx(145.95 * GB)
+        assert LEDGER_SNAPSHOT_2018["nano"].block_count == 6_700_078
+
+    def test_snapshot_ratios(self):
+        ratios = snapshot_ratios()
+        assert ratios["nano"] == 1.0
+        assert ratios["bitcoin"] == pytest.approx(145.95 / 3.42, rel=1e-3)
+
+    def test_ordering_check(self):
+        assert ordering_matches_snapshot({"bitcoin": 3, "ethereum": 2, "nano": 1})
+        assert not ordering_matches_snapshot({"bitcoin": 1, "ethereum": 2, "nano": 3})
+        with pytest.raises(ValueError):
+            ordering_matches_snapshot({"bitcoin": 1})

@@ -1,0 +1,159 @@
+"""Tests for repro.storage: sizing, Bitcoin pruning, Ethereum fast sync."""
+
+import pytest
+
+from repro.common.errors import PrunedHistoryError
+from repro.crypto.keys import KeyPair
+from repro.crypto.pow import MAX_TARGET
+from repro.blockchain.block import assemble_block, build_genesis_block
+from repro.blockchain.chain import ChainStore
+from repro.blockchain.state import AccountState
+from repro.blockchain.transaction import make_coinbase, sign_account_transaction
+from repro.storage.fast_sync import fast_sync, prune_state_deltas
+from repro.storage.pruning import PruneResult, prune_chain, pruned_view
+from repro.storage.sizing import (
+    blockchain_size_report,
+    dag_size_report,
+    per_transaction_bytes,
+)
+
+
+def build_chain(keypair, blocks=30, txs_per_block=3):
+    genesis = build_genesis_block(keypair.address, 10**9)
+    store = ChainStore(genesis)
+    parent = genesis
+    for height in range(1, blocks + 1):
+        body = [make_coinbase(keypair.address, 50, nonce=height * 100 + i)
+                for i in range(txs_per_block)]
+        block = assemble_block(parent.header, body, float(height), MAX_TARGET)
+        store.add_block(block)
+        parent = block
+    return store
+
+
+class TestSizeReports:
+    def test_blockchain_report_components(self, keypair):
+        store = build_chain(keypair, blocks=10)
+        report = blockchain_size_report(store)
+        assert report.components["headers"] > 0
+        assert report.components["tx_bodies"] > report.components["headers"]
+        assert report.total_bytes == store.total_size_bytes()
+
+    def test_dag_report(self, funded_lattice):
+        lattice, *_ = funded_lattice
+        report = dag_size_report(lattice)
+        assert report.total_bytes == lattice.serialized_size()
+        from repro.dag.blocks import NanoBlock
+
+        assert report.components["signatures_and_work"] == (
+            NanoBlock.AUTH_OVERHEAD_BYTES * lattice.block_count()
+        )
+
+    def test_per_transaction_bytes(self, keypair):
+        store = build_chain(keypair, blocks=10)
+        report = blockchain_size_report(store)
+        per_tx = per_transaction_bytes(report, tx_count=31)
+        assert per_tx == pytest.approx(report.total_bytes / 31)
+
+    def test_render(self, keypair):
+        store = build_chain(keypair, blocks=3)
+        text = blockchain_size_report(store).render()
+        assert "headers" in text and "tx_bodies" in text
+
+
+class TestBitcoinPruning:
+    def test_prune_frees_old_bodies_keeps_headers(self, keypair):
+        store = build_chain(keypair, blocks=30)
+        result = prune_chain(store, keep_depth=5)
+        assert result.blocks_pruned == 26  # genesis..height 25
+        assert result.bytes_freed > 0
+        assert result.size_after == result.size_before - result.bytes_freed
+        # Headers intact: chain still walks.
+        assert store.block_at_height(0).header is not None
+        assert store.block_at_height(0).transactions == ()
+
+    def test_recent_window_retained(self, keypair):
+        store = build_chain(keypair, blocks=30)
+        prune_chain(store, keep_depth=5)
+        for height in range(26, 31):
+            assert store.block_at_height(height).transactions != ()
+
+    def test_pruned_node_cannot_serve_history(self, keypair):
+        """Section V-A: "other nodes are no longer able to download the
+        entire history of a pruned node"."""
+        store = build_chain(keypair, blocks=30)
+        result = prune_chain(store, keep_depth=5)
+        view = pruned_view(store, result)
+        assert not view.can_serve_full_history()
+        with pytest.raises(PrunedHistoryError):
+            view.get_block_body(store.block_at_height(0).block_id)
+        # Recent blocks still served.
+        assert view.get_block_body(store.block_at_height(29).block_id)
+
+    def test_double_prune_idempotent(self, keypair):
+        store = build_chain(keypair, blocks=30)
+        prune_chain(store, keep_depth=5)
+        second = prune_chain(store, keep_depth=5)
+        assert second.bytes_freed == 0
+
+    def test_keep_depth_validated(self, keypair):
+        store = build_chain(keypair, blocks=5)
+        with pytest.raises(ValueError):
+            prune_chain(store, keep_depth=0)
+
+    def test_fraction_freed(self):
+        result = PruneResult(1, 400, 1, 1000, 600)
+        assert result.fraction_freed == pytest.approx(0.4)
+
+
+class TestFastSync:
+    def build_account_chain(self, rng, blocks=20):
+        alice, bob, miner = (KeyPair.generate(rng) for _ in range(3))
+        genesis = build_genesis_block(miner.address, 1)
+        store = ChainStore(genesis)
+        state = AccountState()
+        state.credit(alice.address, 10**12)
+        receipts_by_block = [[]]
+        parent = genesis
+        for height in range(1, blocks + 1):
+            tx = sign_account_transaction(
+                alice, height - 1, bob.address, 100, gas_price=1
+            )
+            receipts, _gas = state.apply_block_transactions(
+                [tx], miner.address, block_reward=0
+            )
+            block = assemble_block(
+                parent.header, [tx], float(height), MAX_TARGET,
+                state_root=state.root_hash,
+            )
+            store.add_block(block)
+            receipts_by_block.append(receipts)
+            parent = block
+        return store, state, receipts_by_block
+
+    def test_fast_sync_skips_replay(self, rng):
+        store, state, receipts = self.build_account_chain(rng, blocks=20)
+        result = fast_sync(store, state, receipts, pivot_offset=5)
+        assert result.pivot_height == 15
+        assert result.fast_sync_txs_replayed == 5
+        assert result.full_sync_txs_replayed == 21  # 20 txs + genesis coinbase
+        assert result.replay_saved == 16
+
+    def test_state_snapshot_is_live_size(self, rng):
+        store, state, receipts = self.build_account_chain(rng, blocks=10)
+        result = fast_sync(store, state, receipts, pivot_offset=2)
+        assert result.state_snapshot_bytes == state.live_size_bytes()
+        assert result.state_snapshot_bytes < state.store_size_bytes()
+
+    def test_delta_pruning_after_sync(self, rng):
+        """"The result of the mechanism is a database pruned of the state
+        deltas" — pruning history shrinks the store to the live root."""
+        store, state, receipts = self.build_account_chain(rng, blocks=10)
+        freed = prune_state_deltas(state)
+        assert freed > 0
+        assert state.store_size_bytes() == state.live_size_bytes()
+
+    def test_pivot_clamped_to_genesis(self, rng):
+        store, state, receipts = self.build_account_chain(rng, blocks=3)
+        result = fast_sync(store, state, receipts, pivot_offset=1024)
+        assert result.pivot_height == 0
