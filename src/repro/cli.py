@@ -7,7 +7,8 @@ writing any code:
 * ``compare``       — run the blockchain-vs-DAG comparison on a workload;
 * ``tps``           — Section VI-A protocol throughput ceilings;
 * ``confirmation``  — Section IV-A depth-for-risk table;
-* ``growth``        — Section V ledger growth snapshot and ratios.
+* ``growth``        — Section V ledger growth snapshot and ratios;
+* ``faults``        — degraded-network gossip run with a JSONL trace.
 """
 
 from __future__ import annotations
@@ -104,6 +105,81 @@ def _cmd_growth(args: argparse.Namespace) -> int:
         title="Section V ledger sizes (paper's reference points)",
     ))
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Gossip under injected faults: timed partition with auto-heal plus
+    node churn, reported from the structured trace."""
+    from repro.faults import ChurnParams, FaultInjector
+    from repro.metrics.collector import MetricCollector
+    from repro.net.link import FAST_LINK
+    from repro.net.network import Network
+    from repro.net.node import NetworkNode
+    from repro.net.topology import complete_topology, small_world_topology
+    from repro.sim.simulator import Simulator
+    from repro.workloads.generators import gossip_workload
+
+    if args.nodes < 2:
+        print("error: --nodes must be at least 2", file=sys.stderr)
+        return 2
+    sim = Simulator(seed=args.seed)
+    net = Network(sim)
+    # Watts-Strogatz needs count > k; tiny networks get a clique.
+    if args.nodes > 4:
+        nodes = small_world_topology(net, args.nodes, NetworkNode,
+                                     link_params=FAST_LINK, seed=args.seed)
+    else:
+        nodes = complete_topology(net, args.nodes, NetworkNode, FAST_LINK)
+    injector = FaultInjector(net)
+    half = [n.node_id for n in nodes[: len(nodes) // 2]]
+    rest = [n.node_id for n in nodes[len(nodes) // 2:]]
+    try:
+        injector.partition_at(args.partition_at, [half, rest],
+                              heal_after_s=args.heal_after)
+        if args.churn_nodes > 0:
+            injector.churn(
+                [n.node_id for n in nodes[: args.churn_nodes]],
+                ChurnParams(mtbf_s=args.duration / 4, downtime_s=10.0,
+                            until_s=args.duration * 0.6),
+            )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        sent = gossip_workload(sim, nodes, rate_tps=args.rate,
+                               duration_s=args.duration)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    sim.run(until=args.duration)
+    sim.run()  # drain retransmissions past the horizon
+
+    tracer = net.tracer
+    collector = MetricCollector()
+    collector.ingest_tracer(tracer)
+    expected = len(sent) * (len(nodes) - 1)
+    received = sum(n.messages_received for n in nodes)
+    rows = [
+        ["broadcasts", len(sent)],
+        ["delivery", f"{received}/{expected} "
+                     f"({received / max(expected, 1):.1%})"],
+        ["scheduled", tracer.scheduled],
+        ["delivered", tracer.delivered],
+        ["dropped", tracer.dropped],
+        ["retransmits", tracer.retransmits],
+        ["in flight", tracer.in_flight],
+        ["crashes/restarts",
+         f"{injector.crashes_injected}/{injector.restarts_injected}"],
+    ]
+    for reason, count in sorted(tracer.drop_reasons.items()):
+        rows.append([f"dropped: {reason}", count])
+    print(render_table(["metric", "value"], rows,
+                       title="Degraded-network gossip (faults + trace)"))
+    if args.trace_out:
+        written = tracer.dump_jsonl(args.trace_out)
+        print(f"{written} trace records written to {args.trace_out}",
+              file=sys.stderr)
+    return 0 if received == expected else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -242,6 +318,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("growth", help="ledger size snapshot (§V)").set_defaults(
         func=_cmd_growth
     )
+
+    faults = sub.add_parser(
+        "faults", help="degraded-network gossip run (partition + churn)"
+    )
+    faults.add_argument("--nodes", type=int, default=12)
+    faults.add_argument("--rate", type=float, default=0.5,
+                        help="broadcast rate (messages/s)")
+    faults.add_argument("--duration", type=float, default=120.0,
+                        help="workload horizon (simulated s)")
+    faults.add_argument("--partition-at", type=float, default=30.0)
+    faults.add_argument("--heal-after", type=float, default=30.0)
+    faults.add_argument("--churn-nodes", type=int, default=2,
+                        help="nodes subjected to crash/restart churn")
+    faults.add_argument("--seed", type=int, default=1)
+    faults.add_argument("--trace-out", default=None,
+                        help="dump the structured trace as JSONL")
+    faults.set_defaults(func=_cmd_faults)
 
     report = sub.add_parser("report", help="generate a markdown results report")
     report.add_argument("--output", "-o", default=None,

@@ -16,21 +16,44 @@ from typing import Iterator, Sequence, TypeVar
 T = TypeVar("T")
 
 
+#: Attribute carrying the identity bytes child streams are derived from.
+_FORK_IDENTITY_ATTR = "fork_identity"
+
+
 def make_rng(seed: int) -> random.Random:
-    """A fresh deterministic generator for the given integer seed."""
-    return random.Random(seed)
+    """A fresh deterministic generator for the given integer seed.
+
+    The generator carries a ``fork_identity`` attribute so that
+    :func:`fork_rng` can derive child streams from (root seed, label)
+    alone, without consuming parent state.
+    """
+    rng = random.Random(seed)
+    setattr(rng, _FORK_IDENTITY_ATTR,
+            hashlib.sha256(repr(seed).encode("utf-8")).digest())
+    return rng
 
 
 def fork_rng(parent: random.Random, label: str) -> random.Random:
     """Derive an independent child stream, stable under unrelated changes.
 
-    The child seed mixes a draw from the parent with a label hash, so two
-    forks with different labels are independent even if forked at the same
-    parent state.
+    The child seed is a hash of (parent identity, label): it does not
+    consume parent state, so the order in which consumers fork — and the
+    addition of new consumers — does not perturb the draws seen by
+    existing ones.  Two forks with different labels are independent even
+    if forked from the same parent; forking the same label twice from
+    the same parent yields identical streams.
+
+    Back-compat: a parent not created via :func:`make_rng` (a plain
+    ``random.Random``) has no stable identity, so the legacy path draws
+    64 bits from it — that path is fork-order dependent.
     """
-    raw = parent.getrandbits(64).to_bytes(8, "big") + label.encode("utf-8")
-    digest = hashlib.sha256(raw).digest()
-    return random.Random(int.from_bytes(digest[:8], "big"))
+    identity = getattr(parent, _FORK_IDENTITY_ATTR, None)
+    if identity is None:
+        identity = parent.getrandbits(64).to_bytes(8, "big")
+    digest = hashlib.sha256(identity + b"/" + label.encode("utf-8")).digest()
+    child = random.Random(int.from_bytes(digest[:8], "big"))
+    setattr(child, _FORK_IDENTITY_ATTR, digest)
+    return child
 
 
 def exponential(rng: random.Random, rate: float) -> float:

@@ -139,5 +139,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             ("repro.workloads.attacks", "repro.confirmation.nakamoto"),
             "bench_e15_double_spend.py",
         ),
+        Experiment(
+            "A7", "§IV, §VI-B",
+            "Gossip recovers to full delivery after partitions/churn; "
+            "trace accounts for every drop",
+            ("repro.faults", "repro.trace", "repro.net.network"),
+            "bench_a7_fault_tolerance.py",
+        ),
     ]
 }

@@ -2,15 +2,25 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.metrics.stats import SummaryStats, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace import Tracer
 
 
 @dataclass
 class MetricCollector:
-    """Named counters and sample series recorded during a run."""
+    """Named counters and sample series recorded during a run.
+
+    Series are kept sorted by sample time: :meth:`record` accepts
+    out-of-order timestamps (events from different components need not
+    arrive chronologically) and :meth:`merge` interleaves, so windowed
+    and time-series consumers can rely on monotone time.
+    """
 
     counters: Dict[str, float] = field(default_factory=dict)
     series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
@@ -19,10 +29,30 @@ class MetricCollector:
         self.counters[name] = self.counters.get(name, 0.0) + amount
 
     def record(self, name: str, time_s: float, value: float) -> None:
-        self.series.setdefault(name, []).append((time_s, value))
+        samples = self.series.setdefault(name, [])
+        if samples and time_s < samples[-1][0]:
+            samples.insert(bisect_right(samples, (time_s, float("inf"))),
+                           (time_s, value))
+        else:
+            samples.append((time_s, value))
 
     def values(self, name: str) -> List[float]:
         return [v for _, v in self.series.get(name, [])]
+
+    def samples(self, name: str) -> List[Tuple[float, float]]:
+        """(time, value) pairs in non-decreasing time order."""
+        return list(self.series.get(name, []))
+
+    def window(self, name: str, start_s: float,
+               end_s: float) -> List[Tuple[float, float]]:
+        """Samples with ``start_s <= time < end_s`` — valid only because
+        series are maintained in time order."""
+        if end_s < start_s:
+            raise ValueError("window end precedes start")
+        samples = self.series.get(name, [])
+        lo = bisect_left(samples, (start_s,))
+        hi = bisect_left(samples, (end_s,))
+        return samples[lo:hi]
 
     def summary(self, name: str) -> SummaryStats:
         return summarize(self.values(name))
@@ -31,7 +61,22 @@ class MetricCollector:
         return self.counters.get(name, 0.0)
 
     def merge(self, other: "MetricCollector") -> None:
+        """Fold another collector in: counters add, series interleave
+        preserving time order (a plain extend would corrupt any windowed
+        consumer whenever the runs overlap in time)."""
         for name, value in other.counters.items():
             self.incr(name, value)
         for name, samples in other.series.items():
-            self.series.setdefault(name, []).extend(samples)
+            mine = self.series.get(name)
+            if not mine:
+                merged = sorted(samples, key=lambda s: s[0])
+            else:
+                merged = sorted(mine + samples, key=lambda s: s[0])
+            self.series[name] = merged
+
+    def ingest_tracer(self, tracer: "Tracer") -> None:
+        """Snapshot a :class:`repro.trace.Tracer`'s cumulative counters
+        into ``trace.*`` metrics (overwrites previous snapshot so the
+        counters stay consistent with each other)."""
+        for name, value in tracer.counters().items():
+            self.counters[name] = value

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -60,6 +60,34 @@ def summarize(values: Sequence[float]) -> SummaryStats:
         p99=percentile(values, 99),
         maximum=float(max(values)),
     )
+
+
+def windowed_rate(
+    times: Sequence[float], window_s: float, until: Optional[float] = None
+) -> List[Tuple[float, float]]:
+    """Event rate (per second) in fixed windows over ``times``.
+
+    Returns ``[(window_end_s, rate), ...]`` covering ``[0, until)`` —
+    ``until`` defaults to the last event time.  This is how degraded-
+    network runs visualise a fault: delivery rate collapses inside the
+    partition window and recovers after heal.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if until is None:
+        until = max(times) if times else 0.0
+    ordered = sorted(t for t in times if t < until)
+    windows: List[Tuple[float, float]] = []
+    edge = window_s
+    i = 0
+    while edge - window_s < until:
+        count = 0
+        while i < len(ordered) and ordered[i] < edge:
+            count += 1
+            i += 1
+        windows.append((edge, count / window_s))
+        edge += window_s
+    return windows
 
 
 def confidence_interval(

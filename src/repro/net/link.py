@@ -29,8 +29,8 @@ class LinkParams:
             raise ValueError("latency and jitter must be non-negative")
         if self.bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
-        if not 0.0 <= self.loss_probability < 1.0:
-            raise ValueError("loss probability must be in [0, 1)")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
 
     def delivery_delay(self, message: Message, rng: random.Random) -> Optional[float]:
         """Seconds until delivery, or ``None`` if the message is lost."""
@@ -49,3 +49,6 @@ WAN_LINK = LinkParams(latency_s=0.1, jitter_s=0.05, bandwidth_bps=50_000_000.0)
 
 #: Poor consumer link — the "real world limitations" of Section VI-B.
 SLOW_LINK = LinkParams(latency_s=0.3, jitter_s=0.1, bandwidth_bps=5_000_000.0)
+
+#: A link that drops everything — fault injection's blackhole schedule.
+BLACKHOLE_LINK = LinkParams(loss_probability=1.0)

@@ -1,13 +1,95 @@
-"""The network fabric: nodes + links + gossip flooding."""
+"""The network fabric: nodes + links + gossip flooding with recovery.
+
+Gossip is flooding with per-node duplicate suppression plus a
+retransmit/backoff primitive: an attempt lost to link loss, a partition,
+or an offline receiver is retried with exponential backoff, and attempts
+that exhaust their retries are *parked* and revived by :meth:`Network.heal`
+or :meth:`Network.kick_retries` (called when a node restarts).  This is
+what lets propagation recover after a partition instead of deadlocking
+on the duplicate-suppression cache.
+
+Every transmission attempt is accounted in a :class:`repro.trace.Tracer`:
+it is recorded as ``schedule`` when handed to a link and resolves as
+exactly one ``deliver`` or ``drop``, so completed runs satisfy
+``scheduled == delivered + dropped``.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net.link import LinkParams
 from repro.net.message import Message
 from repro.net.node import NetworkNode
 from repro.sim.simulator import Simulator
+from repro.trace import (
+    REASON_LOSS,
+    REASON_OFFLINE,
+    REASON_PARTITION,
+    Tracer,
+)
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Exponential backoff for lost gossip transmissions.
+
+    ``max_attempts`` counts the initial attempt; after it is exhausted
+    the transmission is parked until the next :meth:`Network.heal` /
+    :meth:`Network.kick_retries`, so a long partition does not burn an
+    unbounded event budget yet still recovers.
+    """
+
+    base_delay_s: float = 0.5
+    multiplier: float = 2.0
+    max_delay_s: float = 30.0
+    max_attempts: int = 6
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s <= 0 or self.max_delay_s <= 0:
+            raise ValueError("backoff delays must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (1-based), jittered
+        +/-25% so parked senders do not retry in lockstep."""
+        delay = min(self.base_delay_s * self.multiplier ** (attempt - 1),
+                    self.max_delay_s)
+        return delay * rng.uniform(0.75, 1.25)
+
+
+class SeenCache:
+    """Bounded LRU of gossip keys — duplicate suppression without the
+    unbounded `_seen` growth of long runs."""
+
+    def __init__(self, capacity: Optional[int] = 65536) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None)")
+        self.capacity = capacity
+        self._entries: "OrderedDict[object, None]" = OrderedDict()
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, key: object) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = None
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def discard(self, key: object) -> None:
+        self._entries.pop(key, None)
 
 
 class Network:
@@ -20,14 +102,31 @@ class Network:
     reaches distant nodes only after several store-and-forward hops.
     """
 
-    def __init__(self, simulator: Simulator) -> None:
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        tracer: Optional[Tracer] = None,
+        retransmit: Optional[RetransmitPolicy] = None,
+        seen_cache_size: Optional[int] = 65536,
+    ) -> None:
         self.simulator = simulator
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.retransmit = retransmit if retransmit is not None else RetransmitPolicy()
+        self._seen_cache_size = seen_cache_size
         self._nodes: Dict[str, NetworkNode] = {}
         self._links: Dict[Tuple[str, str], LinkParams] = {}
         self._neighbors: Dict[str, List[str]] = {}
-        self._seen: Dict[str, Set[object]] = {}
-        self._partitions: List[Set[str]] = []
+        self._seen: Dict[str, SeenCache] = {}
+        #: keys with an active delivery-or-retry chain per destination
+        self._inflight: Dict[str, set] = {}
+        #: transmissions that exhausted retries, revived on heal/kick
+        self._parked: "OrderedDict[Tuple[str, str, object], Message]" = OrderedDict()
+        #: pending backoff timers, fast-forwarded on heal/kick
+        self._retry_timers: Dict[Tuple[str, str, object], object] = {}
+        self._partitions: List[set] = []
         self._rng = simulator.fork_rng("network")
+        self._retry_rng = simulator.fork_rng("network-retransmit")
         self.messages_delivered = 0
         self.messages_lost = 0
         self.bytes_transferred = 0
@@ -39,7 +138,8 @@ class Network:
             raise ValueError(f"duplicate node id {node.node_id!r}")
         self._nodes[node.node_id] = node
         self._neighbors[node.node_id] = []
-        self._seen[node.node_id] = set()
+        self._seen[node.node_id] = SeenCache(self._seen_cache_size)
+        self._inflight[node.node_id] = set()
         node.attached(self)
 
     def connect(self, a: str, b: str, params: Optional[LinkParams] = None) -> None:
@@ -51,6 +151,20 @@ class Network:
             if (src, dst) not in self._links:
                 self._neighbors[src].append(dst)
             self._links[(src, dst)] = params
+
+    def set_link(self, a: str, b: str, params: LinkParams,
+                 bidirectional: bool = True) -> None:
+        """Replace the parameters of an existing link (fault injection:
+        degradation and blackhole schedules)."""
+        pairs = ((a, b), (b, a)) if bidirectional else ((a, b),)
+        for src, dst in pairs:
+            if (src, dst) not in self._links:
+                raise KeyError(f"no link {src}->{dst}")
+            self._links[(src, dst)] = params
+
+    def link_params(self, a: str, b: str) -> LinkParams:
+        """Current parameters of the directed link ``a -> b``."""
+        return self._links[(a, b)]
 
     def node(self, node_id: str) -> NetworkNode:
         return self._nodes[node_id]
@@ -73,9 +187,15 @@ class Network:
         histories form (Section IV).  Call :meth:`heal` to reconnect.
         """
         self._partitions = [set(group) for group in groups]
+        self.tracer.emit(self.simulator.now, "partition",
+                         groups=[sorted(g) for g in self._partitions])
 
     def heal(self) -> None:
+        """Reconnect all partitions and fast-forward pending/parked
+        retransmissions so gossip recovers promptly."""
         self._partitions = []
+        self.tracer.emit(self.simulator.now, "heal")
+        self.kick_retries()
 
     def _crosses_partition(self, src: str, dst: str) -> bool:
         for group in self._partitions:
@@ -83,27 +203,145 @@ class Network:
                 return True
         return False
 
+    # -------------------------------------------------------- retransmission
+
+    def kick_retries(self, dst: Optional[str] = None) -> None:
+        """Retry stalled transmissions now instead of at their backoff
+        deadline: pending timers are fast-forwarded and parked (given-up)
+        transmissions get a fresh attempt budget.  ``dst`` limits the
+        kick to one destination (a node that just came back online)."""
+        for key3, event in list(self._retry_timers.items()):
+            if dst is not None and key3[1] != dst:
+                continue
+            timer = self._retry_timers.pop(key3)
+            timer.cancel()  # type: ignore[attr-defined]
+            src, target, _ = key3
+            message = getattr(event, "_repro_message", None)
+            if message is not None:
+                self._attempt_gossip(src, target, message, attempt=1)
+        for (src, target, key), message in list(self._parked.items()):
+            if dst is not None and target != dst:
+                continue
+            del self._parked[(src, target, key)]
+            if key in self._seen[target] or key in self._inflight[target]:
+                continue
+            self._inflight[target].add(key)
+            self._attempt_gossip(src, target, message, attempt=1)
+
+    def _schedule_retry(self, src: str, dst: str, message: Message,
+                        attempt: int) -> None:
+        key = message.gossip_key()
+        if attempt >= self.retransmit.max_attempts:
+            self._inflight[dst].discard(key)
+            self._parked[(src, dst, key)] = message
+            self.tracer.record_give_up(
+                self.simulator.now, src, dst, message.kind, attempt
+            )
+            return
+        delay = self.retransmit.backoff(attempt, self._retry_rng)
+        self.tracer.record_retransmit(
+            self.simulator.now, src, dst, message.kind, attempt, delay
+        )
+
+        def retry() -> None:
+            self._retry_timers.pop((src, dst, key), None)
+            if key in self._seen[dst]:  # another path delivered meanwhile
+                self._inflight[dst].discard(key)
+                return
+            self._attempt_gossip(src, dst, message, attempt + 1)
+
+        timer = self.simulator.schedule(delay, retry, label="retransmit")
+        timer._repro_message = message  # type: ignore[attr-defined]
+        self._retry_timers[(src, dst, key)] = timer
+
     # --------------------------------------------------------------- traffic
 
     def transmit(self, src: str, dst: str, message: Message) -> None:
-        """Send over the direct link; silently drops on loss/partition."""
+        """Send over the direct link; silently drops on loss/partition
+        (the unreliable datagram primitive — gossip adds recovery)."""
         link = self._links.get((src, dst))
         if link is None:
             raise KeyError(f"no link {src}->{dst}")
+        now = self.simulator.now
+        self.tracer.record_schedule(now, src, dst, message.kind)
         if self._crosses_partition(src, dst):
             self.messages_lost += 1
+            self.tracer.record_drop(now, src, dst, message.kind,
+                                    REASON_PARTITION)
             return
         delay = link.delivery_delay(message, self._rng)
         if delay is None:
             self.messages_lost += 1
+            self.tracer.record_drop(now, src, dst, message.kind, REASON_LOSS)
             return
 
         def deliver() -> None:
+            node = self._nodes[dst]
+            if not node.online:
+                self.messages_lost += 1
+                self.tracer.record_drop(self.simulator.now, src, dst,
+                                        message.kind, REASON_OFFLINE)
+                return
             self.messages_delivered += 1
             self.bytes_transferred += message.wire_size
-            self._nodes[dst].deliver(src, message)
+            self.tracer.record_deliver(self.simulator.now, src, dst,
+                                       message.kind)
+            node.deliver(src, message)
 
         self.simulator.schedule(delay, deliver, label=f"msg:{message.kind}")
+
+    def transmit_reliable(self, src: str, dst: str, message: Message) -> None:
+        """Direct send with retransmit/backoff: each failed attempt is
+        retried until delivery or ``retransmit.max_attempts``."""
+        if (src, dst) not in self._links:
+            raise KeyError(f"no link {src}->{dst}")
+
+        def attempt(number: int) -> None:
+            now = self.simulator.now
+            self.tracer.record_schedule(now, src, dst, message.kind, number)
+            reason = None
+            delay = None
+            if self._crosses_partition(src, dst):
+                reason = REASON_PARTITION
+            else:
+                delay = self._links[(src, dst)].delivery_delay(message, self._rng)
+                if delay is None:
+                    reason = REASON_LOSS
+
+            def retry_or_give_up() -> None:
+                if number >= self.retransmit.max_attempts:
+                    self.tracer.record_give_up(self.simulator.now, src, dst,
+                                               message.kind, number)
+                    return
+                backoff = self.retransmit.backoff(number, self._retry_rng)
+                self.tracer.record_retransmit(self.simulator.now, src, dst,
+                                              message.kind, number, backoff)
+                self.simulator.schedule(backoff, lambda: attempt(number + 1),
+                                        label="retransmit")
+
+            if reason is not None:
+                self.messages_lost += 1
+                self.tracer.record_drop(now, src, dst, message.kind, reason)
+                retry_or_give_up()
+                return
+
+            def deliver() -> None:
+                node = self._nodes[dst]
+                if not node.online:
+                    self.messages_lost += 1
+                    self.tracer.record_drop(self.simulator.now, src, dst,
+                                            message.kind, REASON_OFFLINE)
+                    retry_or_give_up()
+                    return
+                self.messages_delivered += 1
+                self.bytes_transferred += message.wire_size
+                self.tracer.record_deliver(self.simulator.now, src, dst,
+                                           message.kind)
+                node.deliver(src, message)
+
+            self.simulator.schedule(delay, deliver, label=f"msg:{message.kind}")
+
+        attempt(1)
 
     def gossip(self, origin: str, message: Message) -> None:
         """Flood ``message`` from ``origin`` through the whole topology."""
@@ -111,32 +349,64 @@ class Network:
         self._forward(origin, origin, message)
 
     def _forward(self, node_id: str, came_from: str, message: Message) -> None:
+        key = message.gossip_key()
         for peer in self._neighbors[node_id]:
             if peer == came_from:
                 continue
-            if message.gossip_key() in self._seen[peer]:
+            # A peer is skipped when it already received the message or a
+            # delivery/retry chain from another path owns it — ownership,
+            # not scheduling, is what suppresses duplicates now.
+            if key in self._seen[peer] or key in self._inflight[peer]:
                 continue
-            link = self._links[(node_id, peer)]
-            if self._crosses_partition(node_id, peer):
-                self.messages_lost += 1
-                continue
-            delay = link.delivery_delay(message, self._rng)
-            if delay is None:
-                self.messages_lost += 1
-                continue
-            # Mark as seen at scheduling time so concurrent floods do not
-            # duplicate deliveries; the node still processes it on arrival.
-            self._seen[peer].add(message.gossip_key())
+            self._inflight[peer].add(key)
+            self._attempt_gossip(node_id, peer, message, attempt=1)
 
-            def deliver(peer=peer, node_id=node_id) -> None:
-                self.messages_delivered += 1
-                self.bytes_transferred += message.wire_size
-                self._nodes[peer].deliver(node_id, message)
-                self._forward(peer, node_id, message)
+    def _attempt_gossip(self, src: str, dst: str, message: Message,
+                        attempt: int) -> None:
+        key = message.gossip_key()
+        if key in self._seen[dst]:
+            self._inflight[dst].discard(key)
+            return
+        link = self._links[(src, dst)]
+        now = self.simulator.now
+        self.tracer.record_schedule(now, src, dst, message.kind, attempt)
+        if self._crosses_partition(src, dst):
+            self.messages_lost += 1
+            self.tracer.record_drop(now, src, dst, message.kind,
+                                    REASON_PARTITION)
+            self._schedule_retry(src, dst, message, attempt)
+            return
+        delay = link.delivery_delay(message, self._rng)
+        if delay is None:
+            self.messages_lost += 1
+            self.tracer.record_drop(now, src, dst, message.kind, REASON_LOSS)
+            self._schedule_retry(src, dst, message, attempt)
+            return
 
-            self.simulator.schedule(delay, deliver, label=f"gossip:{message.kind}")
+        def deliver() -> None:
+            node = self._nodes[dst]
+            arrival = self.simulator.now
+            if not node.online:
+                self.messages_lost += 1
+                self.tracer.record_drop(arrival, src, dst, message.kind,
+                                        REASON_OFFLINE)
+                self._schedule_retry(src, dst, message, attempt)
+                return
+            self.messages_delivered += 1
+            self.bytes_transferred += message.wire_size
+            self.tracer.record_deliver(arrival, src, dst, message.kind)
+            self._seen[dst].add(key)
+            self._inflight[dst].discard(key)
+            node.deliver(src, message)
+            self._forward(dst, src, message)
+
+        self.simulator.schedule(delay, deliver, label=f"gossip:{message.kind}")
 
     # --------------------------------------------------------------- metrics
+
+    def pending_retries(self) -> int:
+        """Transmissions waiting on a backoff timer or parked for heal."""
+        return len(self._retry_timers) + len(self._parked)
 
     def traffic_stats(self) -> Dict[str, float]:
         return {

@@ -36,8 +36,12 @@ class NetworkNode:
 
     def set_online(self, online: bool) -> None:
         """Offline nodes silently drop traffic (Section II-B: a Nano node
-        must be online to receive)."""
+        must be online to receive).  Coming back online nudges the
+        network to retry gossip that was parked while we were away."""
+        was_online = self.online
         self.online = online
+        if online and not was_online and self.network is not None:
+            self.network.kick_retries(dst=self.node_id)
 
     # ----------------------------------------------------------------- sends
 
@@ -49,6 +53,19 @@ class NetworkNode:
         self.bytes_sent += message.wire_size
         self.messages_sent += 1
         self.network.transmit(self.node_id, peer_id, message)
+
+    def send_reliable(self, peer_id: str, message: Message) -> None:
+        """Like :meth:`send`, but lost transmissions are retried with the
+        network's backoff policy until delivered or the attempt budget is
+        exhausted — the retransmit primitive fault-tolerant protocols
+        build on."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        if not self.online:
+            return
+        self.bytes_sent += message.wire_size
+        self.messages_sent += 1
+        self.network.transmit_reliable(self.node_id, peer_id, message)
 
     def broadcast(self, message: Message) -> None:
         """Gossip ``message`` to the whole network via flooding."""

@@ -35,6 +35,8 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self.pushed = 0
+        self.popped = 0
 
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
@@ -42,6 +44,7 @@ class EventQueue:
     def push(self, time: float, action: Action, label: str = "") -> Event:
         event = Event(time=time, sequence=next(self._counter), action=action, label=label)
         heapq.heappush(self._heap, event)
+        self.pushed += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -49,8 +52,14 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self.popped += 1
                 return event
         return None
+
+    def stats(self) -> dict:
+        """Lifetime counters — how much scheduling a run generated."""
+        return {"pushed": self.pushed, "popped": self.popped,
+                "pending": len(self)}
 
     def peek_time(self) -> Optional[float]:
         while self._heap and self._heap[0].cancelled:

@@ -24,6 +24,7 @@ class Simulator:
         self._queue = EventQueue()
         self._now = 0.0
         self._events_processed = 0
+        self._halted = False
         self.rng = make_rng(seed)
 
     # ------------------------------------------------------------------ time
@@ -40,6 +41,15 @@ class Simulator:
     def fork_rng(self, label: str) -> random.Random:
         """Independent random stream for one component (see common.rng)."""
         return fork_rng(self.rng, label)
+
+    def halt(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns
+        (used by fault scenarios that detect a terminal condition)."""
+        self._halted = True
+
+    def queue_stats(self) -> dict:
+        """Scheduling counters from the underlying event queue."""
+        return self._queue.stats()
 
     # -------------------------------------------------------------- schedule
 
@@ -83,7 +93,10 @@ class Simulator:
         ``max_events`` have fired.  The clock ends at ``until`` when given,
         even if the queue drained earlier."""
         processed = 0
+        self._halted = False
         while True:
+            if self._halted:
+                return
             if max_events is not None and processed >= max_events:
                 return
             next_time = self._queue.peek_time()

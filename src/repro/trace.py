@@ -1,0 +1,236 @@
+"""Structured tracing for the simulated network fabric.
+
+Every transmission attempt the :class:`~repro.net.network.Network` hands
+to a link is recorded as a ``schedule`` event and later resolved as
+exactly one ``deliver`` or ``drop`` event, so a completed run satisfies
+
+    scheduled == delivered + dropped
+
+which is the accounting invariant the fault-tolerance bench (A7)
+asserts.  Fault injectors additionally emit ``crash``/``restart``/
+``partition``/``heal``/``degrade``/``restore`` events, ledger layers may
+emit ``fork`` events, and the gossip retransmit path emits
+``retransmit``/``give_up`` markers.
+
+Events live in a bounded ring buffer (old records fall off; counters are
+cumulative and never lose information) and can be dumped as JSONL for
+offline analysis via :meth:`Tracer.dump_jsonl` or ``python -m repro
+faults --trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterable, List, Optional, Tuple, Union
+
+# Event kinds emitted by the network fabric itself.
+SCHEDULE = "schedule"
+DELIVER = "deliver"
+DROP = "drop"
+RETRANSMIT = "retransmit"
+GIVE_UP = "give_up"
+# Event kinds emitted by the fault-injection layer.
+CRASH = "crash"
+RESTART = "restart"
+PARTITION = "partition"
+HEAL = "heal"
+DEGRADE = "degrade"
+RESTORE = "restore"
+# Event kind for ledger-level divergence (reorgs, conflicting heads).
+FORK = "fork"
+
+#: Drop reasons used by the network fabric.
+REASON_LOSS = "loss"
+REASON_PARTITION = "partition"
+REASON_OFFLINE = "offline"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured record in the trace ring buffer."""
+
+    time: float
+    kind: str
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    msg_kind: Optional[str] = None
+    reason: Optional[str] = None
+    detail: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"t": self.time, "kind": self.kind}
+        for name in ("src", "dst", "msg_kind", "reason"):
+            value = getattr(self, name)
+            if value is not None:
+                record[name] = value
+        if self.detail:
+            record.update(self.detail)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+def _blank_counters() -> Dict[str, int]:
+    return {"scheduled": 0, "delivered": 0, "dropped": 0}
+
+
+class Tracer:
+    """Ring-buffered event log with cumulative per-node/per-link counters.
+
+    The buffer holds the most recent ``capacity`` events; the counters
+    are monotone and survive ring eviction, so accounting invariants can
+    be checked on arbitrarily long runs.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.emitted = 0
+        self.scheduled = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.retransmits = 0
+        self.gave_up = 0
+        self.forks = 0
+        self.drop_reasons: Dict[str, int] = {}
+        self._per_node: Dict[str, Dict[str, int]] = {}
+        self._per_link: Dict[Tuple[str, str], Dict[str, int]] = {}
+
+    # ----------------------------------------------------------------- emit
+
+    def emit(
+        self,
+        time: float,
+        kind: str,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        msg_kind: Optional[str] = None,
+        reason: Optional[str] = None,
+        **detail: Any,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            time=time, kind=kind, src=src, dst=dst,
+            msg_kind=msg_kind, reason=reason, detail=detail or None,
+        )
+        self._events.append(event)
+        self.emitted += 1
+        return event
+
+    def _node(self, node_id: str) -> Dict[str, int]:
+        return self._per_node.setdefault(node_id, _blank_counters())
+
+    def _link(self, src: str, dst: str) -> Dict[str, int]:
+        return self._per_link.setdefault((src, dst), _blank_counters())
+
+    def record_schedule(self, time: float, src: str, dst: str,
+                        msg_kind: str, attempt: int = 1) -> None:
+        """One transmission attempt handed to a link."""
+        self.scheduled += 1
+        self._node(src)["scheduled"] += 1
+        self._link(src, dst)["scheduled"] += 1
+        self.emit(time, SCHEDULE, src=src, dst=dst, msg_kind=msg_kind,
+                  attempt=attempt)
+
+    def record_deliver(self, time: float, src: str, dst: str,
+                       msg_kind: str) -> None:
+        self.delivered += 1
+        self._node(dst)["delivered"] += 1
+        self._link(src, dst)["delivered"] += 1
+        self.emit(time, DELIVER, src=src, dst=dst, msg_kind=msg_kind)
+
+    def record_drop(self, time: float, src: str, dst: str,
+                    msg_kind: str, reason: str) -> None:
+        self.dropped += 1
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        self._node(dst)["dropped"] += 1
+        self._link(src, dst)["dropped"] += 1
+        self.emit(time, DROP, src=src, dst=dst, msg_kind=msg_kind,
+                  reason=reason)
+
+    def record_retransmit(self, time: float, src: str, dst: str,
+                          msg_kind: str, attempt: int, delay: float) -> None:
+        self.retransmits += 1
+        self.emit(time, RETRANSMIT, src=src, dst=dst, msg_kind=msg_kind,
+                  attempt=attempt, delay=delay)
+
+    def record_give_up(self, time: float, src: str, dst: str,
+                       msg_kind: str, attempts: int) -> None:
+        self.gave_up += 1
+        self.emit(time, GIVE_UP, src=src, dst=dst, msg_kind=msg_kind,
+                  attempts=attempts)
+
+    def record_fork(self, time: float, node_id: str, **detail: Any) -> None:
+        """Ledger-level divergence observed at ``node_id`` (a reorg, a
+        conflicting head) — the Section IV events faults provoke."""
+        self.forks += 1
+        self.emit(time, FORK, src=node_id, **detail)
+
+    # ---------------------------------------------------------------- query
+
+    @property
+    def in_flight(self) -> int:
+        """Attempts scheduled but not yet resolved (0 after quiescence)."""
+        return self.scheduled - self.delivered - self.dropped
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def node_counters(self, node_id: str) -> Dict[str, int]:
+        return dict(self._per_node.get(node_id, _blank_counters()))
+
+    def link_counters(self, src: str, dst: str) -> Dict[str, int]:
+        return dict(self._per_link.get((src, dst), _blank_counters()))
+
+    def counters(self) -> Dict[str, float]:
+        """Flat counter dict, suitable for ``MetricCollector.ingest_tracer``."""
+        flat: Dict[str, float] = {
+            "trace.scheduled": float(self.scheduled),
+            "trace.delivered": float(self.delivered),
+            "trace.dropped": float(self.dropped),
+            "trace.retransmits": float(self.retransmits),
+            "trace.give_ups": float(self.gave_up),
+            "trace.forks": float(self.forks),
+            "trace.in_flight": float(self.in_flight),
+        }
+        for reason, count in self.drop_reasons.items():
+            flat[f"trace.dropped.{reason}"] = float(count)
+        return flat
+
+    def summary(self) -> str:
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(self.drop_reasons.items())
+        ) or "none"
+        return (
+            f"scheduled={self.scheduled} delivered={self.delivered} "
+            f"dropped={self.dropped} ({reasons}) "
+            f"retransmits={self.retransmits} in_flight={self.in_flight}"
+        )
+
+    # ----------------------------------------------------------------- dump
+
+    def dump_jsonl(self, target: Union[str, IO[str]],
+                   kinds: Optional[Iterable[str]] = None) -> int:
+        """Write buffered events (optionally filtered) as JSONL.
+
+        Returns the number of records written.  ``target`` may be a path
+        or an open text file object.
+        """
+        wanted = set(kinds) if kinds is not None else None
+        events = [
+            e for e in self._events
+            if wanted is None or e.kind in wanted
+        ]
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                return self.dump_jsonl(handle, kinds)
+        for event in events:
+            target.write(event.to_json() + "\n")
+        return len(events)

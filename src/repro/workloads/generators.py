@@ -11,9 +11,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Sequence, Tuple
 
 from repro.common.rng import exponential, weighted_choice, zipf_weights
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard, net types only
+    from repro.net.message import Message
+    from repro.net.node import NetworkNode
+    from repro.sim.simulator import Simulator
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,50 @@ class PaymentWorkload:
                 )
             )
         return out
+
+
+def gossip_workload(
+    simulator: "Simulator",
+    nodes: Sequence["NetworkNode"],
+    rate_tps: float,
+    duration_s: float,
+    size_bytes: int = 256,
+    kind: str = "gossip",
+) -> List[Tuple[float, str, "Message"]]:
+    """Schedule Poisson-timed broadcasts from rotating origin nodes.
+
+    The fault-tolerance experiments feed this through a degraded
+    network: each record is one message flooded from one origin.  The
+    returned list is *live* — it is populated as the simulation runs,
+    and only contains broadcasts that actually fired (an origin that is
+    offline at fire time skips its slot, like a crashed gossip source).
+    Draws come from a forked ``gossip-workload`` stream, so adding this
+    workload does not perturb other components' randomness.
+    """
+    if rate_tps <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    from repro.net.message import Message
+
+    rng = simulator.fork_rng("gossip-workload")
+    sent: List[Tuple[float, str, Message]] = []
+    t = 0.0
+    index = 0
+    while True:
+        t += exponential(rng, rate_tps)
+        if t >= duration_s:
+            return sent
+        origin = nodes[index % len(nodes)]
+        index += 1
+
+        def fire(origin=origin) -> None:
+            if not origin.online:
+                return
+            message = Message(kind=kind, payload=f"g{len(sent)}",
+                              size_bytes=size_bytes)
+            sent.append((simulator.now, origin.node_id, message))
+            origin.broadcast(message)
+
+        simulator.schedule_at(t, fire, label="workload:gossip")
 
 
 def constant_rate_events(

@@ -75,3 +75,22 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "ethereum" in out
+
+    def test_faults_run_recovers_and_dumps_trace(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.jsonl"
+        code = main([
+            "faults", "--nodes", "8", "--rate", "0.5", "--duration", "60",
+            "--partition-at", "15", "--heal-after", "15",
+            "--churn-nodes", "1", "--seed", "2", "--trace-out", str(target),
+        ])
+        assert code == 0  # full delivery after heal
+        out = capsys.readouterr().out
+        assert "100.0%" in out
+        assert "dropped: partition" in out
+        records = [json.loads(line)
+                   for line in target.read_text().splitlines()]
+        assert records
+        kinds = {r["kind"] for r in records}
+        assert {"schedule", "deliver", "partition", "heal"} <= kinds

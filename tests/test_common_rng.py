@@ -35,6 +35,36 @@ class TestForkRng:
         b = fork_rng(make_rng(0), "x")
         assert [a.random() for _ in range(3)] == [b.random() for _ in range(3)]
 
+    def test_fork_order_does_not_perturb_streams(self):
+        """Regression: the docstring promise — adding a new consumer
+        must not change the draws seen by existing ones."""
+        parent = make_rng(42)
+        a_first = fork_rng(parent, "a").random()
+        parent = make_rng(42)
+        fork_rng(parent, "new-consumer")  # interloper forks first
+        a_second = fork_rng(parent, "a").random()
+        assert a_first == a_second
+
+    def test_fork_does_not_consume_parent_state(self):
+        parent = make_rng(7)
+        baseline = make_rng(7).random()
+        fork_rng(parent, "anything")
+        assert parent.random() == baseline
+
+    def test_grandchild_streams_are_label_path_dependent(self):
+        child_a = fork_rng(make_rng(0), "a")
+        child_b = fork_rng(make_rng(0), "b")
+        # Same leaf label under different parents: distinct streams.
+        assert fork_rng(child_a, "leaf").random() != \
+            fork_rng(child_b, "leaf").random()
+
+    def test_plain_random_parent_still_forks(self):
+        """Back-compat: a parent not created by make_rng falls back to
+        the legacy draw-from-parent path."""
+        parent = random.Random(3)
+        child = fork_rng(parent, "legacy")
+        assert 0.0 <= child.random() < 1.0
+
 
 class TestExponential:
     def test_mean_close_to_inverse_rate(self):

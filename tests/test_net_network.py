@@ -54,7 +54,15 @@ class TestLinkParams:
         with pytest.raises(ValueError):
             LinkParams(bandwidth_bps=0)
         with pytest.raises(ValueError):
-            LinkParams(loss_probability=1.0)
+            LinkParams(loss_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkParams(loss_probability=-0.1)
+
+    def test_total_loss_is_a_valid_blackhole(self):
+        """A 100%-loss link is a legitimate fault-injection config."""
+        link = LinkParams(loss_probability=1.0)
+        for i in range(20):
+            assert link.delivery_delay(make_message(), random.Random(i)) is None
 
     def test_jitter_bounded(self):
         link = LinkParams(latency_s=1.0, jitter_s=0.5, bandwidth_bps=1e12)
@@ -182,6 +190,118 @@ class TestPartitions:
         nodes[0].broadcast(make_message("healed"))
         sim.run()
         assert all(len(n.received) == 1 for n in nodes[1:])
+
+    def test_gossip_recovers_after_heal(self):
+        """Regression: a message gossiped *during* a partition must still
+        reach the far side once the partition heals — the old fabric
+        marked it seen at scheduling time and never re-flooded it."""
+        sim = Simulator()
+        net = Network(sim)
+        nodes = complete_topology(net, 4, Recorder, FAST_LINK)
+        net.partition([["n0", "n1"], ["n2", "n3"]])
+        nodes[0].broadcast(make_message("survivor"))
+        sim.run()
+        # The far side saw nothing while partitioned.
+        assert nodes[2].received == [] and nodes[3].received == []
+        net.heal()
+        sim.run()
+        for node in nodes[1:]:
+            assert [p for _, p in node.received] == ["survivor"]
+        # Accounting: every scheduled attempt resolved exactly once.
+        assert net.tracer.in_flight == 0
+        assert net.tracer.scheduled == net.tracer.delivered + net.tracer.dropped
+
+    def test_regossip_after_heal_reaches_everyone_once(self):
+        """Partition, heal, then gossip a *new* message: full delivery,
+        no duplicates (the ISSUE's partition/heal/re-gossip regression)."""
+        sim = Simulator()
+        net = Network(sim)
+        nodes = complete_topology(net, 6, Recorder, FAST_LINK)
+        net.partition([["n0", "n1", "n2"], ["n3", "n4", "n5"]])
+        nodes[0].broadcast(make_message("during"))
+        sim.run()
+        net.heal()
+        nodes[3].broadcast(make_message("after"))
+        sim.run()
+        for node in nodes:
+            payloads = [p for _, p in node.received]
+            assert payloads.count("after") == (0 if node is nodes[3] else 1)
+            # "during" also recovered everywhere after heal.
+            expected_during = 0 if node is nodes[0] else 1
+            assert payloads.count("during") == expected_during
+        assert net.pending_retries() == 0
+
+    def test_gossip_retries_through_heavy_loss(self):
+        """80% per-hop loss on a line: retransmission still gets the
+        message across every hop (given a budget that makes per-hop
+        failure odds ~0.8^25 ≈ 4e-3)."""
+        from repro.net.network import RetransmitPolicy
+
+        sim = Simulator()
+        net = Network(sim, retransmit=RetransmitPolicy(
+            base_delay_s=0.05, max_delay_s=0.5, max_attempts=25))
+        lossy = LinkParams(latency_s=0.01, jitter_s=0.0, bandwidth_bps=1e9,
+                           loss_probability=0.8)
+        nodes = line_topology(net, 4, Recorder, lossy)
+        nodes[0].broadcast(make_message("persist"))
+        sim.run()
+        for node in nodes[1:]:
+            assert [p for _, p in node.received] == ["persist"]
+        assert net.tracer.retransmits > 0
+
+    def test_offline_node_catches_up_on_restart(self):
+        """Gossip parked while a node was offline is retried when it
+        comes back (NetworkNode.set_online kicks the retry queue)."""
+        sim = Simulator()
+        net = Network(sim)
+        nodes = complete_topology(net, 3, Recorder, FAST_LINK)
+        nodes[2].set_online(False)
+        nodes[0].broadcast(make_message("missed"))
+        sim.run()
+        assert nodes[2].received == []
+        nodes[2].set_online(True)
+        sim.run()
+        assert [p for _, p in nodes[2].received] == ["missed"]
+
+    def test_seen_cache_is_bounded(self):
+        sim = Simulator()
+        net = Network(sim, seen_cache_size=8)
+        nodes = complete_topology(net, 2, Recorder, FAST_LINK)
+        for i in range(100):
+            nodes[0].broadcast(make_message(f"m{i}"))
+            sim.run()
+        assert len(nodes[1].received) == 100
+        assert len(net._seen["n1"]) <= 8
+
+
+class TestReliableTransmit:
+    def test_retries_until_delivered(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Recorder("a"), Recorder("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.connect("a", "b", LinkParams(latency_s=0.01, jitter_s=0.0,
+                                         bandwidth_bps=1e9,
+                                         loss_probability=0.8))
+        a.send_reliable("b", make_message("tenacious"))
+        sim.run()
+        assert [p for _, p in b.received] == ["tenacious"]
+
+    def test_gives_up_after_attempt_budget(self):
+        from repro.net.network import RetransmitPolicy
+
+        sim = Simulator()
+        net = Network(sim, retransmit=RetransmitPolicy(max_attempts=3))
+        a, b = Recorder("a"), Recorder("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.connect("a", "b", LinkParams(loss_probability=1.0))
+        a.send_reliable("b", make_message("doomed"))
+        sim.run()
+        assert b.received == []
+        assert net.tracer.gave_up == 1
+        assert net.tracer.scheduled == 3
 
 
 class TestTopologies:

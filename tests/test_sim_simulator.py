@@ -130,3 +130,26 @@ class TestSimulator:
         event.cancel()
         sim.run()
         assert fired == []
+
+
+class TestHaltAndStats:
+    def test_halt_stops_run_mid_queue(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.halt()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        # A fresh run resumes from where the halt left off.
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_queue_stats_counts_scheduling(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(until=3.0)
+        stats = sim.queue_stats()
+        assert stats["pushed"] == 5
+        assert stats["popped"] == 3
+        assert stats["pending"] == 2

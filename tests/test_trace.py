@@ -1,0 +1,133 @@
+"""Tests for repro.trace (ring-buffered structured tracing)."""
+
+import io
+import json
+
+import pytest
+
+from repro.trace import (
+    DELIVER,
+    DROP,
+    REASON_LOSS,
+    REASON_PARTITION,
+    SCHEDULE,
+    TraceEvent,
+    Tracer,
+)
+
+
+class TestTraceEvent:
+    def test_to_dict_omits_missing_fields(self):
+        event = TraceEvent(time=1.5, kind=SCHEDULE, src="a", dst="b")
+        record = event.to_dict()
+        assert record == {"t": 1.5, "kind": SCHEDULE, "src": "a", "dst": "b"}
+
+    def test_detail_is_flattened(self):
+        event = TraceEvent(time=0.0, kind=DROP, reason=REASON_LOSS,
+                           detail={"attempt": 3})
+        assert event.to_dict()["attempt"] == 3
+
+    def test_json_roundtrip(self):
+        event = TraceEvent(time=2.0, kind=DELIVER, src="a", dst="b",
+                           msg_kind="block")
+        assert json.loads(event.to_json())["msg_kind"] == "block"
+
+
+class TestTracerCounters:
+    def test_schedule_resolves_as_deliver_or_drop(self):
+        tracer = Tracer()
+        tracer.record_schedule(0.0, "a", "b", "tx")
+        tracer.record_schedule(0.0, "a", "c", "tx")
+        assert tracer.in_flight == 2
+        tracer.record_deliver(0.1, "a", "b", "tx")
+        tracer.record_drop(0.1, "a", "c", "tx", REASON_PARTITION)
+        assert tracer.in_flight == 0
+        assert tracer.scheduled == tracer.delivered + tracer.dropped
+
+    def test_per_node_and_per_link_counters(self):
+        tracer = Tracer()
+        tracer.record_schedule(0.0, "a", "b", "tx")
+        tracer.record_deliver(0.1, "a", "b", "tx")
+        tracer.record_schedule(0.2, "a", "b", "tx")
+        tracer.record_drop(0.3, "a", "b", "tx", REASON_LOSS)
+        assert tracer.node_counters("a")["scheduled"] == 2
+        assert tracer.node_counters("b") == {
+            "scheduled": 0, "delivered": 1, "dropped": 1,
+        }
+        assert tracer.link_counters("a", "b") == {
+            "scheduled": 2, "delivered": 1, "dropped": 1,
+        }
+        assert tracer.link_counters("b", "a")["scheduled"] == 0
+
+    def test_drop_reasons_tallied(self):
+        tracer = Tracer()
+        for _ in range(3):
+            tracer.record_schedule(0.0, "a", "b", "tx")
+            tracer.record_drop(0.0, "a", "b", "tx", REASON_LOSS)
+        tracer.record_schedule(0.0, "a", "b", "tx")
+        tracer.record_drop(0.0, "a", "b", "tx", REASON_PARTITION)
+        assert tracer.drop_reasons == {REASON_LOSS: 3, REASON_PARTITION: 1}
+
+    def test_counters_flat_dict(self):
+        tracer = Tracer()
+        tracer.record_schedule(0.0, "a", "b", "tx")
+        tracer.record_drop(0.0, "a", "b", "tx", REASON_LOSS)
+        tracer.record_fork(1.0, "a", height=7)
+        flat = tracer.counters()
+        assert flat["trace.scheduled"] == 1.0
+        assert flat["trace.dropped.loss"] == 1.0
+        assert flat["trace.forks"] == 1.0
+        assert flat["trace.in_flight"] == 0.0
+
+    def test_summary_renders(self):
+        tracer = Tracer()
+        tracer.record_schedule(0.0, "a", "b", "tx")
+        tracer.record_deliver(0.1, "a", "b", "tx")
+        text = tracer.summary()
+        assert "scheduled=1" in text and "delivered=1" in text
+
+
+class TestRingBuffer:
+    def test_ring_evicts_but_counters_survive(self):
+        tracer = Tracer(capacity=10)
+        for i in range(50):
+            tracer.record_schedule(float(i), "a", "b", "tx")
+            tracer.record_deliver(float(i), "a", "b", "tx")
+        assert len(tracer.events()) == 10
+        assert tracer.scheduled == 50 and tracer.delivered == 50
+        assert tracer.emitted == 100
+        # Oldest surviving record is recent, not t=0.
+        assert tracer.events()[0].time >= 45.0
+
+    def test_kind_filter(self):
+        tracer = Tracer()
+        tracer.record_schedule(0.0, "a", "b", "tx")
+        tracer.record_deliver(0.1, "a", "b", "tx")
+        assert [e.kind for e in tracer.events(DELIVER)] == [DELIVER]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDumpJsonl:
+    def test_dump_to_file_object(self):
+        tracer = Tracer()
+        tracer.record_schedule(0.0, "a", "b", "tx")
+        tracer.record_deliver(0.5, "a", "b", "tx")
+        buffer = io.StringIO()
+        written = tracer.dump_jsonl(buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert written == 2 and len(lines) == 2
+        assert json.loads(lines[1])["kind"] == DELIVER
+
+    def test_dump_to_path_with_filter(self, tmp_path):
+        tracer = Tracer()
+        tracer.record_schedule(0.0, "a", "b", "tx")
+        tracer.record_drop(0.5, "a", "b", "tx", REASON_LOSS)
+        out = tmp_path / "trace.jsonl"
+        written = tracer.dump_jsonl(str(out), kinds=[DROP])
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert written == 1
+        assert records == [{"t": 0.5, "kind": DROP, "src": "a", "dst": "b",
+                            "msg_kind": "tx", "reason": REASON_LOSS}]
