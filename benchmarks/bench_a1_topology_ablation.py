@@ -7,10 +7,13 @@ regular graph, a small world, and a line, then mine on the two extremes
 to show the fork-rate consequence.
 """
 
+import time
 from dataclasses import replace
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.net.link import LinkParams
 from repro.net.message import Message
@@ -42,34 +45,41 @@ class Sink(NetworkNode):
             self.arrival = self.network.simulator.now
 
 
-def flood_time(builder, **kwargs):
-    sim = Simulator(seed=1)
+def flood_time(builder, n=N, sim_seed=1, **kwargs):
+    sim = Simulator(seed=sim_seed)
     net = Network(sim)
-    nodes = builder(net, N, Sink, link_params=LINK, **kwargs) if kwargs else builder(
-        net, N, Sink, LINK
+    nodes = builder(net, n, Sink, link_params=LINK, **kwargs) if kwargs else builder(
+        net, n, Sink, LINK
     )
     nodes[0].broadcast(Message(kind="x", payload=None, size_bytes=100))
     sim.run()
-    arrivals = [n.arrival for n in nodes[1:]]
+    arrivals = [node.arrival for node in nodes[1:]]
     return max(arrivals), sum(arrivals) / len(arrivals)
 
 
-def fork_rate(builder, duration=4000.0, interval=20.0, **kwargs):
+def fork_rate(builder, duration=4000.0, interval=20.0, n=N, sim_seed=3, **kwargs):
     params = replace(BITCOIN, target_block_interval_s=interval)
     key = KeyPair.from_seed(b"\x01" * 32)
     genesis = build_genesis_with_allocations({key.address: 10**6})
-    sim = Simulator(seed=3)
+    sim = Simulator(seed=sim_seed)
     net = Network(sim)
     factory = lambda nid: BlockchainNode(nid, params, genesis)  # noqa: E731
-    nodes = builder(net, N, factory, link_params=LINK, **kwargs) if kwargs else builder(
-        net, N, factory, LINK
+    nodes = builder(net, n, factory, link_params=LINK, **kwargs) if kwargs else builder(
+        net, n, factory, LINK
     )
     for i, node in enumerate(nodes):
-        node.start_pow_mining(1.0 / N, KeyPair.from_seed(bytes([50 + i]) * 32).address)
+        node.start_pow_mining(1.0 / n, KeyPair.from_seed(bytes([50 + i]) * 32).address)
     sim.run(until=duration)
     blocks = nodes[0].stats.blocks_accepted
-    orphans = sum(n.stats.orphaned_blocks for n in nodes) / len(nodes)
+    orphans = sum(node.stats.orphaned_blocks for node in nodes) / len(nodes)
     return orphans / max(blocks, 1)
+
+
+TOPOLOGIES = {
+    "complete": complete_topology,
+    "small-world": small_world_topology,
+    "line": line_topology,
+}
 
 
 def test_a1_topology_ablation(benchmark):
@@ -108,3 +118,28 @@ def test_a1_topology_ablation(benchmark):
         "A1 topology ablation: flood latency and fork-rate consequence",
         render_table(["topology / metric", "mean", "max"], rows),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["A1"].default_params), **(params or {})}
+    builder = TOPOLOGIES[p["topology"]]
+    kwargs = {"seed": seed} if p["topology"] == "small-world" else {}
+    t_max, t_mean = flood_time(builder, n=p["nodes"], sim_seed=seed, **kwargs)
+    metrics = {
+        "flood_max_s": t_max,
+        "flood_mean_s": t_mean,
+    }
+    if p["measure_forks"]:
+        metrics["fork_rate"] = fork_rate(
+            builder, duration=p["fork_duration_s"], n=p["nodes"],
+            sim_seed=seed, **kwargs,
+        )
+    return make_result("A1", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

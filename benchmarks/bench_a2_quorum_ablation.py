@@ -13,8 +13,12 @@ the first representative, so rep0 ends up with ~55% of weight and reps
 base able to vote.
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.dag.bootstrap import build_nano_testbed, fund_accounts
 from repro.dag.params import NanoParams
 from repro.net.link import LinkParams
@@ -86,3 +90,24 @@ def test_a2_quorum_ablation(benchmark):
             rows,
         ),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["A2"].default_params), **(params or {})}
+    confirmed, confidence, votable = run_with_quorum(
+        p["quorum"], offline_reps=p["offline_reps"], seed=seed
+    )
+    metrics = {
+        "confirmed": confirmed,
+        "confidence": confidence,
+        "votable_weight_fraction": votable,
+    }
+    return make_result("A2", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -7,8 +7,12 @@ and Ethereum accept ~1-in-15 uncle rates for 15 s blocks, and why both
 compensate with *different confirmation depths* (Section IV-A).
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.confirmation.nakamoto import confirmations_for_confidence
 from repro.confirmation.orphan import expected_orphan_rate
 from repro.metrics.tables import render_table
@@ -58,3 +62,23 @@ def test_a3_interval_ablation(benchmark):
             table,
         ),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["A3"].default_params), **(params or {})}
+    orphan = expected_orphan_rate(p["propagation_delay_s"], p["interval_s"])
+    depth = confirmations_for_confidence(p["attacker_share"], p["risk"])
+    metrics = {
+        "orphan_rate": orphan,
+        "depth_needed": depth,
+        "confirmation_wait_s": depth * p["interval_s"],
+    }
+    return make_result("A3", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

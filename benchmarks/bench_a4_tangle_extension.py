@@ -8,16 +8,19 @@ different answers to Section IV's question "when is an entry final?".
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.confirmation.nakamoto import attacker_success_probability
 from repro.crypto.keys import KeyPair
 from repro.dag.tangle import Tangle, issue_transaction
 from repro.metrics.tables import render_table
 
 
-def grow_tangle(tx_count=60, seed=0):
+def grow_tangle(tx_count=60, seed=0, alpha=0.05, samples=40):
     rng = random.Random(seed)
     tangle = Tangle(work_difficulty=1)
     key = KeyPair.from_seed(b"\x21" * 32)
@@ -25,7 +28,7 @@ def grow_tangle(tx_count=60, seed=0):
     target = None
     confidence_curve = []
     for i in range(tx_count):
-        trunk, branch = tangle.select_tips_mcmc(rng, alpha=0.05)
+        trunk, branch = tangle.select_tips_mcmc(rng, alpha=alpha)
         tx = issue_transaction(key, trunk, branch, f"p{i}".encode(), 1.0 + i)
         tangle.attach(tx)
         if i == 4:
@@ -33,7 +36,7 @@ def grow_tangle(tx_count=60, seed=0):
         if target is not None and i >= 4 and i % 10 == 4:
             confidence_curve.append(
                 (i - 4, tangle.confirmation_confidence(
-                    target.tx_hash, rng, samples=40, alpha=0.05
+                    target.tx_hash, rng, samples=samples, alpha=alpha
                 ))
             )
     return tangle, target, confidence_curve
@@ -68,3 +71,27 @@ def test_a4_tangle_confirmation_model(benchmark):
         + "\n\n"
         + render_table(["system", "finality signal", "measured"], comparison),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["A4"].default_params), **(params or {})}
+    tangle, target, curve = grow_tangle(
+        tx_count=p["tx_count"], seed=seed, alpha=p["alpha"],
+        samples=p["samples"],
+    )
+    confidences = [c for _, c in curve]
+    metrics = {
+        "final_confidence": confidences[-1],
+        "first_confidence": confidences[0],
+        "cumulative_weight": tangle.cumulative_weight(target.tx_hash),
+        "approvals": curve[-1][0],
+    }
+    return make_result("A4", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -7,10 +7,13 @@ retargeter restores the 10 s target — "the block generation time
 converges to a fixed value" (Section VI-A), measured, not derived.
 """
 
+import time
 from dataclasses import replace
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.net.link import FAST_LINK
 from repro.net.network import Network
@@ -25,7 +28,7 @@ from repro.metrics.tables import render_table
 PARAMS = replace(BITCOIN, target_block_interval_s=10.0)
 
 
-def run_shock_scenario(seed=8, shock_at=600.0, horizon=4200.0):
+def run_shock_scenario(seed=8, shock_at=600.0, horizon=4200.0, shock_factor=8.0):
     key = KeyPair.from_seed(b"\x51" * 32)
     genesis = build_genesis_with_allocations({key.address: 10**6})
     sim = Simulator(seed=seed)
@@ -48,7 +51,7 @@ def run_shock_scenario(seed=8, shock_at=600.0, horizon=4200.0):
     shocked = False
     while t <= horizon:
         if not shocked and t > shock_at:
-            apply_hashrate_shock(nodes, 8.0)
+            apply_hashrate_shock(nodes, shock_factor)
             shocked = True
         sim.run(until=t)
         height = nodes[0].chain.height
@@ -82,3 +85,31 @@ def test_a5_live_retarget(benchmark):
         f"(final difficulty factor {final_difficulty:.1f}x)",
         render_table(["time (s)", "measured interval (s)"], rows),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["A5"].default_params), **(params or {})}
+    samples, final_difficulty = run_shock_scenario(
+        seed=seed, shock_at=p["shock_at_s"], horizon=p["horizon_s"],
+        shock_factor=p["shock_factor"],
+    )
+    shock_at = p["shock_at_s"]
+    before = [i for t, i in samples if t <= shock_at]
+    during = [i for t, i in samples if shock_at < t <= shock_at + 400]
+    after = [i for t, i in samples if t > p["horizon_s"] - 600]
+    mean = lambda xs: sum(xs) / max(len(xs), 1)  # noqa: E731
+    metrics = {
+        "interval_before_s": mean(before),
+        "interval_during_shock_s": mean(during),
+        "interval_after_s": mean(after),
+        "final_difficulty_factor": final_difficulty,
+    }
+    return make_result("A5", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -13,9 +13,12 @@ the whole DAG, no election needed — is asserted directly.
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.dag.byteball import ByteballDag, make_unit
 from repro.metrics.tables import render_table
@@ -93,3 +96,27 @@ def test_a6_byteball_total_order(benchmark):
         + "\n\n"
         + render_table(["system", "conflict discipline", "trade-off"], comparison),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["A6"].default_params), **(params or {})}
+    dag, _witness_keys, _founder = build_witnessed_dag(
+        units=p["units"], witnesses=p["witnesses"], seed=seed
+    )
+    order = dag.total_order()
+    metrics = {
+        "units": len(dag),
+        "main_chain_length": len(dag.main_chain()),
+        "ordered_fraction": len(order) / len(dag),
+        "stable_mci": dag.last_stable_mci(),
+        "genesis_stable": dag.is_stable(dag.genesis_hash),
+    }
+    return make_result("A6", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -12,10 +12,14 @@ two recovery properties the fault-injection layer exists to provide:
   delivered + dropped`` with nothing left in flight.
 """
 
+import time
+
 import pytest
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.faults import ChurnParams, FaultInjector
 from repro.metrics.stats import windowed_rate
 from repro.metrics.tables import render_table
@@ -35,22 +39,24 @@ PARTITION_AT = 30.0
 HEAL_AFTER = 30.0
 
 
-def run_fault_scenario(seed=7):
+def run_fault_scenario(seed=7, nodes_n=NODES, duration=DURATION,
+                       partition_at=PARTITION_AT, heal_after=HEAL_AFTER,
+                       rate_tps=0.5, churn_nodes=2):
     sim = Simulator(seed=seed)
     net = Network(sim)
-    nodes = small_world_topology(net, NODES, NetworkNode,
+    nodes = small_world_topology(net, nodes_n, NetworkNode,
                                  link_params=FAST_LINK, seed=seed)
     injector = FaultInjector(net)
-    half = [n.node_id for n in nodes[: NODES // 2]]
-    rest = [n.node_id for n in nodes[NODES // 2:]]
-    injector.partition_at(PARTITION_AT, [half, rest], heal_after_s=HEAL_AFTER)
+    half = [n.node_id for n in nodes[: nodes_n // 2]]
+    rest = [n.node_id for n in nodes[nodes_n // 2:]]
+    injector.partition_at(partition_at, [half, rest], heal_after_s=heal_after)
     injector.churn(
-        [n.node_id for n in nodes[:2]],
-        ChurnParams(mtbf_s=DURATION / 4, downtime_s=10.0,
-                    until_s=DURATION * 0.6),
+        [n.node_id for n in nodes[:churn_nodes]],
+        ChurnParams(mtbf_s=duration / 4, downtime_s=10.0,
+                    until_s=duration * 0.6),
     )
-    sent = gossip_workload(sim, nodes, rate_tps=0.5, duration_s=DURATION)
-    sim.run(until=DURATION)
+    sent = gossip_workload(sim, nodes, rate_tps=rate_tps, duration_s=duration)
+    sim.run(until=duration)
     sim.run()  # drain retransmissions scheduled past the horizon
     return net, injector, nodes, sent
 
@@ -92,3 +98,38 @@ def test_a7_fault_tolerance(benchmark):
         f"({received}/{expected} delivered; {tracer.summary()})",
         render_table(["window (s)", "deliveries/s"], rows),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["A7"].default_params), **(params or {})}
+    net, injector, nodes, sent = run_fault_scenario(
+        seed=seed, nodes_n=p["nodes"], duration=p["duration_s"],
+        partition_at=p["partition_at_s"], heal_after=p["heal_after_s"],
+        rate_tps=p["rate_tps"], churn_nodes=p["churn_nodes"],
+    )
+    tracer = net.tracer
+    expected = len(sent) * (len(nodes) - 1)
+    received = sum(n.messages_received for n in nodes)
+    metrics = {
+        "broadcasts": len(sent),
+        "delivery_fraction": received / max(expected, 1),
+        "partition_drops": tracer.drop_reasons.get("partition", 0),
+        "retransmits": tracer.retransmits,
+        "crashes_injected": injector.crashes_injected,
+        "accounting_ok": (
+            tracer.scheduled == tracer.delivered + tracer.dropped
+            and tracer.in_flight == 0
+        ),
+    }
+    trace = None
+    if p["capture_trace"]:
+        trace = [e.to_dict() for e in tracer.events()]
+    return make_result("A7", p, seed, metrics, started=started, trace=trace)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

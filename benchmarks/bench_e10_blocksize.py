@@ -6,8 +6,12 @@ capacity "the network [would rely] on supercomputers"; bigger blocks
 also propagate slower, raising the orphan rate.
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.common.units import MB, format_bytes
 from repro.blockchain.params import BITCOIN
 from repro.confirmation.orphan import expected_orphan_rate, propagation_delay_for_block
@@ -51,3 +55,26 @@ def test_e10_blocksize_sweep(benchmark):
             ["block size", "TPS", "node load", "consumer ok", "orphan rate"], rows
         ),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E10"].default_params), **(params or {})}
+    size = int(p["block_size_mb"] * MB)
+    point = blocksize_sweep(BITCOIN, [size])[0]
+    delay = propagation_delay_for_block(size, 50e6, 0.1)
+    metrics = {
+        "tps": point.tps,
+        "node_load_bps": point.node_load_bps,
+        "consumer_viable": point.consumer_viable,
+        "orphan_rate": expected_orphan_rate(delay, BITCOIN.target_block_interval_s),
+        "centralization_threshold_mb": centralization_threshold_bytes(BITCOIN) / MB,
+    }
+    return make_result("E10", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -7,9 +7,12 @@ transactions regardless of off-chain volume.
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.blockchain.params import BITCOIN
 from repro.scaling.channels import ChannelNetwork
@@ -64,3 +67,29 @@ def test_e11_channels(benchmark):
     ]
     report("E11 payment channels: 2 on-chain txs buy unbounded volume",
            render_table(["metric", "value"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E11"].default_params), **(params or {})}
+    network, settled = run_channel_hub(
+        clients=p["clients"], payments_per_client=p["payments_per_client"],
+        seed=seed,
+    )
+    on_chain = network.total_on_chain_txs()
+    payments = network.payments_routed
+    metrics = {
+        "on_chain_txs": on_chain,
+        "payments_routed": payments,
+        "off_chain_hops": network.total_off_chain_txs(),
+        "amplification": payments / on_chain,
+        "value_conserved": sum(settled.values()) == p["clients"] * 200_000,
+    }
+    return make_result("E11", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

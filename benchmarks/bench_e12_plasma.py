@@ -7,9 +7,12 @@ penalized."  Measures the on-chain compression and runs the fraud path.
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.common.units import format_bytes
 from repro.crypto.keys import KeyPair
 from repro.scaling.plasma import PlasmaChain, PlasmaOperator, PlasmaTx
@@ -81,3 +84,30 @@ def test_e12_fraud_proof_slashes(benchmark):
     assert sum(chain.exited.values()) == 3_000
     report("E12b Plasma fraud proof: Byzantine operator penalized",
            render_table(["metric", "value"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E12"].default_params), **(params or {})}
+    chain, operator, user_keys = run_plasma(
+        users=p["users"], blocks=p["blocks"],
+        txs_per_block=p["txs_per_block"], seed=seed,
+    )
+    metrics = {
+        "txs_processed": operator.txs_processed,
+        "commitments": len(chain.commitments),
+        "child_chain_bytes": operator.child_chain_bytes(),
+        "root_chain_bytes": chain.on_chain_bytes(),
+        "compression_ratio": operator.compression_ratio(),
+        "value_conserved": (
+            sum(operator.balances.values()) == p["users"] * 1_000_000
+        ),
+    }
+    return make_result("E12", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -7,18 +7,21 @@ and extra latency, eroding the gain.
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.scaling.sharding import ShardedLedger
 from repro.metrics.tables import render_table
 
 
-def run_sharded_workload(shard_count, transfers=2000, seed=0):
+def run_sharded_workload(shard_count, transfers=2000, seed=0, accounts=200):
     rng = random.Random(seed)
     ledger = ShardedLedger(shard_count=shard_count, per_shard_tps=10.0)
-    accounts = [KeyPair.generate(rng).address for _ in range(200)]
+    accounts = [KeyPair.generate(rng).address for _ in range(accounts)]
     for account in accounts:
         ledger.credit(account, 10**6)
     for _ in range(transfers):
@@ -69,3 +72,28 @@ def test_e13_sharding_throughput(benchmark):
             rows,
         ),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E13"].default_params), **(params or {})}
+    ledger = run_sharded_workload(
+        p["shard_count"], transfers=p["transfers"], seed=seed,
+        accounts=p["accounts"],
+    )
+    total_txs = ledger.intra_shard_txs + ledger.cross_shard_txs
+    cross_fraction = ledger.cross_shard_txs / max(total_txs, 1)
+    metrics = {
+        "cross_shard_fraction": cross_fraction,
+        "ideal_tps": ledger.effective_tps(0.0),
+        "effective_tps": ledger.effective_tps(cross_fraction),
+        "supply_conserved": ledger.total_supply() == p["accounts"] * 10**6,
+    }
+    return make_result("E13", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -11,8 +11,12 @@ it saturates at the configured hardware capacity; bursts give a peak
 well above the long-run average.
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.dag.bootstrap import build_nano_testbed, fund_accounts
 from repro.dag.params import NanoParams
 from repro.net.link import LinkParams
@@ -107,3 +111,25 @@ def test_e14_peak_vs_average(benchmark):
     ]
     assert peak / average > 2
     report("E14b peak vs average under bursty load", render_table(["metric", "value"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E14"].default_params), **(params or {})}
+    processing = p["processing_tps"] or None  # 0.0 means unlimited hardware
+    settled_tps = drive_load(
+        p["offered_tps"], processing_tps=processing,
+        duration=p["duration_s"], seed=seed,
+    )
+    metrics = {
+        "settled_tps": settled_tps,
+        "settled_over_offered": settled_tps / p["offered_tps"],
+    }
+    return make_result("E14", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

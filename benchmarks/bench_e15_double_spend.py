@@ -7,9 +7,12 @@ assumption's cliff at 50% must appear.
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.confirmation.nakamoto import (
     attacker_success_probability,
     rosenfeld_success_probability,
@@ -64,3 +67,27 @@ def test_e15_double_spend_races(benchmark):
             table_rows,
         ),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E15"].default_params), **(params or {})}
+    share, depth, trials = p["attacker_share"], p["depth"], p["trials"]
+    attacker = DoubleSpendAttacker(share, depth, random.Random(seed))
+    empirical = attacker.success_rate(trials)
+    lo, hi = binomial_ci(int(empirical * trials), trials)
+    metrics = {
+        "empirical": empirical,
+        "nakamoto": attacker_success_probability(share, depth),
+        "exact": rosenfeld_success_probability(share, depth),
+        "ci95_lo": lo,
+        "ci95_hi": hi,
+    }
+    return make_result("E15", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

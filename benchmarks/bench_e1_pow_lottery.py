@@ -6,9 +6,12 @@ hash power grows — so adding miners does not add throughput (§VI-A).
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.pow import MAX_TARGET, difficulty_to_target, solve_pow
 from repro.blockchain.difficulty import bitcoin_retarget
 from repro.blockchain.miner import mining_race
@@ -36,20 +39,21 @@ def test_e1_win_rate_proportional_to_hashpower(benchmark):
     )
 
 
-def test_e1_difficulty_keeps_interval_fixed(benchmark):
-    def retarget_convergence(growth_factor=10.0, epochs=40, growth_epoch=10):
-        target = MAX_TARGET // 600_000  # difficulty 600k: 600s at 1k h/s
-        hashrate = 1_000.0
-        intervals = []
-        for epoch in range(epochs):
-            if epoch == growth_epoch:
-                hashrate *= growth_factor  # the network grows
-            difficulty = MAX_TARGET / target
-            interval = difficulty / hashrate
-            intervals.append(interval)
-            target = bitcoin_retarget(target, interval * 2016, 600.0 * 2016)
-        return intervals
+def retarget_convergence(growth_factor=10.0, epochs=40, growth_epoch=10):
+    target = MAX_TARGET // 600_000  # difficulty 600k: 600s at 1k h/s
+    hashrate = 1_000.0
+    intervals = []
+    for epoch in range(epochs):
+        if epoch == growth_epoch:
+            hashrate *= growth_factor  # the network grows
+        difficulty = MAX_TARGET / target
+        interval = difficulty / hashrate
+        intervals.append(interval)
+        target = bitcoin_retarget(target, interval * 2016, 600.0 * 2016)
+    return intervals
 
+
+def test_e1_difficulty_keeps_interval_fixed(benchmark):
     intervals = benchmark(retarget_convergence)
     rows = [
         ["steady state before growth (epoch 9)", f"{intervals[9]:.1f}"],
@@ -82,3 +86,31 @@ def test_e1_real_puzzle_asymmetry(benchmark):
         f"difficulty 512: solved in {solution.attempts} attempts; "
         "verification = 1 hash",
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E1"].default_params), **(params or {})}
+    shares, wins, rounds = run_lottery(rounds=p["rounds"], seed=seed)
+    win_rate_err = max(
+        abs(win_count / rounds - share)
+        for share, win_count in zip(shares, wins)
+    )
+    intervals = retarget_convergence(growth_factor=p["growth_factor"])
+    solution = solve_pow(f"block-header-{seed}".encode(),
+                         difficulty_to_target(p["pow_difficulty"]))
+    metrics = {
+        "win_rate_max_abs_err": win_rate_err,
+        "interval_steady_s": intervals[9],
+        "interval_during_shock_s": intervals[10],
+        "interval_after_retarget_s": intervals[-1],
+        "pow_attempts": solution.attempts,
+    }
+    return make_result("E1", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

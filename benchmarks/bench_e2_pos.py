@@ -6,9 +6,12 @@ attacker's mining equipment"); PoS consumes far less energy than PoW.
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.common.types import Hash
 from repro.blockchain.pos import (
@@ -47,18 +50,19 @@ def test_e2_selection_proportional_to_stake(benchmark):
     )
 
 
-def test_e2_slashing_burns_stake(benchmark):
-    def double_vote_scenario():
-        validators, keys = build_validators()
-        genesis = Checkpoint(Hash.zero(), 0)
-        gadget = FinalityGadget(validators, genesis)
-        attacker = keys[3].address
-        gadget.cast_vote(FinalityVote(attacker, genesis, Checkpoint(Hash(b"\x01" * 32), 1)))
-        slashed = gadget.cast_vote(
-            FinalityVote(attacker, genesis, Checkpoint(Hash(b"\x02" * 32), 1))
-        )
-        return validators, attacker, slashed
+def double_vote_scenario():
+    validators, keys = build_validators()
+    genesis = Checkpoint(Hash.zero(), 0)
+    gadget = FinalityGadget(validators, genesis)
+    attacker = keys[3].address
+    gadget.cast_vote(FinalityVote(attacker, genesis, Checkpoint(Hash(b"\x01" * 32), 1)))
+    slashed = gadget.cast_vote(
+        FinalityVote(attacker, genesis, Checkpoint(Hash(b"\x02" * 32), 1))
+    )
+    return validators, attacker, slashed
 
+
+def test_e2_slashing_burns_stake(benchmark):
     validators, attacker, slashed = benchmark(double_vote_scenario)
     assert slashed == attacker
     assert validators.stake_of(attacker) == 0
@@ -82,3 +86,31 @@ def test_e2_energy_gap(benchmark):
     ]
     assert ratio > 10**6
     report("E2c energy per block: PoW vs PoS", render_table(["system", "energy"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E2"].default_params), **(params or {})}
+    stakes = (100, 200, 300, 400)
+    validators, keys = build_validators(stakes)
+    counts = validators.selection_distribution(random.Random(seed), p["rounds"])
+    total = sum(counts.values())
+    selection_err = max(
+        abs(counts.get(key.address, 0) / total - stake / sum(stakes))
+        for key, stake in zip(keys, stakes)
+    )
+    slashed_set, attacker, slashed = double_vote_scenario()
+    metrics = {
+        "selection_max_abs_err": selection_err,
+        "slashed_is_attacker": slashed == attacker,
+        "burned_stake": slashed_set.burned_stake,
+        "energy_ratio": energy_ratio(),
+    }
+    return make_result("E2", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

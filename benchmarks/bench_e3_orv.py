@@ -6,9 +6,12 @@ to settle; hashcash-style work throttles a spammer but not a normal user.
 """
 
 import random
+import time
 
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.common.types import Hash
 from repro.crypto.keys import KeyPair
 from repro.dag.representatives import RepresentativeLedger
@@ -62,26 +65,27 @@ def test_e3_weighted_conflict_resolution(benchmark):
     )
 
 
-def test_e3_no_overhead_without_conflict(benchmark):
-    """"For a transaction with no issues, no voting overhead is required"
-    — settlement happens without any election."""
+def conflict_free_run(node_count=5, seed=1):
     from repro.dag.bootstrap import build_nano_testbed, fund_accounts
     from repro.net.link import LinkParams
 
-    def conflict_free_run():
-        tb = build_nano_testbed(
-            node_count=5, representative_count=2, seed=1,
-            link_params=LinkParams(latency_s=0.05, jitter_s=0.01),
-        )
-        users = fund_accounts(tb, 2, 100_000, settle_time=2.0)
-        tb.node_for(users[0].address).send_payment(
-            users[0].address, users[1].address, 500
-        )
-        tb.simulator.run(until=tb.simulator.now + 5)
-        elections = sum(n.elections.elections_started for n in tb.nodes)
-        settled = tb.nodes[0].balance(users[1].address)
-        return elections, settled
+    tb = build_nano_testbed(
+        node_count=node_count, representative_count=2, seed=seed,
+        link_params=LinkParams(latency_s=0.05, jitter_s=0.01),
+    )
+    users = fund_accounts(tb, 2, 100_000, settle_time=2.0)
+    tb.node_for(users[0].address).send_payment(
+        users[0].address, users[1].address, 500
+    )
+    tb.simulator.run(until=tb.simulator.now + 5)
+    elections = sum(n.elections.elections_started for n in tb.nodes)
+    settled = tb.nodes[0].balance(users[1].address)
+    return elections, settled
 
+
+def test_e3_no_overhead_without_conflict(benchmark):
+    """"For a transaction with no issues, no voting overhead is required"
+    — settlement happens without any election."""
     elections, settled = benchmark(conflict_free_run)
     assert elections == 0
     assert settled == 100_500
@@ -105,3 +109,31 @@ def test_e3_antispam_throttle(benchmark):
     assert single.wall_clock_s < 0.05
     assert cost.wall_clock_s > 3600
     report("E3c hashcash anti-spam economics", render_table(["actor", "cost"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E3"].default_params), **(params or {})}
+    winner_after_minority, winner, block_a, _block_b, _manager = (
+        run_weighted_election(seed=seed)
+    )
+    elections, settled = conflict_free_run(node_count=p["node_count"], seed=seed)
+    attacker = SpamAttacker(hashrate_hps=5e6, work_difficulty=1 << 16)
+    campaign = attacker.campaign_cost(p["spam_txs"])
+    metrics = {
+        "minority_decided_early": winner_after_minority is not None,
+        "majority_wins": winner == block_a,
+        "elections_opened": elections,
+        "settled_balance": settled,
+        "single_tx_s": attacker.campaign_cost(1).wall_clock_s,
+        "spam_campaign_s": campaign.wall_clock_s,
+        "spam_tps": attacker.max_spam_tps,
+    }
+    return make_result("E3", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

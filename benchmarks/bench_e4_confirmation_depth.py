@@ -7,9 +7,12 @@ attacker's hash share.  Casper-FFG-style checkpoints make deep reversals
 impossible outright.
 """
 
-import pytest
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.confirmation.nakamoto import (
     attacker_success_probability,
     confirmations_for_confidence,
@@ -53,9 +56,7 @@ def test_e4_depth_conventions(benchmark):
     )
 
 
-def test_e4_checkpoints_stop_majority_history_rewrites(benchmark):
-    """Without finality no depth is safe against 51%; with Casper-style
-    cementing the reorg is rejected structurally."""
+def checkpoint_scenario():
     from repro.crypto.keys import KeyPair
     from repro.crypto.pow import MAX_TARGET
     from repro.common.errors import CementedBlockError
@@ -63,33 +64,36 @@ def test_e4_checkpoints_stop_majority_history_rewrites(benchmark):
     from repro.blockchain.chain import ChainStore
     from repro.blockchain.transaction import make_coinbase
 
-    assert attacker_success_probability(0.51, 1000) == 1.0
-
-    def checkpoint_scenario():
-        key = KeyPair.from_seed(b"\x02" * 32)
-        store = ChainStore(build_genesis_block(key.address, 1000))
-        parent = store.genesis
-        for n in range(1, 6):
+    key = KeyPair.from_seed(b"\x02" * 32)
+    store = ChainStore(build_genesis_block(key.address, 1000))
+    parent = store.genesis
+    for n in range(1, 6):
+        block = assemble_block(
+            parent.header, [make_coinbase(key.address, 1, nonce=n)],
+            float(n), MAX_TARGET,
+        )
+        store.add_block(block)
+        parent = block
+    store.cement(4)  # finalized checkpoint
+    # A heavier attacker branch from genesis tries to rewrite history.
+    side = store.genesis
+    try:
+        for n in range(10, 18):
             block = assemble_block(
-                parent.header, [make_coinbase(key.address, 1, nonce=n)],
+                side.header, [make_coinbase(key.address, 1, nonce=n)],
                 float(n), MAX_TARGET,
             )
             store.add_block(block)
-            parent = block
-        store.cement(4)  # finalized checkpoint
-        # A heavier attacker branch from genesis tries to rewrite history.
-        side = store.genesis
-        try:
-            for n in range(10, 18):
-                block = assemble_block(
-                    side.header, [make_coinbase(key.address, 1, nonce=n)],
-                    float(n), MAX_TARGET,
-                )
-                store.add_block(block)
-                side = block
-            return False
-        except CementedBlockError:
-            return True
+            side = block
+        return False
+    except CementedBlockError:
+        return True
+
+
+def test_e4_checkpoints_stop_majority_history_rewrites(benchmark):
+    """Without finality no depth is safe against 51%; with Casper-style
+    cementing the reorg is rejected structurally."""
+    assert attacker_success_probability(0.51, 1000) == 1.0
 
     rejected = benchmark(checkpoint_scenario)
     assert rejected
@@ -97,3 +101,23 @@ def test_e4_checkpoints_stop_majority_history_rewrites(benchmark):
         "E4c finality checkpoints",
         "majority rewrite attempt across a cemented checkpoint: REJECTED",
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E4"].default_params), **(params or {})}
+    metrics = {
+        "p_success": attacker_success_probability(p["attacker_share"], p["depth"]),
+        "depth_needed": confirmations_for_confidence(
+            p["attacker_share"], p["risk"]
+        ),
+        "checkpoint_rejected": checkpoint_scenario(),
+    }
+    return make_result("E4", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

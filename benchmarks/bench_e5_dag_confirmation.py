@@ -5,8 +5,12 @@ on propagation) and compares it with blockchain's depth-based wait; also
 exercises cementing ("prevent transactions from being rolled back").
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.common.errors import CementedBlockError
 from repro.confirmation.dag_confirmation import blockchain_vs_dag_latency
 from repro.dag.bootstrap import build_nano_testbed, fund_accounts
@@ -17,9 +21,11 @@ from repro.metrics.tables import render_table
 LINK = LinkParams(latency_s=0.08, jitter_s=0.04)
 
 
-def measure_dag_confirmation(transfers=10, seed=3):
+def measure_dag_confirmation(transfers=10, seed=3, node_count=8,
+                             representative_count=4):
     tb = build_nano_testbed(
-        node_count=8, representative_count=4, seed=seed, link_params=LINK
+        node_count=node_count, representative_count=representative_count,
+        seed=seed, link_params=LINK,
     )
     users = fund_accounts(tb, 4, 10**6, settle_time=2.0)
     tb.simulator.run(until=tb.simulator.now + 5)
@@ -85,3 +91,28 @@ def test_e5_cementing_prevents_rollback(benchmark):
         "E5b block cementing",
         "rollback of a quorum-confirmed (cemented) block: REJECTED",
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E5"].default_params), **(params or {})}
+    latencies = measure_dag_confirmation(
+        transfers=p["transfers"], seed=seed, node_count=p["node_count"],
+        representative_count=p["representative_count"],
+    )
+    stats = summarize(latencies)
+    bitcoin_wait, _ = blockchain_vs_dag_latency(600.0, 6, stats.mean)
+    metrics = {
+        "mean_confirmation_s": stats.mean,
+        "max_confirmation_s": stats.maximum,
+        "bitcoin_wait_s": bitcoin_wait,
+        "speedup_vs_bitcoin": bitcoin_wait / stats.mean,
+    }
+    return make_result("E5", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

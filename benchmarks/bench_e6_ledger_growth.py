@@ -6,9 +6,13 @@ and checks the paper's snapshot ordering (145.95 / 39.62 / 3.42 GB)
 emerges from protocol behaviour.
 """
 
+import time
+
 from conftest import report
 
-from repro.common.units import DAY, GB, YEAR, format_bytes
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
+from repro.common.units import GB, YEAR, format_bytes
 from repro.crypto.keys import KeyPair
 from repro.crypto.pow import MAX_TARGET
 from repro.blockchain.block import assemble_block, build_genesis_block
@@ -122,3 +126,36 @@ def test_e6_ledger_growth(benchmark):
             rows,
         ),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E6"].default_params), **(params or {})}
+    bitcoin_per_tx, _store = measure_bitcoin_like_footprint(p["txs"])
+    nano_per_tx, _lattice = measure_nano_like_footprint(p["txs"])
+    models = {
+        "bitcoin": GrowthModel("bitcoin", 2.5, bitcoin_per_tx),
+        "ethereum": GrowthModel("ethereum", 7.0, bitcoin_per_tx * 0.35),
+        "nano": GrowthModel("nano", 0.2, nano_per_tx),
+    }
+    projected = {
+        "bitcoin": models["bitcoin"].size_at(9 * YEAR),
+        "ethereum": models["ethereum"].size_at(2.5 * YEAR),
+        "nano": models["nano"].size_at(2.5 * YEAR),
+    }
+    metrics = {
+        "bitcoin_bytes_per_tx": bitcoin_per_tx,
+        "nano_bytes_per_tx": nano_per_tx,
+        "projected_bitcoin_gb": projected["bitcoin"] / GB,
+        "projected_ethereum_gb": projected["ethereum"] / GB,
+        "projected_nano_gb": projected["nano"] / GB,
+        "ordering_ok": ordering_matches_snapshot(projected),
+    }
+    return make_result("E6", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -6,8 +6,12 @@ headers + receipts + one state snapshot instead of replaying history,
 leaving "a database pruned of the state deltas".
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.common.units import format_bytes
 from repro.crypto.keys import KeyPair
 from repro.crypto.pow import MAX_TARGET
@@ -89,3 +93,28 @@ def test_e7_ethereum_fast_sync(benchmark):
     assert result.replay_saved > 80
     assert freed > result.state_snapshot_bytes  # deltas dominated the store
     report("E7b Ethereum fast sync at pivot head-64", render_table(["metric", "value"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E7"].default_params), **(params or {})}
+    store = build_utxo_chain(blocks=p["blocks"], txs_per_block=p["txs_per_block"])
+    pruned = prune_chain(store, keep_depth=p["keep_depth"])
+    acct_store, state, receipts = build_account_chain()
+    sync = fast_sync(acct_store, state, receipts, p["pivot_window"])
+    freed = prune_state_deltas(state)
+    metrics = {
+        "prune_fraction_freed": pruned.fraction_freed,
+        "blocks_pruned": pruned.blocks_pruned,
+        "fastsync_replay_saved": sync.replay_saved,
+        "fastsync_download_ratio": sync.fast_sync_bytes / sync.full_sync_bytes,
+        "state_deltas_freed_bytes": freed,
+    }
+    return make_result("E7", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -6,8 +6,12 @@ a grown lattice to chain heads preserves every balance.  Footprints of
 the three node types (historical / current / light) are measured.
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.common.units import format_bytes
 from repro.crypto.keys import KeyPair
 from repro.dag.blocks import make_open, make_receive, make_send
@@ -74,3 +78,32 @@ def test_e8_dag_pruning(benchmark):
     ]
     assert footprints["historical"] > footprints["current"] > footprints["light"] == 0
     report("E8 Nano node-type footprints and pruning", render_table(["metric", "value"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E8"].default_params), **(params or {})}
+    lattice, users = build_busy_lattice(
+        accounts=p["accounts"], transfers=p["transfers"], seed=seed
+    )
+    footprints = footprint_by_type(lattice)
+    balances_before = {u.address: lattice.balance(u.address) for u in users}
+    pruned = prune_lattice(lattice)
+    metrics = {
+        "fraction_freed": pruned.fraction_freed,
+        "bytes_freed": pruned.bytes_freed,
+        "historical_bytes": footprints["historical"],
+        "current_bytes": footprints["current"],
+        "balances_preserved": all(
+            lattice.balance(u.address) == balances_before[u.address]
+            for u in users
+        ),
+    }
+    return make_result("E8", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -6,9 +6,13 @@ blocks), Ethereum 7-15 TPS (15 s gas-limited blocks), PoS ~4 s blocks,
 all dwarfed by Visa's 56,000 TPS.
 """
 
+import time
 from dataclasses import replace
 
 from conftest import report
+
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 
 from repro.crypto.keys import KeyPair
 from repro.net.link import FAST_LINK
@@ -17,7 +21,7 @@ from repro.net.topology import complete_topology
 from repro.sim.simulator import Simulator
 from repro.blockchain.block import build_genesis_with_allocations
 from repro.blockchain.node import BlockchainNode
-from repro.blockchain.params import BITCOIN, ETHEREUM, ETHEREUM_POS, SEGWIT2X
+from repro.blockchain.params import BITCOIN
 from repro.blockchain.transaction import build_transaction
 from repro.scaling.throughput import VISA_TPS, protocol_tps_table
 from repro.metrics.tables import render_table
@@ -45,54 +49,54 @@ def test_e9_protocol_ceilings(benchmark):
     report("E9a protocol TPS ceilings (Section VI-A)", render_table(["system", "TPS"], rows))
 
 
+def saturate(offered_tps=20.0, duration=1200.0, seed=1):
+    # A miniature Bitcoin: 30 s blocks, 2 KB caps ⇒ ~0.45 TPS ceiling.
+    params = replace(
+        BITCOIN, target_block_interval_s=30.0, max_block_size_bytes=2_000,
+        confirmation_depth=2,
+    )
+    alice = KeyPair.from_seed(b"\x0a" * 32)
+    bob = KeyPair.from_seed(b"\x0b" * 32)
+    genesis = build_genesis_with_allocations(
+        {alice.address: 10**12, bob.address: 10**12}
+    )
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    nodes = complete_topology(
+        net, 3, lambda nid: BlockchainNode(nid, params, genesis), FAST_LINK
+    )
+    for i, node in enumerate(nodes):
+        node.start_pow_mining(1 / 3, KeyPair.from_seed(bytes([60 + i]) * 32).address)
+    # Offered load: alice sprays micro-payments (chained via change).
+    spendable = [(genesis.transactions[0].txid, 0, 10**12)]
+    interval = 1.0 / offered_tps
+    state = {"spendable": spendable, "submitted": 0}
+
+    def submit():
+        tx = build_transaction(alice, state["spendable"], bob.address, 10, fee=1)
+        change_index = len(tx.outputs) - 1
+        state["spendable"] = [
+            (tx.txid, change_index, tx.outputs[change_index].amount)
+        ]
+        nodes[0].submit_transaction(tx)
+        state["submitted"] += 1
+
+    sim.schedule_periodic(interval, submit, until=duration * 0.8)
+    sim.run(until=duration)
+    observer = nodes[0]
+    mined_txs = sum(
+        len(b.transactions) - 1 for b in observer.chain.main_chain()
+    )
+    mined_tps = mined_txs / duration
+    ceiling = params.max_tps(avg_tx_size_bytes=250)
+    backlog = len(observer.mempool)
+    return mined_tps, ceiling, backlog, state["submitted"]
+
+
 def test_e9_measured_saturation(benchmark):
     """Drive a small-block chain far past its capacity: confirmed TPS
     pins at the block-size/interval ceiling while the mempool backlog
     grows — the Section VI pending-transaction picture."""
-
-    def saturate(offered_tps=20.0, duration=1200.0):
-        # A miniature Bitcoin: 30 s blocks, 2 KB caps ⇒ ~0.45 TPS ceiling.
-        params = replace(
-            BITCOIN, target_block_interval_s=30.0, max_block_size_bytes=2_000,
-            confirmation_depth=2,
-        )
-        alice = KeyPair.from_seed(b"\x0a" * 32)
-        bob = KeyPair.from_seed(b"\x0b" * 32)
-        genesis = build_genesis_with_allocations(
-            {alice.address: 10**12, bob.address: 10**12}
-        )
-        sim = Simulator(seed=1)
-        net = Network(sim)
-        nodes = complete_topology(
-            net, 3, lambda nid: BlockchainNode(nid, params, genesis), FAST_LINK
-        )
-        for i, node in enumerate(nodes):
-            node.start_pow_mining(1 / 3, KeyPair.from_seed(bytes([60 + i]) * 32).address)
-        # Offered load: alice sprays micro-payments (chained via change).
-        spendable = [(genesis.transactions[0].txid, 0, 10**12)]
-        interval = 1.0 / offered_tps
-        state = {"spendable": spendable, "submitted": 0}
-
-        def submit():
-            tx = build_transaction(alice, state["spendable"], bob.address, 10, fee=1)
-            change_index = len(tx.outputs) - 1
-            state["spendable"] = [
-                (tx.txid, change_index, tx.outputs[change_index].amount)
-            ]
-            nodes[0].submit_transaction(tx)
-            state["submitted"] += 1
-
-        sim.schedule_periodic(interval, submit, until=duration * 0.8)
-        sim.run(until=duration)
-        observer = nodes[0]
-        mined_txs = sum(
-            len(b.transactions) - 1 for b in observer.chain.main_chain()
-        )
-        mined_tps = mined_txs / duration
-        ceiling = params.max_tps(avg_tx_size_bytes=250)
-        backlog = len(observer.mempool)
-        return mined_tps, ceiling, backlog, state["submitted"]
-
     mined_tps, ceiling, backlog, submitted = benchmark.pedantic(
         saturate, rounds=1, iterations=1
     )
@@ -106,3 +110,29 @@ def test_e9_measured_saturation(benchmark):
     assert mined_tps < ceiling * 1.6
     assert backlog > submitted * 0.8
     report("E9b measured saturation of a capped chain", render_table(["metric", "value"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["E9"].default_params), **(params or {})}
+    table = protocol_tps_table()
+    mined_tps, ceiling, backlog, submitted = saturate(
+        offered_tps=p["offered_tps"], duration=p["duration_s"], seed=seed
+    )
+    metrics = {
+        "bitcoin_ceiling_tps": table["bitcoin"],
+        "ethereum_ceiling_tps": table["ethereum"],
+        "visa_tps": table["visa"],
+        "mined_tps": mined_tps,
+        "sim_ceiling_tps": ceiling,
+        "mempool_backlog": backlog,
+        "submitted": submitted,
+    }
+    return make_result("E9", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

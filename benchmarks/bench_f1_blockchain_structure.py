@@ -5,8 +5,12 @@ Rebuilds the figure's shape: hash-linked blocks, each carrying a header
 and a genesis block with no predecessor.
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.pow import MAX_TARGET
@@ -56,3 +60,32 @@ def test_f1_structure_invariants(benchmark):
         ["total size (bytes)", store.total_size_bytes()],
     ]
     report("F1 blockchain structure (Fig. 1)", render_table(["property", "value"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["F1"].default_params), **(params or {})}
+    store = build_chain(blocks=p["blocks"], txs_per_block=p["txs_per_block"])
+    chain = store.main_chain()
+    hash_links_ok = chain[0].parent_id.is_zero() and all(
+        child.parent_id == parent.block_id
+        for parent, child in zip(chain, chain[1:])
+    )
+    merkle_ok = all(block.merkle_root_matches() for block in chain)
+    metrics = {
+        "blocks": store.height + 1,
+        "transactions": sum(len(b.transactions) for b in chain),
+        "hash_links_ok": hash_links_ok,
+        "merkle_ok": merkle_ok,
+        "total_bytes": store.total_size_bytes(),
+        "bytes_per_tx": store.total_size_bytes()
+        / max(sum(len(b.transactions) for b in chain), 1),
+    }
+    return make_result("F1", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -5,8 +5,12 @@ DAG node, cross-chain edges from sends to receives, and a genesis
 transaction defining the initial state.
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.dag.blocks import BlockType, make_open, make_receive, make_send
 from repro.dag.lattice import Lattice
@@ -14,10 +18,10 @@ from repro.dag.params import NanoParams
 from repro.metrics.tables import render_table
 
 
-def build_lattice(accounts=10, transfers_per_account=5):
+def build_lattice(accounts=10, transfers_per_account=5, seed=0):
     import random
 
-    rng = random.Random(0)
+    rng = random.Random(seed)
     lattice = Lattice(NanoParams(work_difficulty=1))
     genesis_key = KeyPair.generate(rng)
     lattice.create_genesis(genesis_key, 10**12)
@@ -70,3 +74,33 @@ def test_f2_lattice_invariants(benchmark):
         ["ledger bytes", lattice.serialized_size()],
     ]
     report("F2 block-lattice structure (Fig. 2)", render_table(["property", "value"], rows))
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["F2"].default_params), **(params or {})}
+    lattice, users = build_lattice(
+        accounts=p["accounts"],
+        transfers_per_account=p["transfers_per_account"],
+        seed=seed,
+    )
+    chains_ok = all(
+        lattice.chain(u.address).blocks[0].block_type == BlockType.OPEN
+        for u in users
+    )
+    metrics = {
+        "account_chains": lattice.account_count(),
+        "dag_nodes": lattice.block_count(),
+        "pending_sends": lattice.pending_count(),
+        "supply_conserved": lattice.total_supply() == 10**12,
+        "open_first_ok": chains_ok,
+        "ledger_bytes": lattice.serialized_size(),
+    }
+    return make_result("F2", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -6,8 +6,12 @@ between the two the value is *pending* and the transfer *unsettled*; an
 offline recipient cannot settle.
 """
 
+import time
+
 from conftest import report
 
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 from repro.dag.bootstrap import build_nano_testbed, fund_accounts
 from repro.net.link import LinkParams
 from repro.metrics.tables import render_table
@@ -15,9 +19,11 @@ from repro.metrics.tables import render_table
 LINK = LinkParams(latency_s=0.05, jitter_s=0.02)
 
 
-def run_send_receive_cycle():
-    tb = build_nano_testbed(node_count=6, representative_count=3, seed=2,
-                            link_params=LINK)
+def run_send_receive_cycle(node_count=6, representative_count=3, seed=2,
+                           amount=777):
+    tb = build_nano_testbed(node_count=node_count,
+                            representative_count=representative_count,
+                            seed=seed, link_params=LINK)
     users = fund_accounts(tb, 2, 1_000_000, settle_time=2.0)
     tb.simulator.run(until=tb.simulator.now + 5)
     u0, u1 = users
@@ -25,7 +31,7 @@ def run_send_receive_cycle():
     timeline = []
     receiver = tb.node_for(u1.address)
     receiver.set_online(False)  # the Fig. 3 offline case
-    send = tb.node_for(u0.address).send_payment(u0.address, u1.address, 777)
+    send = tb.node_for(u0.address).send_payment(u0.address, u1.address, amount)
     tb.simulator.run(until=tb.simulator.now + 5)
     observer = tb.node_for(u0.address)
     timeline.append(
@@ -64,3 +70,30 @@ def test_f3_send_receive(benchmark):
             ["phase", "pending sends", "settled", "recipient balance"], timeline
         ),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["F3"].default_params), **(params or {})}
+    timeline = run_send_receive_cycle(
+        node_count=p["node_count"],
+        representative_count=p["representative_count"],
+        seed=seed,
+        amount=p["amount"],
+    )
+    after_send, after_receive = timeline
+    metrics = {
+        "pending_after_send": after_send[1],
+        "settled_after_send": bool(after_send[2]),
+        "pending_after_receive": after_receive[1],
+        "settled_after_receive": bool(after_receive[2]),
+        "recipient_balance_delta": after_receive[3] - after_send[3],
+    }
+    return make_result("F3", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -6,9 +6,13 @@ branches grow, and the longer chain wins while the shorter is orphaned
 (its transactions returning to the mempool).
 """
 
+import time
 from dataclasses import replace
 
 from conftest import report
+
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
 
 from repro.crypto.keys import KeyPair
 from repro.net.link import LinkParams
@@ -75,3 +79,27 @@ def test_f4_soft_forks(benchmark):
             rows,
         ),
     )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["F4"].default_params), **(params or {})}
+    blocks, orphaned, converged = run_network(
+        p["interval_s"], p["latency_s"], duration_s=p["duration_s"], seed=seed
+    )
+    metrics = {
+        "blocks": blocks,
+        "orphan_rate": orphaned / max(blocks, 1),
+        "model_orphan_rate": expected_orphan_rate(
+            p["latency_s"] * 2, p["interval_s"]
+        ),
+        "converged": converged,
+    }
+    return make_result("F4", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

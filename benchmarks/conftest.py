@@ -4,10 +4,19 @@ Every bench prints the rows/series the paper reports (so running
 ``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation)
 and asserts the claim's *shape* — who wins, by roughly what factor,
 where crossovers fall.
+
+Every bench additionally exposes the uniform entry point the sweep
+runner (``repro.runner``) fans out over::
+
+    def run(params: dict, seed: int) -> dict   # repro.runner.spec schema
+
+and a thin ``__main__`` wrapper (:func:`bench_main`) so ``python
+benchmarks/bench_xxx.py [seed]`` prints one trial's JSON envelope.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 
@@ -15,3 +24,9 @@ def report(title: str, body: str) -> None:
     """Print a bench's result block, visible under ``-s`` and in logs."""
     print(f"\n=== {title} ===", file=sys.stderr)
     print(body, file=sys.stderr)
+
+
+def bench_main(run) -> None:
+    """Thin ``__main__`` wrapper around a bench's uniform ``run``."""
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    print(json.dumps(run({}, seed), indent=2, sort_keys=True))

@@ -8,7 +8,10 @@ writing any code:
 * ``tps``           — Section VI-A protocol throughput ceilings;
 * ``confirmation``  — Section IV-A depth-for-risk table;
 * ``growth``        — Section V ledger growth snapshot and ratios;
-* ``faults``        — degraded-network gossip run with a JSONL trace.
+* ``faults``        — degraded-network gossip run with a JSONL trace;
+* ``bench``         — one experiment, one trial, in process;
+* ``sweep``         — parameter-grid fan-out across worker processes,
+  aggregated into ``BENCH_<id>.json`` (see ``repro.runner``).
 """
 
 from __future__ import annotations
@@ -278,6 +281,120 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_value(text: str):
+    """``--param`` values: int, then float, then bool, else string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _parse_grid(pairs: List[str]):
+    grid = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ValueError(f"--param expects key=v1[,v2,...], got {pair!r}")
+        key, _, values = pair.partition("=")
+        grid[key.strip()] = [
+            _parse_param_value(v.strip()) for v in values.split(",") if v.strip()
+        ]
+    return grid
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run one experiment once, in process, and print its metrics."""
+    experiment = EXPERIMENTS.get(args.experiment_id)
+    if experiment is None:
+        print(f"error: unknown experiment {args.experiment_id!r} "
+              f"(see `python -m repro list`)", file=sys.stderr)
+        return 2
+    overrides = {
+        key: values[0] for key, values in _parse_grid(args.param).items()
+    }
+    runner = experiment.load_runner()
+    result = runner(overrides, args.seed)
+    rows = [["experiment", result["experiment_id"]],
+            ["seed", result["seed"]],
+            ["elapsed", f"{result['elapsed_s']:.3f} s"]]
+    for key, value in sorted(result["params"].items()):
+        rows.append([f"param: {key}", value])
+    for key, value in sorted(result["metrics"].items()):
+        rows.append([f"metric: {key}", value])
+    print(render_table(["field", "value"], rows,
+                       title=f"{experiment.experiment_id}: {experiment.claim}"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand a parameter grid and fan trials out across processes."""
+    import os
+
+    from repro.runner import (
+        ResultCache,
+        build_spec,
+        render_summary,
+        run_trials,
+        write_bench_json,
+    )
+
+    if args.all:
+        experiment_ids = list(EXPERIMENTS)
+    elif args.experiment:
+        experiment_ids = list(args.experiment)
+    else:
+        print("error: pass --experiment ID (repeatable) or --all",
+              file=sys.stderr)
+        return 2
+    unknown = [e for e in experiment_ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiments: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    try:
+        grid = _parse_grid(args.param)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.seeds:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    else:
+        seeds = list(range(args.trials))
+    jobs = args.jobs or os.cpu_count() or 1
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or os.path.join(args.out_dir, "cache"))
+
+    failures = 0
+    for experiment_id in experiment_ids:
+        spec = build_spec(experiment_id, grid or None, seeds=seeds)
+        trials = spec.expand()
+        print(f"[{experiment_id}] {len(trials)} trials "
+              f"({len(spec.points())} grid points x {len(seeds)} seeds), "
+              f"jobs={jobs}", file=sys.stderr)
+
+        def progress(outcome, done, total):
+            marker = "cache" if outcome.cached else outcome.status.lower()
+            print(f"[{experiment_id}] {done}/{total} {outcome.trial.key} "
+                  f"({marker}, {outcome.elapsed_s:.2f}s)", file=sys.stderr)
+
+        outcomes = run_trials(
+            trials, jobs=jobs, timeout_s=args.timeout, retries=args.retries,
+            cache=cache, trace_dir=args.trace_dir, progress=progress,
+        )
+        cache_stats = cache.stats() if cache else None
+        path = write_bench_json(spec, outcomes, args.out_dir,
+                                cache_stats=cache_stats)
+        print(render_summary(spec, outcomes))
+        print(f"wrote {path}", file=sys.stderr)
+        failures += sum(1 for o in outcomes if not o.ok)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -340,6 +457,47 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", "-o", default=None,
                         help="write to a file instead of stdout")
     report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="run one experiment once via its uniform run() API"
+    )
+    bench.add_argument("experiment_id", help="registry id, e.g. E15")
+    bench.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="override a default parameter (repeatable)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_cmd_bench)
+
+    sweep = sub.add_parser(
+        "sweep", help="parameter-grid fan-out across worker processes"
+    )
+    sweep.add_argument("--experiment", "-e", action="append", default=[],
+                       help="experiment id (repeatable)")
+    sweep.add_argument("--all", action="store_true",
+                       help="sweep every registered experiment")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="KEY=V1[,V2,...]",
+                       help="grid axis: comma-separated values (repeatable)")
+    sweep.add_argument("--seeds", default=None,
+                       help="comma-separated seed list (default: 0..trials-1)")
+    sweep.add_argument("--trials", type=int, default=4,
+                       help="number of seeds when --seeds is not given")
+    sweep.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes (default: cpu count)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-trial timeout in seconds")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="retries for crashed workers")
+    sweep.add_argument("--out-dir", default="results",
+                       help="where BENCH_<id>.json files land")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result cache root (default: <out-dir>/cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache")
+    sweep.add_argument("--trace-dir", default=None,
+                       help="write per-trial JSONL traces here (benches that "
+                            "support capture)")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

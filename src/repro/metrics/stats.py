@@ -101,6 +101,26 @@ def confidence_interval(
     return (stats.mean - half, stats.mean + half)
 
 
+def aggregate_samples(values: Sequence[float], z: float = 1.96) -> dict:
+    """Cross-seed aggregate for one metric: mean, CI, spread.
+
+    The flat-dict shape is what ``repro.runner.report`` writes into
+    ``BENCH_<id>.json`` aggregate blocks.  A single sample degenerates
+    to a zero-width interval rather than raising.
+    """
+    stats = summarize(values)
+    lo, hi = confidence_interval(values, z)
+    return {
+        "n": stats.count,
+        "mean": stats.mean,
+        "stdev": stats.stdev,
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "ci95_lo": lo,
+        "ci95_hi": hi,
+    }
+
+
 def binomial_ci(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
     """Wilson interval for a proportion (attack success rates)."""
     if trials <= 0:

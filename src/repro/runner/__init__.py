@@ -1,0 +1,59 @@
+"""repro.runner — parallel experiment sweeps over the uniform bench API.
+
+The subsystem the reproduction sweeps run on:
+
+* :mod:`repro.runner.spec`   — :class:`ExperimentSpec` (id + grid +
+  seeds) → independent :class:`Trial`\\ s; the shared result envelope.
+* :mod:`repro.runner.pool`   — fan-out across worker processes with
+  per-trial timeouts, crashed-worker retry, deterministic seeding.
+* :mod:`repro.runner.cache`  — content-addressed result cache keyed on
+  experiment id + canonical params/seed + code fingerprint.
+* :mod:`repro.runner.report` — mean/CI aggregation into
+  ``BENCH_<id>.json`` artifacts.
+
+Quick start::
+
+    from repro.runner import build_spec, run_trials, write_bench_json
+
+    spec = build_spec("E15", {"attacker_share": [0.1, 0.25, 0.4]},
+                      seeds=range(8))
+    outcomes = run_trials(spec.expand(), jobs=4, timeout_s=300)
+    write_bench_json(spec, outcomes, "results/")
+"""
+
+from repro.runner.cache import ResultCache, code_fingerprint, trial_cache_key
+from repro.runner.pool import TrialOutcome, run_trials
+from repro.runner.report import (
+    aggregate_outcomes,
+    build_report,
+    render_summary,
+    write_bench_json,
+)
+from repro.runner.spec import (
+    ExperimentSpec,
+    Trial,
+    build_spec,
+    canonical_json,
+    make_result,
+    param_key,
+    validate_result,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultCache",
+    "Trial",
+    "TrialOutcome",
+    "aggregate_outcomes",
+    "build_report",
+    "build_spec",
+    "canonical_json",
+    "code_fingerprint",
+    "make_result",
+    "param_key",
+    "render_summary",
+    "run_trials",
+    "trial_cache_key",
+    "validate_result",
+    "write_bench_json",
+]

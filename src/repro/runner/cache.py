@@ -1,0 +1,106 @@
+"""Content-addressed result cache for experiment trials.
+
+A trial's cache key commits to everything that could change its result:
+
+* the experiment id,
+* the canonical JSON of its parameter point,
+* its root seed,
+* a *code fingerprint* — a digest of the bench module's source plus the
+  source of every module the registry lists for that experiment.
+
+Re-running a sweep therefore only executes trials whose inputs or code
+actually changed; everything else is served from disk.  Layout::
+
+    <root>/<experiment_id>/<key[:2]>/<key>.json
+
+Each entry is the full result envelope wrapped with the key material, so
+a cache directory is self-describing and can be inspected with ``jq``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.runner.spec import Trial, canonical_json, canonicalize_params
+
+CACHE_VERSION = 1
+
+
+def _module_source_bytes(module_name: str) -> bytes:
+    spec = importlib.util.find_spec(module_name)
+    if spec is None or spec.origin is None or not Path(spec.origin).is_file():
+        return f"<missing:{module_name}>".encode()
+    return Path(spec.origin).read_bytes()
+
+
+def code_fingerprint(experiment_id: str) -> str:
+    """Digest of the code a trial's result depends on.
+
+    Hashes the bench file and the registry-listed modules under test, so
+    editing any of them invalidates exactly that experiment's entries.
+    """
+    from repro.core.experiment import EXPERIMENTS, bench_dir
+
+    experiment = EXPERIMENTS[experiment_id]
+    digest = hashlib.sha256(f"cache-v{CACHE_VERSION}".encode())
+    bench_path = bench_dir() / experiment.bench
+    digest.update(bench_path.read_bytes() if bench_path.is_file() else b"<no-bench>")
+    for module_name in sorted(experiment.modules):
+        digest.update(module_name.encode())
+        digest.update(_module_source_bytes(module_name))
+    return digest.hexdigest()
+
+
+def trial_cache_key(trial: Trial, fingerprint: str) -> str:
+    material = canonical_json({
+        "experiment_id": trial.experiment_id,
+        "params": canonicalize_params(trial.params),
+        "seed": trial.seed,
+        "code": fingerprint,
+    })
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """Read-through/write-through store of finished trial envelopes."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, experiment_id: str, key: str) -> Path:
+        return self.root / experiment_id / key[:2] / f"{key}.json"
+
+    def get(self, trial: Trial, fingerprint: str) -> Optional[Dict[str, Any]]:
+        path = self._path(trial.experiment_id, trial_cache_key(trial, fingerprint))
+        try:
+            entry = json.loads(path.read_text())
+            result = entry["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, trial: Trial, fingerprint: str, result: Dict[str, Any]) -> Path:
+        key = trial_cache_key(trial, fingerprint)
+        path = self._path(trial.experiment_id, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache_version": CACHE_VERSION,
+            "key": key,
+            "code_fingerprint": fingerprint,
+            "result": result,
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+        tmp.replace(path)  # atomic: concurrent sweeps never see half a file
+        return path
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,157 @@
+"""Aggregation of trial outcomes into ``BENCH_<id>.json`` artifacts.
+
+Aggregates are grouped by parameter point and computed over the seeds
+that succeeded, using the summary statistics in
+:mod:`repro.metrics.stats` (mean, 95% CI, stdev, extrema).  The
+aggregate block is *timing-free* and ordered canonically (sorted param
+key, then seed), so two sweeps of the same spec at any ``--jobs`` level
+serialize to byte-identical aggregates — the property the determinism
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from repro.metrics.stats import aggregate_samples
+from repro.metrics.tables import render_table
+from repro.runner.pool import TrialOutcome
+from repro.runner.spec import ExperimentSpec, canonical_json, param_key
+
+SCHEMA = "repro.runner/bench.v1"
+
+
+def aggregate_outcomes(
+    spec: ExperimentSpec, outcomes: Sequence[TrialOutcome]
+) -> List[Dict[str, Any]]:
+    """Per-param-point aggregates over successful seeds (deterministic)."""
+    groups: Dict[str, Dict[str, Any]] = {}
+    for outcome in outcomes:
+        if not outcome.ok or outcome.result is None:
+            continue
+        params = outcome.result["params"]
+        key = param_key(params)
+        group = groups.setdefault(key, {"params": params, "by_seed": {}})
+        group["by_seed"][outcome.trial.seed] = outcome.result["metrics"]
+
+    aggregates: List[Dict[str, Any]] = []
+    for key in sorted(groups, key=lambda k: canonical_json(groups[k]["params"])):
+        group = groups[key]
+        seeds = sorted(group["by_seed"])
+        metric_names = sorted({
+            name for metrics in group["by_seed"].values() for name in metrics
+        })
+        metrics: Dict[str, Any] = {}
+        for name in metric_names:
+            samples = [
+                group["by_seed"][seed][name]
+                for seed in seeds
+                if name in group["by_seed"][seed]
+            ]
+            metrics[name] = aggregate_samples(samples)
+        aggregates.append({
+            "param_key": key,
+            "params": group["params"],
+            "seeds": seeds,
+            "metrics": metrics,
+        })
+    return aggregates
+
+
+def build_report(
+    spec: ExperimentSpec,
+    outcomes: Sequence[TrialOutcome],
+    cache_stats: Dict[str, int] = None,
+) -> Dict[str, Any]:
+    """The full ``BENCH_<id>.json`` document."""
+    from repro.core.experiment import EXPERIMENTS
+
+    experiment = EXPERIMENTS.get(spec.experiment_id)
+    trials = sorted(
+        outcomes,
+        key=lambda o: (canonical_json(dict(o.trial.params)), o.trial.seed),
+    )
+    trial_records = []
+    for outcome in trials:
+        record: Dict[str, Any] = {
+            "params": dict(outcome.trial.params),
+            "seed": outcome.trial.seed,
+            "derived_seed": outcome.trial.derived_seed,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "cached": outcome.cached,
+            "elapsed_s": round(outcome.elapsed_s, 6),
+        }
+        if outcome.ok and outcome.result is not None:
+            record["metrics"] = outcome.result["metrics"]
+            record["bench_elapsed_s"] = outcome.result["elapsed_s"]
+        if outcome.error:
+            record["error"] = outcome.error
+        if outcome.trace_path:
+            record["trace_path"] = outcome.trace_path
+        trial_records.append(record)
+
+    document: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "experiment_id": spec.experiment_id,
+        "spec": spec.to_dict(),
+        "counts": {
+            "trials": len(outcomes),
+            "ok": sum(1 for o in outcomes if o.ok),
+            "failed": sum(1 for o in outcomes if not o.ok),
+            "cached": sum(1 for o in outcomes if o.cached),
+        },
+        "aggregates": aggregate_outcomes(spec, outcomes),
+        "trials": trial_records,
+    }
+    if experiment is not None:
+        document["paper_ref"] = experiment.paper_ref
+        document["claim"] = experiment.claim
+    if cache_stats:
+        document["cache"] = dict(cache_stats)
+    return document
+
+
+def write_bench_json(
+    spec: ExperimentSpec,
+    outcomes: Sequence[TrialOutcome],
+    out_dir: Path,
+    cache_stats: Dict[str, int] = None,
+) -> Path:
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{spec.experiment_id}.json"
+    document = build_report(spec, outcomes, cache_stats=cache_stats)
+    path.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n")
+    return path
+
+
+def render_summary(spec: ExperimentSpec, outcomes: Sequence[TrialOutcome]) -> str:
+    """Aggregate table for terminal output: one row per (point, metric)."""
+    rows: List[List[Any]] = []
+    for aggregate in aggregate_outcomes(spec, outcomes):
+        point = " ".join(
+            f"{name}={aggregate['params'][name]}"
+            for name in sorted(aggregate["params"])
+        ) or "(defaults)"
+        for name, stats in aggregate["metrics"].items():
+            rows.append([
+                point, name, f"{stats['mean']:.4g}",
+                f"[{stats['ci95_lo']:.4g}, {stats['ci95_hi']:.4g}]",
+                stats["n"],
+            ])
+            point = ""  # only label the first metric row of each point
+    failures = [o for o in outcomes if not o.ok]
+    table = render_table(
+        ["params", "metric", "mean", "95% CI", "n"], rows,
+        title=f"{spec.experiment_id}: {len(outcomes)} trials, "
+              f"{len(outcomes) - len(failures)} ok, {len(failures)} failed",
+    )
+    if failures:
+        failure_rows = [
+            [o.trial.describe(), o.status, o.error or ""] for o in failures
+        ]
+        table += "\n\n" + render_table(["trial", "status", "error"], failure_rows)
+    return table

@@ -1,0 +1,220 @@
+"""Experiment sweep specifications and the uniform bench result schema.
+
+An :class:`ExperimentSpec` names one registered experiment, a parameter
+grid (param name → list of values) and a seed list; :meth:`expand` turns
+it into the cross product of independent :class:`Trial`\\ s the pool can
+fan out.  Everything here is deliberately *canonical*: params are hashed
+over sorted-key compact JSON so the same logical trial always produces
+the same key, regardless of dict insertion order or which process built
+it — that key is what the result cache and the aggregator group by.
+
+The uniform bench contract lives here too: every ``benchmarks/bench_*``
+module exposes ``run(params: dict, seed: int) -> dict`` returning the
+envelope built by :func:`make_result`::
+
+    {"experiment_id": ..., "seed": ..., "params": {...},
+     "metrics": {name: number, ...}, "elapsed_s": ...}
+
+:func:`validate_result` enforces the schema at the pool boundary so a
+bench that drifts from the contract fails loudly, not during
+aggregation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.rng import fork_rng, make_rng
+
+#: Keys every bench result dict must carry.
+RESULT_KEYS = ("experiment_id", "seed", "params", "metrics", "elapsed_s")
+
+#: Reserved optional key: a list of JSON-serializable trace records the
+#: pool writes out as a per-trial JSONL file (and strips before caching).
+TRACE_KEY = "trace"
+
+
+def canonical_json(value: Any) -> str:
+    """Compact, sorted-key JSON — the hashing/grouping representation."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def canonicalize_params(params: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Round-trip params through JSON so tuples become lists etc."""
+    if not params:
+        return {}
+    return json.loads(canonical_json(dict(params)))
+
+
+def param_key(params: Mapping[str, Any]) -> str:
+    """Short stable digest identifying one point of the parameter grid."""
+    digest = hashlib.sha256(canonical_json(canonicalize_params(params)).encode())
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One independent unit of work: (experiment, param point, seed)."""
+
+    experiment_id: str
+    params: Mapping[str, Any]
+    seed: int
+
+    @property
+    def key(self) -> str:
+        return f"{param_key(self.params)}-s{self.seed}"
+
+    @property
+    def derived_seed(self) -> int:
+        """The integer seed actually handed to the bench's ``run``.
+
+        Derived by forking the root seed's stream with a label built
+        from the experiment id and the param point, so the same seed
+        index used at two different grid points yields *independent*
+        randomness, while re-running the same trial is bit-identical.
+        """
+        label = f"{self.experiment_id}/{param_key(self.params)}"
+        return fork_rng(make_rng(self.seed), label).getrandbits(63)
+
+    def describe(self) -> str:
+        params = canonicalize_params(self.params)
+        rendered = " ".join(f"{k}={params[k]}" for k in sorted(params))
+        return f"{self.experiment_id} seed={self.seed} {rendered}".rstrip()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """An experiment id, a parameter grid, and the seeds to run it at."""
+
+    experiment_id: str
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    seeds: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ValueError("an ExperimentSpec needs at least one seed")
+        for name, values in self.grid.items():
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                raise ValueError(
+                    f"grid values for {name!r} must be a sequence, got {values!r}"
+                )
+            if len(values) == 0:
+                raise ValueError(f"grid axis {name!r} is empty")
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The parameter grid expanded to its cross product, in a
+        deterministic (sorted-axis) order."""
+        names = sorted(self.grid)
+        if not names:
+            return [{}]
+        combos = itertools.product(*(list(self.grid[name]) for name in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def expand(self) -> List[Trial]:
+        return [
+            Trial(self.experiment_id, point, seed)
+            for point in self.points()
+            for seed in self.seeds
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "grid": {k: list(v) for k, v in sorted(self.grid.items())},
+            "seeds": list(self.seeds),
+        }
+
+
+def build_spec(
+    experiment_id: str,
+    overrides: Optional[Mapping[str, Sequence[Any]]] = None,
+    seeds: Sequence[int] = (0,),
+) -> ExperimentSpec:
+    """Spec for a registered experiment: its ``default_params`` become
+    single-value grid axes, with ``overrides`` replacing/adding axes."""
+    from repro.core.experiment import EXPERIMENTS
+
+    if experiment_id not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r} (known: {known})")
+    grid: Dict[str, Sequence[Any]] = {
+        name: [value]
+        for name, value in EXPERIMENTS[experiment_id].default_params.items()
+    }
+    for name, values in (overrides or {}).items():
+        grid[name] = list(values)
+    return ExperimentSpec(experiment_id, grid, tuple(seeds))
+
+
+def make_result(
+    experiment_id: str,
+    params: Mapping[str, Any],
+    seed: int,
+    metrics: Mapping[str, Any],
+    started: Optional[float] = None,
+    elapsed_s: Optional[float] = None,
+    trace: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Assemble the uniform bench result envelope.
+
+    Benches call this at the end of ``run``; pass either ``started``
+    (a ``time.perf_counter()`` stamp taken on entry) or an explicit
+    ``elapsed_s``.
+    """
+    import time
+
+    if elapsed_s is None:
+        elapsed_s = 0.0 if started is None else time.perf_counter() - started
+    result: Dict[str, Any] = {
+        "experiment_id": experiment_id,
+        "seed": seed,
+        "params": canonicalize_params(params),
+        "metrics": {name: _coerce_metric(name, value)
+                    for name, value in metrics.items()},
+        "elapsed_s": float(elapsed_s),
+    }
+    if trace is not None:
+        result[TRACE_KEY] = [dict(record) for record in trace]
+    return result
+
+
+def _coerce_metric(name: str, value: Any) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise TypeError(f"metric {name!r} must be numeric, got {value!r}")
+
+
+def validate_result(result: Any) -> Dict[str, Any]:
+    """Check a bench return value against the shared schema.
+
+    Returns the result on success; raises ``ValueError`` otherwise.
+    """
+    if not isinstance(result, dict):
+        raise ValueError(f"bench run() must return a dict, got {type(result).__name__}")
+    missing = [key for key in RESULT_KEYS if key not in result]
+    if missing:
+        raise ValueError(f"bench result missing keys: {missing}")
+    if not isinstance(result["experiment_id"], str):
+        raise ValueError("experiment_id must be a string")
+    if not isinstance(result["seed"], int) or isinstance(result["seed"], bool):
+        raise ValueError("seed must be an int")
+    if not isinstance(result["params"], dict):
+        raise ValueError("params must be a dict")
+    if not isinstance(result["metrics"], dict) or not result["metrics"]:
+        raise ValueError("metrics must be a non-empty dict")
+    for name, value in result["metrics"].items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"metric {name!r} must be numeric, got {value!r}")
+    if not isinstance(result["elapsed_s"], (int, float)):
+        raise ValueError("elapsed_s must be a number")
+    try:
+        canonical_json({k: v for k, v in result.items() if k != TRACE_KEY})
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"bench result is not JSON-serializable: {error}")
+    return result

@@ -76,6 +76,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ethereum" in out
 
+    def test_bench_runs_one_trial(self, capsys):
+        assert main(["bench", "E4", "--param", "depth=8", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "param: depth" in out and "8" in out
+        assert "metric: p_success" in out
+
+    def test_bench_unknown_experiment(self, capsys):
+        assert main(["bench", "ZZZ"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_requires_experiment_selection(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--experiment" in capsys.readouterr().err
+
+    def test_sweep_writes_bench_json_and_caches(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "results"
+        argv = [
+            "sweep", "--experiment", "A3", "--param", "interval_s=15,600",
+            "--trials", "2", "--jobs", "2", "--out-dir", str(out_dir),
+        ]
+        assert main(argv) == 0
+        document = json.loads((out_dir / "BENCH_A3.json").read_text())
+        assert document["schema"] == "repro.runner/bench.v1"
+        assert document["counts"] == {
+            "trials": 4, "ok": 4, "failed": 0, "cached": 0,
+        }
+        capsys.readouterr()
+        assert main(argv) == 0  # second invocation: pure cache hits
+        document = json.loads((out_dir / "BENCH_A3.json").read_text())
+        assert document["counts"]["cached"] == 4
+        assert document["cache"]["hits"] == 4
+
     def test_faults_run_recovers_and_dumps_trace(self, tmp_path, capsys):
         import json
 

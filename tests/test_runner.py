@@ -1,0 +1,322 @@
+"""Tier-1 tests for the sweep runner (repro.runner) and the uniform
+bench API it drives.
+
+The pool tests run against a *fake* bench module written into a tmp dir
+and registered under a synthetic experiment id: the ``REPRO_BENCH_DIR``
+environment override plus a parent-side registry monkeypatch are enough,
+because the parent resolves module names before handing them to workers.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.core.experiment import EXPERIMENTS, Experiment, bench_dir
+from repro.runner import (
+    ExperimentSpec,
+    ResultCache,
+    Trial,
+    aggregate_outcomes,
+    build_report,
+    build_spec,
+    canonical_json,
+    code_fingerprint,
+    make_result,
+    param_key,
+    run_trials,
+    trial_cache_key,
+    validate_result,
+    write_bench_json,
+)
+from repro.runner.pool import CRASH, ERROR, OK, TIMEOUT
+
+pytestmark = pytest.mark.runner
+
+
+class TestRegistry:
+    def test_every_listed_module_imports(self):
+        import importlib
+
+        for experiment in EXPERIMENTS.values():
+            for module_name in experiment.modules:
+                importlib.import_module(module_name)
+
+    def test_every_bench_exposes_uniform_run(self):
+        for experiment in EXPERIMENTS.values():
+            runner = experiment.load_runner()
+            assert callable(runner), experiment.experiment_id
+
+    def test_default_params_are_canonical(self):
+        for experiment in EXPERIMENTS.values():
+            assert canonical_json(dict(experiment.default_params))
+
+    def test_bench_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert bench_dir() == tmp_path
+        monkeypatch.delenv("REPRO_BENCH_DIR")
+        assert bench_dir().name == "benchmarks"
+
+
+class TestSpec:
+    def test_expand_is_grid_times_seeds(self):
+        spec = ExperimentSpec("E4", {"depth": [1, 6], "risk": [0.001]}, (0, 1, 2))
+        trials = spec.expand()
+        assert len(trials) == 6
+        assert {t.params["depth"] for t in trials} == {1, 6}
+
+    def test_param_key_ignores_insertion_order(self):
+        assert param_key({"a": 1, "b": 2}) == param_key({"b": 2, "a": 1})
+
+    def test_derived_seed_stable_and_point_dependent(self):
+        a1 = Trial("E4", {"depth": 1}, 0).derived_seed
+        a2 = Trial("E4", {"depth": 1}, 0).derived_seed
+        b = Trial("E4", {"depth": 2}, 0).derived_seed
+        c = Trial("E15", {"depth": 1}, 0).derived_seed
+        assert a1 == a2
+        assert len({a1, b, c}) == 3  # forked per experiment/point
+
+    def test_build_spec_merges_defaults_and_overrides(self):
+        spec = build_spec("E4", {"depth": [1, 3]}, seeds=(7,))
+        points = spec.points()
+        assert len(points) == 2
+        assert all(p["risk"] == 0.001 for p in points)  # default kept
+        with pytest.raises(KeyError):
+            build_spec("NOPE")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("E4", {"depth": []})
+        with pytest.raises(ValueError):
+            ExperimentSpec("E4", seeds=())
+
+    def test_make_result_envelope_and_validation(self):
+        result = make_result("E4", {"depth": 6}, 3, {"ok": True, "x": 2})
+        validate_result(result)
+        assert result["metrics"] == {"ok": 1.0, "x": 2.0}
+        with pytest.raises(ValueError):
+            validate_result({"experiment_id": "E4"})
+        with pytest.raises(ValueError):
+            validate_result(make_result("E4", {}, 0, {"x": 1}) | {"metrics": {}})
+        with pytest.raises(TypeError):
+            make_result("E4", {}, 0, {"bad": "text"})
+
+
+FAKE_BENCH = textwrap.dedent('''
+    """Synthetic bench used by the runner tests."""
+    import os
+    import random
+    import time
+
+    from repro.runner import make_result
+
+
+    def run(params, seed):
+        mode = params.get("mode", "ok")
+        if mode == "error":
+            raise RuntimeError("deliberate bench failure")
+        if mode == "crash_once":
+            sentinel = params["sentinel"]
+            if not os.path.exists(sentinel):
+                open(sentinel, "w").close()
+                os._exit(17)
+        if mode == "sleep":
+            time.sleep(params.get("sleep_s", 60.0))
+        rng = random.Random(seed)
+        metrics = {"value": rng.random() + params.get("offset", 0.0),
+                   "seed_echo": seed}
+        if params.get("with_trace"):
+            return make_result("{EXP}", params, seed, metrics,
+                               trace=[{"t": 0.0, "kind": "x"}])
+        return make_result("{EXP}", params, seed, metrics)
+''')
+
+
+@pytest.fixture()
+def fake_experiment(monkeypatch, tmp_path, request):
+    """A synthetic experiment whose bench lives in a tmp dir."""
+    experiment_id = f"TX{abs(hash(request.node.name)) % 10_000}"
+    module_name = f"fake_bench_{experiment_id.lower()}"
+    (tmp_path / f"{module_name}.py").write_text(
+        FAKE_BENCH.replace("{EXP}", experiment_id)
+    )
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    experiment = Experiment(
+        experiment_id, "test", "synthetic runner-test experiment",
+        (), f"{module_name}.py", default_params={"offset": 0.0},
+    )
+    monkeypatch.setitem(EXPERIMENTS, experiment_id, experiment)
+    return experiment
+
+
+class TestPool:
+    def test_outcomes_in_submission_order(self, fake_experiment):
+        trials = build_spec(
+            fake_experiment.experiment_id, {"offset": [0.0, 1.0]}, seeds=(0, 1)
+        ).expand()
+        outcomes = run_trials(trials, jobs=2)
+        assert [o.trial for o in outcomes] == trials
+        assert all(o.status == OK for o in outcomes)
+        for outcome in outcomes:
+            assert outcome.result["seed"] == outcome.trial.derived_seed
+
+    def test_jobs_level_does_not_change_aggregates(self, fake_experiment):
+        spec = build_spec(
+            fake_experiment.experiment_id, {"offset": [0.0, 2.5]}, seeds=(0, 1, 2)
+        )
+        first = aggregate_outcomes(spec, run_trials(spec.expand(), jobs=1))
+        second = aggregate_outcomes(spec, run_trials(spec.expand(), jobs=3))
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_error_outcome_not_retried(self, fake_experiment):
+        trials = build_spec(
+            fake_experiment.experiment_id, {"mode": ["error"]}
+        ).expand()
+        [outcome] = run_trials(trials, retries=3)
+        assert outcome.status == ERROR
+        assert outcome.attempts == 1
+        assert "deliberate bench failure" in outcome.error
+
+    def test_crashed_worker_is_retried(self, fake_experiment, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        trials = build_spec(
+            fake_experiment.experiment_id,
+            {"mode": ["crash_once"], "sentinel": [sentinel]},
+        ).expand()
+        [outcome] = run_trials(trials, retries=1)
+        assert outcome.status == OK
+        assert outcome.attempts == 2
+
+    def test_crash_without_retry_budget_is_reported(self, fake_experiment, tmp_path):
+        sentinel = str(tmp_path / "crashed-fatal")
+        trials = build_spec(
+            fake_experiment.experiment_id,
+            {"mode": ["crash_once"], "sentinel": [sentinel]},
+        ).expand()
+        [outcome] = run_trials(trials, retries=0)
+        assert outcome.status == CRASH
+        assert "exit code" in outcome.error
+
+    def test_timeout_kills_the_worker(self, fake_experiment):
+        trials = build_spec(
+            fake_experiment.experiment_id, {"mode": ["sleep"], "sleep_s": [60.0]}
+        ).expand()
+        [outcome] = run_trials(trials, timeout_s=0.5)
+        assert outcome.status == TIMEOUT
+        assert outcome.elapsed_s < 30.0
+
+    def test_progress_callback_sees_every_trial(self, fake_experiment):
+        trials = build_spec(fake_experiment.experiment_id, seeds=(0, 1)).expand()
+        seen = []
+        run_trials(trials, jobs=2,
+                   progress=lambda outcome, done, total: seen.append((done, total)))
+        assert sorted(seen) == [(1, 2), (2, 2)]
+
+    def test_trace_written_and_stripped(self, fake_experiment, tmp_path):
+        trace_dir = tmp_path / "traces"
+        trials = build_spec(
+            fake_experiment.experiment_id, {"with_trace": [1]}
+        ).expand()
+        [outcome] = run_trials(trials, trace_dir=str(trace_dir))
+        assert outcome.trace_path is not None
+        records = [json.loads(line)
+                   for line in open(outcome.trace_path).read().splitlines()]
+        assert records == [{"t": 0.0, "kind": "x"}]
+        assert "trace" not in outcome.result
+
+    def test_invalid_jobs_rejected(self, fake_experiment):
+        with pytest.raises(ValueError):
+            run_trials([], jobs=0)
+        with pytest.raises(ValueError):
+            run_trials([], timeout_s=-1.0)
+
+
+class TestCache:
+    def test_second_sweep_is_served_from_cache(self, fake_experiment, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        trials = build_spec(
+            fake_experiment.experiment_id, {"offset": [0.0, 1.0]}, seeds=(0, 1)
+        ).expand()
+        cold = run_trials(trials, cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 4}
+        warm = run_trials(trials, cache=cache)
+        assert cache.stats() == {"hits": 4, "misses": 4}
+        assert all(o.cached for o in warm)
+        assert [o.result for o in warm] == [o.result for o in cold]
+
+    def test_key_commits_to_params_seed_and_code(self, fake_experiment):
+        fingerprint = code_fingerprint(fake_experiment.experiment_id)
+        base = Trial(fake_experiment.experiment_id, {"offset": 0.0}, 0)
+        assert trial_cache_key(base, fingerprint) == trial_cache_key(base, fingerprint)
+        keys = {
+            trial_cache_key(base, fingerprint),
+            trial_cache_key(
+                Trial(fake_experiment.experiment_id, {"offset": 1.0}, 0), fingerprint
+            ),
+            trial_cache_key(
+                Trial(fake_experiment.experiment_id, {"offset": 0.0}, 1), fingerprint
+            ),
+            trial_cache_key(base, "different-code"),
+        }
+        assert len(keys) == 4
+
+    def test_editing_the_bench_invalidates_the_cache(
+        self, fake_experiment, tmp_path
+    ):
+        before = code_fingerprint(fake_experiment.experiment_id)
+        bench_file = tmp_path / fake_experiment.bench
+        bench_file.write_text(bench_file.read_text() + "\n# changed\n")
+        after = code_fingerprint(fake_experiment.experiment_id)
+        assert before != after
+
+    def test_corrupt_entry_is_a_miss(self, fake_experiment, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fingerprint = code_fingerprint(fake_experiment.experiment_id)
+        trial = Trial(fake_experiment.experiment_id, {"offset": 0.0}, 0)
+        path = cache.put(trial, fingerprint, make_result(
+            fake_experiment.experiment_id, {"offset": 0.0}, 0, {"value": 1.0}
+        ))
+        path.write_text("{not json")
+        assert cache.get(trial, fingerprint) is None
+
+
+class TestReport:
+    def test_bench_json_document(self, fake_experiment, tmp_path):
+        spec = build_spec(
+            fake_experiment.experiment_id, {"offset": [0.0, 1.0]}, seeds=(0, 1)
+        )
+        outcomes = run_trials(spec.expand(), jobs=2)
+        path = write_bench_json(spec, outcomes, tmp_path / "results")
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.runner/bench.v1"
+        assert document["counts"] == {
+            "trials": 4, "ok": 4, "failed": 0, "cached": 0,
+        }
+        assert len(document["aggregates"]) == 2
+        for aggregate in document["aggregates"]:
+            assert aggregate["seeds"] == [0, 1]
+            assert aggregate["metrics"]["value"]["n"] == 2
+        assert len(document["trials"]) == 4
+
+    def test_failures_are_recorded_not_aggregated(self, fake_experiment, tmp_path):
+        spec = ExperimentSpec(
+            fake_experiment.experiment_id, {"mode": ["error"]}
+        )
+        good = build_spec(fake_experiment.experiment_id)
+        outcomes = run_trials(good.expand() + spec.expand())
+        document = build_report(good, outcomes)
+        assert document["counts"]["failed"] == 1
+        assert len(document["aggregates"]) == 1
+        failed = [t for t in document["trials"] if t["status"] == "error"]
+        assert failed and "metrics" not in failed[0]
+
+    def test_real_experiment_end_to_end(self, tmp_path):
+        """The cheapest real bench (A3, analytic) through the whole stack."""
+        spec = build_spec("A3", {"interval_s": [15.0, 600.0]}, seeds=(0,))
+        outcomes = run_trials(spec.expand(), jobs=2,
+                              cache=ResultCache(tmp_path / "cache"))
+        assert all(o.ok for o in outcomes)
+        document = build_report(spec, outcomes)
+        rates = [a["metrics"]["orphan_rate"]["mean"]
+                 for a in document["aggregates"]]
+        assert rates[0] > rates[1]  # 15 s forks more than 600 s
