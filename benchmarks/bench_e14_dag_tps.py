@@ -21,6 +21,7 @@ from repro.dag.bootstrap import build_nano_testbed, fund_accounts
 from repro.dag.params import NanoParams
 from repro.net.link import LinkParams
 from repro.scaling.throughput import ThroughputMeter
+from repro.trace import NullTracer
 from repro.metrics.tables import render_table
 
 LINK = LinkParams(latency_s=0.02, jitter_s=0.01, bandwidth_bps=1e9)
@@ -29,9 +30,11 @@ LINK = LinkParams(latency_s=0.02, jitter_s=0.01, bandwidth_bps=1e9)
 def drive_load(offered_tps, processing_tps=None, duration=30.0, seed=6):
     """Offered load = evenly spaced sends; returns settled TPS."""
     params = NanoParams(work_difficulty=1, node_processing_tps=400.0)
+    # Nothing below reads the trace, so take the untraced fast path.
     tb = build_nano_testbed(
         node_count=4, representative_count=2, seed=seed,
         params=params, link_params=LINK, processing_tps=processing_tps,
+        tracer=NullTracer(),
     )
     users = fund_accounts(tb, 2, 10**9, settle_time=1.0)
     sender, recipient = users

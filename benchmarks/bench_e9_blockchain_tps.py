@@ -17,6 +17,7 @@ from repro.runner import make_result
 from repro.crypto.keys import KeyPair
 from repro.net.link import FAST_LINK
 from repro.net.network import Network
+from repro.trace import NullTracer
 from repro.net.topology import complete_topology
 from repro.sim.simulator import Simulator
 from repro.blockchain.block import build_genesis_with_allocations
@@ -61,7 +62,8 @@ def saturate(offered_tps=20.0, duration=1200.0, seed=1):
         {alice.address: 10**12, bob.address: 10**12}
     )
     sim = Simulator(seed=seed)
-    net = Network(sim)
+    # Nothing below reads the trace, so take the untraced fast path.
+    net = Network(sim, tracer=NullTracer())
     nodes = complete_topology(
         net, 3, lambda nid: BlockchainNode(nid, params, genesis), FAST_LINK
     )

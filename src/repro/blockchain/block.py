@@ -12,7 +12,7 @@ from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Optional, Sequence, Tuple, Union
 
-from repro.common.encoding import encode_uint
+from repro.common.encoding import Encoder
 from repro.common.types import Address, Hash
 from repro.crypto.hashing import sha256d
 from repro.crypto.merkle import merkle_root
@@ -40,30 +40,43 @@ class BlockHeader:
     receipts_root: Hash = Hash.zero()
     proposer: Optional[Address] = None  # PoS chains record the block proposer
 
+    # Headers are immutable: the PoW payload, wire form, and digest are
+    # each computed once and cached forever (``with_nonce`` builds a new
+    # header, so caches never need invalidation).
+
+    @cached_property
+    def _pow_payload(self) -> bytes:
+        return (
+            Encoder()
+            .raw(bytes(self.parent_id))
+            .raw(bytes(self.merkle_root))
+            .raw(bytes(self.state_root))
+            .raw(bytes(self.receipts_root))
+            .uint(int(self.timestamp * 1000), 8)
+            .uint(self.height, 8)
+            .uint(self.target, 32)
+            .raw(bytes(self.proposer) if self.proposer else b"\x00" * 20)
+            .getvalue()
+        )
+
     def pow_payload(self) -> bytes:
         """Everything the PoW nonce commits to (all fields except nonce)."""
-        parts = [
-            bytes(self.parent_id),
-            bytes(self.merkle_root),
-            bytes(self.state_root),
-            bytes(self.receipts_root),
-            encode_uint(int(self.timestamp * 1000), 8),
-            encode_uint(self.height, 8),
-            encode_uint(self.target, 32),
-            bytes(self.proposer) if self.proposer else b"\x00" * 20,
-        ]
-        return b"".join(parts)
+        return self._pow_payload
+
+    @cached_property
+    def _serialized(self) -> bytes:
+        return self._pow_payload + self.nonce.to_bytes(8, "big")
 
     def serialize(self) -> bytes:
-        return self.pow_payload() + encode_uint(self.nonce, 8)
+        return self._serialized
 
     @cached_property
     def block_id(self) -> Hash:
-        return sha256d(self.serialize())
+        return sha256d(self._serialized)
 
     @property
     def size_bytes(self) -> int:
-        return len(self.serialize())
+        return len(self._serialized)
 
     @property
     def work(self) -> float:
@@ -96,23 +109,27 @@ class Block:
     def parent_id(self) -> Hash:
         return self.header.parent_id
 
-    @property
+    @cached_property
     def size_bytes(self) -> int:
         """Serialized size: header plus all transaction bodies."""
-        return self.header.size_bytes + sum(tx.size_bytes for tx in self.transactions)
+        return self.header.size_bytes + self.body_size_bytes
 
-    @property
+    @cached_property
     def body_size_bytes(self) -> int:
         """Transaction bytes only — what pruning discards (Section V-A)."""
         return sum(tx.size_bytes for tx in self.transactions)
 
-    def compute_merkle_root(self) -> Hash:
+    @cached_property
+    def _computed_merkle_root(self) -> Hash:
         if not self.transactions:
             return Hash.zero()
         return merkle_root([tx.txid for tx in self.transactions])
 
+    def compute_merkle_root(self) -> Hash:
+        return self._computed_merkle_root
+
     def merkle_root_matches(self) -> bool:
-        return self.compute_merkle_root() == self.header.merkle_root
+        return self._computed_merkle_root == self.header.merkle_root
 
     def is_genesis(self) -> bool:
         return self.header.parent_id.is_zero() and self.header.height == 0

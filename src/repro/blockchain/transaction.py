@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import List, Tuple
 
-from repro.common.encoding import encode_bytes, encode_list, encode_uint
+from repro.common.encoding import Encoder, encode_uint
 from repro.common.errors import ValidationError
 from repro.common.types import Address, Hash, TxId
 from repro.crypto.hashing import sha256d
@@ -35,8 +35,12 @@ class TxOutput:
         if self.amount < 0:
             raise ValidationError(f"negative output amount {self.amount}")
 
+    @cached_property
+    def _serialized(self) -> bytes:
+        return Encoder().uint(self.amount, 8).raw(bytes(self.recipient)).getvalue()
+
     def serialize(self) -> bytes:
-        return encode_uint(self.amount, 8) + bytes(self.recipient)
+        return self._serialized
 
 
 @dataclass(frozen=True)
@@ -56,13 +60,19 @@ class TxInput:
     def is_coinbase(self) -> bool:
         return self.prev_txid.is_zero() and self.prev_index == COINBASE_INDEX
 
-    def serialize(self) -> bytes:
+    @cached_property
+    def _serialized(self) -> bytes:
         return (
-            bytes(self.prev_txid)
-            + encode_uint(self.prev_index, 4)
-            + encode_bytes(self.public_key)
-            + encode_bytes(self.signature)
+            Encoder()
+            .raw(bytes(self.prev_txid))
+            .uint(self.prev_index, 4)
+            .bytes(self.public_key)
+            .bytes(self.signature)
+            .getvalue()
         )
+
+    def serialize(self) -> bytes:
+        return self._serialized
 
 
 @dataclass(frozen=True)
@@ -81,41 +91,61 @@ class Transaction:
             raise ValidationError("transaction must have at least one input")
 
     # ------------------------------------------------------------- identity
+    #
+    # Transactions are immutable, so canonical bytes and digest are
+    # computed once and cached forever (never invalidated).
+
+    @cached_property
+    def _serialized(self) -> bytes:
+        return (
+            Encoder()
+            .uint(self.nonce, 8)
+            .list([i.serialize() for i in self.inputs])
+            .list([o.serialize() for o in self.outputs])
+            .getvalue()
+        )
 
     def serialize(self) -> bytes:
-        return (
-            encode_uint(self.nonce, 8)
-            + encode_list([i.serialize() for i in self.inputs])
-            + encode_list([o.serialize() for o in self.outputs])
-        )
+        return self._serialized
 
     @cached_property
     def txid(self) -> TxId:
-        return sha256d(self.serialize())
+        return sha256d(self._serialized)
 
     @property
     def size_bytes(self) -> int:
-        return len(self.serialize())
+        return len(self._serialized)
 
     # ------------------------------------------------------------- semantics
 
-    @property
+    @cached_property
     def is_coinbase(self) -> bool:
         return len(self.inputs) == 1 and self.inputs[0].is_coinbase
 
     def total_output(self) -> int:
         return sum(o.amount for o in self.outputs)
 
-    def sighash(self) -> Hash:
-        """Digest each input signs: outpoints + outputs (not signatures)."""
-        body = encode_list(
-            [bytes(i.prev_txid) + encode_uint(i.prev_index, 4) for i in self.inputs]
-        ) + encode_list([o.serialize() for o in self.outputs])
+    @cached_property
+    def _sighash(self) -> Hash:
+        body = (
+            Encoder()
+            .list([bytes(i.prev_txid) + encode_uint(i.prev_index, 4)
+                   for i in self.inputs])
+            .list([o.serialize() for o in self.outputs])
+            .getvalue()
+        )
         return sha256d(body)
+
+    def sighash(self) -> Hash:
+        """Digest each input signs: outpoints + outputs (not signatures).
+
+        Cached: every node revalidates the same immutable transaction, so
+        the digest is computed once per object, not once per check."""
+        return self._sighash
 
     def verify_input_signatures(self) -> bool:
         """Check every non-coinbase input's signature over the sighash."""
-        digest = bytes(self.sighash())
+        digest = bytes(self._sighash)
         for tx_input in self.inputs:
             if tx_input.is_coinbase:
                 continue
@@ -222,30 +252,44 @@ class AccountTransaction:
     def sender(self) -> Address:
         return address_of(self.sender_public_key)
 
-    def _body(self) -> bytes:
+    @cached_property
+    def _body_bytes(self) -> bytes:
         return (
-            encode_bytes(self.sender_public_key)
-            + encode_uint(self.nonce, 8)
-            + bytes(self.recipient)
-            + encode_uint(self.value, 16)
-            + encode_uint(self.gas_limit, 8)
-            + encode_uint(self.gas_price, 8)
-            + encode_bytes(self.data)
+            Encoder()
+            .bytes(self.sender_public_key)
+            .uint(self.nonce, 8)
+            .raw(bytes(self.recipient))
+            .uint(self.value, 16)
+            .uint(self.gas_limit, 8)
+            .uint(self.gas_price, 8)
+            .bytes(self.data)
+            .getvalue()
         )
 
+    def _body(self) -> bytes:
+        return self._body_bytes
+
+    @cached_property
+    def _serialized(self) -> bytes:
+        return Encoder().raw(self._body_bytes).bytes(self.signature).getvalue()
+
     def serialize(self) -> bytes:
-        return self._body() + encode_bytes(self.signature)
+        return self._serialized
 
     @cached_property
     def txid(self) -> TxId:
-        return sha256d(self.serialize())
+        return sha256d(self._serialized)
 
     @property
     def size_bytes(self) -> int:
-        return len(self.serialize())
+        return len(self._serialized)
+
+    @cached_property
+    def _sighash(self) -> Hash:
+        return sha256d(self._body_bytes)
 
     def sighash(self) -> Hash:
-        return sha256d(self._body())
+        return self._sighash
 
     def verify_signature(self) -> bool:
         return verify_signature(

@@ -11,7 +11,10 @@ writing any code:
 * ``faults``        — degraded-network gossip run with a JSONL trace;
 * ``bench``         — one experiment, one trial, in process;
 * ``sweep``         — parameter-grid fan-out across worker processes,
-  aggregated into ``BENCH_<id>.json`` (see ``repro.runner``).
+  aggregated into ``BENCH_<id>.json`` (see ``repro.runner``);
+* ``perf``          — hot-path microbenchmark suite, written to
+  ``BENCH_PERF.json`` (see ``docs/performance.md``);
+* ``profile``       — one microbenchmark under cProfile, top-N hotspots.
 """
 
 from __future__ import annotations
@@ -395,6 +398,86 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Run the hot-path microbenchmark suite and write BENCH_PERF.json."""
+    import json
+    import os
+
+    from repro.perf import (
+        build_report,
+        calibration_score,
+        check_regressions,
+        render_results,
+        run_suite,
+    )
+
+    def progress(result) -> None:
+        print(f"  {result.name}: {result.ops_per_s:,.1f} ops/s "
+              f"({result.wall_s:.3f} s)", file=sys.stderr)
+
+    try:
+        results = run_suite(args.bench or None, scale=args.scale,
+                            progress=progress)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    calibration = calibration_score()
+
+    reference = None
+    if args.reference and os.path.exists(args.reference):
+        with open(args.reference) as handle:
+            reference = json.load(handle)
+    report = build_report(results, calibration, scale=args.scale,
+                          reference=reference)
+
+    print(render_results(results))
+    speedups = report.get("speedup_vs_reference_normalized") or {}
+    if speedups:
+        print("\nspeedup vs reference (calibration-normalized):")
+        for name, factor in sorted(speedups.items()):
+            print(f"  {name:<22} {factor:.2f}x")
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_regressions(report, baseline,
+                                     tolerance=args.tolerance)
+        if failures:
+            print("performance regression gate FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (tolerance -{args.tolerance:.0%} "
+              f"vs {args.check})", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one microbenchmark under cProfile and print the hotspots."""
+    from repro.perf.profiling import profile_bench
+    from repro.perf.suite import BENCHES
+
+    if args.bench not in BENCHES:
+        print(f"error: unknown bench {args.bench!r} "
+              f"(choose from {', '.join(sorted(BENCHES))})", file=sys.stderr)
+        return 2
+    try:
+        table, wall = profile_bench(args.bench, scale=args.scale,
+                                    top=args.top, sort=args.sort)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(table, end="")
+    print(f"bench {args.bench} wall clock: {wall:.3f} s", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -498,6 +581,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-trial JSONL traces here (benches that "
                             "support capture)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    perf = sub.add_parser(
+        "perf", help="hot-path microbenchmark suite -> BENCH_PERF.json"
+    )
+    perf.add_argument("bench", nargs="*",
+                      help="bench names (default: the whole suite)")
+    perf.add_argument("--scale", type=float, default=1.0,
+                      help="workload multiplier (0.1 for a quick smoke run)")
+    perf.add_argument("--output", "-o", default="BENCH_PERF.json",
+                      help="report path ('' to skip writing)")
+    perf.add_argument("--reference",
+                      default="benchmarks/perf/baseline_unoptimized.json",
+                      help="prior report to compute speedups against "
+                           "(skipped when missing)")
+    perf.add_argument("--check", default=None, metavar="BASELINE",
+                      help="fail (exit 1) if any bench regresses more than "
+                           "--tolerance vs this committed report")
+    perf.add_argument("--tolerance", type=float, default=0.30,
+                      help="allowed calibration-normalized slowdown for "
+                           "--check (default 0.30)")
+    perf.set_defaults(func=_cmd_perf)
+
+    profile = sub.add_parser(
+        "profile", help="run one microbenchmark under cProfile"
+    )
+    profile.add_argument("bench", help="bench name (see `repro perf`)")
+    profile.add_argument("--scale", type=float, default=1.0)
+    profile.add_argument("--top", type=int, default=25,
+                         help="number of hotspot rows to print")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "calls"))
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

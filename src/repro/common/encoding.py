@@ -63,6 +63,72 @@ def encode_list(items: Iterable[bytes]) -> bytes:
     return b"".join(out)
 
 
+class Encoder:
+    """Append-only builder over one ``bytearray``.
+
+    Hot serialization paths (transaction/block/header bodies) build their
+    canonical form through this instead of concatenating per-field
+    ``bytes`` objects: each field is appended in place with
+    ``int.to_bytes`` — no ``struct.pack``, no intermediate allocations —
+    and :meth:`getvalue` materializes the final ``bytes`` once.  The
+    encoding produced is identical to composing the module-level
+    ``encode_*`` helpers.
+
+    >>> e = Encoder()
+    >>> e.uint(7).bytes(b"ab").getvalue() == encode_uint64(7) + encode_bytes(b"ab")
+    True
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def raw(self, data: bytes) -> "Encoder":
+        """Append pre-encoded bytes verbatim."""
+        self._buf += data
+        return self
+
+    def uint(self, value: int, width: int = 8) -> "Encoder":
+        if value < 0:
+            raise ValueError(f"cannot encode negative integer {value}")
+        try:
+            self._buf += value.to_bytes(width, "big")
+        except OverflowError as exc:
+            raise ValueError(f"{value} does not fit in {width} bytes") from exc
+        return self
+
+    def bytes(self, data: bytes) -> "Encoder":
+        """Length-prefixed byte string (4-byte big-endian length)."""
+        buf = self._buf
+        buf += len(data).to_bytes(4, "big")
+        buf += data
+        return self
+
+    def str(self, text: str) -> "Encoder":
+        return self.bytes(text.encode("utf-8"))
+
+    def bool(self, flag: bool) -> "Encoder":
+        self._buf += b"\x01" if flag else b"\x00"
+        return self
+
+    def list(self, items: Iterable[bytes]) -> "Encoder":
+        """Length-prefixed list of pre-encoded items."""
+        materialized = list(items)
+        buf = self._buf
+        buf += len(materialized).to_bytes(4, "big")
+        for item in materialized:
+            buf += len(item).to_bytes(4, "big")
+            buf += item
+        return self
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
 class Decoder:
     """Sequential reader over a canonical encoding.
 

@@ -15,10 +15,19 @@ from typing import Union
 HASH_SIZE = 32
 ADDRESS_SIZE = 20
 
+_ZERO_HASH_BYTES = b"\x00" * HASH_SIZE
+_ZERO_ADDRESS_BYTES = b"\x00" * ADDRESS_SIZE
+
 
 @dataclass(frozen=True, order=True)
 class Hash:
-    """A 32-byte cryptographic digest identifying a block, node or tx."""
+    """A 32-byte cryptographic digest identifying a block, node or tx.
+
+    Hashes key the hottest dicts and sets in both ledgers (block index,
+    pending table, cemented set), so ``__hash__``/``__eq__`` are hand
+    written to delegate straight to the wrapped bytes instead of the
+    tuple-building dataclass-generated versions.
+    """
 
     value: bytes
 
@@ -26,10 +35,18 @@ class Hash:
         if not isinstance(self.value, bytes) or len(self.value) != HASH_SIZE:
             raise ValueError(f"Hash must be {HASH_SIZE} bytes, got {self.value!r}")
 
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Hash:
+            return self.value == other.value  # type: ignore[attr-defined]
+        return NotImplemented
+
     @classmethod
     def zero(cls) -> "Hash":
         """The all-zero hash, used as the genesis predecessor reference."""
-        return cls(b"\x00" * HASH_SIZE)
+        return _ZERO_HASH
 
     @classmethod
     def from_hex(cls, text: str) -> "Hash":
@@ -44,13 +61,16 @@ class Hash:
         return self.value.hex()[:n]
 
     def is_zero(self) -> bool:
-        return self.value == b"\x00" * HASH_SIZE
+        return self.value == _ZERO_HASH_BYTES
 
     def __bytes__(self) -> bytes:
         return self.value
 
     def __repr__(self) -> str:
         return f"Hash({self.short()}…)"
+
+
+_ZERO_HASH = Hash(_ZERO_HASH_BYTES)
 
 
 # A transaction id is a hash; the alias documents intent at call sites.
@@ -68,13 +88,21 @@ class Address:
         if not isinstance(self.value, bytes) or len(self.value) != ADDRESS_SIZE:
             raise ValueError(f"Address must be {ADDRESS_SIZE} bytes, got {self.value!r}")
 
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Address:
+            return self.value == other.value  # type: ignore[attr-defined]
+        return NotImplemented
+
     @classmethod
     def from_hex(cls, text: str) -> "Address":
         return cls(bytes.fromhex(text))
 
     @classmethod
     def zero(cls) -> "Address":
-        return cls(b"\x00" * ADDRESS_SIZE)
+        return _ZERO_ADDRESS
 
     @property
     def hex(self) -> str:
@@ -89,6 +117,8 @@ class Address:
     def __repr__(self) -> str:
         return f"Address({self.short()}…)"
 
+
+_ZERO_ADDRESS = Address(_ZERO_ADDRESS_BYTES)
 
 HashLike = Union[Hash, bytes]
 

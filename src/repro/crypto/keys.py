@@ -22,7 +22,8 @@ import hashlib
 import hmac
 import random
 from dataclasses import dataclass
-from typing import Dict
+from functools import cached_property, lru_cache
+from typing import Dict, Tuple
 
 from repro.common.types import ADDRESS_SIZE, Address, Hash
 
@@ -32,6 +33,14 @@ PUBLIC_KEY_SIZE = 32
 # Process-local oracle mapping public keys to signing seeds. Verification
 # is a pure function of (public_key, message, signature) given this table.
 _KEY_REGISTRY: Dict[bytes, bytes] = {}
+
+# Signature cache, as real node software keeps (Bitcoin Core's sigcache):
+# every node revalidates the same immutable transactions, and verification
+# of a (public_key, message, signature) triple is deterministic once the
+# key is registered.  Unregistered keys are never cached, so late key
+# generation cannot be shadowed by a stale negative entry.
+_SIG_CACHE: Dict[Tuple[bytes, bytes, bytes], bool] = {}
+_SIG_CACHE_MAX = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -55,11 +64,11 @@ class KeyPair:
         _KEY_REGISTRY[public_key] = seed
         return cls(seed=seed, public_key=public_key)
 
-    @property
+    @cached_property
     def address(self) -> Address:
-        """20-byte address: truncated hash of the public key."""
-        digest = hashlib.sha256(b"repro-address" + self.public_key).digest()
-        return Address(digest[:ADDRESS_SIZE])
+        """20-byte address: truncated hash of the public key (computed
+        once — keypairs are immutable and addresses are read constantly)."""
+        return address_of(self.public_key)
 
     def sign(self, message: bytes) -> bytes:
         """64-byte signature over ``message``."""
@@ -78,15 +87,24 @@ def verify_signature(public_key: bytes, message: bytes, signature: bytes) -> boo
     seed = _KEY_REGISTRY.get(public_key)
     if seed is None:
         return False
+    cache_key = (public_key, message, signature)
+    cached = _SIG_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     mac = hmac.new(seed, message, hashlib.sha256).digest()
     ext = hmac.new(seed, mac + message, hashlib.sha256).digest()
-    return hmac.compare_digest(signature, mac + ext)
+    ok = hmac.compare_digest(signature, mac + ext)
+    if len(_SIG_CACHE) >= _SIG_CACHE_MAX:
+        _SIG_CACHE.clear()
+    _SIG_CACHE[cache_key] = ok
+    return ok
 
 
 def verify_hash_signature(public_key: bytes, digest: Hash, signature: bytes) -> bool:
     return verify_signature(public_key, bytes(digest), signature)
 
 
+@lru_cache(maxsize=65536)
 def address_of(public_key: bytes) -> Address:
     """Address for a bare public key (no private seed required)."""
     digest = hashlib.sha256(b"repro-address" + public_key).digest()

@@ -18,7 +18,7 @@ from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Optional
 
-from repro.common.encoding import encode_uint
+from repro.common.encoding import Encoder
 from repro.common.errors import ValidationError
 from repro.common.types import Address, Hash
 from repro.crypto.hashing import sha256
@@ -64,39 +64,53 @@ class NanoBlock:
             raise ValidationError(f"{self.block_type.value} block needs a predecessor")
 
     # ------------------------------------------------------------- identity
+    #
+    # Blocks are immutable: signed body, wire form, and digest are each
+    # computed once and cached forever (``_finish`` builds new blocks via
+    # ``replace``, so caches never need invalidation).
+
+    @cached_property
+    def _signed_body_bytes(self) -> bytes:
+        return (
+            Encoder()
+            .raw(self.block_type.value.encode("ascii").ljust(8, b"\x00"))
+            .raw(bytes(self.account))
+            .raw(bytes(self.previous))
+            .raw(bytes(self.representative))
+            .uint(self.balance, 16)
+            .raw(self.link)
+            .getvalue()
+        )
 
     def _signed_body(self) -> bytes:
-        return b"".join(
-            [
-                self.block_type.value.encode("ascii").ljust(8, b"\x00"),
-                bytes(self.account),
-                bytes(self.previous),
-                bytes(self.representative),
-                encode_uint(self.balance, 16),
-                self.link,
-            ]
-        )
+        return self._signed_body_bytes
 
     @cached_property
     def block_hash(self) -> Hash:
-        return sha256(self._signed_body())
+        return sha256(self._signed_body_bytes)
 
     #: Bytes of per-block authentication overhead: public key (32) +
     #: signature (64) + work nonce (8).  Used by Section V size reports.
     AUTH_OVERHEAD_BYTES = 32 + 64 + 8
 
+    @cached_property
+    def _serialized(self) -> bytes:
+        return (
+            Encoder()
+            .raw(self._signed_body_bytes)
+            .raw(self.public_key.ljust(32, b"\x00"))
+            .raw(self.signature.ljust(64, b"\x00"))
+            .uint(self.work, 8)
+            .getvalue()
+        )
+
     def serialize(self) -> bytes:
         """Full wire/disk form: body + public key + signature + work."""
-        return (
-            self._signed_body()
-            + self.public_key.ljust(32, b"\x00")
-            + self.signature.ljust(64, b"\x00")
-            + encode_uint(self.work, 8)
-        )
+        return self._serialized
 
     @property
     def size_bytes(self) -> int:
-        return len(self.serialize())
+        return len(self._serialized)
 
     # -------------------------------------------------------------- helpers
 

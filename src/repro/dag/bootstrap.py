@@ -18,6 +18,7 @@ from repro.net.link import LinkParams
 from repro.net.network import Network
 from repro.net.topology import complete_topology
 from repro.sim.simulator import Simulator
+from repro.trace import Tracer
 from repro.dag.blocks import NanoBlock
 from repro.dag.node import NanoNode
 from repro.dag.params import NanoParams
@@ -53,6 +54,7 @@ def build_nano_testbed(
     topology: Optional[Callable[..., List[NanoNode]]] = None,
     auto_receive: bool = True,
     processing_tps: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> NanoTestbed:
     """Stand up a Nano network with online, weighted representatives.
 
@@ -60,13 +62,17 @@ def build_nano_testbed(
     genesis account delegates its entire weight to the first
     representative, then the harness typically spreads balances (and thus
     weight) with :func:`fund_accounts`.
+
+    ``tracer`` is forwarded to the :class:`Network`; untraced throughput
+    sweeps pass a :class:`repro.trace.NullTracer` to skip trace-record
+    construction on the gossip hot path.
     """
     if representative_count > node_count:
         raise ValueError("cannot have more representatives than nodes")
     params = params or NanoParams(work_difficulty=1)
     rng = random.Random(seed)
     simulator = Simulator(seed=seed)
-    network = Network(simulator)
+    network = Network(simulator, tracer=tracer)
 
     rep_keys = [KeyPair.generate(rng) for _ in range(representative_count)]
 

@@ -74,6 +74,9 @@ class Lattice:
         self._pending: Dict[Hash, PendingInfo] = {}
         self._settled: Dict[Hash, Hash] = {}  # send hash -> receive hash
         self._cemented: set = set()
+        #: per-account count of chain blocks already cemented (a frontier
+        #: index into ``AccountChain.blocks`` — cementing is monotone)
+        self._cement_frontier: Dict[Address, int] = {}
         self.reps = RepresentativeLedger()
         self.genesis_account: Optional[Address] = None
         self.forks_detected = 0
@@ -346,13 +349,27 @@ class Lattice:
     def cement(self, block_hash: Hash) -> None:
         """Mark a block irreversible (the planned Nano feature, Section
         IV-B).  Cementing is monotone along each chain: all predecessors
-        are cemented too."""
+        are cemented too.
+
+        Monotonicity makes this incremental: each chain records how far
+        it is cemented, so a call walks only the blocks newly cemented
+        instead of rescanning from genesis (which made repeated cementing
+        quadratic in chain length)."""
+        if block_hash in self._cemented:
+            return
         block = self.block(block_hash)
         chain = self._chains[block.account]
-        for blk in chain.blocks:
-            self._cemented.add(blk.block_hash)
+        # Rollback may have shortened the chain below the recorded frontier.
+        start = min(self._cement_frontier.get(block.account, 0),
+                    len(chain.blocks))
+        cemented = self._cemented
+        for index in range(start, len(chain.blocks)):
+            blk = chain.blocks[index]
+            cemented.add(blk.block_hash)
             if blk.block_hash == block_hash:
-                break
+                self._cement_frontier[block.account] = index + 1
+                return
+        self._cement_frontier[block.account] = len(chain.blocks)
 
     def cemented_count(self) -> int:
         return len(self._cemented)

@@ -19,9 +19,13 @@ _MESSAGE_COUNTER = itertools.count()
 MESSAGE_OVERHEAD_BYTES = 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
-    """An application payload in flight."""
+    """An application payload in flight.
+
+    Slotted: gossip floods create one Message and many per-hop closures
+    over it, so the per-instance dict is pure overhead.
+    """
 
     kind: str
     payload: Any

@@ -122,8 +122,8 @@ class Network:
         self._inflight: Dict[str, set] = {}
         #: transmissions that exhausted retries, revived on heal/kick
         self._parked: "OrderedDict[Tuple[str, str, object], Message]" = OrderedDict()
-        #: pending backoff timers, fast-forwarded on heal/kick
-        self._retry_timers: Dict[Tuple[str, str, object], object] = {}
+        #: pending backoff timers (timer, message), fast-forwarded on heal/kick
+        self._retry_timers: Dict[Tuple[str, str, object], Tuple[object, Message]] = {}
         self._partitions: List[set] = []
         self._rng = simulator.fork_rng("network")
         self._retry_rng = simulator.fork_rng("network-retransmit")
@@ -210,15 +210,13 @@ class Network:
         deadline: pending timers are fast-forwarded and parked (given-up)
         transmissions get a fresh attempt budget.  ``dst`` limits the
         kick to one destination (a node that just came back online)."""
-        for key3, event in list(self._retry_timers.items()):
+        for key3, (timer, message) in list(self._retry_timers.items()):
             if dst is not None and key3[1] != dst:
                 continue
-            timer = self._retry_timers.pop(key3)
+            del self._retry_timers[key3]
             timer.cancel()  # type: ignore[attr-defined]
             src, target, _ = key3
-            message = getattr(event, "_repro_message", None)
-            if message is not None:
-                self._attempt_gossip(src, target, message, attempt=1)
+            self._attempt_gossip(src, target, message, attempt=1)
         for (src, target, key), message in list(self._parked.items()):
             if dst is not None and target != dst:
                 continue
@@ -231,17 +229,20 @@ class Network:
     def _schedule_retry(self, src: str, dst: str, message: Message,
                         attempt: int) -> None:
         key = message.gossip_key()
+        tracer = self.tracer
         if attempt >= self.retransmit.max_attempts:
             self._inflight[dst].discard(key)
             self._parked[(src, dst, key)] = message
-            self.tracer.record_give_up(
-                self.simulator.now, src, dst, message.kind, attempt
-            )
+            if tracer.enabled:
+                tracer.record_give_up(
+                    self.simulator.now, src, dst, message.kind, attempt
+                )
             return
         delay = self.retransmit.backoff(attempt, self._retry_rng)
-        self.tracer.record_retransmit(
-            self.simulator.now, src, dst, message.kind, attempt, delay
-        )
+        if tracer.enabled:
+            tracer.record_retransmit(
+                self.simulator.now, src, dst, message.kind, attempt, delay
+            )
 
         def retry() -> None:
             self._retry_timers.pop((src, dst, key), None)
@@ -251,8 +252,7 @@ class Network:
             self._attempt_gossip(src, dst, message, attempt + 1)
 
         timer = self.simulator.schedule(delay, retry, label="retransmit")
-        timer._repro_message = message  # type: ignore[attr-defined]
-        self._retry_timers[(src, dst, key)] = timer
+        self._retry_timers[(src, dst, key)] = (timer, message)
 
     # --------------------------------------------------------------- traffic
 
@@ -263,29 +263,36 @@ class Network:
         if link is None:
             raise KeyError(f"no link {src}->{dst}")
         now = self.simulator.now
-        self.tracer.record_schedule(now, src, dst, message.kind)
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.record_schedule(now, src, dst, message.kind)
         if self._crosses_partition(src, dst):
             self.messages_lost += 1
-            self.tracer.record_drop(now, src, dst, message.kind,
-                                    REASON_PARTITION)
+            if traced:
+                tracer.record_drop(now, src, dst, message.kind,
+                                   REASON_PARTITION)
             return
         delay = link.delivery_delay(message, self._rng)
         if delay is None:
             self.messages_lost += 1
-            self.tracer.record_drop(now, src, dst, message.kind, REASON_LOSS)
+            if traced:
+                tracer.record_drop(now, src, dst, message.kind, REASON_LOSS)
             return
 
         def deliver() -> None:
             node = self._nodes[dst]
             if not node.online:
                 self.messages_lost += 1
-                self.tracer.record_drop(self.simulator.now, src, dst,
-                                        message.kind, REASON_OFFLINE)
+                if traced:
+                    tracer.record_drop(self.simulator.now, src, dst,
+                                       message.kind, REASON_OFFLINE)
                 return
             self.messages_delivered += 1
             self.bytes_transferred += message.wire_size
-            self.tracer.record_deliver(self.simulator.now, src, dst,
-                                       message.kind)
+            if traced:
+                tracer.record_deliver(self.simulator.now, src, dst,
+                                      message.kind)
             node.deliver(src, message)
 
         self.simulator.schedule(delay, deliver, label=f"msg:{message.kind}")
@@ -296,9 +303,13 @@ class Network:
         if (src, dst) not in self._links:
             raise KeyError(f"no link {src}->{dst}")
 
+        tracer = self.tracer
+        traced = tracer.enabled
+
         def attempt(number: int) -> None:
             now = self.simulator.now
-            self.tracer.record_schedule(now, src, dst, message.kind, number)
+            if traced:
+                tracer.record_schedule(now, src, dst, message.kind, number)
             reason = None
             delay = None
             if self._crosses_partition(src, dst):
@@ -310,18 +321,21 @@ class Network:
 
             def retry_or_give_up() -> None:
                 if number >= self.retransmit.max_attempts:
-                    self.tracer.record_give_up(self.simulator.now, src, dst,
-                                               message.kind, number)
+                    if traced:
+                        tracer.record_give_up(self.simulator.now, src, dst,
+                                              message.kind, number)
                     return
                 backoff = self.retransmit.backoff(number, self._retry_rng)
-                self.tracer.record_retransmit(self.simulator.now, src, dst,
-                                              message.kind, number, backoff)
+                if traced:
+                    tracer.record_retransmit(self.simulator.now, src, dst,
+                                             message.kind, number, backoff)
                 self.simulator.schedule(backoff, lambda: attempt(number + 1),
                                         label="retransmit")
 
             if reason is not None:
                 self.messages_lost += 1
-                self.tracer.record_drop(now, src, dst, message.kind, reason)
+                if traced:
+                    tracer.record_drop(now, src, dst, message.kind, reason)
                 retry_or_give_up()
                 return
 
@@ -329,14 +343,16 @@ class Network:
                 node = self._nodes[dst]
                 if not node.online:
                     self.messages_lost += 1
-                    self.tracer.record_drop(self.simulator.now, src, dst,
-                                            message.kind, REASON_OFFLINE)
+                    if traced:
+                        tracer.record_drop(self.simulator.now, src, dst,
+                                           message.kind, REASON_OFFLINE)
                     retry_or_give_up()
                     return
                 self.messages_delivered += 1
                 self.bytes_transferred += message.wire_size
-                self.tracer.record_deliver(self.simulator.now, src, dst,
-                                           message.kind)
+                if traced:
+                    tracer.record_deliver(self.simulator.now, src, dst,
+                                          message.kind)
                 node.deliver(src, message)
 
             self.simulator.schedule(delay, deliver, label=f"msg:{message.kind}")
@@ -369,17 +385,22 @@ class Network:
             return
         link = self._links[(src, dst)]
         now = self.simulator.now
-        self.tracer.record_schedule(now, src, dst, message.kind, attempt)
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.record_schedule(now, src, dst, message.kind, attempt)
         if self._crosses_partition(src, dst):
             self.messages_lost += 1
-            self.tracer.record_drop(now, src, dst, message.kind,
-                                    REASON_PARTITION)
+            if traced:
+                tracer.record_drop(now, src, dst, message.kind,
+                                   REASON_PARTITION)
             self._schedule_retry(src, dst, message, attempt)
             return
         delay = link.delivery_delay(message, self._rng)
         if delay is None:
             self.messages_lost += 1
-            self.tracer.record_drop(now, src, dst, message.kind, REASON_LOSS)
+            if traced:
+                tracer.record_drop(now, src, dst, message.kind, REASON_LOSS)
             self._schedule_retry(src, dst, message, attempt)
             return
 
@@ -388,13 +409,15 @@ class Network:
             arrival = self.simulator.now
             if not node.online:
                 self.messages_lost += 1
-                self.tracer.record_drop(arrival, src, dst, message.kind,
-                                        REASON_OFFLINE)
+                if traced:
+                    tracer.record_drop(arrival, src, dst, message.kind,
+                                       REASON_OFFLINE)
                 self._schedule_retry(src, dst, message, attempt)
                 return
             self.messages_delivered += 1
             self.bytes_transferred += message.wire_size
-            self.tracer.record_deliver(arrival, src, dst, message.kind)
+            if traced:
+                tracer.record_deliver(arrival, src, dst, message.kind)
             self._seen[dst].add(key)
             self._inflight[dst].discard(key)
             node.deliver(src, message)

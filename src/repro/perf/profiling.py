@@ -1,0 +1,49 @@
+"""cProfile wrapper for the microbenchmark suite.
+
+``repro profile <bench>`` runs one registered bench under the profiler
+and prints the top-N hotspots, so "where does the time go" is one
+command, not a notebook session.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Tuple
+
+from repro.perf.suite import BENCHES
+
+#: pstats sort keys we expose (name -> pstats key).
+SORT_KEYS = {
+    "cumulative": "cumulative",
+    "tottime": "tottime",
+    "calls": "calls",
+}
+
+
+def profile_bench(
+    name: str,
+    scale: float = 1.0,
+    top: int = 25,
+    sort: str = "cumulative",
+) -> Tuple[str, float]:
+    """Profile one bench; returns (formatted hotspot table, wall seconds).
+
+    The bench runs exactly once (repeats are pointless under a profiler:
+    instrumentation overhead dominates repeatability)."""
+    bench = BENCHES[name]
+    if sort not in SORT_KEYS:
+        raise ValueError(
+            f"unknown sort {sort!r} (choose from {', '.join(SORT_KEYS)})"
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _, wall = bench.fn(scale)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(SORT_KEYS[sort]).print_stats(top)
+    return stream.getvalue(), wall

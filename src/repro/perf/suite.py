@@ -1,0 +1,474 @@
+"""Microbenchmarks for the simulator's hot paths.
+
+Each bench exercises one layer every experiment bottoms out in — the
+discrete-event loop, gossip fan-out, canonical-encode-then-hash, and
+block-lattice settlement — plus two end-to-end experiment trials (E9 and
+E14) measured by wall clock.  All benches are deterministic (fixed seeds)
+and depend only on public APIs, so the same suite runs against any
+revision of the codebase and the numbers stay comparable.
+
+Results are normalized by a *calibration score* (a fixed pure-Python spin
+loop) so comparisons across machines of different speeds — a laptop
+baseline vs. a CI runner — compare relative cost, not absolute hardware.
+
+The ``repro perf`` CLI command wraps :func:`run_suite` /
+:func:`build_report` and writes ``BENCH_PERF.json``; ``repro profile``
+wraps a single bench in cProfile.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of one microbenchmark run."""
+
+    name: str
+    ops: int
+    wall_s: float
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "ops": self.ops,
+            "wall_s": round(self.wall_s, 6),
+            "ops_per_s": round(self.ops_per_s, 2),
+        }
+
+
+@dataclass(frozen=True)
+class Bench:
+    """A registered microbenchmark.
+
+    ``fn(scale)`` runs the workload once and returns ``(ops, wall_s)``;
+    ``scale`` multiplies the workload size (0.1 for smoke tests, 1.0 for
+    the committed baseline).  ``repeats`` runs take the best wall time,
+    which filters scheduler noise on loaded machines.
+    """
+
+    name: str
+    description: str
+    fn: Callable[[float], Tuple[int, float]]
+    repeats: int = 4
+
+
+# --------------------------------------------------------------------------
+# Event-loop benches
+# --------------------------------------------------------------------------
+
+
+def _bench_event_loop(scale: float) -> Tuple[int, float]:
+    """Raw event throughput: schedule + run a mixed pre-scheduled/chained
+    workload of no-op callbacks."""
+    from repro.sim.simulator import Simulator
+
+    n = max(1000, int(200_000 * scale))
+    sim = Simulator(seed=1)
+    fired = [0]
+
+    def noop() -> None:
+        fired[0] += 1
+
+    start = perf_counter()
+    half = n // 2
+    for i in range(half):
+        # Deterministic scattered times exercise real heap reordering.
+        sim.schedule(((i * 7919) % 9973) / 10.0, noop)
+    remaining = [n - half]
+
+    def tick() -> None:
+        fired[0] += 1
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.schedule(0.5, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    wall = perf_counter() - start
+    return sim.events_processed, wall
+
+
+def _bench_event_cancel(scale: float) -> Tuple[int, float]:
+    """Cancellation under load with live-size queries: half the scheduled
+    events are cancelled and the queue is sized every 64 pushes (the
+    pattern retransmit-heavy gossip runs produce)."""
+    from repro.sim.simulator import Simulator
+
+    n = max(1000, int(30_000 * scale))
+    sim = Simulator(seed=2)
+    fired = [0]
+
+    def noop() -> None:
+        fired[0] += 1
+
+    start = perf_counter()
+    pending_checks = 0
+    previous = None
+    for i in range(n):
+        event = sim.schedule(((i * 6151) % 7919) / 10.0, noop)
+        if previous is not None and i % 2 == 0:
+            previous.cancel()
+        previous = event
+        if i % 64 == 0:
+            pending_checks += sim.queue_stats()["pending"]
+    sim.run()
+    wall = perf_counter() - start
+    assert pending_checks >= 0
+    return n, wall
+
+
+# --------------------------------------------------------------------------
+# Gossip benches
+# --------------------------------------------------------------------------
+
+
+def _gossip_workload(scale: float, tracer) -> Tuple[int, float]:
+    from repro.net.link import FAST_LINK
+    from repro.net.message import Message
+    from repro.net.network import Network
+    from repro.net.node import NetworkNode
+    from repro.net.topology import small_world_topology
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=3)
+    if tracer is None:
+        net = Network(sim)
+    else:
+        net = Network(sim, tracer=tracer)
+    nodes = small_world_topology(net, 24, NetworkNode,
+                                 link_params=FAST_LINK, seed=3)
+    m = max(10, int(1500 * scale))
+    start = perf_counter()
+    for i in range(m):
+        origin = nodes[i % len(nodes)]
+        message = Message(kind="blk", payload=i, size_bytes=240)
+        sim.schedule_at(
+            i * 0.05,
+            (lambda o=origin, msg=message: net.gossip(o.node_id, msg)),
+        )
+    sim.run()
+    wall = perf_counter() - start
+    return net.messages_delivered, wall
+
+
+def _bench_gossip_broadcast(scale: float) -> Tuple[int, float]:
+    """Flooding broadcast over a 24-node small world, tracing enabled
+    (the default Network configuration)."""
+    return _gossip_workload(scale, tracer=None)
+
+
+def _bench_gossip_untraced(scale: float) -> Tuple[int, float]:
+    """Same flood with the pay-for-use no-op tracer (falls back to the
+    default tracer on revisions that predate it)."""
+    try:
+        from repro.trace import NullTracer
+        tracer = NullTracer()
+    except ImportError:  # pragma: no cover - baseline capture only
+        tracer = None
+    return _gossip_workload(scale, tracer=tracer)
+
+
+# --------------------------------------------------------------------------
+# Hash / encode benches
+# --------------------------------------------------------------------------
+
+
+def _bench_block_hash_validate(scale: float) -> Tuple[int, float]:
+    """Canonical-encode-then-hash: assemble blocks of transactions, then
+    run repeated validation passes (Merkle recheck, id, size accounting)
+    — the access pattern chain sync and mempool management produce."""
+    from repro.blockchain.block import assemble_block
+    from repro.blockchain.transaction import make_coinbase
+    from repro.crypto.keys import KeyPair
+
+    recipient = KeyPair.from_seed(b"\x11" * 32).address
+    blocks_n = max(4, int(150 * scale))
+    txs_per_block = 25
+    revalidations = 10
+
+    start = perf_counter()
+    parent = None
+    blocks = []
+    nonce = 0
+    for _ in range(blocks_n):
+        txs = [make_coinbase(recipient, 50 + i, nonce=nonce + i)
+               for i in range(txs_per_block)]
+        nonce += txs_per_block
+        block = assemble_block(
+            parent=parent, transactions=txs, timestamp=float(nonce),
+            target=2**255,
+        )
+        parent = block.header
+        blocks.append(block)
+    touched = blocks_n * txs_per_block
+    for _ in range(revalidations):
+        for block in blocks:
+            assert block.merkle_root_matches()
+            assert not block.block_id.is_zero()
+            assert block.size_bytes > 0
+            touched += len(block.transactions)
+    wall = perf_counter() - start
+    return touched, wall
+
+
+def _bench_lattice_settle(scale: float) -> Tuple[int, float]:
+    """Block-lattice settlement: open accounts from genesis sends, then
+    rounds of send/receive pairs — every block is encoded, hashed, signed,
+    verified, and appended."""
+    from repro.common.types import Hash
+    from repro.crypto.keys import KeyPair
+    from repro.dag.blocks import make_open, make_receive, make_send
+    from repro.dag.lattice import Lattice
+    from repro.dag.params import NanoParams
+
+    accounts_n = 8
+    rounds = max(4, int(1500 * scale))
+    difficulty = 1.0
+
+    start = perf_counter()
+    lattice = Lattice(NanoParams(work_difficulty=difficulty))
+    genesis_key = KeyPair.from_seed(b"\x21" * 32)
+    lattice.create_genesis(genesis_key, supply=10**15)
+    keys = [KeyPair.from_seed(bytes([0x30 + i]) * 32) for i in range(accounts_n)]
+    heads = {}
+    genesis_head = lattice.chain(genesis_key.address).head
+    processed = 0
+    for key in keys:
+        send = make_send(genesis_key, genesis_head, key.address, 10**9,
+                         work_difficulty=difficulty)
+        lattice.process(send)
+        genesis_head = send
+        opened = make_open(key, send.block_hash, 10**9, key.address,
+                           work_difficulty=difficulty)
+        lattice.process(opened)
+        heads[key.address] = opened
+        processed += 2
+    for i in range(rounds):
+        src = keys[i % accounts_n]
+        dst = keys[(i + 1) % accounts_n]
+        send = make_send(src, heads[src.address], dst.address, 1000,
+                         work_difficulty=difficulty)
+        lattice.process(send)
+        heads[src.address] = send
+        receive = make_receive(dst, heads[dst.address], send.block_hash, 1000,
+                               work_difficulty=difficulty)
+        lattice.process(receive)
+        heads[dst.address] = receive
+        processed += 2
+    wall = perf_counter() - start
+    assert lattice.pending_count() == 0
+    assert not Hash.zero() in (b.block_hash for b in heads.values())
+    return processed, wall
+
+
+# --------------------------------------------------------------------------
+# End-to-end experiment trials (wall clock)
+# --------------------------------------------------------------------------
+
+
+def _run_experiment(experiment_id: str, params: Dict[str, float],
+                    seed: int) -> Tuple[int, float]:
+    from repro.core.experiment import EXPERIMENTS
+
+    runner = EXPERIMENTS[experiment_id].load_runner()
+    start = perf_counter()
+    result = runner(params, seed)
+    wall = perf_counter() - start
+    assert result["experiment_id"] == experiment_id
+    return 1, wall
+
+
+def _bench_e9_blockchain_tps(scale: float) -> Tuple[int, float]:
+    """One E9 saturation trial (reduced horizon) — blockchain TPS
+    end-to-end wall clock."""
+    duration = max(60.0, 300.0 * scale)
+    return _run_experiment("E9", {"offered_tps": 20.0, "duration_s": duration},
+                           seed=1)
+
+
+def _bench_e14_dag_tps(scale: float) -> Tuple[int, float]:
+    """One E14 offered-load trial — DAG TPS end-to-end wall clock."""
+    duration = max(4.0, 15.0 * scale)
+    return _run_experiment(
+        "E14",
+        {"offered_tps": 60.0, "processing_tps": 0.0, "duration_s": duration},
+        seed=1,
+    )
+
+
+BENCHES: Dict[str, Bench] = {
+    bench.name: bench
+    for bench in [
+        Bench("event_loop", "event-queue throughput (schedule + run)",
+              _bench_event_loop),
+        Bench("event_cancel", "cancellation under load with live sizing",
+              _bench_event_cancel),
+        Bench("gossip_broadcast", "small-world flood, tracing enabled",
+              _bench_gossip_broadcast),
+        Bench("gossip_untraced", "small-world flood, no-op tracer",
+              _bench_gossip_untraced),
+        Bench("block_hash_validate", "encode + hash + revalidate blocks",
+              _bench_block_hash_validate),
+        Bench("lattice_settle", "block-lattice send/receive settlement",
+              _bench_lattice_settle),
+        Bench("e9_blockchain_tps", "E9 saturation trial wall clock",
+              _bench_e9_blockchain_tps, repeats=1),
+        Bench("e14_dag_tps", "E14 offered-load trial wall clock",
+              _bench_e14_dag_tps, repeats=1),
+    ]
+}
+
+
+def calibration_score(spins: int = 1_000_000, repeats: int = 5) -> float:
+    """Machine-speed yardstick: iterations/s of a fixed pure-Python loop.
+
+    Dividing a bench's ops/s by this score gives a hardware-independent
+    relative cost, which is what the CI regression gate compares."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        acc = 0
+        for i in range(spins):
+            acc += i
+        best = min(best, perf_counter() - start)
+    assert acc >= 0
+    return spins / best
+
+
+def run_bench(name: str, scale: float = 1.0) -> BenchResult:
+    """Run one bench, best-of-``repeats`` wall time."""
+    bench = BENCHES[name]
+    best: Optional[Tuple[int, float]] = None
+    for _ in range(max(1, bench.repeats)):
+        ops, wall = bench.fn(scale)
+        if best is None or wall < best[1]:
+            best = (ops, wall)
+    assert best is not None
+    return BenchResult(name=name, ops=best[0], wall_s=best[1])
+
+
+def run_suite(
+    names: Optional[Iterable[str]] = None,
+    scale: float = 1.0,
+    progress: Optional[Callable[[BenchResult], None]] = None,
+) -> Dict[str, BenchResult]:
+    """Run the requested benches (default: all) and return their results."""
+    selected = list(names) if names else list(BENCHES)
+    unknown = [n for n in selected if n not in BENCHES]
+    if unknown:
+        raise KeyError(f"unknown benches: {', '.join(unknown)}")
+    results: Dict[str, BenchResult] = {}
+    for name in selected:
+        result = run_bench(name, scale=scale)
+        results[name] = result
+        if progress is not None:
+            progress(result)
+    return results
+
+
+# --------------------------------------------------------------------------
+# Reports and regression checks
+# --------------------------------------------------------------------------
+
+
+def build_report(
+    results: Dict[str, BenchResult],
+    calibration: float,
+    scale: float = 1.0,
+    reference: Optional[Dict] = None,
+) -> Dict:
+    """The ``BENCH_PERF.json`` document.
+
+    ``reference`` is a previously written report (e.g. the committed
+    pre-optimization capture); when given, per-bench speedups are recorded
+    both raw and calibration-normalized."""
+    report: Dict = {
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "scale": scale,
+        "calibration_ops_per_s": round(calibration, 2),
+        "benchmarks": {name: r.to_dict() for name, r in sorted(results.items())},
+    }
+    if reference is not None:
+        ref_cal = float(reference.get("calibration_ops_per_s", calibration))
+        speedup: Dict[str, float] = {}
+        normalized: Dict[str, float] = {}
+        for name, current in report["benchmarks"].items():
+            ref_bench = reference.get("benchmarks", {}).get(name)
+            if not ref_bench:
+                continue
+            raw = current["ops_per_s"] / ref_bench["ops_per_s"]
+            speedup[name] = round(raw, 3)
+            if ref_cal > 0 and calibration > 0:
+                normalized[name] = round(raw * ref_cal / calibration, 3)
+        report["reference"] = {
+            "calibration_ops_per_s": ref_cal,
+            "python": reference.get("python"),
+            "benchmarks": reference.get("benchmarks", {}),
+        }
+        report["speedup_vs_reference"] = speedup
+        report["speedup_vs_reference_normalized"] = normalized
+    return report
+
+
+def check_regressions(
+    current: Dict, baseline: Dict, tolerance: float = 0.30
+) -> List[str]:
+    """Compare a fresh report against a committed baseline.
+
+    Returns one message per bench whose calibration-normalized throughput
+    fell more than ``tolerance`` below the baseline's.  Benches present in
+    only one of the two reports are skipped (adding a bench must not fail
+    the gate retroactively)."""
+    failures: List[str] = []
+    cur_cal = float(current.get("calibration_ops_per_s", 1.0)) or 1.0
+    base_cal = float(baseline.get("calibration_ops_per_s", 1.0)) or 1.0
+    for name, base in baseline.get("benchmarks", {}).items():
+        cur = current.get("benchmarks", {}).get(name)
+        if cur is None:
+            continue
+        base_rel = base["ops_per_s"] / base_cal
+        cur_rel = cur["ops_per_s"] / cur_cal
+        if cur_rel < base_rel * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {cur_rel / base_rel:.2f}x of baseline "
+                f"(normalized {cur_rel:.4f} vs {base_rel:.4f}, "
+                f"tolerance -{tolerance:.0%})"
+            )
+    return failures
+
+
+def render_results(results: Dict[str, BenchResult]) -> str:
+    """Human-readable table of a suite run."""
+    lines = [f"{'bench':<22} {'ops':>10} {'wall (s)':>10} {'ops/s':>14}"]
+    for name, result in sorted(results.items()):
+        lines.append(
+            f"{name:<22} {result.ops:>10} {result.wall_s:>10.3f} "
+            f"{result.ops_per_s:>14.1f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """Tiny direct entry point: ``python -m repro.perf.suite [bench...]``."""
+    names = [a for a in (argv if argv is not None else sys.argv[1:])
+             if not a.startswith("-")]
+    results = run_suite(names or None)
+    print(render_results(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -83,7 +83,15 @@ class Tracer:
     The buffer holds the most recent ``capacity`` events; the counters
     are monotone and survive ring eviction, so accounting invariants can
     be checked on arbitrarily long runs.
+
+    ``enabled`` is the pay-for-use contract with the network fabric: hot
+    paths consult it before building a trace record, so swapping in a
+    :class:`NullTracer` removes record construction from untraced sweeps
+    entirely (see ``docs/performance.md``).
     """
+
+    #: Hot paths skip record calls altogether when this is False.
+    enabled = True
 
     def __init__(self, capacity: int = 65536) -> None:
         if capacity <= 0:
@@ -234,3 +242,48 @@ class Tracer:
         for event in events:
             target.write(event.to_json() + "\n")
         return len(events)
+
+
+#: Shared inert record returned by :meth:`NullTracer.emit` so callers that
+#: keep the return value still receive a well-formed event.
+_NULL_EVENT = TraceEvent(time=0.0, kind="null")
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the pay-for-use fast path.
+
+    Untraced sweeps pass this to :class:`repro.net.network.Network` (or
+    helpers like :func:`repro.dag.bootstrap.build_nano_testbed`) so the
+    gossip hot path skips trace-record construction *and* counter upkeep
+    entirely; the fabric's own ``messages_delivered``/``messages_lost``
+    totals remain available.  The accounting invariant ``scheduled ==
+    delivered + dropped`` is not checkable on a null trace — benches that
+    assert it (A7) must use a real :class:`Tracer`.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def emit(self, time, kind, src=None, dst=None, msg_kind=None,
+             reason=None, **detail) -> TraceEvent:
+        return _NULL_EVENT
+
+    def record_schedule(self, time, src, dst, msg_kind, attempt=1) -> None:
+        pass
+
+    def record_deliver(self, time, src, dst, msg_kind) -> None:
+        pass
+
+    def record_drop(self, time, src, dst, msg_kind, reason) -> None:
+        pass
+
+    def record_retransmit(self, time, src, dst, msg_kind, attempt, delay) -> None:
+        pass
+
+    def record_give_up(self, time, src, dst, msg_kind, attempts) -> None:
+        pass
+
+    def record_fork(self, time, node_id, **detail) -> None:
+        pass

@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.common.encoding import (
     Decoder,
+    Encoder,
     decode_uint,
     encode_bool,
     encode_bytes,
@@ -100,3 +101,59 @@ class TestHelpers:
         assert encode_bytes(b"ab") + encode_bytes(b"c") != encode_bytes(
             b"a"
         ) + encode_bytes(b"bc")
+
+
+class TestEncoder:
+    """The bytearray builder must be byte-identical to the encode_* helpers
+    — cached serializations were captured with the helpers before the
+    builder existed, and ids must not shift."""
+
+    def test_matches_helper_functions(self):
+        built = (
+            Encoder()
+            .uint(7, 8)
+            .bytes(b"payload")
+            .str("hi")
+            .bool(True)
+            .list([b"a", b"bc"])
+            .getvalue()
+        )
+        expected = (
+            encode_uint(7, 8)
+            + encode_bytes(b"payload")
+            + encode_str("hi")
+            + encode_bool(True)
+            + encode_list([b"a", b"bc"])
+        )
+        assert built == expected
+
+    def test_raw_appends_verbatim(self):
+        assert Encoder().raw(b"\x00\xff").getvalue() == b"\x00\xff"
+
+    def test_chaining_returns_self(self):
+        enc = Encoder()
+        assert enc.uint(1, 1) is enc
+        assert enc.raw(b"") is enc
+
+    def test_len_tracks_bytes(self):
+        enc = Encoder().uint(1, 4).bytes(b"abc")
+        assert len(enc) == 4 + 4 + 3
+
+    def test_uint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Encoder().uint(-1, 8)
+
+    def test_uint_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            Encoder().uint(256, 1)
+
+    def test_getvalue_is_immutable_bytes(self):
+        enc = Encoder().uint(1, 1)
+        snapshot = enc.getvalue()
+        enc.uint(2, 1)
+        assert snapshot == b"\x01"
+        assert enc.getvalue() == b"\x01\x02"
+
+    @given(st.lists(st.binary(max_size=40), max_size=8))
+    def test_list_matches_encode_list(self, items):
+        assert Encoder().list(items).getvalue() == encode_list(items)

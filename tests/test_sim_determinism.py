@@ -1,0 +1,150 @@
+"""Determinism of the optimized hot paths.
+
+The event-queue/serialization/tracing optimizations must not change
+*what* a simulation computes — only how fast.  The fingerprints below
+were captured on the unoptimized implementation (tuple-free dataclass
+heap, no memoized serialization, always-on tracing) and are asserted
+byte-for-byte against the optimized code: same seeds ⇒ same event
+counts, traffic metrics, and trace counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import LinkParams
+from repro.net.message import Message
+from repro.net.network import Network, RetransmitPolicy
+from repro.net.node import NetworkNode
+from repro.net.topology import small_world_topology
+from repro.sim.simulator import Simulator
+
+#: A lossy WAN-ish link so the scenario exercises drops and retransmits.
+LOSSY_LINK = LinkParams(latency_s=0.05, jitter_s=0.02,
+                        bandwidth_bps=50_000_000.0, loss_probability=0.08)
+
+
+def gossip_fingerprint(seed: int, broadcasts: int = 40, nodes_n: int = 16):
+    """Run a lossy gossip flood and return everything observable about it.
+
+    Deliberately avoids ``schedule_periodic`` so the fingerprint is
+    comparable across the periodic-clamp fix.
+    """
+    sim = Simulator(seed=seed)
+    net = Network(sim, retransmit=RetransmitPolicy(max_attempts=4))
+    nodes = small_world_topology(net, nodes_n, NetworkNode,
+                                 link_params=LOSSY_LINK, seed=seed)
+    for i in range(broadcasts):
+        origin = nodes[i % len(nodes)]
+        message = Message(kind="blk", payload=i, size_bytes=300)
+        sim.schedule_at(
+            i * 0.25,
+            (lambda o=origin, m=message: net.gossip(o.node_id, m)),
+        )
+    sim.run()
+    tracer = net.tracer
+    received = sum(n.messages_received for n in nodes)
+    return {
+        "events_processed": sim.events_processed,
+        "now": round(sim.now, 9),
+        "delivered": net.messages_delivered,
+        "lost": net.messages_lost,
+        "bytes": net.bytes_transferred,
+        "received": received,
+        "trace_scheduled": tracer.scheduled,
+        "trace_delivered": tracer.delivered,
+        "trace_dropped": tracer.dropped,
+        "trace_retransmits": tracer.retransmits,
+        "trace_give_ups": tracer.gave_up,
+        "trace_emitted": tracer.emitted,
+    }
+
+
+#: Captured on the unoptimized implementation (pre perf-optimization PR).
+GOLDEN = {
+    11: {
+        "events_processed": 686,
+        "now": 11.11069538,
+        "delivered": 600,
+        "lost": 46,
+        "bytes": 194400,
+        "received": 600,
+        "trace_scheduled": 646,
+        "trace_delivered": 600,
+        "trace_dropped": 46,
+        "trace_retransmits": 46,
+        "trace_give_ups": 0,
+        "trace_emitted": 1338,
+    },
+    23: {
+        "events_processed": 686,
+        "now": 9.927515345,
+        "delivered": 600,
+        "lost": 46,
+        "bytes": 194400,
+        "received": 600,
+        "trace_scheduled": 646,
+        "trace_delivered": 600,
+        "trace_dropped": 46,
+        "trace_retransmits": 46,
+        "trace_give_ups": 0,
+        "trace_emitted": 1338,
+    },
+}
+
+
+def test_same_seed_same_fingerprint():
+    """Two runs with the same seed are identical in every counter."""
+    assert gossip_fingerprint(seed=11) == gossip_fingerprint(seed=11)
+
+
+def test_different_seeds_differ():
+    a = gossip_fingerprint(seed=11)
+    b = gossip_fingerprint(seed=12)
+    assert a != b
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN))
+def test_fingerprint_matches_unoptimized_golden(seed):
+    """Byte-identical results vs. the pre-optimization implementation."""
+    assert gossip_fingerprint(seed=seed) == GOLDEN[seed]
+
+
+#: End-to-end experiment metrics captured on the unoptimized code with
+#: the exact params/seed below.  The optimizations (and the periodic
+#: clamp fix, which removes a trailing no-op tick but never an action
+#: firing) must leave every metric bit-identical.
+E9_GOLDEN_METRICS = {
+    "bitcoin_ceiling_tps": 6.666666666666667,
+    "ethereum_ceiling_tps": 25.3968253968254,
+    "mempool_backlog": 1904.0,
+    "mined_tps": 0.13333333333333333,
+    "sim_ceiling_tps": 0.26666666666666666,
+    "submitted": 1920.0,
+    "visa_tps": 56000.0,
+}
+
+E14_GOLDEN_METRICS = {
+    "settled_over_offered": 0.9979166666666667,
+    "settled_tps": 59.875,
+}
+
+
+@pytest.mark.slow
+def test_e9_metrics_match_unoptimized_golden():
+    from repro.core.experiment import EXPERIMENTS
+
+    result = EXPERIMENTS["E9"].load_runner()(
+        {"offered_tps": 20.0, "duration_s": 120.0}, 7
+    )
+    assert result["metrics"] == E9_GOLDEN_METRICS
+
+
+@pytest.mark.slow
+def test_e14_metrics_match_unoptimized_golden():
+    from repro.core.experiment import EXPERIMENTS
+
+    result = EXPERIMENTS["E14"].load_runner()(
+        {"offered_tps": 60.0, "processing_tps": 0.0, "duration_s": 8.0}, 7
+    )
+    assert result["metrics"] == E14_GOLDEN_METRICS

@@ -132,6 +132,108 @@ class TestSimulator:
         assert fired == []
 
 
+class TestCancellationUnderLoad:
+    """The optimized queue derives its size from push/pop/cancel counters
+    and skips cancelled entries lazily — stress both under heavy churn."""
+
+    def test_mass_cancellation_mid_run(self):
+        sim = Simulator(seed=3)
+        fired = []
+        handles = [
+            sim.schedule(float(i + 1), (lambda i=i: fired.append(i)))
+            for i in range(500)
+        ]
+        # Cancel every odd event from inside an early event's action so
+        # cancellation interleaves with the running loop.
+        sim.schedule(0.5, lambda: [h.cancel() for h in handles[1::2]])
+        sim.run()
+        assert fired == list(range(0, 500, 2))
+        stats = sim.queue_stats()
+        assert stats["pending"] == 0
+        # 500 + the canceller fired/cancelled; popped excludes cancelled.
+        assert stats["popped"] == 251
+
+    def test_len_stays_consistent_with_interleaved_ops(self):
+        q = EventQueue()
+        live = []
+        for i in range(200):
+            live.append(q.push(float(i), lambda: None))
+            if i % 3 == 0:
+                live.pop(0).cancel()
+            if i % 5 == 0 and len(q):
+                popped = q.pop()
+                if popped is not None and popped in live:
+                    live.remove(popped)
+        assert len(q) == len(live)
+
+    def test_double_cancel_counted_once(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_is_harmless(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        assert q.pop() is event
+        event.cancel()  # already detached from the queue
+        assert len(q) == 0
+
+    def test_cancelled_run_is_deterministic(self):
+        def run():
+            sim = Simulator(seed=9)
+            order = []
+            handles = []
+            for _ in range(100):
+                delay = sim.rng.random() * 10
+                handles.append(sim.schedule(delay, lambda d=delay: order.append(d)))
+            for i, h in enumerate(handles):
+                if i % 4 == 0:
+                    h.cancel()
+            sim.run()
+            return order, sim.events_processed
+
+        assert run() == run()
+
+
+class TestPeriodicClamp:
+    def test_until_between_ticks_stops_at_bound(self):
+        sim = Simulator()
+        ticks = []
+        # until=5.0 falls between the 4.0 and 6.0 ticks; the 6.0 tick must
+        # never be scheduled (the queue drains at the bound).
+        sim.schedule_periodic(2.0, lambda: ticks.append(sim.now), until=5.0)
+        sim.run()
+        assert ticks == [2.0, 4.0]
+        assert sim.queue_stats()["pending"] == 0
+
+    def test_tick_landing_exactly_on_until_fires(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(2.0, lambda: ticks.append(sim.now), until=6.0)
+        sim.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_first_tick_past_until_never_fires(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(10.0, lambda: ticks.append(sim.now), until=5.0)
+        sim.run()
+        assert ticks == []
+        assert sim.queue_stats()["pushed"] == 0
+
+    def test_start_delay_respected_with_until(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(
+            2.0, lambda: ticks.append(sim.now), start_delay=1.0, until=5.0
+        )
+        sim.run()
+        assert ticks == [1.0, 3.0, 5.0]
+
+
 class TestHaltAndStats:
     def test_halt_stops_run_mid_queue(self):
         sim = Simulator()

@@ -131,3 +131,57 @@ class TestDumpJsonl:
         assert written == 1
         assert records == [{"t": 0.5, "kind": DROP, "src": "a", "dst": "b",
                             "msg_kind": "tx", "reason": REASON_LOSS}]
+
+
+class TestNullTracer:
+    """The no-op tracer is the pay-for-use fast path: call sites gate on
+    ``tracer.enabled`` and untraced sweeps must record nothing."""
+
+    def test_disabled_flag(self):
+        from repro.trace import NullTracer
+
+        assert Tracer.enabled is True
+        assert NullTracer.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_records_nothing(self):
+        from repro.trace import NullTracer
+
+        tracer = NullTracer()
+        tracer.record_schedule(1.0, "a", "b", "tx")
+        tracer.record_deliver(2.0, "a", "b", "tx")
+        tracer.record_drop(3.0, "a", "b", "tx", REASON_LOSS)
+        tracer.record_retransmit(4.0, "a", "b", "tx", attempt=2, delay=0.1)
+        tracer.record_give_up(5.0, "a", "b", "tx", attempts=3)
+        tracer.record_fork(6.0, "n1")
+        tracer.emit(7.0, SCHEDULE, src="a", dst="b")
+        assert list(tracer.events()) == []
+        assert tracer.counters()["trace.scheduled"] == 0.0
+        assert tracer.counters()["trace.delivered"] == 0.0
+
+    def test_network_accepts_null_tracer(self):
+        from repro.net.message import Message
+        from repro.net.network import Network
+        from repro.net.node import NetworkNode
+        from repro.sim.simulator import Simulator
+        from repro.trace import NullTracer
+
+        class Sink(NetworkNode):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.received = []
+
+            def handle_message(self, sender_id, message):
+                self.received.append(message.payload)
+
+        sim = Simulator(seed=5)
+        net = Network(sim, tracer=NullTracer())
+        a, b = Sink("a"), Sink("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.connect("a", "b")
+        net.transmit("a", "b", Message(kind="ping", payload="x", size_bytes=10))
+        sim.run()
+        assert b.received == ["x"]
+        assert list(net.tracer.events()) == []
+        assert net.tracer.counters()["trace.delivered"] == 0.0
