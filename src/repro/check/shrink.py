@@ -1,0 +1,93 @@
+"""Failing-schedule minimization.
+
+Once a seed violates an invariant, the full schedule (dozens of
+payments, faults, conflicts) is a poor bug report.  The shrinker
+replays candidate sub-schedules — first bisecting to the shortest
+failing *prefix*, then greedily dropping single ops — until no op can
+be removed without losing the violation.  Because runs are
+deterministic, "still fails" is a pure predicate of the candidate
+schedule, so the ddmin-style search needs no statistical repetition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.check.generator import Schedule
+from repro.check.runner import run_schedule
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing schedule and the search's cost."""
+
+    schedule: Schedule
+    paradigm: str
+    original_ops: int
+    runs_used: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "paradigm": self.paradigm,
+            "original_ops": self.original_ops,
+            "minimized_ops": len(self.schedule.ops),
+            "runs_used": self.runs_used,
+            "schedule": self.schedule.to_dict(),
+        }
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    paradigm: str,
+    max_runs: int = 64,
+) -> Optional[ShrinkResult]:
+    """Minimize ``schedule`` to a smaller one that still violates.
+
+    Returns ``None`` when the full schedule does not reproduce a
+    violation (nothing to shrink).  ``max_runs`` bounds the number of
+    replays the search may spend; the best schedule found so far is
+    returned when the budget runs out.
+    """
+    runs = 0
+
+    def fails(candidate: Schedule) -> bool:
+        nonlocal runs
+        runs += 1
+        return run_schedule(candidate, paradigm).violation is not None
+
+    if not fails(schedule):
+        return None
+    original_ops = len(schedule.ops)
+
+    # Phase 1: binary-search the shortest failing prefix.  The violation
+    # first appears after some op; everything later is noise.
+    low, high = 1, len(schedule.ops)
+    while low < high and runs < max_runs:
+        mid = (low + high) // 2
+        if fails(schedule.prefix(mid)):
+            high = mid
+        else:
+            low = mid + 1
+    current = schedule.prefix(high)
+
+    # Phase 2: greedy single-op elimination, repeated until a full pass
+    # removes nothing (or the budget runs out).  Scan back-to-front so
+    # index bookkeeping survives removals.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for index in range(len(current.ops) - 1, -1, -1):
+            if runs >= max_runs:
+                break
+            candidate = current.without(index)
+            if candidate.ops and fails(candidate):
+                current = candidate
+                changed = True
+
+    return ShrinkResult(
+        schedule=current,
+        paradigm=paradigm,
+        original_ops=original_ops,
+        runs_used=runs,
+    )

@@ -9,6 +9,8 @@ writing any code:
 * ``confirmation``  — Section IV-A depth-for-risk table;
 * ``growth``        — Section V ledger growth snapshot and ratios;
 * ``faults``        — degraded-network gossip run with a JSONL trace;
+* ``fuzz``          — differential fuzzing with in-loop invariant
+  enforcement across both paradigms (see ``repro.check``);
 * ``bench``         — one experiment, one trial, in process;
 * ``sweep``         — parameter-grid fan-out across worker processes,
   aggregated into ``BENCH_<id>.json`` (see ``repro.runner``);
@@ -186,6 +188,52 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"{written} trace records written to {args.trace_out}",
               file=sys.stderr)
     return 0 if received == expected else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzz campaign: seeded schedules replayed on both
+    paradigms with in-loop invariant auditing (see ``repro.check``)."""
+    from repro.check.generator import PROFILES, profile_named
+    from repro.check.runner import PARADIGMS, run_campaign
+
+    if args.profile not in PROFILES:
+        print(f"error: unknown profile {args.profile!r} "
+              f"(choose from {', '.join(sorted(PROFILES))})", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.audit_interval is not None:
+        overrides["audit_interval_s"] = args.audit_interval
+    try:
+        profile = profile_named(args.profile, **overrides)
+    except (KeyError, TypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    paradigms = PARADIGMS if args.paradigm == "both" else (args.paradigm,)
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+    print(f"fuzzing {len(seeds)} seeds x {len(paradigms)} paradigm(s), "
+          f"profile {profile.name} ({profile.describe()})", file=sys.stderr)
+
+    try:
+        outcomes = run_campaign(
+            list(seeds), profile, paradigms,
+            shrink=args.shrink,
+            determinism_check=args.check_determinism,
+            artifact_dir=args.artifact_dir,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except AssertionError as error:
+        print(f"REPLAY DIVERGENCE: {error}", file=sys.stderr)
+        return 1
+
+    failing = [o for o in outcomes if not o.ok]
+    runs = sum(len(o.results) for o in outcomes)
+    print(f"{runs} runs, {len(failing)}/{len(outcomes)} seeds with violations")
+    for outcome in failing:
+        for result in outcome.failing():
+            print(f"  seed={outcome.seed} {result.paradigm}: "
+                  + "; ".join(f"[{v.invariant}] {v.detail}"
+                              for v in result.violation.violations))
+    return 1 if failing else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -535,6 +583,29 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--trace-out", default=None,
                         help="dump the structured trace as JSONL")
     faults.set_defaults(func=_cmd_faults)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing with in-loop invariant audits"
+    )
+    fuzz.add_argument("--seeds", type=int, default=10,
+                      help="number of seeds in the campaign")
+    fuzz.add_argument("--seed-start", type=int, default=0,
+                      help="first seed (campaign covers start..start+seeds-1)")
+    fuzz.add_argument("--paradigm", choices=("both", "blockchain", "dag"),
+                      default="both")
+    fuzz.add_argument("--profile", default="baseline",
+                      help="scenario family: baseline, conflict, churn, "
+                           "adversarial, seeded-violation")
+    fuzz.add_argument("--audit-interval", type=float, default=None,
+                      help="in-loop audit cadence (simulated s)")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="minimize failing schedules before reporting")
+    fuzz.add_argument("--check-determinism", action="store_true",
+                      help="replay every seed twice; fail on fingerprint "
+                           "divergence")
+    fuzz.add_argument("--artifact-dir", default=None,
+                      help="write failing-seed JSON artifacts here")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     report = sub.add_parser("report", help="generate a markdown results report")
     report.add_argument("--output", "-o", default=None,

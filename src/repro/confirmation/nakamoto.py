@@ -52,10 +52,16 @@ def attacker_success_probability(attacker_share: float, confirmations: int) -> f
     if z == 0:
         return 1.0
     lam = z * (q / p)
+    # Log-space Poisson: lam**k / k! overflows floats near z ~ 140,
+    # which is exactly the deep-confirmation regime a near-1/2 attacker
+    # forces (negligible terms underflow to 0.0 instead of raising).
+    log_lam = math.log(lam)
+    log_ratio = math.log(q / p)
     total = 0.0
     for k in range(z + 1):
-        poisson = math.exp(-lam) * lam**k / math.factorial(k)
-        total += poisson * (1.0 - (q / p) ** (z - k))
+        log_poisson = -lam + k * log_lam - math.lgamma(k + 1)
+        catch_up = -math.expm1((z - k) * log_ratio)  # 1 - (q/p)^(z-k)
+        total += math.exp(log_poisson) * catch_up
     return max(0.0, min(1.0, 1.0 - total))
 
 

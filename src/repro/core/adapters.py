@@ -9,6 +9,7 @@ them with identical workloads.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict, List, Optional, Tuple
 
@@ -16,20 +17,30 @@ from repro.common.errors import ReproError, ValidationError
 from repro.common.types import Hash, TxId
 from repro.crypto.keys import KeyPair
 from repro.net.link import LinkParams
+from repro.net.message import Message
 from repro.net.network import Network
 from repro.net.topology import complete_topology
 from repro.sim.simulator import Simulator
 from repro.blockchain.block import build_genesis_with_allocations
 from repro.blockchain.node import BlockchainNode
 from repro.blockchain.params import BITCOIN, ChainParams
-from repro.blockchain.transaction import Transaction
+from repro.blockchain.transaction import Transaction, TxOutput, build_transaction
 from repro.blockchain.wallet import AccountWallet, UtxoWallet
+from repro.dag.blocks import make_send
 from repro.dag.bootstrap import NanoTestbed, build_nano_testbed, fund_accounts
+from repro.dag.lattice import PendingInfo
+from repro.dag.node import MSG_NANO_BLOCK
 from repro.dag.params import NanoParams
-from repro.core.ledger import Ledger, LedgerStats
+from repro.core.invariants import AuditReport, audit_blockchain, audit_lattice
+from repro.core.ledger import DeploymentView, Ledger, LedgerStats
 from repro.workloads.generators import PaymentEvent
 
 Outpoint = Tuple[TxId, int]
+
+#: Outpoint/source hashes used by the deliberate supply-corruption
+#: backdoor — recognizable in audit evidence.
+_CORRUPT_TXID = TxId(b"\xfc" * 32)
+_CORRUPT_SOURCE = Hash(b"\xfd" * 32)
 
 
 class BlockchainLedger(Ledger):
@@ -60,6 +71,7 @@ class BlockchainLedger(Ledger):
         self._account_wallets: List[AccountWallet] = []
         self._submit_times: Dict[Hash, float] = {}
         self._stats = LedgerStats()
+        self._expected_supply_base = 0
 
     # ----------------------------------------------------------------- setup
 
@@ -69,6 +81,7 @@ class BlockchainLedger(Ledger):
         self.simulator = Simulator(seed=self.seed)
         self.network = Network(self.simulator)
 
+        self._expected_supply_base = accounts * initial_balance
         if self.params.uses_gas:
             # Account model: allocations live in the state trie; the
             # genesis block itself carries no transactions.
@@ -184,6 +197,85 @@ class BlockchainLedger(Ledger):
             latencies.append(max(0.0, confirm_block.header.timestamp - submitted))
         return latencies
 
+    # ------------------------------------------- in-loop check capabilities
+
+    def deployment(self) -> Optional[DeploymentView]:
+        if self.simulator is None:
+            return None
+        return DeploymentView(
+            simulator=self.simulator, network=self.network, nodes=self.nodes
+        )
+
+    def audit(self) -> Optional[AuditReport]:
+        if not self.nodes:
+            return None
+        return audit_blockchain(
+            self.nodes,
+            expected_supply_base=self._expected_supply_base,
+            agreement_depth=self.params.confirmation_depth,
+        )
+
+    def state_digest(self) -> str:
+        digest = hashlib.sha256()
+        for node in self.nodes:
+            head = node.chain.head
+            digest.update(
+                f"{node.node_id}:{node.chain.height}:{head.block_id.hex}\n".encode()
+            )
+        for index, key in enumerate(self.keys):
+            digest.update(f"{index}:{self.balance(index)}\n".encode())
+        return digest.hexdigest()
+
+    def submit_double_spend(self, event: PaymentEvent) -> List[Hash]:
+        """Two transactions spending the same outpoints, fed to different
+        replicas' mempools — at most one may survive on any main chain."""
+        if self.params.uses_gas or not self.nodes:
+            return super().submit_double_spend(event)
+        sender_wallet = self._utxo_wallets[event.sender_index]
+        spendable_before = sender_wallet.spendable()
+        try:
+            honest = sender_wallet.pay(
+                self._utxo_wallets[event.recipient_index].address,
+                event.amount, fee=self.fee,
+            )
+            decoy_recipient = self.keys[
+                (event.recipient_index + 1) % len(self.keys)
+            ].address
+            conflicting = build_transaction(
+                sender_wallet.keypair, spendable_before,
+                decoy_recipient, event.amount, fee=self.fee,
+            )
+        except ValidationError:
+            return []
+        self._utxo_wallets[event.recipient_index].receive_from(honest)
+        entries: List[Hash] = []
+        node_a = self.nodes[event.sender_index % len(self.nodes)]
+        node_b = self.nodes[(event.sender_index + 1) % len(self.nodes)]
+        if node_a.submit_transaction(honest):
+            self._stats.entries_created += 1
+            self._submit_times[honest.txid] = self.now()
+            entries.append(honest.txid)
+        if node_b.submit_transaction(conflicting):
+            entries.append(conflicting.txid)
+        return entries
+
+    def inject_supply_corruption(self, amount: int) -> bool:
+        """Credit a phantom UTXO (or account balance) on one replica —
+        the seeded violation the in-loop audit must catch."""
+        if not self.nodes:
+            return False
+        node = self.nodes[0]
+        if node.utxo is not None:
+            node.utxo._add(  # noqa: SLF001 - deliberate corruption backdoor
+                (_CORRUPT_TXID, 0),
+                TxOutput(amount=amount, recipient=self.keys[0].address),
+            )
+            return True
+        if node.state is not None:
+            node.state.credit(self.keys[0].address, amount)
+            return True
+        return False
+
 
 class DagLedger(Ledger):
     """A Nano block-lattice deployment behind the uniform interface."""
@@ -208,11 +300,13 @@ class DagLedger(Ledger):
         self.keys: List[KeyPair] = []
         self._submit_times: Dict[Hash, float] = {}
         self._stats = LedgerStats()
+        self.supply = 10**15
 
     def setup(self, accounts: int, initial_balance: int) -> None:
         self.testbed = build_nano_testbed(
             node_count=self.node_count,
             representative_count=self.representative_count,
+            supply=self.supply,
             params=self.params,
             link_params=self.link_params,
             seed=self.seed,
@@ -275,3 +369,94 @@ class DagLedger(Ledger):
         self._stats.extra["dag_blocks"] = float(observer.lattice.block_count())
         self._stats.extra["elections"] = float(observer.elections.elections_started)
         return self._stats
+
+    # ------------------------------------------- in-loop check capabilities
+
+    def deployment(self) -> Optional[DeploymentView]:
+        if self.testbed is None:
+            return None
+        return DeploymentView(
+            simulator=self.testbed.simulator,
+            network=self.testbed.network,
+            nodes=self.testbed.nodes,
+        )
+
+    def audit(self) -> Optional[AuditReport]:
+        if self.testbed is None:
+            return None
+        return audit_lattice(self.testbed.nodes, expected_supply=self.supply)
+
+    def state_digest(self) -> str:
+        assert self.testbed is not None
+        digest = hashlib.sha256()
+        for node in self.testbed.nodes:
+            lattice = node.lattice
+            digest.update(
+                f"{node.node_id}:{lattice.block_count()}:"
+                f"{lattice.pending_count()}\n".encode()
+            )
+            for chain in sorted(lattice.chains(),
+                                key=lambda c: bytes(c.account)):
+                digest.update(
+                    f"  {chain.account.hex}:{chain.balance}:"
+                    f"{chain.head.block_hash.hex}\n".encode()
+                )
+        return digest.hexdigest()
+
+    def submit_double_spend(self, event: PaymentEvent) -> List[Hash]:
+        """Two send blocks claiming the same predecessor, delivered to
+        different replicas — the fork that triggers an election; at most
+        one block may survive everywhere (Section III-B/IV-B)."""
+        assert self.testbed is not None
+        sender = self.keys[event.sender_index]
+        wallet = self.testbed.node_for(sender.address)
+        chain = wallet.lattice.chain(sender.address)
+        if chain is None or chain.balance < event.amount:
+            return []
+        head = chain.head
+        decoy = self.keys[(event.recipient_index + 1) % len(self.keys)]
+        honest = make_send(
+            sender, previous=head,
+            destination=self.keys[event.recipient_index].address,
+            amount=event.amount,
+            work_difficulty=self.params.work_difficulty,
+        )
+        conflicting = make_send(
+            sender, previous=head, destination=decoy.address,
+            amount=event.amount,
+            work_difficulty=self.params.work_difficulty,
+        )
+        nodes = self.testbed.nodes
+        node_a = nodes[event.sender_index % len(nodes)]
+        node_b = nodes[(event.sender_index + 1) % len(nodes)]
+        for node, block in ((node_a, honest), (node_b, conflicting)):
+            message = Message(
+                kind=MSG_NANO_BLOCK,
+                payload=block,
+                size_bytes=block.size_bytes,
+                dedup_key=block.block_hash,
+            )
+            # Ingest at the victim replica, then flood from it so the
+            # rest of the network (and its representatives) see the
+            # conflict and an election resolves it.
+            node.deliver("fuzz-adversary", message)
+            node.broadcast(message)
+        self._stats.entries_created += 1
+        self._submit_times[honest.block_hash] = self.now()
+        return [honest.block_hash, conflicting.block_hash]
+
+    def inject_supply_corruption(self, amount: int) -> bool:
+        """Park phantom value in one replica's pending table — the
+        seeded violation the in-loop audit must catch."""
+        if self.testbed is None:
+            return False
+        lattice = self.testbed.nodes[0].lattice
+        lattice._pending_add(  # noqa: SLF001 - deliberate corruption backdoor
+            PendingInfo(
+                source_hash=_CORRUPT_SOURCE,
+                source_account=self.keys[0].address,
+                destination=self.keys[-1].address,
+                amount=amount,
+            )
+        )
+        return True

@@ -99,7 +99,8 @@ def audit_blockchain(
         )
     check_height = max(min(heights) - agreement_depth, 0)
     deep_blocks = {n.chain.block_at_height(check_height).block_id for n in nodes}
-    if len(deep_blocks) != 1:
+    agreement_ok = len(deep_blocks) == 1
+    if not agreement_ok:
         report.add(
             "agreement",
             f"replicas disagree at height {check_height}: "
@@ -121,7 +122,11 @@ def audit_blockchain(
                             "spent twice on the main chain",
                         )
                     spent.add(tx_input.outpoint)
-        break  # main chains agree per the check above; one walk suffices
+        if agreement_ok:
+            # Main chains agree below the tips, so one replica's walk
+            # covers them all; with divergent chains every replica's own
+            # main chain must be checked for a surviving double spend.
+            break
 
     return report
 
@@ -154,7 +159,7 @@ def audit_lattice(nodes: Sequence[NanoNode], expected_supply: int) -> AuditRepor
 
     accounts = set()
     for node in nodes:
-        accounts.update(node.lattice._chains.keys())  # noqa: SLF001
+        accounts.update(node.lattice.accounts())
     for account in accounts:
         heads = set()
         for node in nodes:
@@ -169,9 +174,7 @@ def audit_lattice(nodes: Sequence[NanoNode], expected_supply: int) -> AuditRepor
             )
 
     for node in nodes:
-        for account in node.lattice._chains:  # noqa: SLF001
-            chain = node.lattice.chain(account)
-            assert chain is not None
+        for chain in node.lattice.chains():
             for prev, block in zip(chain.blocks, chain.blocks[1:]):
                 if block.previous != prev.block_hash:
                     report.add(

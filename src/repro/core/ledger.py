@@ -10,10 +10,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.common.types import Hash
 from repro.workloads.generators import PaymentEvent
+
+if TYPE_CHECKING:  # pragma: no cover - capability types only
+    from repro.core.invariants import AuditReport
+    from repro.net.network import Network
+    from repro.sim.simulator import Simulator
 
 
 @dataclass
@@ -26,6 +31,20 @@ class LedgerStats:
     reorgs: int = 0
     confirmation_latencies_s: List[float] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class DeploymentView:
+    """The running machinery behind an adapter, for in-loop tooling.
+
+    Exposed by :meth:`Ledger.deployment` so paradigm-agnostic layers (the
+    invariant monitor, fault injection, the fuzzer) can hook the
+    simulator and network without knowing which adapter they drive.
+    """
+
+    simulator: "Simulator"
+    network: Optional["Network"]
+    nodes: Sequence[object]
 
 
 class Ledger(abc.ABC):
@@ -72,6 +91,39 @@ class Ledger(abc.ABC):
     @abc.abstractmethod
     def stats(self) -> LedgerStats:
         """Aggregate run statistics."""
+
+    # Optional capabilities (in-loop checking) ---------------------------
+    #
+    # Adapters that stand up a real simulated deployment override these;
+    # the defaults make every capability safely absent so the checking
+    # layer degrades gracefully on exotic adapters.
+
+    def deployment(self) -> Optional[DeploymentView]:
+        """The simulator/network/nodes behind this ledger, if simulated."""
+        return None
+
+    def audit(self) -> Optional["AuditReport"]:
+        """Run the paradigm's global-invariant audit right now."""
+        return None
+
+    def state_digest(self) -> str:
+        """Deterministic digest of observable replica state (balances,
+        heads, sizes) — one input to the fuzzer's run fingerprint.
+        Empty string = no digest capability."""
+        return ""
+
+    def submit_double_spend(self, event: PaymentEvent) -> List[Hash]:
+        """Inject two conflicting entries spending the same funds at
+        different replicas (Section IV's adversary).  Adapters without a
+        conflict path fall back to a single honest submission."""
+        entry = self.submit(event)
+        return [entry] if entry is not None else []
+
+    def inject_supply_corruption(self, amount: int) -> bool:
+        """Deliberately corrupt one replica's materialized state by
+        ``amount`` value units (a test-oracle backdoor: the audit must
+        flag the supply violation).  Returns False when unsupported."""
+        return False
 
     # Convenience shared by adapters -------------------------------------
 

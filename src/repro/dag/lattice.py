@@ -11,7 +11,7 @@ programming)".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.common.errors import (
     CementedBlockError,
@@ -72,6 +72,10 @@ class Lattice:
         self._chains: Dict[Address, AccountChain] = {}
         self._blocks: Dict[Hash, NanoBlock] = {}
         self._pending: Dict[Hash, PendingInfo] = {}
+        #: destination -> {send hash -> pending info}; kept consistent with
+        #: ``_pending`` on every add/settle/rollback so the receive hot
+        #: path (:meth:`pending_for`) is a dict hit, not a table scan.
+        self._pending_by_dest: Dict[Address, Dict[Hash, PendingInfo]] = {}
         self._settled: Dict[Hash, Hash] = {}  # send hash -> receive hash
         self._cemented: set = set()
         #: per-account count of chain blocks already cemented (a frontier
@@ -141,12 +145,22 @@ class Lattice:
     def account_count(self) -> int:
         return len(self._chains)
 
+    def accounts(self) -> Iterator[Address]:
+        """Every account with a chain on this replica (snapshot: safe to
+        process/rollback while iterating)."""
+        return iter(list(self._chains))
+
+    def chains(self) -> Iterator[AccountChain]:
+        """Every account chain on this replica (snapshot iterator)."""
+        return iter(list(self._chains.values()))
+
     def block_count(self) -> int:
         return len(self._blocks)
 
     def pending_for(self, destination: Address) -> List[PendingInfo]:
         """Unsettled sends addressed to ``destination`` (Figure 3)."""
-        return [p for p in self._pending.values() if p.destination == destination]
+        bucket = self._pending_by_dest.get(destination)
+        return list(bucket.values()) if bucket else []
 
     def pending_count(self) -> int:
         return len(self._pending)
@@ -166,6 +180,24 @@ class Lattice:
 
     def serialized_size(self) -> int:
         return sum(block.size_bytes for block in self._blocks.values())
+
+    # ---------------------------------------------------- pending upkeep
+
+    def _pending_add(self, info: PendingInfo) -> None:
+        self._pending[info.source_hash] = info
+        self._pending_by_dest.setdefault(info.destination, {})[
+            info.source_hash
+        ] = info
+
+    def _pending_remove(self, source_hash: Hash) -> Optional[PendingInfo]:
+        info = self._pending.pop(source_hash, None)
+        if info is not None:
+            bucket = self._pending_by_dest.get(info.destination)
+            if bucket is not None:
+                bucket.pop(source_hash, None)
+                if not bucket:
+                    del self._pending_by_dest[info.destination]
+        return info
 
     # -------------------------------------------------------------- process
 
@@ -213,7 +245,7 @@ class Lattice:
             raise ValidationError(
                 f"open balance {block.balance} != pending amount {pending.amount}"
             )
-        del self._pending[block.source]
+        self._pending_remove(block.source)
         self._settled[block.source] = block.block_hash
         self._append(block)
 
@@ -246,12 +278,12 @@ class Lattice:
             if amount <= 0:
                 raise ValidationError("send must strictly decrease the balance")
             self._append(block)
-            self._pending[block.block_hash] = PendingInfo(
+            self._pending_add(PendingInfo(
                 source_hash=block.block_hash,
                 source_account=block.account,
                 destination=block.destination,
                 amount=amount,
-            )
+            ))
         elif block.block_type == BlockType.RECEIVE:
             pending = self._pending.get(block.source)
             if pending is None:
@@ -262,7 +294,7 @@ class Lattice:
                 raise ValidationError("pending send addressed to a different account")
             if block.balance != head.balance + pending.amount:
                 raise ValidationError("receive balance arithmetic is wrong")
-            del self._pending[block.source]
+            self._pending_remove(block.source)
             self._settled[block.source] = block.block_hash
             self._append(block)
         elif block.block_type == BlockType.CHANGE:
@@ -309,6 +341,8 @@ class Lattice:
 
         removed: List[NanoBlock] = []
         for victim in reversed(chain.blocks[index:]):
+            if victim.block_hash not in self._blocks:
+                continue  # already removed by a cascading rollback below
             if victim.block_hash in self._cemented:
                 raise CementedBlockError(
                     f"cannot roll back past cemented {victim.block_hash.short()}"
@@ -316,7 +350,15 @@ class Lattice:
             removed.append(victim)
             del self._blocks[victim.block_hash]
             if victim.block_type == BlockType.SEND:
-                self._pending.pop(victim.block_hash, None)
+                settled_receive = self._settled.pop(victim.block_hash, None)
+                if settled_receive is not None and settled_receive in self._blocks:
+                    # The send's value already settled onto the
+                    # destination chain.  Cascade so the receive (and its
+                    # successors) are rolled back too — otherwise the
+                    # sender's balance is restored while the recipient
+                    # keeps the credit, duplicating the amount.
+                    removed.extend(self.rollback(settled_receive))
+                self._pending_remove(victim.block_hash)
             elif victim.block_type in (BlockType.RECEIVE, BlockType.OPEN):
                 settled_receive = self._settled.get(Hash(victim.link))
                 if settled_receive == victim.block_hash:
@@ -324,12 +366,12 @@ class Lattice:
                     source = self._blocks.get(Hash(victim.link))
                     if source is not None and source.block_type == BlockType.SEND:
                         prev = self._predecessor_balance(source)
-                        self._pending[source.block_hash] = PendingInfo(
+                        self._pending_add(PendingInfo(
                             source_hash=source.block_hash,
                             source_account=source.account,
                             destination=source.destination,
                             amount=prev - source.balance,
-                        )
+                        ))
         del chain.blocks[index:]
         if chain.blocks:
             head = chain.head

@@ -92,6 +92,10 @@ class NanoNode(NetworkNode):
         #: Simulated time at which each block reached quorum here —
         #: feeds the confirmation-latency comparison (Section IV).
         self.confirmation_times: Dict[Hash, float] = {}
+        #: Locally-created blocks whose broadcast was swallowed because
+        #: the node was offline — republished on reconnect, like a real
+        #: wallet flushing its unconfirmed sends.
+        self._offline_publishes: List[NanoBlock] = []
 
     # ------------------------------------------------------------- identity
 
@@ -198,14 +202,30 @@ class NanoNode(NetworkNode):
 
     def _apply_and_broadcast(self, block: NanoBlock) -> None:
         self._ingest(block)
-        self.broadcast(
-            Message(
-                kind=MSG_NANO_BLOCK,
-                payload=block,
-                size_bytes=block.size_bytes,
-                dedup_key=block.block_hash,
-            )
+        if not self.online:
+            # broadcast() is a silent no-op while offline, but the block
+            # was just applied to the local chain — without a republish
+            # on reconnect the rest of the network can never learn it
+            # and per-account heads diverge forever.
+            self._offline_publishes.append(block)
+            return
+        self.broadcast(self._block_message(block))
+
+    def _block_message(self, block: NanoBlock) -> Message:
+        return Message(
+            kind=MSG_NANO_BLOCK,
+            payload=block,
+            size_bytes=block.size_bytes,
+            dedup_key=block.block_hash,
         )
+
+    def set_online(self, online: bool) -> None:
+        super().set_online(online)
+        if online and self._offline_publishes:
+            backlog, self._offline_publishes = self._offline_publishes, []
+            for block in backlog:
+                if block.block_hash in self.lattice:  # not rolled back since
+                    self.broadcast(self._block_message(block))
 
     # --------------------------------------------------------------- gossip
 
@@ -283,9 +303,7 @@ class NanoNode(NetworkNode):
         by the unchecked buffer.  Returns the number of blocks adopted.
         """
         adopted = 0
-        for account in list(peer.lattice._chains):  # noqa: SLF001
-            chain = peer.lattice.chain(account)
-            assert chain is not None
+        for chain in peer.lattice.chains():
             for block in chain.blocks:
                 if block.block_hash in self.lattice:
                     continue
@@ -415,11 +433,11 @@ class NanoNode(NetworkNode):
             except ReproError:
                 return
             self.stats.rollbacks += len(removed)
-        try:
-            self.lattice.process(winning_block)
-            self.stats.blocks_processed += 1
-        except ReproError:
-            pass
+        # Adopt through the normal intake path, not lattice.process
+        # directly: blocks parked in the unchecked buffer waiting on the
+        # winner (a recipient's receive gossiped while we still held the
+        # losing branch) must be retried, and auto-receive must fire.
+        self._ingest_quietly(winning_block)
 
     def _record_conflict_vote(self, payload: VotePayload) -> None:
         assert payload.conflict_account is not None
@@ -457,11 +475,9 @@ class NanoNode(NetworkNode):
             self.stats.rollbacks += len(removed)
         winning_block = self._conflict_buffer.get(winner)
         if winning_block is not None:
-            try:
-                self.lattice.process(winning_block)
-                self.stats.blocks_processed += 1
-            except ReproError:
-                pass
+            # Same intake path as gossip (see _adopt_confirmed): retries
+            # unchecked dependents of the winner and settles auto-receives.
+            self._ingest_quietly(winning_block)
 
     def _applied_successor(
         self, account: Address, contested_previous: Hash

@@ -15,6 +15,7 @@ churn, adversarial delay).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -42,6 +43,32 @@ class ChurnParams:
             raise ValueError("mtbf_s must be positive")
         if self.downtime_s <= 0:
             raise ValueError("downtime_s must be positive")
+
+
+def sample_churn_times(
+    rng: random.Random,
+    mtbf_s: float,
+    downtime_s: float,
+    start_s: float = 0.0,
+    until_s: float = 0.0,
+) -> List[Tuple[float, float]]:
+    """Sample one node's ``(crash_time, restart_time)`` cycles.
+
+    The Poisson crash/fixed-downtime process behind both
+    :meth:`FaultInjector.churn` and the fuzzer's churn schedules — a
+    pure function of the supplied RNG, so seeded callers get
+    reproducible fault timelines.
+    """
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    if downtime_s <= 0:
+        raise ValueError("downtime_s must be positive")
+    cycles: List[Tuple[float, float]] = []
+    t = start_s + exponential(rng, 1.0 / mtbf_s)
+    while t < until_s:
+        cycles.append((t, t + downtime_s))
+        t += downtime_s + exponential(rng, 1.0 / mtbf_s)
+    return cycles
 
 
 class FaultInjector:
@@ -103,11 +130,13 @@ class FaultInjector:
         cycles = 0
         for node_id in node_ids:
             rng = self.simulator.fork_rng(f"churn:{node_id}")
-            t = params.start_s + exponential(rng, 1.0 / params.mtbf_s)
-            while t < until:
-                self.crash_at(t, node_id, duration_s=params.downtime_s)
+            for crash_time, _restart_time in sample_churn_times(
+                rng, params.mtbf_s, params.downtime_s,
+                start_s=params.start_s, until_s=until,
+            ):
+                self.crash_at(crash_time, node_id,
+                              duration_s=params.downtime_s)
                 cycles += 1
-                t += params.downtime_s + exponential(rng, 1.0 / params.mtbf_s)
         return cycles
 
     # --------------------------------------------------------------- links

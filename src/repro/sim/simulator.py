@@ -11,6 +11,32 @@ from repro.common.rng import fork_rng, make_rng
 from repro.sim.events import Action, Event, EventQueue
 
 
+class PeriodicTask:
+    """Handle for a :meth:`Simulator.schedule_periodic` loop.
+
+    :meth:`cancel` stops the loop: the queued tick is cancelled (O(1)
+    lazy deletion) and no further ticks are scheduled.  In-loop monitors
+    use this to detach once they have seen what they were watching for.
+    """
+
+    __slots__ = ("_event", "cancelled")
+
+    def __init__(self) -> None:
+        self._event: Optional[Event] = None
+        self.cancelled = False
+
+    @property
+    def active(self) -> bool:
+        """True while another tick is queued (or currently firing)."""
+        return not self.cancelled and self._event is not None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+
 class Simulator:
     """Deterministic event loop with a simulated clock.
 
@@ -92,22 +118,30 @@ class Simulator:
         *,
         start_delay: Optional[float] = None,
         until: Optional[float] = None,
-    ) -> None:
-        """Fire ``action`` every ``interval`` seconds until ``until``."""
+    ) -> PeriodicTask:
+        """Fire ``action`` every ``interval`` seconds until ``until``.
+
+        Returns a :class:`PeriodicTask`; cancelling it stops the loop
+        (the action may cancel its own handle mid-tick to detach)."""
         if interval <= 0:
             raise ValueError("interval must be positive")
         first = interval if start_delay is None else start_delay
+        task = PeriodicTask()
 
         def tick() -> None:
+            task._event = None
             action()
             # Clamp the final reschedule: a tick that would land past
             # ``until`` is never scheduled, so the queue drains at the
             # bound instead of carrying a dead event beyond it.
-            if until is None or self._now + interval <= until:
-                self.schedule(interval, tick, label="periodic")
+            if not task.cancelled and (
+                until is None or self._now + interval <= until
+            ):
+                task._event = self.schedule(interval, tick, label="periodic")
 
         if until is None or self._now + first <= until:
-            self.schedule(first, tick, label="periodic")
+            task._event = self.schedule(first, tick, label="periodic")
+        return task
 
     # ------------------------------------------------------------------- run
 

@@ -50,10 +50,8 @@ def head_blocks(lattice: Lattice) -> Dict[Address, NanoBlock]:
     make history discardable.
     """
     heads: Dict[Address, NanoBlock] = {}
-    for account in list(lattice._chains):  # noqa: SLF001 - read-only introspection
-        chain = lattice.chain(account)
-        assert chain is not None
-        heads[account] = chain.head
+    for chain in lattice.chains():
+        heads[chain.account] = chain.head
     return heads
 
 
@@ -72,9 +70,7 @@ def prune_lattice(lattice: Lattice) -> DagPruneResult:
     for pending in list(lattice._pending.values()):  # noqa: SLF001
         keep.add(pending.source_hash)
 
-    for account in list(lattice._chains):  # noqa: SLF001
-        chain = lattice.chain(account)
-        assert chain is not None
+    for chain in lattice.chains():
         kept_blocks = [b for b in chain.blocks if b.block_hash in keep]
         for block in chain.blocks:
             if block.block_hash not in keep:

@@ -20,6 +20,7 @@ faults --trace-out``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import deque
 from dataclasses import dataclass, field
@@ -210,6 +211,34 @@ class Tracer:
         for reason, count in self.drop_reasons.items():
             flat[f"trace.dropped.{reason}"] = float(count)
         return flat
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of the cumulative trace counters.
+
+        Two runs of the same seeded scenario must produce the same
+        fingerprint — the replay oracle `repro.check` asserts.  Only the
+        monotone counters (global, per-node, per-link, drop reasons) are
+        hashed, so the digest is independent of the ring buffer's
+        capacity and of how many old records fell off it.
+        """
+        parts: List[str] = [
+            f"emitted={self.emitted}",
+            f"scheduled={self.scheduled}",
+            f"delivered={self.delivered}",
+            f"dropped={self.dropped}",
+            f"retransmits={self.retransmits}",
+            f"gave_up={self.gave_up}",
+            f"forks={self.forks}",
+        ]
+        for reason, count in sorted(self.drop_reasons.items()):
+            parts.append(f"drop:{reason}={count}")
+        for node_id, counters in sorted(self._per_node.items()):
+            for name, count in sorted(counters.items()):
+                parts.append(f"node:{node_id}:{name}={count}")
+        for (src, dst), counters in sorted(self._per_link.items()):
+            for name, count in sorted(counters.items()):
+                parts.append(f"link:{src}->{dst}:{name}={count}")
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
     def summary(self) -> str:
         reasons = ", ".join(

@@ -63,6 +63,32 @@ class PaymentWorkload:
         self._indices = list(range(accounts))
         self._rng = random.Random(seed)
 
+    @classmethod
+    def from_rng(
+        cls,
+        rng: random.Random,
+        accounts: int,
+        rate_tps: float,
+        zipf_alpha: float = 0.8,
+        min_amount: int = 1,
+        max_amount: int = 1_000,
+    ) -> "PaymentWorkload":
+        """Build a workload driven by an externally forked RNG stream.
+
+        The fuzzer (``repro.check``) forks one labelled stream per
+        component from a master seed; injecting it here means payment
+        draws stay reproducible without perturbing any other stream.
+        """
+        workload = cls(
+            accounts=accounts,
+            rate_tps=rate_tps,
+            zipf_alpha=zipf_alpha,
+            min_amount=min_amount,
+            max_amount=max_amount,
+        )
+        workload._rng = rng
+        return workload
+
     def _pick_pair(self) -> tuple:
         sender = weighted_choice(self._rng, self._indices, self._weights)
         recipient = sender

@@ -78,6 +78,30 @@ class TestDepthSolver:
         with pytest.raises(ValueError):
             confirmations_for_confidence(0.5, 0.001)
 
+    def test_near_half_share_needs_extreme_depth(self):
+        """Approaching share=0.5 the required depth blows up but stays
+        finite and monotone — the solver must not loop forever, return a
+        bogus small depth, or go non-monotone from float error."""
+        depths = [
+            confirmations_for_confidence(q, 0.001)
+            for q in (0.40, 0.45, 0.47)
+        ]
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0] * 2
+        assert depths[-1] > 500  # genuinely extreme this close to 1/2
+
+    def test_just_below_half_exhausts_search_limit(self):
+        """At share=0.49 the required depth exceeds the search limit; the
+        solver reports that rather than hanging or overflowing (the naive
+        lam**k/k! Poisson term raised OverflowError past depth ~140)."""
+        with pytest.raises(ValueError, match="no depth under"):
+            confirmations_for_confidence(0.49, 0.001)
+
+    def test_just_above_and_exactly_half_rejected(self):
+        for share in (0.5, 0.500001):
+            with pytest.raises(ValueError):
+                confirmations_for_confidence(share, 0.001)
+
     def test_risk_bounds_validated(self):
         with pytest.raises(ValueError):
             confirmations_for_confidence(0.1, 0.0)

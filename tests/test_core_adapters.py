@@ -81,6 +81,69 @@ class TestDagLedgerAdapter:
         assert dag_latency < bc_latency / 10
 
 
+class TestCheckCapabilities:
+    """The optional Ledger capabilities the fuzzer drives (repro.check)."""
+
+    @pytest.fixture()
+    def small_pair(self):
+        blockchain = BlockchainLedger(params=FAST_BITCOIN, node_count=3, seed=1)
+        blockchain.setup(accounts=3, initial_balance=1_000_000)
+        dag = DagLedger(node_count=4, representative_count=2, seed=1)
+        dag.setup(accounts=3, initial_balance=1_000_000)
+        return blockchain, dag
+
+    def test_deployment_view_exposes_machinery(self, small_pair):
+        for ledger in small_pair:
+            view = ledger.deployment()
+            assert view is not None
+            assert view.simulator is not None
+            assert view.network is not None
+            assert len(view.nodes) >= 3
+
+    def test_healthy_audit_passes(self, small_pair):
+        for ledger in small_pair:
+            ledger.advance(30.0)
+            report = ledger.audit()
+            assert report is not None
+            assert report.ok, report.render()
+
+    def test_state_digest_deterministic_and_state_sensitive(self, small_pair):
+        from repro.workloads.generators import PaymentEvent
+
+        for ledger in small_pair:
+            before = ledger.state_digest()
+            assert before and before == ledger.state_digest()
+            ledger.submit(PaymentEvent(
+                time_s=0.0, sender_index=0, recipient_index=1, amount=100,
+            ))
+            ledger.advance(60.0)
+            assert ledger.state_digest() != before
+
+    def test_supply_corruption_surfaces_in_audit(self, small_pair):
+        """Corrupting one replica's materialized state must trip the
+        supply invariant on the next audit — the fuzzer's seeded-violation
+        oracle."""
+        for ledger in small_pair:
+            assert ledger.inject_supply_corruption(777)
+            report = ledger.audit()
+            assert not report.ok
+            assert any(v.invariant == "supply" for v in report.violations)
+            assert "777" in report.render()
+
+    def test_double_spend_never_survives_settlement(self, small_pair):
+        from repro.workloads.generators import PaymentEvent
+
+        for ledger in small_pair:
+            ledger.advance(10.0)
+            entries = ledger.submit_double_spend(PaymentEvent(
+                time_s=0.0, sender_index=0, recipient_index=1, amount=333,
+            ))
+            assert len(entries) == 2
+            ledger.advance(120.0)
+            report = ledger.audit()
+            assert report.ok, f"{ledger.paradigm}: {report.render()}"
+
+
 class TestComparison:
     def test_report_renders_both_dimensions(self, events):
         report = compare_ledgers(

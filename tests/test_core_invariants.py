@@ -57,6 +57,49 @@ class TestBlockchainAudit:
         report = audit_blockchain([], expected_supply_base=0)
         assert not report.ok
 
+    def test_single_node_deployment_audits_clean(self):
+        """A one-replica network trivially agrees with itself; supply and
+        double-spend checks still run."""
+        keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(2)]
+        genesis = build_genesis_with_allocations({k.address: 10**6 for k in keys})
+        sim = Simulator(seed=9)
+        net = Network(sim)
+        nodes = [
+            n for n in complete_topology(
+                net, 1, lambda nid: BlockchainNode(nid, PARAMS, genesis),
+                FAST_LINK,
+            )
+            if isinstance(n, BlockchainNode)
+        ]
+        nodes[0].start_pow_mining(1.0, keys[0].address)
+        sim.run(until=100)
+        report = audit_blockchain(nodes, expected_supply_base=2 * 10**6)
+        assert report.ok, report.render()
+
+    def test_divergent_chains_walk_every_replica(self, mined_network):
+        """When agreement fails, the double-spend walk must cover every
+        replica's own main chain, not just nodes[0]'s."""
+        nodes, supply = mined_network
+        keys = [KeyPair.from_seed(bytes([i + 1]) * 32) for i in range(2)]
+        genesis = build_genesis_with_allocations({k.address: 10**6 for k in keys})
+        # A replica on a private fork: agreement fails, so its chain must
+        # be audited independently of the majority's.
+        sim2 = Simulator(seed=5)
+        net2 = Network(sim2)
+        forked = [
+            n for n in complete_topology(
+                net2, 1, lambda nid: BlockchainNode("fork0", PARAMS, genesis),
+                FAST_LINK,
+            )
+            if isinstance(n, BlockchainNode)
+        ]
+        forked[0].start_pow_mining(
+            1.0, KeyPair.from_seed(bytes([99]) * 32).address
+        )
+        sim2.run(until=400)
+        report = audit_blockchain(nodes + forked, expected_supply_base=supply)
+        assert any(v.invariant == "agreement" for v in report.violations)
+
     def test_lagging_replica_detected(self, mined_network):
         """A replica that stopped hearing blocks long ago fails the
         liveness check."""
@@ -90,6 +133,17 @@ class TestLatticeAudit:
         report = audit_lattice(tb.nodes, expected_supply=123)
         assert not report.ok
         assert all(v.invariant == "supply" for v in report.violations)
+
+    def test_empty_deployment_flagged(self):
+        report = audit_lattice([], expected_supply=10**15)
+        assert not report.ok
+        assert any(v.invariant == "setup" for v in report.violations)
+
+    def test_single_node_deployment_audits_clean(self):
+        tb = build_nano_testbed(node_count=1, representative_count=1, seed=6)
+        fund_accounts(tb, 2, 10**6, settle_time=2.0)
+        report = audit_lattice(tb.nodes, expected_supply=10**15)
+        assert report.ok, report.render()
 
     def test_divergent_head_detected(self):
         tb = build_nano_testbed(

@@ -244,6 +244,58 @@ class TestRollback:
         assert len(removed) == 2
         assert lattice.balance(alice.address) == 1_000_000
 
+    def test_rollback_settled_send_cascades_to_receive(self, funded_lattice):
+        """Rolling back a send whose receive already settled must also
+        remove the receive — otherwise the sender's balance is restored
+        while the recipient keeps the credit and supply inflates by the
+        amount (found by `repro fuzz` on the conflict profile)."""
+        lattice, gk, alice, bob = funded_lattice
+        supply = lattice.total_supply()
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 334,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        receive = make_receive(
+            bob, lattice.chain(bob.address).head, send.block_hash, 334,
+            work_difficulty=1,
+        )
+        lattice.process(receive)
+        removed = lattice.rollback(send.block_hash)
+        assert {b.block_hash for b in removed} == {
+            send.block_hash, receive.block_hash
+        }
+        assert lattice.balance(alice.address) == 1_000_000
+        assert lattice.balance(bob.address) == 1_000_000
+        assert lattice.pending_for(bob.address) == []
+        assert not lattice.is_settled(send.block_hash)
+        assert lattice.total_supply() == supply
+
+    def test_rollback_cascade_removes_receive_successors(self, funded_lattice):
+        """The cascade truncates the destination chain from the settling
+        receive onward, re-parking any value its successors had sent."""
+        lattice, gk, alice, bob = funded_lattice
+        send = make_send(
+            alice, lattice.chain(alice.address).head, bob.address, 50,
+            work_difficulty=1,
+        )
+        lattice.process(send)
+        receive = make_receive(
+            bob, lattice.chain(bob.address).head, send.block_hash, 50,
+            work_difficulty=1,
+        )
+        lattice.process(receive)
+        onward = make_send(
+            bob, lattice.chain(bob.address).head, gk.address, 20,
+            work_difficulty=1,
+        )
+        lattice.process(onward)
+        removed = lattice.rollback(send.block_hash)
+        assert len(removed) == 3
+        assert lattice.balance(bob.address) == 1_000_000
+        assert lattice.pending_for(gk.address) == []
+        assert lattice.total_supply() == 2_000_000 + lattice.balance(gk.address)
+
     def test_cemented_block_cannot_roll_back(self, funded_lattice):
         lattice, gk, alice, bob = funded_lattice
         send = make_send(

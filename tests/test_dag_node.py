@@ -198,3 +198,59 @@ class TestSpamThrottle:
         )
         with pytest.raises(ValidationError):
             tb.nodes[0]._ingest(cheap)
+
+
+class TestOfflineRepublish:
+    def test_block_created_offline_republishes_on_reconnect(self, funded):
+        """A send issued while the wallet node is offline applies locally
+        but broadcast() is a silent no-op — without a republish on
+        reconnect the rest of the network can never learn the block and
+        the account's heads diverge permanently (found by `repro fuzz`,
+        adversarial profile)."""
+        tb, users = funded
+        u0, u1 = users[0], users[1]
+        wallet = tb.node_for(u0.address)
+        wallet.set_online(False)
+        wallet.send_payment(u0.address, u1.address, 2_500)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        others = [n for n in tb.nodes if n is not wallet]
+        assert {n.balance(u0.address) for n in others} == {100_000}
+        wallet.set_online(True)
+        tb.simulator.run(until=tb.simulator.now + 10)
+        assert {n.balance(u0.address) for n in tb.nodes} == {97_500}
+
+
+class TestElectionAdoptionRetriesUnchecked:
+    def test_settle_election_drains_parked_dependents(self, funded):
+        """A receive gossiped while this replica still held the losing
+        fork branch parks in the unchecked buffer keyed on the winning
+        send.  Settling the election must route the winner through the
+        normal intake path so the parked receive is retried — adopting
+        via lattice.process directly left it parked forever (found by
+        `repro fuzz`, conflict profile)."""
+        from repro.dag.blocks import make_receive
+
+        tb, users = funded
+        u0, u1, u2 = users[0], users[1], users[2]
+        wallet = tb.node_for(u0.address)
+        u0_key = wallet.local_accounts[u0.address]
+        u1_key = tb.node_for(u1.address).local_accounts[u1.address]
+        head = wallet.lattice.chain(u0.address).head
+        winner = make_send(u0_key, head, u1.address, 500, work_difficulty=1)
+        loser = make_send(u0_key, head, u2.address, 500, work_difficulty=1)
+
+        replica = next(n for n in tb.nodes if u0.address not in n.local_accounts)
+        replica.set_online(False)  # isolate: drive its ledger directly
+        replica._ingest(loser)
+        receive = make_receive(
+            u1_key, replica.lattice.chain(u1.address).head,
+            winner.block_hash, 500, work_difficulty=1,
+        )
+        replica._ingest(receive)  # source missing -> parked
+        assert receive.block_hash not in replica.lattice
+
+        replica._conflict_buffer[winner.block_hash] = winner
+        replica._settle_election(u0.address, head.block_hash, winner.block_hash)
+        assert winner.block_hash in replica.lattice
+        assert receive.block_hash in replica.lattice
+        assert replica.balance(u1.address) == 100_500

@@ -234,6 +234,39 @@ class TestPeriodicClamp:
         assert ticks == [1.0, 3.0, 5.0]
 
 
+class TestPeriodicTask:
+    def test_cancel_stops_future_ticks(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.schedule_periodic(2.0, lambda: ticks.append(sim.now))
+        sim.run(until=5.0)
+        assert task.active
+        task.cancel()
+        assert not task.active and task.cancelled
+        sim.run(until=20.0)
+        assert ticks == [2.0, 4.0]
+
+    def test_action_may_cancel_its_own_task_mid_tick(self):
+        """The in-loop invariant monitor detaches itself from inside the
+        periodic action on first violation — that must stop the loop."""
+        sim = Simulator()
+        ticks = []
+        task = sim.schedule_periodic(
+            2.0, lambda: (ticks.append(sim.now),
+                          task.cancel() if len(ticks) >= 2 else None),
+        )
+        sim.run(until=30.0)
+        assert ticks == [2.0, 4.0]
+        assert not task.active
+
+    def test_task_past_until_is_inactive(self):
+        sim = Simulator()
+        task = sim.schedule_periodic(10.0, lambda: None, until=5.0)
+        assert not task.active  # first tick would land past the bound
+        sim.run()
+        assert sim.queue_stats()["pushed"] == 0
+
+
 class TestHaltAndStats:
     def test_halt_stops_run_mid_queue(self):
         sim = Simulator()
