@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Layering lint for the protocol stack (CI-enforced).
+
+The dependency contract that keeps ``repro.protocol`` paradigm-agnostic:
+
+* ``repro.protocol`` must not import any paradigm package
+  (``repro.blockchain``, ``repro.dag``) or anything built on top of the
+  stack (``repro.core``, ``repro.check``, ``repro.faults``);
+* the two paradigm packages must not import each other —
+  ``repro.blockchain`` never imports ``repro.dag`` and vice versa;
+* ``repro.net`` (the fabric below the stack) must not import
+  ``repro.protocol`` or any paradigm package.
+
+Violations are reported with file:line so the CI annotation is
+clickable.  Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: package -> import prefixes it must never reach (directly)
+FORBIDDEN = {
+    "repro/protocol": (
+        "repro.blockchain",
+        "repro.dag",
+        "repro.core",
+        "repro.check",
+        "repro.faults",
+    ),
+    "repro/blockchain": ("repro.dag",),
+    "repro/dag": ("repro.blockchain",),
+    "repro/net": ("repro.protocol", "repro.blockchain", "repro.dag"),
+}
+
+
+def imported_names(tree: ast.AST) -> list:
+    """(lineno, module) for every import in ``tree``."""
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend((node.lineno, alias.name) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            found.append((node.lineno, node.module))
+    return found
+
+
+def check() -> int:
+    violations = []
+    for package, banned in FORBIDDEN.items():
+        for path in sorted((SRC / package).rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for lineno, module in imported_names(tree):
+                for prefix in banned:
+                    if module == prefix or module.startswith(prefix + "."):
+                        violations.append(
+                            f"{path.relative_to(SRC.parent)}:{lineno}: "
+                            f"{package.replace('/', '.')} must not import {module}"
+                        )
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"\n{len(violations)} layering violation(s)")
+        return 1
+    print("layering ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check())

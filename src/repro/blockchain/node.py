@@ -17,13 +17,13 @@ Block production comes in two flavours matching Section III:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import ReproError, ValidationError
 from repro.common.types import Address, Hash, TxId
 from repro.crypto.pow import MAX_TARGET
 from repro.net.message import Message
-from repro.net.node import NetworkNode
+from repro.protocol import ConsensusEngine, ProtocolNode
 from repro.blockchain.block import AnyTransaction, Block, assemble_block
 from repro.blockchain.chain import ChainStore, ReorgResult
 from repro.blockchain.mempool import Mempool
@@ -60,7 +60,38 @@ class NodeStats:
     validation_bytes: int = 0  # bytes of block bodies validated (load metric)
 
 
-class BlockchainNode(NetworkNode):
+class ChainConsensus(ConsensusEngine):
+    """Heaviest-chain fork choice over a block tree (Section III-A).
+
+    A block whose parent has not arrived parks in the intake layer under
+    the parent id (previously the :class:`ChainStore` orphan pool did
+    this below the node).  Duplicate detection is left to
+    ``ChainStore.add_block`` so repeated gossip stays a silent
+    not-accepted, exactly as before the stack.
+    """
+
+    paradigm = "blockchain"
+
+    def __init__(self, node: "BlockchainNode") -> None:
+        self._node = node
+
+    def artifact_key(self, block: Block) -> Hash:
+        return block.block_id
+
+    def missing_dependency(self, block: Block) -> Optional[Hash]:
+        chain = self._node.chain
+        if block.block_id in chain:
+            return None  # duplicate: integrate reports not-accepted
+        parent = block.parent_id
+        if not parent.is_zero() and parent not in chain:
+            return parent
+        return None
+
+    def integrate(self, block: Block) -> bool:
+        return self._node._integrate_block(block)
+
+
+class BlockchainNode(ProtocolNode):
     """A validating full node for either reference implementation."""
 
     def __init__(
@@ -75,9 +106,12 @@ class BlockchainNode(NetworkNode):
         self.chain = ChainStore(genesis)
         self.mempool = Mempool(fee_oracle=self._fee_of)
         self.stats = NodeStats()
+        self.consensus = ChainConsensus(self)
         self._tx_blocks: Dict[TxId, Hash] = {}  # txid -> containing main-chain block
         self._miner: Optional[SimulatedMiner] = None
         self._mining_epoch = 0
+        self._entry_block_id: Optional[Hash] = None
+        self._entry_result: Optional[ReorgResult] = None
 
         if params.uses_gas:
             self.state: Optional[AccountState] = AccountState()
@@ -123,11 +157,16 @@ class BlockchainNode(NetworkNode):
         return self.state.balance(address)
 
     def submit_transaction(self, tx: AnyTransaction) -> bool:
-        """Inject a locally created transaction and gossip it."""
+        """Inject a locally created transaction and gossip it.
+
+        Goes out through the transport layer: a wallet transaction
+        created while its node is offline is republished on reconnect.
+        """
         if not self._admit_transaction(tx):
             return False
-        self.broadcast(
-            Message(kind=MSG_TX, payload=tx, size_bytes=tx.size_bytes, dedup_key=tx.txid)
+        self.transport.publish(
+            tx,
+            Message(kind=MSG_TX, payload=tx, size_bytes=tx.size_bytes, dedup_key=tx.txid),
         )
         return True
 
@@ -166,7 +205,25 @@ class BlockchainNode(NetworkNode):
     # ---------------------------------------------------------------- blocks
 
     def receive_block(self, block: Block) -> ReorgResult:
-        """Validate and integrate one block, updating state and mempool."""
+        """Validate and integrate one block, updating state and mempool.
+
+        Runs the shared stack pipeline (:meth:`ProtocolNode.ingest`):
+        a block whose parent is unknown parks in the intake layer and
+        reports ``block_accepted=False``; integrating a parent retries
+        its parked children.  The returned :class:`ReorgResult` covers
+        ``block`` itself — cascaded children integrate with their own
+        results.
+        """
+        prev_id, prev_result = self._entry_block_id, self._entry_result
+        self._entry_block_id, self._entry_result = block.block_id, None
+        try:
+            self.ingest(block)
+            result = self._entry_result
+        finally:
+            self._entry_block_id, self._entry_result = prev_id, prev_result
+        return result if result is not None else ReorgResult(block_accepted=False)
+
+    def _integrate_block(self, block: Block) -> bool:
         try:
             validate_block_structure(block, self.params)
         except ValidationError:
@@ -174,8 +231,10 @@ class BlockchainNode(NetworkNode):
             raise
         self.stats.validation_bytes += block.body_size_bytes
         result = self.chain.add_block(block)
+        if block.block_id == self._entry_block_id:
+            self._entry_result = result
         if not result.block_accepted:
-            return result
+            return False
         self.stats.blocks_accepted += 1
         if result.is_reorg:
             self.stats.reorgs += 1
@@ -184,7 +243,7 @@ class BlockchainNode(NetworkNode):
             self._update_state(result)
             self._mining_epoch += 1
             self._reschedule_mining()
-        return result
+        return True
 
     def _update_state(self, result: ReorgResult) -> None:
         """Roll back orphaned blocks, apply adopted ones, fix the mempool."""
@@ -422,14 +481,24 @@ class BlockchainNode(NetworkNode):
             receipts_root=block.header.receipts_root,
         )
         self.receive_block(block)  # bumps epoch and reschedules
-        self.broadcast(
+        self.transport.publish(
+            block,
             Message(
                 kind=MSG_BLOCK,
                 payload=block,
                 size_bytes=block.size_bytes,
                 dedup_key=block.block_id,
-            )
+            ),
         )
+
+    # ------------------------------------------------------------- transport
+
+    def retains_artifact(self, artifact: Any) -> bool:
+        """Offline-queued blocks republish only while still stored;
+        transactions only until (our view of) the chain includes them."""
+        if isinstance(artifact, Block):
+            return artifact.block_id in self.chain
+        return artifact.txid not in self._tx_blocks
 
 
 # --------------------------------------------------------------------------
@@ -474,13 +543,14 @@ class PosSlotDriver:
                 timestamp=simulator.now, proposer=proposer
             )
             node.receive_block(block)
-            node.broadcast(
+            node.transport.publish(
+                block,
                 Message(
                     kind=MSG_BLOCK,
                     payload=block,
                     size_bytes=block.size_bytes,
                     dedup_key=block.block_id,
-                )
+                ),
             )
 
         simulator.schedule_periodic(self.slot_interval_s, slot, until=until)

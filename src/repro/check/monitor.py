@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional
 
 from repro.core.invariants import AuditReport, Violation
+from repro.protocol import protocol_nodes
 from repro.sim.simulator import PeriodicTask, Simulator
 from repro.trace import Tracer
 
@@ -24,6 +25,22 @@ from repro.trace import Tracer
 #: windows) and only have to reconverge by quiescence.  In-loop ticks
 #: ignore these; the final quiescent check enforces them.
 EVENTUAL_INVARIANTS: FrozenSet[str] = frozenset({"agreement", "liveness"})
+
+
+def intake_backlog(nodes: Iterable[Any]) -> Dict[str, int]:
+    """Artifacts still parked in each node's intake layer.
+
+    Keys on the shared :mod:`repro.protocol` interfaces, so the same
+    probe covers every paradigm.  A nonzero backlog *after quiescence*
+    means some dependency never arrived anywhere — the stuck-entry
+    signal the parity matrix and the fuzzer report alongside invariant
+    violations (mid-run it is ordinary in-flight disagreement).
+    """
+    return {
+        node.node_id: len(node.intake)
+        for node in protocol_nodes(nodes)
+        if len(node.intake)
+    }
 
 
 @dataclass

@@ -33,7 +33,7 @@ from repro.check.generator import (
     Schedule,
     generate_schedule,
 )
-from repro.check.monitor import InvariantMonitor, ViolationRecord
+from repro.check.monitor import InvariantMonitor, ViolationRecord, intake_backlog
 from repro.core.adapters import BlockchainLedger, DagLedger
 from repro.core.ledger import Ledger
 from repro.dag.params import NanoParams
@@ -86,6 +86,10 @@ class FuzzRunResult:
     #: account funding, advances the clock first)
     started_at_s: float
     duration_s: float
+    #: node -> artifacts still parked in its intake layer at quiescence
+    #: (recorded, not fatal: a run can end with a dependency that never
+    #: arrived without violating any safety invariant)
+    intake_backlog: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -102,6 +106,8 @@ class FuzzRunResult:
             "audits_run": self.audits_run,
             "duration_s": self.duration_s,
         }
+        if self.intake_backlog:
+            record["intake_backlog"] = dict(self.intake_backlog)
         if self.violation is not None:
             record["violation"] = self.violation.to_dict()
         return record
@@ -203,6 +209,9 @@ def run_schedule(
     monitor.detach()
     # Quiescent final check: every invariant, including eventual ones.
     monitor.check_now(strict=True)
+    backlog: Dict[str, int] = {}
+    if deployment is not None:
+        backlog = intake_backlog(deployment.nodes)
 
     digest = hashlib.sha256()
     for line in op_log:
@@ -223,6 +232,7 @@ def run_schedule(
         audits_run=monitor.audits_run,
         started_at_s=start,
         duration_s=ledger.now() - start,
+        intake_backlog=backlog,
     )
 
 

@@ -20,6 +20,7 @@ from repro.net.link import LinkParams
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.net.topology import complete_topology
+from repro.protocol import aggregate_layer_counters, protocol_nodes
 from repro.sim.simulator import Simulator
 from repro.blockchain.block import build_genesis_with_allocations
 from repro.blockchain.node import BlockchainNode
@@ -95,7 +96,9 @@ class BlockchainLedger(Ledger):
             factory = lambda nid: BlockchainNode(nid, self.params, genesis)  # noqa: E731
 
         nodes = complete_topology(self.network, self.node_count, factory, self.link_params)
-        self.nodes = [n for n in nodes if isinstance(n, BlockchainNode)]
+        # Filter on the stack interface, not the concrete class: the
+        # factory is the only thing that knows which paradigm runs here.
+        self.nodes = protocol_nodes(nodes)
         for node in self.nodes:
             miner = KeyPair.generate(self._rng)
             node.start_pow_mining(1.0 / self.node_count, miner.address)
@@ -177,6 +180,7 @@ class BlockchainLedger(Ledger):
         self._stats.extra["orphaned_blocks"] = float(
             sum(n.stats.orphaned_blocks for n in self.nodes)
         )
+        self._stats.extra.update(aggregate_layer_counters(self.nodes))
         return self._stats
 
     def _confirmation_latencies(self) -> List[float]:
@@ -368,6 +372,7 @@ class DagLedger(Ledger):
         self._stats.confirmation_latencies_s = latencies
         self._stats.extra["dag_blocks"] = float(observer.lattice.block_count())
         self._stats.extra["elections"] = float(observer.elections.elections_started)
+        self._stats.extra.update(aggregate_layer_counters(self.testbed.nodes))
         return self._stats
 
     # ------------------------------------------- in-loop check capabilities

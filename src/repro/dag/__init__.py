@@ -8,6 +8,8 @@ not leader election.
 """
 
 from repro.dag.blocks import BlockType, NanoBlock, make_change, make_open, make_receive, make_send
+from repro.dag.byteball import ByteballDag, Unit, make_unit
+from repro.dag.byteball_node import ByteballNode
 from repro.dag.lattice import Lattice, PendingInfo
 from repro.dag.node import NanoNode
 from repro.dag.params import NANO, NanoParams
@@ -18,6 +20,8 @@ from repro.dag.voting import Election, ElectionManager, Vote
 
 __all__ = [
     "BlockType",
+    "ByteballDag",
+    "ByteballNode",
     "Election",
     "ElectionManager",
     "Lattice",
@@ -30,8 +34,10 @@ __all__ = [
     "Tangle",
     "TangleNode",
     "TangleTransaction",
+    "Unit",
     "Vote",
     "issue_transaction",
+    "make_unit",
     "make_change",
     "make_open",
     "make_receive",

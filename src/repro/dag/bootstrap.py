@@ -17,6 +17,7 @@ from repro.crypto.keys import KeyPair
 from repro.net.link import LinkParams
 from repro.net.network import Network
 from repro.net.topology import complete_topology
+from repro.protocol import protocol_nodes
 from repro.sim.simulator import Simulator
 from repro.trace import Tracer
 from repro.dag.blocks import NanoBlock
@@ -89,7 +90,8 @@ def build_nano_testbed(
 
     build = topology or complete_topology
     nodes = build(network, node_count, factory, link_params or LinkParams())
-    nano_nodes = [n for n in nodes if isinstance(n, NanoNode)]
+    # Filter on the stack interface; the factory fixes the node type.
+    nano_nodes = protocol_nodes(nodes)
 
     genesis_key = KeyPair.generate(rng)
     first_rep = rep_keys[0].address if rep_keys else genesis_key.address

@@ -16,7 +16,7 @@ from repro.common.errors import ForkDetectedError, ReproError, ValidationError
 from repro.common.types import Address, Hash
 from repro.crypto.keys import KeyPair
 from repro.net.message import Message
-from repro.net.node import NetworkNode
+from repro.protocol import ConsensusEngine, ProtocolNode
 from repro.dag.blocks import (
     BlockType,
     NanoBlock,
@@ -58,7 +58,54 @@ class NanoNodeStats:
     receives_generated: int = 0
 
 
-class NanoNode(NetworkNode):
+class NanoConsensus(ConsensusEngine):
+    """Open Representative Voting over a block-lattice (Section III-B).
+
+    The intake contract: a block missing its predecessor or source send
+    parks under that hash (gossip gives no ordering guarantee, so a
+    receive can overtake its send).  Duplicate detection is left to
+    ``Lattice.process`` so rejected-duplicate accounting matches the
+    pre-stack implementation exactly.
+    """
+
+    paradigm = "dag-lattice"
+
+    def __init__(self, node: "NanoNode") -> None:
+        self._node = node
+
+    def artifact_key(self, block: NanoBlock) -> Hash:
+        return block.block_hash
+
+    def missing_dependency(self, block: NanoBlock) -> Optional[Hash]:
+        lattice = self._node.lattice
+        if not block.previous.is_zero() and block.previous not in lattice:
+            return block.previous
+        if block.block_type in (BlockType.OPEN, BlockType.RECEIVE):
+            source = block.source
+            if not source.is_zero() and source not in lattice:
+                return source
+        return None
+
+    def integrate(self, block: NanoBlock) -> bool:
+        node = self._node
+        try:
+            node.lattice.process(block)
+        except ForkDetectedError:
+            node.stats.forks_seen += 1
+            node._handle_fork(block)
+            return False
+        except ValidationError:
+            node.stats.blocks_rejected += 1
+            raise
+        node.stats.blocks_processed += 1
+        return True
+
+    def on_applied(self, block: NanoBlock) -> None:
+        self._node._maybe_auto_receive(block)
+        self._node._maybe_vote_on_sight(block)
+
+
+class NanoNode(ProtocolNode):
     """Full DAG node with optional representative role."""
 
     def __init__(
@@ -76,6 +123,7 @@ class NanoNode(NetworkNode):
         self.representative_key = representative_key
         self.auto_receive = auto_receive
         self.stats = NanoNodeStats()
+        self.consensus = NanoConsensus(self)
         #: Accounts whose keys this node holds (it creates their blocks).
         self.local_accounts: Dict[Address, KeyPair] = {}
         self._vote_sequence = 0
@@ -85,17 +133,9 @@ class NanoNode(NetworkNode):
         #: consumer grade hardware").  None = infinitely fast hardware.
         self.processing_tps = processing_tps
         self._busy_until = 0.0
-        #: Blocks whose dependency (predecessor or source send) has not
-        #: arrived yet, keyed by the missing hash.  Gossip gives no
-        #: ordering guarantee, so a receive can overtake its send.
-        self._unchecked: Dict[Hash, List[NanoBlock]] = {}
         #: Simulated time at which each block reached quorum here —
         #: feeds the confirmation-latency comparison (Section IV).
         self.confirmation_times: Dict[Hash, float] = {}
-        #: Locally-created blocks whose broadcast was swallowed because
-        #: the node was offline — republished on reconnect, like a real
-        #: wallet flushing its unconfirmed sends.
-        self._offline_publishes: List[NanoBlock] = []
 
     # ------------------------------------------------------------- identity
 
@@ -201,15 +241,12 @@ class NanoNode(NetworkNode):
         return keypair
 
     def _apply_and_broadcast(self, block: NanoBlock) -> None:
+        # The transport layer queues the message while offline and
+        # republishes on reconnect (a wallet flushing its unconfirmed
+        # sends) — without that, the rest of the network can never learn
+        # the block and per-account heads diverge forever.
         self._ingest(block)
-        if not self.online:
-            # broadcast() is a silent no-op while offline, but the block
-            # was just applied to the local chain — without a republish
-            # on reconnect the rest of the network can never learn it
-            # and per-account heads diverge forever.
-            self._offline_publishes.append(block)
-            return
-        self.broadcast(self._block_message(block))
+        self.transport.publish(block, self._block_message(block))
 
     def _block_message(self, block: NanoBlock) -> Message:
         return Message(
@@ -219,13 +256,8 @@ class NanoNode(NetworkNode):
             dedup_key=block.block_hash,
         )
 
-    def set_online(self, online: bool) -> None:
-        super().set_online(online)
-        if online and self._offline_publishes:
-            backlog, self._offline_publishes = self._offline_publishes, []
-            for block in backlog:
-                if block.block_hash in self.lattice:  # not rolled back since
-                    self.broadcast(self._block_message(block))
+    def retains_artifact(self, block: NanoBlock) -> bool:
+        return block.block_hash in self.lattice  # not rolled back since
 
     # --------------------------------------------------------------- gossip
 
@@ -252,45 +284,13 @@ class NanoNode(NetworkNode):
         )
 
     def _ingest_quietly(self, block: NanoBlock) -> None:
-        try:
-            self._ingest(block)
-        except ReproError:
-            pass  # invalid or conflicting blocks are not re-raised to peers
+        self.ingest_quietly(block)
 
     def _ingest(self, block: NanoBlock) -> None:
-        missing = self._missing_dependency(block)
-        if missing is not None:
-            # Park until the dependency arrives — the "not properly
-            # broadcasted" case of Section IV-B, resolved by retry.
-            self._unchecked.setdefault(missing, []).append(block)
-            return
-        try:
-            self.lattice.process(block)
-        except ForkDetectedError:
-            self.stats.forks_seen += 1
-            self._handle_fork(block)
-            return
-        except ValidationError:
-            self.stats.blocks_rejected += 1
-            raise
-        self.stats.blocks_processed += 1
-        self._maybe_auto_receive(block)
-        self._maybe_vote_on_sight(block)
-        self._retry_unchecked(block.block_hash)
-
-    def _missing_dependency(self, block: NanoBlock) -> Optional[Hash]:
-        """The hash this block cannot be validated without, if absent."""
-        if not block.previous.is_zero() and block.previous not in self.lattice:
-            return block.previous
-        if block.block_type in (BlockType.OPEN, BlockType.RECEIVE):
-            source = block.source
-            if not source.is_zero() and source not in self.lattice:
-                return source
-        return None
-
-    def _retry_unchecked(self, arrived: Hash) -> None:
-        for parked in self._unchecked.pop(arrived, []):
-            self._ingest_quietly(parked)
+        # The shared stack pipeline: duplicate check, dependency parking
+        # ("not properly broadcasted", Section IV-B), integration through
+        # NanoConsensus, and dependency-arrival retry of parked blocks.
+        self.ingest(block)
 
     # ------------------------------------------------------------- bootstrap
 

@@ -1,10 +1,10 @@
 """A networked tangle participant.
 
 Wraps :class:`repro.dag.tangle.Tangle` in a
-:class:`~repro.net.node.NetworkNode`: transactions gossip through the
-overlay, out-of-order arrivals park in an unchecked buffer until their
-approved parents show up, and issuance picks tips from the node's *local*
-view — so, as in Nano, "users are obligated to order their own
+:class:`~repro.protocol.node.ProtocolNode`: transactions gossip through
+the transport layer, out-of-order arrivals park in the intake layer until
+their approved parents show up, and issuance picks tips from the node's
+*local* view — so, as in Nano, "users are obligated to order their own
 transactions" and there is no leader and no protocol throughput cap.
 """
 
@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.common.errors import ReproError
 from repro.common.types import Hash
 from repro.crypto.keys import KeyPair
 from repro.net.message import Message
-from repro.net.node import NetworkNode
+from repro.protocol import DEFAULT_INTAKE_CAPACITY, ConsensusEngine, ProtocolNode
 from repro.dag.tangle import Tangle, TangleTransaction, issue_transaction
 
 MSG_TANGLE_TX = "tangle_tx"
@@ -31,7 +31,44 @@ class TangleNodeStats:
     parked: int = 0
 
 
-class TangleNode(NetworkNode):
+class TangleConsensus(ConsensusEngine):
+    """Cumulative-weight tip selection over a tangle (Section III-C).
+
+    A transaction approves two parents; one missing parent parks it in
+    the intake layer.  Known transactions short-circuit before any parent
+    check — re-gossip of an attached transaction is a no-op.
+    """
+
+    paradigm = "dag-tangle"
+
+    def __init__(self, node: "TangleNode") -> None:
+        self._node = node
+
+    def artifact_key(self, tx: TangleTransaction) -> Hash:
+        return tx.tx_hash
+
+    def is_known(self, key: Hash) -> bool:
+        return key in self._node.tangle
+
+    def missing_dependency(self, tx: TangleTransaction) -> Optional[Hash]:
+        tangle = self._node.tangle
+        for parent in (tx.trunk, tx.branch):
+            if parent not in tangle:
+                return parent
+        return None
+
+    def integrate(self, tx: TangleTransaction) -> bool:
+        try:
+            self._node.tangle.attach(tx)
+        except ReproError:
+            return False
+        return True
+
+    def on_applied(self, tx: TangleTransaction) -> None:
+        self._node.stats.processed += 1
+
+
+class TangleNode(ProtocolNode):
     """Full tangle node: replica + gossip + local tip selection."""
 
     def __init__(
@@ -40,13 +77,14 @@ class TangleNode(NetworkNode):
         work_difficulty: float = 1.0,
         mcmc_alpha: float = 0.05,
         seed: int = 0,
+        intake_capacity: Optional[int] = DEFAULT_INTAKE_CAPACITY,
     ) -> None:
-        super().__init__(node_id)
+        super().__init__(node_id, intake_capacity=intake_capacity)
         self.tangle = Tangle(work_difficulty=work_difficulty)
         self.mcmc_alpha = mcmc_alpha
         self.stats = TangleNodeStats()
+        self.consensus = TangleConsensus(self)
         self._rng = random.Random(seed)
-        self._unchecked: Dict[Hash, List[TangleTransaction]] = {}
 
     # --------------------------------------------------------------- genesis
 
@@ -79,13 +117,14 @@ class TangleNode(NetworkNode):
         )
         self.tangle.attach(tx)
         self.stats.issued += 1
-        self.broadcast(
+        self.transport.publish(
+            tx,
             Message(
                 kind=MSG_TANGLE_TX,
                 payload=tx,
                 size_bytes=tx.size_bytes,
                 dedup_key=tx.tx_hash,
-            )
+            ),
         )
         return tx
 
@@ -96,23 +135,10 @@ class TangleNode(NetworkNode):
             self._ingest(message.payload)
 
     def _ingest(self, tx: TangleTransaction) -> None:
-        if tx.tx_hash in self.tangle:
-            return
-        missing = self._missing_parent(tx)
-        if missing is not None:
-            self._unchecked.setdefault(missing, []).append(tx)
-            self.stats.parked += 1
-            return
-        try:
-            self.tangle.attach(tx)
-        except ReproError:
-            return
-        self.stats.processed += 1
-        for parked in self._unchecked.pop(tx.tx_hash, []):
-            self._ingest(parked)
+        self.ingest(tx)
 
-    def _missing_parent(self, tx: TangleTransaction) -> Optional[Hash]:
-        for parent in (tx.trunk, tx.branch):
-            if parent not in self.tangle:
-                return parent
-        return None
+    def on_parked(self, tx: TangleTransaction, missing: Hash) -> None:
+        self.stats.parked += 1
+
+    def retains_artifact(self, tx: TangleTransaction) -> bool:
+        return tx.tx_hash in self.tangle

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.common.rng import exponential
 from repro.net.link import LinkParams
 from repro.net.network import Network
+from repro.protocol import aggregate_layer_counters
 from repro.trace import CRASH, DEGRADE, HEAL, PARTITION, RESTART, RESTORE
 
 
@@ -222,3 +223,11 @@ class FaultInjector:
             "partitions": len([e for e in self.tracer.events(PARTITION)]),
             "heals": len([e for e in self.tracer.events(HEAL)]),
         }
+
+    def protocol_counters(self) -> Dict[str, float]:
+        """Network-wide per-layer counters (``transport.*`` / ``intake.*``)
+        summed over every stack node — how much parking, retrying and
+        republishing the injected faults actually caused.  Keys on the
+        shared :mod:`repro.protocol` interfaces, so any paradigm's nodes
+        are covered without this module naming them."""
+        return aggregate_layer_counters(self.network.nodes())

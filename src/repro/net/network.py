@@ -192,10 +192,14 @@ class Network:
 
     def heal(self) -> None:
         """Reconnect all partitions and fast-forward pending/parked
-        retransmissions so gossip recovers promptly."""
+        retransmissions so gossip recovers promptly.  Nodes are then
+        notified (:meth:`NetworkNode.on_partition_heal`) so protocol
+        stacks can revive their own parked intake artifacts."""
         self._partitions = []
         self.tracer.emit(self.simulator.now, "heal")
         self.kick_retries()
+        for node in self._nodes.values():
+            node.on_partition_heal()
 
     def _crosses_partition(self, src: str, dst: str) -> bool:
         for group in self._partitions:

@@ -43,6 +43,11 @@ class NetworkNode:
         if online and not was_online and self.network is not None:
             self.network.kick_retries(dst=self.node_id)
 
+    def on_partition_heal(self) -> None:
+        """Called by the network after a partition heals.  Base nodes do
+        nothing; stack nodes (``repro.protocol``) revive parked intake
+        artifacts whose dependency may now be reachable."""
+
     # ----------------------------------------------------------------- sends
 
     def send(self, peer_id: str, message: Message) -> None:

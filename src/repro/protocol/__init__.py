@@ -1,0 +1,55 @@
+"""The layered, paradigm-agnostic protocol stack.
+
+Every node implementation — blockchain (PoW/PoS), Nano block-lattice,
+IOTA-style tangle, Byteball-style witnessed DAG — is the same abstract
+machine (Section II: a replicated "transaction-based state machine"),
+differing only in its consensus rule.  This package makes that layering
+explicit:
+
+``TransportLayer``
+    peer send/broadcast, online/offline lifecycle, and
+    republish-on-reconnect of locally created artifacts;
+
+``IntakeLayer``
+    the unified parked/unchecked/orphan buffer: artifacts whose
+    dependency has not arrived yet are parked under the missing key,
+    retried when it shows up, revived on heal/restart, and bounded in
+    memory;
+
+``ConsensusEngine``
+    the paradigm-specific piece (chain selection, ORV elections, tip
+    selection) behind a uniform ingest interface;
+
+``LedgerStateMachine``
+    the structural surface of a running deployment
+    (``repro.core.ledger.Ledger`` satisfies it) so paradigm-agnostic
+    tooling can type against this package instead of ``repro.core``.
+
+Layering contract (enforced by ``scripts/check_layering.py``): this
+package never imports ``repro.blockchain``, ``repro.dag``,
+``repro.core`` or ``repro.check`` — the paradigm packages build *on* the
+stack, not the other way around.
+"""
+
+from repro.protocol.interfaces import (
+    ConsensusEngine,
+    LedgerStateMachine,
+    aggregate_layer_counters,
+    protocol_nodes,
+)
+from repro.protocol.intake import DEFAULT_INTAKE_CAPACITY, IntakeCounters, IntakeLayer
+from repro.protocol.node import ProtocolNode
+from repro.protocol.transport import TransportCounters, TransportLayer
+
+__all__ = [
+    "DEFAULT_INTAKE_CAPACITY",
+    "ConsensusEngine",
+    "IntakeCounters",
+    "IntakeLayer",
+    "LedgerStateMachine",
+    "ProtocolNode",
+    "TransportCounters",
+    "TransportLayer",
+    "aggregate_layer_counters",
+    "protocol_nodes",
+]

@@ -1,0 +1,131 @@
+"""The unified intake layer: parked/unchecked/orphan buffering.
+
+Gossip gives no ordering guarantee, so every paradigm sees artifacts
+arrive before their dependencies — a receive before its send (Nano's
+"unchecked" table), a child block before its parent (Bitcoin's orphan
+pool), a tangle transaction before its approved tips.  Before the stack
+existed each node class hand-rolled this buffer; :class:`IntakeLayer`
+is the single implementation: dependency-keyed parking with FIFO
+eviction under a memory bound, dependency-arrival retry, and bulk
+revival on heal/restart.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Optional
+
+#: Default bound on simultaneously parked artifacts.  Generous enough
+#: that healthy runs never evict; small enough that an adversary cannot
+#: balloon a replica's memory with undeliverable dependents.
+DEFAULT_INTAKE_CAPACITY = 4096
+
+
+@dataclass
+class IntakeCounters:
+    """Cumulative per-node intake accounting (feeds metrics/trace)."""
+
+    parked: int = 0
+    retried: int = 0
+    revived: int = 0
+    evicted: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "intake.parked": self.parked,
+            "intake.retried": self.retried,
+            "intake.revived": self.revived,
+            "intake.evicted": self.evicted,
+        }
+
+
+class IntakeLayer:
+    """Dependency-keyed buffer of artifacts awaiting a prerequisite.
+
+    ``park(key, artifact)`` files ``artifact`` under the missing ``key``;
+    ``satisfy(key)`` pops (in arrival order) everything waiting on it;
+    ``drain()`` pops the whole buffer for revival after a heal or
+    restart.  The buffer is bounded: when ``capacity`` is exceeded the
+    oldest parked key is evicted wholesale (FIFO — the entries least
+    likely to still matter), counted in :attr:`counters`.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_INTAKE_CAPACITY) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self._parked: "OrderedDict[Hashable, List[Any]]" = OrderedDict()
+        self._size = 0
+        self.counters = IntakeCounters()
+
+    # ---------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._parked
+
+    def waiting_on(self) -> List[Hashable]:
+        """The missing keys currently blocking parked artifacts."""
+        return list(self._parked)
+
+    def parked_for(self, key: Hashable) -> List[Any]:
+        """Artifacts waiting on ``key`` (a copy; does not pop)."""
+        return list(self._parked.get(key, ()))
+
+    # --------------------------------------------------------------- mutation
+
+    def park(self, key: Hashable, artifact: Any) -> int:
+        """File ``artifact`` under missing ``key``; returns evictions."""
+        bucket = self._parked.get(key)
+        if bucket is None:
+            bucket = self._parked[key] = []
+        bucket.append(artifact)
+        self._size += 1
+        self.counters.parked += 1
+        evicted = 0
+        while self.capacity is not None and self._size > self.capacity:
+            # Evict the stalest dependency first — never the artifact
+            # that was just parked.
+            oldest_key = next(iter(self._parked))
+            oldest = self._parked[oldest_key]
+            if oldest_key == key:
+                if len(oldest) <= 1:
+                    break
+                oldest.pop(0)
+                self._size -= 1
+                evicted += 1
+                self.counters.evicted += 1
+                continue
+            del self._parked[oldest_key]
+            self._size -= len(oldest)
+            evicted += len(oldest)
+            self.counters.evicted += len(oldest)
+        return evicted
+
+    def satisfy(self, key: Hashable) -> List[Any]:
+        """Pop everything parked on ``key`` (its dependency arrived)."""
+        bucket = self._parked.pop(key, None)
+        if not bucket:
+            return []
+        self._size -= len(bucket)
+        self.counters.retried += len(bucket)
+        return bucket
+
+    def drain(self) -> List[Any]:
+        """Pop *all* parked artifacts, oldest dependency first.
+
+        Used on restart and partition heal: dependencies may have
+        arrived through a path that never hit this buffer (bootstrap, a
+        healed link), so every parked artifact gets one fresh ingest
+        attempt; still-blocked ones simply re-park.
+        """
+        artifacts: List[Any] = []
+        for bucket in self._parked.values():
+            artifacts.extend(bucket)
+        self._parked.clear()
+        self._size = 0
+        self.counters.revived += len(artifacts)
+        return artifacts

@@ -1,0 +1,119 @@
+"""Abstract interfaces of the protocol stack.
+
+The stack decomposes every node into transport → intake → consensus →
+ledger, the layering both DAG SoKs use to compare systems (Wang et al.;
+Raikwar et al.) and the frame in which the source paper's Sections II-III
+contrast blockchain and block-lattice.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, List, Optional, Protocol, runtime_checkable
+
+
+class ConsensusEngine(abc.ABC):
+    """The paradigm-specific layer of a :class:`~repro.protocol.node.ProtocolNode`.
+
+    An engine validates and integrates *artifacts* (blocks, lattice
+    blocks, tangle transactions, DAG units) into its replica's ledger
+    state, and names the dependency an artifact is missing so the shared
+    :class:`~repro.protocol.intake.IntakeLayer` can park it.
+
+    Contract with :meth:`ProtocolNode.ingest`:
+
+    * :meth:`artifact_key` — the gossip/dedup identity of an artifact;
+      also the intake key its dependents park under.
+    * :meth:`is_known` — fast duplicate test.  Engines whose
+      :meth:`integrate` already rejects duplicates exactly the way the
+      pre-stack implementation did may keep the default ``False`` so
+      duplicate accounting is unchanged.
+    * :meth:`missing_dependency` — the key this artifact cannot be
+      validated without, or ``None`` when it is ready to integrate.
+    * :meth:`integrate` — apply the artifact; return ``True`` when it
+      was accepted (its dependents should be retried).  May raise a
+      :class:`~repro.common.errors.ReproError` subtype exactly as the
+      paradigm's validation does; quiet ingest paths catch it.
+    * :meth:`on_applied` — post-acceptance hook (votes, auto-receive,
+      re-mining) run before parked dependents are retried.
+    """
+
+    #: Human-readable paradigm tag ("blockchain", "dag-lattice", ...).
+    paradigm: str = "abstract"
+
+    @abc.abstractmethod
+    def artifact_key(self, artifact: Any) -> Hashable:
+        """Identity of ``artifact`` (block id / block hash / tx hash)."""
+
+    def is_known(self, key: Hashable) -> bool:
+        """Whether the replica already integrated ``key``."""
+        return False
+
+    @abc.abstractmethod
+    def missing_dependency(self, artifact: Any) -> Optional[Hashable]:
+        """Key of the artifact this one needs first, if absent."""
+
+    @abc.abstractmethod
+    def integrate(self, artifact: Any) -> bool:
+        """Validate + apply; ``True`` iff accepted into the ledger."""
+
+    def on_applied(self, artifact: Any) -> None:
+        """Post-acceptance consensus actions (default: none)."""
+
+
+@runtime_checkable
+class LedgerStateMachine(Protocol):
+    """Structural type of a running deployment driven by payments.
+
+    This is the surface :mod:`repro.core.adapters` exposes (its
+    ``Ledger`` ABC satisfies this protocol), restated here so
+    paradigm-agnostic layers — the fault injector, the invariant
+    monitor, the fuzzer — can type against ``repro.protocol`` without
+    importing the adapter package, keeping the dependency arrows
+    pointing one way.
+    """
+
+    name: str
+    paradigm: str
+
+    def setup(self, accounts: int, initial_balance: int) -> None: ...
+
+    def submit(self, event: Any) -> Optional[Any]: ...
+
+    def advance(self, duration_s: float) -> None: ...
+
+    def now(self) -> float: ...
+
+    def is_confirmed(self, entry: Any) -> bool: ...
+
+    def balance(self, account_index: int) -> int: ...
+
+    def serialized_size(self) -> int: ...
+
+    def stats(self) -> Any: ...
+
+
+def protocol_nodes(nodes: Any) -> List[Any]:
+    """The subset of ``nodes`` running on the protocol stack.
+
+    Keys on the stack interface (a ``consensus`` engine plus the two
+    layers), not on concrete classes, so callers in ``repro.core`` /
+    ``repro.check`` / ``repro.faults`` never need paradigm imports.
+    """
+    from repro.protocol.node import ProtocolNode
+
+    return [n for n in nodes if isinstance(n, ProtocolNode)]
+
+
+def aggregate_layer_counters(nodes: Any) -> dict:
+    """Sum per-layer counters over every stack node in ``nodes``.
+
+    The deployment-wide view of transport/intake activity that flows
+    into fault reports and ledger metrics — one flat ``layer.metric``
+    namespace (see :meth:`ProtocolNode.layer_counters`).
+    """
+    totals: dict = {}
+    for node in protocol_nodes(nodes):
+        for name, value in node.layer_counters().items():
+            totals[name] = totals.get(name, 0.0) + value
+    return totals

@@ -41,6 +41,11 @@ DEGRADE = "degrade"
 RESTORE = "restore"
 # Event kind for ledger-level divergence (reorgs, conflicting heads).
 FORK = "fork"
+# Event kinds emitted by the protocol stack (repro.protocol): intake
+# parking/revival and transport republish-on-reconnect.
+INTAKE_PARK = "intake_park"
+INTAKE_REVIVE = "intake_revive"
+REPUBLISH = "republish"
 
 #: Drop reasons used by the network fabric.
 REASON_LOSS = "loss"
@@ -106,6 +111,10 @@ class Tracer:
         self.retransmits = 0
         self.gave_up = 0
         self.forks = 0
+        self.intake_parked = 0
+        self.intake_revived = 0
+        self.intake_evicted = 0
+        self.republished = 0
         self.drop_reasons: Dict[str, int] = {}
         self._per_node: Dict[str, Dict[str, int]] = {}
         self._per_link: Dict[Tuple[str, str], Dict[str, int]] = {}
@@ -179,6 +188,27 @@ class Tracer:
         self.forks += 1
         self.emit(time, FORK, src=node_id, **detail)
 
+    def record_intake_park(self, time: float, node_id: str,
+                           missing: Any, evicted: int = 0) -> None:
+        """An artifact parked in ``node_id``'s intake layer waiting on
+        ``missing``; ``evicted`` counts entries the bound pushed out."""
+        self.intake_parked += 1
+        self.intake_evicted += evicted
+        self.emit(time, INTAKE_PARK, dst=node_id, missing=str(missing),
+                  evicted=evicted)
+
+    def record_intake_revive(self, time: float, node_id: str,
+                             count: int) -> None:
+        """``count`` parked artifacts re-attempted after heal/restart."""
+        self.intake_revived += count
+        self.emit(time, INTAKE_REVIVE, dst=node_id, count=count)
+
+    def record_republish(self, time: float, node_id: str,
+                         count: int) -> None:
+        """``count`` offline-created artifacts re-gossiped on reconnect."""
+        self.republished += count
+        self.emit(time, REPUBLISH, src=node_id, count=count)
+
     # ---------------------------------------------------------------- query
 
     @property
@@ -207,6 +237,10 @@ class Tracer:
             "trace.give_ups": float(self.gave_up),
             "trace.forks": float(self.forks),
             "trace.in_flight": float(self.in_flight),
+            "trace.intake_parked": float(self.intake_parked),
+            "trace.intake_revived": float(self.intake_revived),
+            "trace.intake_evicted": float(self.intake_evicted),
+            "trace.republished": float(self.republished),
         }
         for reason, count in self.drop_reasons.items():
             flat[f"trace.dropped.{reason}"] = float(count)
@@ -229,6 +263,10 @@ class Tracer:
             f"retransmits={self.retransmits}",
             f"gave_up={self.gave_up}",
             f"forks={self.forks}",
+            f"intake_parked={self.intake_parked}",
+            f"intake_revived={self.intake_revived}",
+            f"intake_evicted={self.intake_evicted}",
+            f"republished={self.republished}",
         ]
         for reason, count in sorted(self.drop_reasons.items()):
             parts.append(f"drop:{reason}={count}")
@@ -315,4 +353,13 @@ class NullTracer(Tracer):
         pass
 
     def record_fork(self, time, node_id, **detail) -> None:
+        pass
+
+    def record_intake_park(self, time, node_id, missing, evicted=0) -> None:
+        pass
+
+    def record_intake_revive(self, time, node_id, count) -> None:
+        pass
+
+    def record_republish(self, time, node_id, count) -> None:
         pass
