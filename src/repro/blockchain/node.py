@@ -26,7 +26,7 @@ from repro.net.message import Message
 from repro.protocol import ConsensusEngine, ProtocolNode
 from repro.blockchain.block import AnyTransaction, Block, assemble_block
 from repro.blockchain.chain import ChainStore, ReorgResult
-from repro.blockchain.mempool import Mempool
+from repro.blockchain.mempool import Mempool, MempoolLimits
 from repro.blockchain.miner import SimulatedMiner
 from repro.blockchain.params import ChainParams
 from repro.blockchain.receipts import receipts_root
@@ -100,11 +100,12 @@ class BlockchainNode(ProtocolNode):
         params: ChainParams,
         genesis: Block,
         genesis_allocations: Optional[Dict[Address, int]] = None,
+        mempool_limits: Optional[MempoolLimits] = None,
     ) -> None:
         super().__init__(node_id)
         self.params = params
         self.chain = ChainStore(genesis)
-        self.mempool = Mempool(fee_oracle=self._fee_of)
+        self.mempool = Mempool(fee_oracle=self._fee_of, limits=mempool_limits)
         self.stats = NodeStats()
         self.consensus = ChainConsensus(self)
         self._tx_blocks: Dict[TxId, Hash] = {}  # txid -> containing main-chain block
@@ -312,6 +313,57 @@ class BlockchainNode(ProtocolNode):
             if result.block_accepted:
                 adopted += 1
         return adopted
+
+    def state_sync_from(
+        self, peer: "BlockchainNode", keep_depth: Optional[int] = None
+    ) -> int:
+        """Catch up from a checkpoint instead of replaying history.
+
+        The Section V-A fast-sync idea applied to a live node: download
+        all headers, the peer's materialized state snapshot at a pivot
+        (head − ``keep_depth``), and only the recent block bodies.  The
+        pivot is cemented, so the replica never needs the undo data it
+        skipped.  This is also the only way to join from a *pruned* peer,
+        whose old bodies are gone (``sync_from`` would park forever).
+        Account-model chains fall back to full replay — their state root
+        is re-derived per block.  Returns the number of blocks adopted.
+        """
+        if self.utxo is None or peer.utxo is None:
+            return self.sync_from(peer)
+        from repro.storage.pruning import DEFAULT_KEEP_DEPTH
+
+        depth = DEFAULT_KEEP_DEPTH if keep_depth is None else keep_depth
+        pivot = max(peer.chain.height - depth, 0)
+        adopted = 0
+        wire_bytes = peer.utxo.serialized_size_bytes()
+        for block in peer.chain.main_chain()[1:]:
+            if block.block_id in self.chain:
+                continue
+            if block.height <= pivot:
+                # Headers-only below the pivot; bodies are never fetched
+                # (and a pruned peer no longer has them anyway).
+                block = Block(header=block.header, transactions=())
+                wire_bytes += block.header.size_bytes
+            else:
+                wire_bytes += block.size_bytes
+                self._undo[block.block_id] = list(peer._undo.get(block.block_id, []))
+            if self.chain.add_block(block).block_accepted:
+                adopted += 1
+        self.utxo = peer.utxo.snapshot()
+        self._tx_blocks = dict(peer._tx_blocks)
+        self.chain.cement(pivot)
+        for counters in (self.transport.counters, peer.transport.counters):
+            counters.state_syncs += 1
+            counters.state_sync_bytes += wire_bytes
+        self.revive_intake()
+        self._mining_epoch += 1
+        self._reschedule_mining()
+        return adopted
+
+    def layer_counters(self) -> Dict[str, float]:
+        counters = super().layer_counters()
+        counters.update(self.mempool.counters())
+        return counters
 
     def announce_chain(self) -> None:
         """Gossip this replica's main chain (post-partition heads-up).

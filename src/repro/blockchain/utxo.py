@@ -113,6 +113,24 @@ class UTXOSet:
         for outpoint, output in reversed(undo.spent):
             self._add(outpoint, output)
 
+    def snapshot(self) -> "UTXOSet":
+        """Independent copy of the set (checkpoint state-sync payload).
+
+        Outpoints and outputs are immutable, so a shallow copy of the
+        maps is a full logical copy.
+        """
+        clone = UTXOSet()
+        clone._utxos = dict(self._utxos)
+        clone._by_address = {
+            address: dict(entries) for address, entries in self._by_address.items()
+        }
+        return clone
+
+    def serialized_size_bytes(self) -> int:
+        """Wire-size estimate of a snapshot: 36 bytes per outpoint
+        (txid + index) plus 40 per output (amount + address)."""
+        return len(self._utxos) * 76
+
     # ------------------------------------------------------------ valuation
 
     def input_value(self, tx: Transaction) -> int:

@@ -123,6 +123,11 @@ class FuzzProfile:
     node_count: int = 4
     block_interval_s: float = 15.0
     confirmation_depth: int = 2
+    #: live pruning cadence on every replica (None = never prune mid-run)
+    prune_interval_s: Optional[float] = None
+    prune_keep_depth: int = 64
+    #: blockchain mempool admission cap (None = unbounded)
+    mempool_max_count: Optional[int] = None
 
     def describe(self) -> str:
         parts = [f"{self.accounts} accounts", f"{self.rate_tps} tps",
@@ -135,6 +140,8 @@ class FuzzProfile:
             parts.append("partition")
         if self.corrupt_at_s is not None:
             parts.append("seeded corruption")
+        if self.prune_interval_s is not None:
+            parts.append(f"prune@{self.prune_interval_s:g}s")
         return ", ".join(parts)
 
 
@@ -155,6 +162,13 @@ PROFILES: Dict[str, FuzzProfile] = {
     # monitor must catch (and the shrinker must minimize to).
     "seeded-violation": FuzzProfile(
         name="seeded-violation", corrupt_at_s=30.0, corrupt_amount=12345,
+    ),
+    # Sustained service: heavier traffic against a capped mempool with
+    # live pruning ticking on every replica — the invariants must hold
+    # while the ledger is being truncated under load.
+    "soak": FuzzProfile(
+        name="soak", duration_s=120.0, settle_s=60.0, rate_tps=1.0,
+        prune_interval_s=30.0, prune_keep_depth=8, mempool_max_count=256,
     ),
 }
 

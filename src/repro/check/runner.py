@@ -20,6 +20,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.blockchain.mempool import MempoolLimits
 from repro.blockchain.params import BITCOIN
 from repro.check.generator import (
     OP_CORRUPT,
@@ -56,8 +57,14 @@ def build_ledger(paradigm: str, seed: int, profile: FuzzProfile) -> Ledger:
             target_block_interval_s=profile.block_interval_s,
             confirmation_depth=profile.confirmation_depth,
         )
+        limits = None
+        if profile.mempool_max_count is not None:
+            limits = MempoolLimits(max_count=profile.mempool_max_count)
         return BlockchainLedger(
-            params=params, node_count=profile.node_count, seed=seed
+            params=params, node_count=profile.node_count, seed=seed,
+            mempool_limits=limits,
+            prune_interval_s=profile.prune_interval_s,
+            prune_keep_depth=profile.prune_keep_depth,
         )
     if paradigm == "dag":
         return DagLedger(
@@ -65,6 +72,7 @@ def build_ledger(paradigm: str, seed: int, profile: FuzzProfile) -> Ledger:
             node_count=profile.node_count,
             representative_count=max(2, profile.node_count // 2),
             seed=seed,
+            prune_interval_s=profile.prune_interval_s,
         )
     raise ValueError(f"unknown paradigm {paradigm!r} "
                      f"(choose from {', '.join(PARADIGMS)})")

@@ -11,6 +11,8 @@ writing any code:
 * ``faults``        — degraded-network gossip run with a JSONL trace;
 * ``fuzz``          — differential fuzzing with in-loop invariant
   enforcement across both paradigms (see ``repro.check``);
+* ``soak``          — sustained open-loop load with live pruning vs an
+  unpruned control (bounded-memory check);
 * ``bench``         — one experiment, one trial, in process;
 * ``sweep``         — parameter-grid fan-out across worker processes,
   aggregated into ``BENCH_<id>.json`` (see ``repro.runner``);
@@ -234,6 +236,68 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   + "; ".join(f"[{v.invariant}] {v.detail}"
                               for v in result.violation.violations))
     return 1 if failing else 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Bounded-memory soak: open-loop traffic against a live deployment
+    with periodic pruning, compared against an unpruned control."""
+    from repro.blockchain.mempool import MempoolLimits
+    from repro.blockchain.params import BITCOIN
+    from repro.core.adapters import BlockchainLedger, DagLedger
+    from repro.net.link import FAST_LINK
+    from repro.workloads.open_loop import OpenLoopInjector
+
+    def build(pruned: bool):
+        interval = args.prune_interval if pruned else None
+        if args.paradigm == "dag":
+            return DagLedger(
+                node_count=4, representative_count=2, seed=args.seed,
+                prune_interval_s=interval,
+            )
+        params = replace(
+            BITCOIN, target_block_interval_s=15.0,
+            max_block_size_bytes=4_000, confirmation_depth=2,
+        )
+        return BlockchainLedger(
+            params=params, node_count=3, link_params=FAST_LINK,
+            seed=args.seed,
+            mempool_limits=MempoolLimits(max_count=args.mempool_cap),
+            prune_interval_s=interval,
+            prune_keep_depth=args.keep_depth,
+        )
+
+    rows = []
+    sizes = {}
+    confirmed = {}
+    for pruned in (True, False):
+        ledger = build(pruned)
+        ledger.setup(args.accounts, 10**9)
+        injector = OpenLoopInjector.from_sim_stream(
+            ledger, accounts=args.accounts, rate_tps=args.rate,
+            duration_s=args.duration,
+        )
+        injector.start()
+        ledger.advance(args.duration)
+        stats = ledger.stats()
+        label = "pruned" if pruned else "control"
+        sizes[label] = ledger.serialized_size()
+        confirmed[label] = stats.entries_confirmed
+        rows.append([
+            label,
+            injector.report.offered,
+            stats.entries_confirmed,
+            f"{injector.report.backpressure_fraction:.1%}",
+            format_bytes(sizes[label]),
+        ])
+    print(render_table(
+        ["run", "offered", "confirmed", "backpressure", "ledger size"],
+        rows,
+        title=f"{args.duration:.0f}s soak @ {args.rate:g} tx/s "
+              f"({args.paradigm}, prune every {args.prune_interval:g}s)",
+    ))
+    ratio = sizes["control"] / max(sizes["pruned"], 1)
+    print(f"unpruned/pruned ledger ratio: {ratio:.2f}x", file=sys.stderr)
+    return 0 if confirmed["pruned"] > 0 and ratio > 1.0 else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -595,7 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default="both")
     fuzz.add_argument("--profile", default="baseline",
                       help="scenario family: baseline, conflict, churn, "
-                           "adversarial, seeded-violation")
+                           "adversarial, seeded-violation, soak")
     fuzz.add_argument("--audit-interval", type=float, default=None,
                       help="in-loop audit cadence (simulated s)")
     fuzz.add_argument("--shrink", action="store_true",
@@ -606,6 +670,26 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--artifact-dir", default=None,
                       help="write failing-seed JSON artifacts here")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    soak = sub.add_parser(
+        "soak", help="sustained open-loop load with live pruning vs an "
+                     "unpruned control"
+    )
+    soak.add_argument("--paradigm", choices=("blockchain", "dag"),
+                      default="blockchain")
+    soak.add_argument("--duration", type=float, default=600.0,
+                      help="offered-traffic horizon (simulated s)")
+    soak.add_argument("--rate", type=float, default=1.0,
+                      help="offered load (tx/s, Poisson arrivals)")
+    soak.add_argument("--accounts", type=int, default=10)
+    soak.add_argument("--prune-interval", type=float, default=60.0,
+                      help="live pruning cadence (simulated s)")
+    soak.add_argument("--keep-depth", type=int, default=8,
+                      help="blocks kept below the tip when pruning")
+    soak.add_argument("--mempool-cap", type=int, default=400,
+                      help="mempool admission cap (blockchain only)")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.set_defaults(func=_cmd_soak)
 
     report = sub.add_parser("report", help="generate a markdown results report")
     report.add_argument("--output", "-o", default=None,

@@ -23,8 +23,15 @@ from repro.net.topology import complete_topology
 from repro.protocol import aggregate_layer_counters, protocol_nodes
 from repro.sim.simulator import Simulator
 from repro.blockchain.block import build_genesis_with_allocations
+from repro.blockchain.mempool import MempoolLimits
 from repro.blockchain.node import BlockchainNode
 from repro.blockchain.params import BITCOIN, ChainParams
+from repro.storage.live import (
+    LivePruneStats,
+    attach_chain_pruning,
+    attach_lattice_pruning,
+)
+from repro.storage.pruning import DEFAULT_KEEP_DEPTH
 from repro.blockchain.transaction import Transaction, TxOutput, build_transaction
 from repro.blockchain.wallet import AccountWallet, UtxoWallet
 from repro.dag.blocks import make_send
@@ -56,6 +63,9 @@ class BlockchainLedger(Ledger):
         link_params: Optional[LinkParams] = None,
         seed: int = 0,
         fee: int = 1,
+        mempool_limits: Optional[MempoolLimits] = None,
+        prune_interval_s: Optional[float] = None,
+        prune_keep_depth: int = DEFAULT_KEEP_DEPTH,
     ) -> None:
         self.name = params.name
         self.params = params
@@ -63,6 +73,10 @@ class BlockchainLedger(Ledger):
         self.link_params = link_params or LinkParams()
         self.seed = seed
         self.fee = fee
+        self.mempool_limits = mempool_limits
+        self.prune_interval_s = prune_interval_s
+        self.prune_keep_depth = prune_keep_depth
+        self.prune_stats: List[LivePruneStats] = []
         self._rng = random.Random(seed)
         self.simulator: Optional[Simulator] = None
         self.network: Optional[Network] = None
@@ -89,11 +103,14 @@ class BlockchainLedger(Ledger):
             miner_key = KeyPair.generate(self._rng)
             genesis = build_genesis_with_allocations({miner_key.address: 1})
             factory = lambda nid: BlockchainNode(  # noqa: E731
-                nid, self.params, genesis, genesis_allocations=allocations
+                nid, self.params, genesis, genesis_allocations=allocations,
+                mempool_limits=self.mempool_limits,
             )
         else:
             genesis = build_genesis_with_allocations(allocations)
-            factory = lambda nid: BlockchainNode(nid, self.params, genesis)  # noqa: E731
+            factory = lambda nid: BlockchainNode(  # noqa: E731
+                nid, self.params, genesis, mempool_limits=self.mempool_limits
+            )
 
         nodes = complete_topology(self.network, self.node_count, factory, self.link_params)
         # Filter on the stack interface, not the concrete class: the
@@ -102,6 +119,14 @@ class BlockchainLedger(Ledger):
         for node in self.nodes:
             miner = KeyPair.generate(self._rng)
             node.start_pow_mining(1.0 / self.node_count, miner.address)
+        if self.prune_interval_s is not None:
+            # Bounded-memory soak: every replica sheds old block bodies
+            # on a periodic tick while the run continues (Section V-A).
+            for node in self.nodes:
+                _, stats = attach_chain_pruning(
+                    node, self.prune_interval_s, keep_depth=self.prune_keep_depth
+                )
+                self.prune_stats.append(stats)
 
         if self.params.uses_gas:
             self._account_wallets = [AccountWallet(kp) for kp in self.keys]
@@ -293,6 +318,8 @@ class DagLedger(Ledger):
         representative_count: int = 4,
         link_params: Optional[LinkParams] = None,
         seed: int = 0,
+        processing_tps: Optional[float] = None,
+        prune_interval_s: Optional[float] = None,
     ) -> None:
         self.params = params or NanoParams(work_difficulty=1)
         self.name = self.params.name
@@ -300,6 +327,9 @@ class DagLedger(Ledger):
         self.representative_count = representative_count
         self.link_params = link_params or LinkParams()
         self.seed = seed
+        self.processing_tps = processing_tps
+        self.prune_interval_s = prune_interval_s
+        self.prune_stats: List[LivePruneStats] = []
         self.testbed: Optional[NanoTestbed] = None
         self.keys: List[KeyPair] = []
         self._submit_times: Dict[Hash, float] = {}
@@ -314,10 +344,17 @@ class DagLedger(Ledger):
             params=self.params,
             link_params=self.link_params,
             seed=self.seed,
+            processing_tps=self.processing_tps,
         )
         self.keys = fund_accounts(
             self.testbed, accounts, initial_balance, settle_time=2.0
         )
+        if self.prune_interval_s is not None:
+            # Live *current*-node pruning (Section V-B): trim every
+            # replica to heads + unsettled sends on a periodic tick.
+            for node in self.testbed.nodes:
+                _, stats = attach_lattice_pruning(node, self.prune_interval_s)
+                self.prune_stats.append(stats)
 
     def submit(self, event: PaymentEvent) -> Optional[Hash]:
         assert self.testbed is not None

@@ -269,5 +269,23 @@ EXPERIMENTS: Dict[str, Experiment] = {
                             "rate_tps": 0.5, "churn_nodes": 2,
                             "capture_trace": 0},
         ),
+        Experiment(
+            "A8", "§IV, §V, §VI (extension)",
+            "Sustained service: p50/p99 confirmation latency vs offered "
+            "load with a saturation knee per paradigm; periodic pruning "
+            "bounds ledger size where the unpruned control grows",
+            ("repro.workloads.open_loop", "repro.metrics.slo",
+             "repro.storage.live"),
+            "bench_a8_sustained_load.py",
+            default_params={"accounts": 12, "duration_s": 240.0,
+                            "settle_s": 120.0,
+                            "blockchain_loads": (0.25, 0.5, 1.0, 2.0),
+                            "dag_loads": (2.0, 8.0, 24.0),
+                            "dag_processing_tps": 12.0,
+                            "soak_duration_s": 600.0,
+                            "soak_rate_tps": 1.0,
+                            "soak_prune_interval_s": 60.0,
+                            "soak_keep_depth": 8},
+        ),
     ]
 }

@@ -124,6 +124,38 @@ class Lattice:
         self._append(genesis)
         self.cement(genesis.block_hash)
 
+    def install_frontier(
+        self,
+        heads: List[NanoBlock],
+        pending: List[PendingInfo],
+    ) -> int:
+        """Adopt a checkpoint: one head block per account chain plus the
+        pending table, without replaying history (live fast-sync).
+
+        This is how a joining replica syncs from a *pruned* peer whose
+        old blocks are gone — ``NanoNode.bootstrap_from`` would park the
+        heads forever waiting on pruned predecessors.  Installed heads
+        are cemented (they come from a checkpoint, not an election).
+        Returns the number of chains installed.
+        """
+        installed = 0
+        for head in heads:
+            if head.account in self._chains or head.block_hash in self._blocks:
+                continue  # already have (some of) this chain: keep ours
+            if not head.verify_signature():
+                raise ValidationError(
+                    f"checkpoint head {head.block_hash.short()} has an "
+                    "invalid signature"
+                )
+            self._append(head)
+            self.cement(head.block_hash)
+            installed += 1
+        for info in pending:
+            if info.source_hash in self._pending or info.source_hash in self._settled:
+                continue
+            self._pending_add(info)
+        return installed
+
     # ---------------------------------------------------------------- reads
 
     def __contains__(self, block_hash: Hash) -> bool:

@@ -312,6 +312,28 @@ class NanoNode(ProtocolNode):
                 adopted += self.stats.blocks_processed - before
         return adopted
 
+    def state_sync_from(self, peer: "NanoNode") -> int:
+        """Adopt the peer's chain heads + pending table as a checkpoint.
+
+        The live analogue of a *current* node (Section V-B): instead of
+        replaying every block (``bootstrap_from``, impossible against a
+        pruned peer whose predecessors are gone), install one head per
+        account and the unsettled sends.  Returns chains installed.
+        """
+        heads = [chain.head for chain in peer.lattice.chains() if chain.blocks]
+        pending = [
+            info for info in peer.lattice._pending.values()  # noqa: SLF001
+        ]
+        installed = self.lattice.install_frontier(heads, pending)
+        if self.lattice.genesis_account is None:
+            self.lattice.genesis_account = peer.lattice.genesis_account
+        wire_bytes = sum(h.size_bytes for h in heads)
+        for counters in (self.transport.counters, peer.transport.counters):
+            counters.state_syncs += 1
+            counters.state_sync_bytes += wire_bytes
+        self.revive_intake()
+        return installed
+
     # ---------------------------------------------------------------- forks
 
     def _handle_fork(self, challenger: NanoBlock) -> None:

@@ -1,13 +1,23 @@
 """Metric collection, summary statistics and report tables."""
 
 from repro.metrics.collector import MetricCollector
+from repro.metrics.slo import (
+    LoadPoint,
+    detect_saturation_knee,
+    latency_histogram,
+    load_point,
+)
 from repro.metrics.stats import SummaryStats, confidence_interval, percentile, summarize
 from repro.metrics.tables import render_table
 
 __all__ = [
+    "LoadPoint",
     "MetricCollector",
     "SummaryStats",
     "confidence_interval",
+    "detect_saturation_knee",
+    "latency_histogram",
+    "load_point",
     "percentile",
     "render_table",
     "summarize",

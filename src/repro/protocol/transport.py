@@ -29,6 +29,10 @@ class TransportCounters:
     queued_offline: int = 0
     republished: int = 0
     dropped_stale: int = 0
+    #: checkpoint state-syncs served or consumed through this transport
+    state_syncs: int = 0
+    #: wire bytes those state-syncs moved (headers + snapshot + bodies)
+    state_sync_bytes: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -36,6 +40,8 @@ class TransportCounters:
             "transport.queued_offline": self.queued_offline,
             "transport.republished": self.republished,
             "transport.dropped_stale": self.dropped_stale,
+            "transport.state_syncs": self.state_syncs,
+            "transport.state_sync_bytes": self.state_sync_bytes,
         }
 
 

@@ -12,6 +12,11 @@ from repro.storage.pruning import PruneResult, prune_chain
 from repro.storage.fast_sync import FastSyncResult, fast_sync
 from repro.storage.dag_pruning import DagNodeType, dag_footprint, prune_lattice
 from repro.storage.growth import GrowthModel, LEDGER_SNAPSHOT_2018
+from repro.storage.live import (
+    LivePruneStats,
+    attach_chain_pruning,
+    attach_lattice_pruning,
+)
 
 __all__ = [
     "DagNodeType",
@@ -19,7 +24,10 @@ __all__ = [
     "GrowthModel",
     "LEDGER_SNAPSHOT_2018",
     "LedgerSizeReport",
+    "LivePruneStats",
     "PruneResult",
+    "attach_chain_pruning",
+    "attach_lattice_pruning",
     "blockchain_size_report",
     "dag_footprint",
     "dag_size_report",

@@ -75,7 +75,12 @@ def prune_lattice(lattice: Lattice) -> DagPruneResult:
         for block in chain.blocks:
             if block.block_hash not in keep:
                 del lattice._blocks[block.block_hash]  # noqa: SLF001
-        chain.blocks = kept_blocks
+        if len(kept_blocks) != len(chain.blocks):
+            chain.blocks = kept_blocks
+            # The incremental cementing frontier indexes into the (now
+            # shorter) block list; a stale frontier would skip blocks
+            # appended after a live prune.  Re-walking is idempotent.
+            lattice._cement_frontier[chain.account] = 0  # noqa: SLF001
 
     return DagPruneResult(
         blocks_before=blocks_before,

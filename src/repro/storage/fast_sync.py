@@ -65,8 +65,10 @@ def fast_sync(
     full_replayed = sum(len(b.transactions) for b in blocks)
 
     header_bytes = sum(b.header.size_bytes for b in blocks)
+    # Receipts ride along with *every* header, not just the pre-pivot
+    # range — geth downloads them for the whole chain before pivoting.
     receipt_bytes = sum(
-        r.size_bytes for height in range(min(len(receipts_by_block), pivot + 1))
+        r.size_bytes for height in range(len(receipts_by_block))
         for r in receipts_by_block[height]
     )
     snapshot_bytes = state.live_size_bytes()

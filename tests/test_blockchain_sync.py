@@ -66,6 +66,63 @@ class TestSyncFrom:
         assert light.chain.head.block_id == heavy.chain.head.block_id
 
 
+class TestStateSyncFrom:
+    def test_join_from_pruned_peer(self):
+        """A pruned peer's old bodies are gone; a checkpoint state sync
+        still brings a joining replica to the same head and state."""
+        from repro.storage.pruning import prune_chain
+
+        sim, net, nodes, genesis = build_world()
+        sim.run(until=400)
+        peer = nodes[0]
+        prune_chain(peer.chain, keep_depth=3)
+        joiner = BlockchainNode("joiner", PARAMS, genesis)
+        adopted = joiner.state_sync_from(peer, keep_depth=3)
+        assert adopted == peer.chain.height
+        assert joiner.chain.head.block_id == peer.chain.head.block_id
+        assert joiner.utxo.total_value() == peer.utxo.total_value()
+
+    def test_headers_only_below_pivot(self):
+        sim, net, nodes, genesis = build_world()
+        sim.run(until=400)
+        peer = nodes[0]
+        joiner = BlockchainNode("joiner", PARAMS, genesis)
+        joiner.state_sync_from(peer, keep_depth=2)
+        pivot = max(peer.chain.height - 2, 0)
+        assert pivot > 0
+        for block in joiner.chain.main_chain()[1:]:
+            if block.height <= pivot:
+                assert block.transactions == ()
+
+    def test_snapshot_is_independent(self):
+        sim, net, nodes, genesis = build_world()
+        sim.run(until=300)
+        peer = nodes[0]
+        joiner = BlockchainNode("joiner", PARAMS, genesis)
+        joiner.state_sync_from(peer, keep_depth=2)
+        assert joiner.utxo is not peer.utxo
+        before = peer.utxo.total_value()
+        outpoint = next(iter(joiner.utxo._utxos))
+        joiner.utxo._remove(outpoint)
+        assert peer.utxo.total_value() == before
+
+    def test_wire_accounting(self):
+        sim, net, nodes, genesis = build_world()
+        sim.run(until=300)
+        peer = nodes[0]
+        joiner = BlockchainNode("joiner", PARAMS, genesis)
+        joiner.state_sync_from(peer, keep_depth=2)
+        for node in (joiner, peer):
+            assert node.transport.counters.state_syncs == 1
+            assert node.transport.counters.state_sync_bytes > 0
+        # The checkpoint sync ships less than a full-body replay would.
+        full_bytes = sum(
+            b.size_bytes for b in peer.chain.main_chain()[1:]
+        )
+        assert (joiner.transport.counters.state_sync_bytes
+                < full_bytes + peer.utxo.serialized_size_bytes())
+
+
 class TestDeterminism:
     def test_identical_seeds_identical_universe(self):
         """Full-stack regression guard: same seed ⇒ byte-identical chain

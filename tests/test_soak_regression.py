@@ -1,0 +1,116 @@
+"""Bounded-memory soak regression (marked ``soak``).
+
+A sustained open-loop workload against live deployments with periodic
+pruning attached: the pruned replica's ledger must plateau while the
+unpruned control grows roughly linearly.  These runs simulate minutes of
+traffic, so they are opt-in: ``pytest -m soak``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.blockchain.mempool import MempoolLimits
+from repro.blockchain.params import BITCOIN
+from repro.core.adapters import BlockchainLedger, DagLedger
+from repro.net.link import FAST_LINK
+from repro.workloads.open_loop import OpenLoopInjector
+
+pytestmark = pytest.mark.soak
+
+PARAMS = replace(BITCOIN, target_block_interval_s=15.0,
+                 max_block_size_bytes=4_000, confirmation_depth=2)
+
+DURATION_S = 480.0
+RATE_TPS = 1.5
+PRUNE_INTERVAL_S = 60.0
+
+
+def run_soak(make_ledger):
+    """Drive one pruned run and one control run; return their sampled
+    ``(time, bytes)`` series plus the pruned run's ledger/report."""
+    out = {}
+    for label, pruned in (("pruned", True), ("control", False)):
+        ledger = make_ledger(pruned)
+        ledger.setup(8, 10**9)
+        deployment = ledger.deployment()
+        series = []
+        deployment.simulator.schedule_periodic(
+            PRUNE_INTERVAL_S,
+            lambda: series.append(
+                (deployment.simulator.now, ledger.serialized_size())
+            ),
+            until=DURATION_S,
+        )
+        injector = OpenLoopInjector.from_sim_stream(
+            ledger, accounts=8, rate_tps=RATE_TPS, duration_s=DURATION_S
+        )
+        injector.start()
+        ledger.advance(DURATION_S)
+        out[label] = (series, ledger, injector.report)
+    return out
+
+
+class TestBlockchainSoak:
+    def test_pruned_ledger_plateaus_while_control_grows(self):
+        def make(pruned):
+            return BlockchainLedger(
+                params=PARAMS, node_count=3, link_params=FAST_LINK, seed=5,
+                mempool_limits=MempoolLimits(max_count=400),
+                prune_interval_s=PRUNE_INTERVAL_S if pruned else None,
+                prune_keep_depth=8,
+            )
+
+        out = run_soak(make)
+        pruned_series, pruned_ledger, report = out["pruned"]
+        control_series, _, _ = out["control"]
+
+        # The run actually serviced traffic.
+        assert report.submitted > 0
+        assert pruned_ledger.stats().entries_confirmed > 0
+
+        # Control grows between the first and last samples...
+        assert control_series[-1][1] > control_series[0][1] * 2
+        # ...while the pruned replica stays bounded: its second half
+        # never exceeds its mid-run size by much more than one prune
+        # window's worth of fresh blocks.
+        mid = len(pruned_series) // 2
+        plateau = max(size for _, size in pruned_series[mid:])
+        assert plateau < pruned_series[mid][1] * 1.5
+        assert pruned_series[-1][1] < control_series[-1][1]
+
+    def test_prune_stats_recorded(self):
+        ledger = BlockchainLedger(
+            params=PARAMS, node_count=3, link_params=FAST_LINK, seed=5,
+            prune_interval_s=PRUNE_INTERVAL_S, prune_keep_depth=8,
+        )
+        ledger.setup(8, 10**9)
+        injector = OpenLoopInjector.from_sim_stream(
+            ledger, accounts=8, rate_tps=RATE_TPS, duration_s=240.0
+        )
+        injector.start()
+        ledger.advance(240.0)
+        assert len(ledger.prune_stats) == len(ledger.nodes)
+        assert all(stats.ticks > 0 for stats in ledger.prune_stats)
+        assert any(stats.blocks_pruned > 0 for stats in ledger.prune_stats)
+
+
+class TestDagSoak:
+    def test_pruned_lattice_plateaus_while_control_grows(self):
+        def make(pruned):
+            return DagLedger(
+                node_count=4, representative_count=2, seed=5,
+                prune_interval_s=PRUNE_INTERVAL_S if pruned else None,
+            )
+
+        out = run_soak(make)
+        pruned_series, pruned_ledger, report = out["pruned"]
+        control_series, _, _ = out["control"]
+
+        assert report.submitted > 0
+        assert pruned_ledger.stats().entries_confirmed > 0
+        assert control_series[-1][1] > control_series[0][1] * 2
+        mid = len(pruned_series) // 2
+        plateau = max(size for _, size in pruned_series[mid:])
+        assert plateau < pruned_series[mid][1] * 1.5
+        assert pruned_series[-1][1] < control_series[-1][1]
