@@ -19,7 +19,7 @@ from repro.runner import make_result
 
 from repro.blockchain.mempool import MempoolLimits
 from repro.blockchain.params import BITCOIN
-from repro.core.adapters import BlockchainLedger, DagLedger
+from repro.core.deploy import build_deployment
 from repro.metrics.slo import detect_saturation_knee, load_point
 from repro.metrics.tables import render_table
 from repro.net.link import FAST_LINK
@@ -40,25 +40,27 @@ def _mini_chain_params():
 
 
 def _blockchain_ledger(seed, limits=None, prune_interval_s=None, keep_depth=8):
-    return BlockchainLedger(
-        params=_mini_chain_params(),
+    return build_deployment(
+        "blockchain",
+        chain_params=_mini_chain_params(),
         node_count=3,
         link_params=FAST_LINK,
         seed=seed,
         mempool_limits=limits,
         prune_interval_s=prune_interval_s,
         prune_keep_depth=keep_depth,
-    )
+    ).ledger
 
 
 def _dag_ledger(seed, processing_tps, prune_interval_s=None):
-    return DagLedger(
+    return build_deployment(
+        "dag",
         node_count=6,
         representative_count=3,
         seed=seed,
         processing_tps=processing_tps,
         prune_interval_s=prune_interval_s,
-    )
+    ).ledger
 
 
 def measure_load(ledger, accounts, offered_tps, duration_s, settle_s):

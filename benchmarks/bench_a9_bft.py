@@ -1,0 +1,189 @@
+"""Extension A9: quorum-certificate BFT as the third consensus regime.
+
+The paper compares Nakamoto consensus (probabilistic finality, §IV-A)
+with open representative voting (§III-B).  Permissioned deployments use
+a third discipline the comparison framework now models: HotStuff-style
+quorum certificates — a rotating leader batches payments into blocks, a
+prepare/commit vote round forms certificates of ``n - f`` signatures,
+and a committed block is *final* (no depth rule, no election).
+
+Three phases, all built through ``build_deployment``:
+
+* **throughput/latency** — payments commit with deterministic finality
+  and sub-view latency on every replica;
+* **leader crash** — the view-change timeout routes around a crashed
+  leader and commits resume (liveness after timeout);
+* **equivocation at f < n/3** — a Byzantine leader flooding conflicting
+  sibling proposals is detected by honest replicas and never splits the
+  committed prefix (safety margin of the quorum rule).
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+
+from repro.core.experiment import EXPERIMENTS
+from repro.runner import make_result
+from repro.core.deploy import build_deployment
+from repro.faults import ByzantineSpec
+from repro.metrics.tables import render_table
+from repro.workloads.generators import PaymentEvent
+
+pytestmark = pytest.mark.faults
+
+ACCOUNTS = 4
+FUNDING = 1_000_000
+
+
+def _deployment(seed, node_count=4, byzantine=None, **knobs):
+    deployment = build_deployment(
+        "bft", node_count=node_count, seed=seed, faults=byzantine, **knobs
+    )
+    deployment.setup(ACCOUNTS, FUNDING)
+    return deployment
+
+
+def _feed_payments(ledger, count, gap_s=2.0, amount=7):
+    entries = []
+    for i in range(count):
+        entry = ledger.submit(PaymentEvent(
+            time_s=ledger.now(), sender_index=i % ACCOUNTS,
+            recipient_index=(i + 1) % ACCOUNTS, amount=amount + i,
+        ))
+        if entry is not None:
+            entries.append(entry)
+        ledger.advance(gap_s)
+    return entries
+
+
+def throughput_phase(seed=11, payments=10):
+    """Honest run: every payment commits, finality is deterministic."""
+    deployment = _deployment(seed)
+    ledger = deployment.ledger
+    entries = _feed_payments(ledger, payments)
+    ledger.advance(30.0)
+    stats = ledger.stats()
+    confirmed = sum(1 for e in entries if ledger.is_confirmed(e))
+    return deployment, stats, len(entries), confirmed
+
+
+def leader_crash_phase(seed=12, payments=8, downtime_s=12.0):
+    """Crash a replica mid-run: the view timeout must rotate leadership
+    past it and commits must resume once traffic continues."""
+    deployment = _deployment(seed, view_timeout_s=3.0)
+    ledger = deployment.ledger
+    injector = deployment.fault_injector()
+    _feed_payments(ledger, payments // 2)
+    ledger.advance(5.0)
+
+    victim = deployment.nodes[1]
+    commits_before = victim.stats.commits
+    injector.crash(victim.node_id)
+    # Three view timeouts pass while the victim is down — whenever the
+    # rotation lands on it, the other replicas must time out and move on.
+    ledger.advance(downtime_s)
+    injector.restart(victim.node_id)
+
+    _feed_payments(ledger, payments - payments // 2)
+    ledger.advance(30.0)
+    view_changes = sum(n.stats.view_changes for n in deployment.nodes)
+    timeouts = sum(n.stats.timeouts for n in deployment.nodes)
+    commits_after = max(n.stats.commits for n in deployment.nodes)
+    return deployment, view_changes, timeouts, commits_before, commits_after
+
+
+def equivocation_phase(seed=13, payments=10):
+    """One equivocating replica out of four (f < n/3): detected, never
+    committed, audit green."""
+    deployment = _deployment(
+        seed, byzantine=ByzantineSpec(count=1, behavior="equivocate"),
+    )
+    ledger = deployment.ledger
+    _feed_payments(ledger, payments)
+    ledger.advance(40.0)
+    detected = sum(n.stats.equivocations_detected for n in deployment.nodes)
+    sent = sum(n.stats.equivocations_sent for n in deployment.nodes)
+    audit = ledger.audit()
+    heights = [len(n.committed) for n in deployment.nodes]
+    return deployment, sent, detected, audit, heights
+
+
+def test_a9_bft_consensus(benchmark):
+    deployment, stats, submitted, confirmed = benchmark(throughput_phase)
+
+    # Deterministic finality: everything submitted commits, and every
+    # replica reports the identical committed height.
+    assert submitted > 0
+    assert confirmed == submitted
+    assert stats.entries_confirmed == submitted
+    counters = deployment.layer_counters()
+    assert counters.get("consensus.commits", 0) > 0
+    assert counters.get("consensus.qcs_formed", 0) > 0
+    mean_latency = (sum(stats.confirmation_latencies_s)
+                    / len(stats.confirmation_latencies_s))
+
+    (_crash_dep, view_changes, timeouts,
+     commits_before, commits_after) = leader_crash_phase()
+    assert timeouts > 0, "crashing a leader must trip the view timeout"
+    assert view_changes > 0, "the roster must rotate past the dead leader"
+    assert commits_after > commits_before, "commits must resume after heal"
+
+    _byz_dep, sent, detected, audit, heights = equivocation_phase()
+    assert sent > 0, "the marked replica must actually equivocate"
+    assert detected > 0, "honest replicas must observe the conflict"
+    assert audit is not None and audit.ok, audit
+    assert len(set(heights)) == 1, "committed prefixes must agree"
+
+    rows = [
+        ["payments committed", stats.entries_confirmed],
+        ["mean commit latency", f"{mean_latency:.2f} s"],
+        ["QCs formed", int(counters["consensus.qcs_formed"])],
+        ["view changes around crash", view_changes],
+        ["equivocations sent / detected", f"{sent} / {detected}"],
+        ["replica committed heights", heights],
+    ]
+    report(
+        "A9 HotStuff-style BFT engine (extension: third consensus regime)",
+        render_table(["metric", "value"], rows),
+    )
+
+
+def run(params: dict, seed: int) -> dict:
+    """Uniform sweep entry point (see repro.runner.spec)."""
+    started = time.perf_counter()
+    p = {**dict(EXPERIMENTS["A9"].default_params), **(params or {})}
+
+    deployment, stats, submitted, confirmed = throughput_phase(
+        seed=seed + 11, payments=p["payments"])
+    latencies = stats.confirmation_latencies_s
+    (_dep, view_changes, timeouts,
+     commits_before, commits_after) = leader_crash_phase(
+        seed=seed + 12, payments=p["payments"],
+        downtime_s=p["crash_downtime_s"])
+    _byz, sent, detected, audit, heights = equivocation_phase(
+        seed=seed + 13, payments=p["payments"])
+
+    metrics = {
+        "submitted": float(submitted),
+        "confirmed": float(confirmed),
+        "mean_latency_s": (sum(latencies) / len(latencies)) if latencies
+        else -1.0,
+        "qcs_formed": deployment.layer_counters().get(
+            "consensus.qcs_formed", 0.0),
+        "view_changes": float(view_changes),
+        "timeouts": float(timeouts),
+        "commits_resumed": float(commits_after - commits_before),
+        "equivocations_sent": float(sent),
+        "equivocations_detected": float(detected),
+        "containment_audit_ok": bool(audit is not None and audit.ok),
+        "committed_height_spread": float(max(heights) - min(heights)),
+    }
+    return make_result("A9", p, seed, metrics, started=started)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    bench_main(run)

@@ -4,10 +4,12 @@
 The dependency contract that keeps ``repro.protocol`` paradigm-agnostic:
 
 * ``repro.protocol`` must not import any paradigm package
-  (``repro.blockchain``, ``repro.dag``) or anything built on top of the
-  stack (``repro.core``, ``repro.check``, ``repro.faults``);
-* the two paradigm packages must not import each other —
-  ``repro.blockchain`` never imports ``repro.dag`` and vice versa;
+  (``repro.blockchain``, ``repro.dag``, ``repro.consensus``) or anything
+  built on top of the stack (``repro.core``, ``repro.check``,
+  ``repro.faults``);
+* the paradigm packages must not import each other —
+  ``repro.blockchain``, ``repro.dag`` and ``repro.consensus`` (the BFT
+  engine) are mutually independent peers on the shared stack;
 * ``repro.net`` (the fabric below the stack) must not import
   ``repro.protocol`` or any paradigm package.
 
@@ -28,13 +30,26 @@ FORBIDDEN = {
     "repro/protocol": (
         "repro.blockchain",
         "repro.dag",
+        "repro.consensus",
         "repro.core",
         "repro.check",
         "repro.faults",
     ),
-    "repro/blockchain": ("repro.dag",),
-    "repro/dag": ("repro.blockchain",),
-    "repro/net": ("repro.protocol", "repro.blockchain", "repro.dag"),
+    "repro/blockchain": ("repro.dag", "repro.consensus"),
+    "repro/dag": ("repro.blockchain", "repro.consensus"),
+    "repro/consensus": (
+        "repro.blockchain",
+        "repro.dag",
+        "repro.core",
+        "repro.check",
+        "repro.faults",
+    ),
+    "repro/net": (
+        "repro.protocol",
+        "repro.blockchain",
+        "repro.dag",
+        "repro.consensus",
+    ),
 }
 
 

@@ -16,6 +16,7 @@ Block production comes in two flavours matching Section III:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -58,6 +59,8 @@ class NodeStats:
     orphaned_transactions: int = 0
     txs_seen: int = 0
     validation_bytes: int = 0  # bytes of block bodies validated (load metric)
+    blocks_withheld: int = 0   # selfish mining: blocks kept private
+    private_releases: int = 0  # selfish mining: private-chain publications
 
 
 class ChainConsensus(ConsensusEngine):
@@ -111,6 +114,11 @@ class BlockchainNode(ProtocolNode):
         self._tx_blocks: Dict[TxId, Hash] = {}  # txid -> containing main-chain block
         self._miner: Optional[SimulatedMiner] = None
         self._mining_epoch = 0
+        # Byzantine family "selfish" (wired by the adapters/deploy
+        # factory): withhold mined blocks, release against competitors.
+        self.selfish_mining = False
+        self._private_blocks: List[Block] = []
+        self.byz_rng: Optional[random.Random] = None
         self._entry_block_id: Optional[Hash] = None
         self._entry_result: Optional[ReorgResult] = None
 
@@ -190,6 +198,10 @@ class BlockchainNode(ProtocolNode):
             self._admit_transaction(message.payload)
         elif message.kind == MSG_BLOCK:
             self.receive_block(message.payload)
+            if self.selfish_mining and self._private_blocks:
+                # A competitor published: the selfish miner answers with
+                # its private chain (Eyal & Sirer's race).
+                self._maybe_release_private()
 
     def _admit_transaction(self, tx: AnyTransaction) -> bool:
         self.stats.txs_seen += 1
@@ -533,15 +545,41 @@ class BlockchainNode(ProtocolNode):
             receipts_root=block.header.receipts_root,
         )
         self.receive_block(block)  # bumps epoch and reschedules
-        self.transport.publish(
-            block,
-            Message(
-                kind=MSG_BLOCK,
-                payload=block,
-                size_bytes=block.size_bytes,
-                dedup_key=block.block_id,
-            ),
+        if self.selfish_mining:
+            # Byzantine family "selfish": keep the block private and
+            # keep mining on top of it; the release races a competitor.
+            self._private_blocks.append(block)
+            self.stats.blocks_withheld += 1
+            return
+        self.transport.publish(block, self._block_message(block))
+
+    def _block_message(self, block: Block) -> Message:
+        return Message(
+            kind=MSG_BLOCK,
+            payload=block,
+            size_bytes=block.size_bytes,
+            dedup_key=block.block_id,
         )
+
+    def _maybe_release_private(self) -> None:
+        """Release the withheld chain, or (rng-driven, stubborn-miner
+        variant) hold a long lead through one more round."""
+        if (len(self._private_blocks) >= 2 and self.byz_rng is not None
+                and self.byz_rng.random() < 0.25):
+            return
+        self.release_private_blocks()
+
+    def release_private_blocks(self) -> int:
+        """Publish every withheld block still on our main chain."""
+        released = 0
+        for block in self._private_blocks:
+            if self.chain.is_on_main_chain(block.block_id):
+                self.transport.publish(block, self._block_message(block))
+                released += 1
+        self._private_blocks.clear()
+        if released:
+            self.stats.private_releases += 1
+        return released
 
     # ------------------------------------------------------------- transport
 

@@ -28,6 +28,7 @@ OP_RESTART = "restart"
 OP_PARTITION = "partition"
 OP_HEAL = "heal"
 OP_CORRUPT = "corrupt"
+OP_TIP_SPAM = "tip_spam"
 
 #: Deterministic tiebreak for ops landing at the same instant: faults
 #: fire before traffic, heal/corrupt after.
@@ -39,6 +40,7 @@ _KIND_ORDER = {
     OP_DOUBLE_SPEND: 4,
     OP_HEAL: 5,
     OP_CORRUPT: 6,
+    OP_TIP_SPAM: 7,
 }
 
 
@@ -53,10 +55,12 @@ class ScheduleOp:
     amount: int = 0
     #: target node index for crash/restart ops
     node: int = -1
+    #: conflicting-entry fanout for tip-spam ops (0 = n/a)
+    count: int = 0
 
     def sort_key(self) -> tuple:
         return (self.time_s, _KIND_ORDER.get(self.kind, 9), self.sender,
-                self.recipient, self.node, self.amount)
+                self.recipient, self.node, self.amount, self.count)
 
     def to_payment(self) -> PaymentEvent:
         return PaymentEvent(
@@ -71,6 +75,9 @@ class ScheduleOp:
         if self.kind in (OP_PAYMENT, OP_DOUBLE_SPEND):
             record.update(sender=self.sender, recipient=self.recipient,
                           amount=self.amount)
+        elif self.kind == OP_TIP_SPAM:
+            record.update(sender=self.sender, recipient=self.recipient,
+                          amount=self.amount, count=self.count)
         elif self.kind in (OP_CRASH, OP_RESTART):
             record["node"] = self.node
         elif self.kind == OP_CORRUPT:
@@ -86,6 +93,7 @@ class ScheduleOp:
             recipient=int(record.get("recipient", 0)),
             amount=int(record.get("amount", 0)),
             node=int(record.get("node", -1)),
+            count=int(record.get("count", 0)),
         )
 
 
@@ -128,6 +136,16 @@ class FuzzProfile:
     prune_keep_depth: int = 64
     #: blockchain mempool admission cap (None = unbounded)
     mempool_max_count: Optional[int] = None
+    #: Byzantine adversary mix: the roster's first ``byzantine_nodes``
+    #: replicas run ``byzantine_behavior`` (see repro.faults)
+    byzantine_nodes: int = 0
+    byzantine_behavior: str = "equivocate"
+    #: BFT quorum override (``>= n/3`` seeds the classical safety break)
+    quorum_f_override: Optional[int] = None
+    view_timeout_s: float = 4.0
+    #: Poisson rate of conflicting-tip spam bursts (0 = none)
+    tip_spam_rate_tps: float = 0.0
+    tip_spam_fanout: int = 3
 
     def describe(self) -> str:
         parts = [f"{self.accounts} accounts", f"{self.rate_tps} tps",
@@ -142,6 +160,13 @@ class FuzzProfile:
             parts.append("seeded corruption")
         if self.prune_interval_s is not None:
             parts.append(f"prune@{self.prune_interval_s:g}s")
+        if self.byzantine_nodes:
+            parts.append(
+                f"byzantine x{self.byzantine_nodes} ({self.byzantine_behavior})")
+        if self.quorum_f_override is not None:
+            parts.append(f"f={self.quorum_f_override}")
+        if self.tip_spam_rate_tps:
+            parts.append(f"tip-spam@{self.tip_spam_rate_tps}/s")
         return ", ".join(parts)
 
 
@@ -169,6 +194,21 @@ PROFILES: Dict[str, FuzzProfile] = {
     "soak": FuzzProfile(
         name="soak", duration_s=120.0, settle_s=60.0, rate_tps=1.0,
         prune_interval_s=30.0, prune_keep_depth=8, mempool_max_count=256,
+    ),
+    # Byzantine adversaries under the fault tolerance each paradigm
+    # claims: one equivocating replica out of four (f < n/3 for BFT),
+    # plus conflicting-tip spam bursts for the DAG's marked replica.
+    # The invariants must hold — detection without divergence.
+    "byzantine": FuzzProfile(
+        name="byzantine", byzantine_nodes=1, rate_tps=0.3,
+        tip_spam_rate_tps=0.05, settle_s=60.0,
+    ),
+    # The BFT self-test: two colluding equivocators with the quorum
+    # threshold dropped to n - 2 (f >= n/3).  Conflicting commits MUST
+    # form and the safety invariant MUST trip — run on --paradigm bft.
+    "byzantine-violation": FuzzProfile(
+        name="byzantine-violation", byzantine_nodes=2, quorum_f_override=2,
+        rate_tps=0.3, settle_s=60.0,
     ),
 }
 
@@ -244,6 +284,24 @@ def generate_schedule(seed: int, profile: Optional[FuzzProfile] = None) -> Sched
                 recipient=recipient,
                 amount=conflict_rng.randint(profile.min_amount,
                                             profile.max_amount),
+            ))
+
+    if profile.tip_spam_rate_tps > 0:
+        spam_rng = fork_rng(master, "fuzz:byz:tip-spam")
+        t = 0.0
+        while True:
+            t += exponential(spam_rng, profile.tip_spam_rate_tps)
+            if t >= profile.duration_s:
+                break
+            sender = spam_rng.randrange(profile.accounts)
+            recipient = (sender + 1 + spam_rng.randrange(
+                profile.accounts - 1)) % profile.accounts
+            ops.append(ScheduleOp(
+                time_s=t, kind=OP_TIP_SPAM, sender=sender,
+                recipient=recipient,
+                amount=spam_rng.randint(profile.min_amount,
+                                        profile.max_amount),
+                count=profile.tip_spam_fanout,
             ))
 
     for node_index in range(profile.churn_nodes):

@@ -30,26 +30,53 @@ from repro.check.generator import (
     OP_PARTITION,
     OP_PAYMENT,
     OP_RESTART,
+    OP_TIP_SPAM,
     FuzzProfile,
     Schedule,
     generate_schedule,
 )
 from repro.check.monitor import InvariantMonitor, ViolationRecord, intake_backlog
-from repro.core.adapters import BlockchainLedger, DagLedger
+from repro.core.deploy import Deployment, build_deployment
 from repro.core.ledger import Ledger
 from repro.dag.params import NanoParams
-from repro.faults import FaultInjector
+from repro.faults import ByzantineSpec, FaultInjector
 
+#: Default differential pair: the two paradigms the source paper
+#: compares.  BFT joins only by explicit selection (``--paradigm``).
 PARADIGMS = ("blockchain", "dag")
 
+#: Everything the fuzzer *can* drive, including the BFT engine.
+ALL_PARADIGMS = ("blockchain", "dag", "bft")
 
-def build_ledger(paradigm: str, seed: int, profile: FuzzProfile) -> Ledger:
+#: Each paradigm's native adversary family when a profile requests
+#: Byzantine replicas without naming a paradigm-specific behavior.
+_NATIVE_BEHAVIOR = {"blockchain": "selfish", "dag": "tip-spam"}
+
+
+def build_fuzz_deployment(paradigm: str, seed: int,
+                          profile: FuzzProfile) -> Deployment:
     """Stand up a fuzz-sized deployment of ``paradigm``.
 
     Deployments are deliberately small (few nodes, short block
     intervals) so a 50-seed campaign stays in smoke-test territory while
-    still exercising gossip, mining/elections and confirmation.
+    still exercising gossip, mining/elections/quorum formation and
+    confirmation.  Everything funnels through
+    :func:`repro.core.deploy.build_deployment`, so the fuzzer drives
+    exactly the deployments the benches and CLI do.
     """
+    if paradigm not in ALL_PARADIGMS:
+        raise ValueError(f"unknown paradigm {paradigm!r} "
+                         f"(choose from {', '.join(ALL_PARADIGMS)})")
+    faults = None
+    if profile.byzantine_nodes > 0:
+        behavior = (profile.byzantine_behavior if paradigm == "bft"
+                    else _NATIVE_BEHAVIOR[paradigm])
+        faults = ByzantineSpec(
+            count=profile.byzantine_nodes,
+            behavior=behavior,
+            f_override=(profile.quorum_f_override if paradigm == "bft"
+                        else None),
+        )
     if paradigm == "blockchain":
         params = replace(
             BITCOIN,
@@ -60,22 +87,33 @@ def build_ledger(paradigm: str, seed: int, profile: FuzzProfile) -> Ledger:
         limits = None
         if profile.mempool_max_count is not None:
             limits = MempoolLimits(max_count=profile.mempool_max_count)
-        return BlockchainLedger(
-            params=params, node_count=profile.node_count, seed=seed,
-            mempool_limits=limits,
+        return build_deployment(
+            "blockchain", faults=faults, chain_params=params,
+            node_count=profile.node_count, seed=seed, mempool_limits=limits,
             prune_interval_s=profile.prune_interval_s,
             prune_keep_depth=profile.prune_keep_depth,
         )
     if paradigm == "dag":
-        return DagLedger(
-            params=NanoParams(work_difficulty=1),
+        return build_deployment(
+            "dag", faults=faults, dag_params=NanoParams(work_difficulty=1),
             node_count=profile.node_count,
             representative_count=max(2, profile.node_count // 2),
-            seed=seed,
-            prune_interval_s=profile.prune_interval_s,
+            seed=seed, prune_interval_s=profile.prune_interval_s,
         )
-    raise ValueError(f"unknown paradigm {paradigm!r} "
-                     f"(choose from {', '.join(PARADIGMS)})")
+    return build_deployment(
+        "bft", faults=faults, node_count=profile.node_count, seed=seed,
+        view_timeout_s=profile.view_timeout_s,
+    )
+
+
+def build_ledger(paradigm: str, seed: int, profile: FuzzProfile) -> Ledger:
+    """Deprecated shim: the pre-factory entry point.
+
+    Kept so released callers keep working; new code should use
+    :func:`build_fuzz_deployment` (or ``build_deployment`` directly) and
+    hold the uniform :class:`~repro.core.deploy.Deployment` handle.
+    """
+    return build_fuzz_deployment(paradigm, seed, profile).ledger
 
 
 @dataclass
@@ -169,6 +207,10 @@ def _apply_op(op, ledger: Ledger, injector: Optional[FaultInjector],
         return "ok"
     if op.kind == OP_CORRUPT:
         return "ok" if ledger.inject_supply_corruption(op.amount) else "skipped"
+    if op.kind == OP_TIP_SPAM:
+        entries = ledger.submit_tip_spam(op.to_payment(),
+                                         fanout=op.count or 3)
+        return f"spam:{len(entries)}"
     return "unknown"
 
 

@@ -32,6 +32,67 @@ from repro.common.units import format_bytes
 from repro.core.experiment import EXPERIMENTS
 from repro.metrics.tables import render_table
 
+#: The normalized ``--paradigm`` spelling every deployment-shaped
+#: subcommand (fuzz/sweep/soak/perf) shares: ``both`` is the paper's
+#: differential pair, ``all`` adds the BFT engine.
+_PARADIGM_CHOICES = ("all", "both", "blockchain", "dag", "bft")
+_ENGINE_CHOICES = ("pow", "orv", "hotstuff")
+_ENGINE_PARADIGM = {"pow": "blockchain", "orv": "dag", "hotstuff": "bft"}
+
+#: Module prefixes that tag an experiment as paradigm-specific for
+#: ``sweep --paradigm``; experiments matching none are cross-cutting
+#: and excluded whenever a single-paradigm filter is active.
+_SWEEP_MODULE_PREFIXES = {
+    "blockchain": ("repro.blockchain", "repro.crypto.pow"),
+    "dag": ("repro.dag",),
+    "bft": ("repro.consensus",),
+}
+
+
+def _selection_parent(paradigm_default: Optional[str] = None,
+                      profile_default: Optional[str] = None,
+                      profile_help: str = "named scenario profile",
+                      ) -> argparse.ArgumentParser:
+    """The shared ``--paradigm``/``--engine``/``--profile`` option block.
+
+    Built once per subcommand as an argparse *parent parser* so every
+    deployment-shaped command accepts the same spelling (no copy-pasted
+    option blocks drifting apart)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--paradigm", choices=_PARADIGM_CHOICES,
+                        default=paradigm_default,
+                        help="paradigm selection (both = blockchain+dag, "
+                             "all = +bft)")
+    parent.add_argument("--engine", choices=_ENGINE_CHOICES, default=None,
+                        help="consensus engine (default: the selected "
+                             "paradigm's native engine)")
+    parent.add_argument("--profile", default=profile_default,
+                        help=profile_help)
+    return parent
+
+
+def _resolve_paradigms(selection: Optional[str]) -> List[str]:
+    from repro.check.runner import ALL_PARADIGMS, PARADIGMS
+
+    if selection in (None, "both"):
+        return list(PARADIGMS)
+    if selection == "all":
+        return list(ALL_PARADIGMS)
+    return [selection]
+
+
+def _engine_error(paradigms: List[str], engine: Optional[str]) -> Optional[str]:
+    """Engine/paradigm consistency check; None when compatible."""
+    if engine is None:
+        return None
+    from repro.core.deploy import PARADIGM_ENGINES
+
+    bad = [p for p in paradigms if engine not in PARADIGM_ENGINES[p]]
+    if bad:
+        return (f"engine {engine!r} does not apply to paradigm(s) "
+                f"{', '.join(bad)}")
+    return None
+
 
 def _cmd_list(args: argparse.Namespace) -> int:
     rows = [
@@ -45,8 +106,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.blockchain.params import BITCOIN, ETHEREUM
-    from repro.core.adapters import BlockchainLedger, DagLedger
     from repro.core.comparison import compare_ledgers
+    from repro.core.deploy import build_deployment
     from repro.workloads.generators import PaymentWorkload
 
     base = ETHEREUM if args.chain == "ethereum" else BITCOIN
@@ -61,8 +122,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"running {len(events)} payments through both paradigms...",
           file=sys.stderr)
     report = compare_ledgers(
-        BlockchainLedger(params=params, node_count=args.nodes, seed=args.seed),
-        DagLedger(node_count=args.nodes + 2, representative_count=3, seed=args.seed),
+        build_deployment("blockchain", chain_params=params,
+                         node_count=args.nodes, seed=args.seed).ledger,
+        build_deployment("dag", node_count=args.nodes + 2,
+                         representative_count=3, seed=args.seed).ledger,
         events,
         accounts=args.accounts,
         initial_balance=10_000_000,
@@ -196,7 +259,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Differential fuzz campaign: seeded schedules replayed on both
     paradigms with in-loop invariant auditing (see ``repro.check``)."""
     from repro.check.generator import PROFILES, profile_named
-    from repro.check.runner import PARADIGMS, run_campaign
+    from repro.check.runner import run_campaign
 
     if args.profile not in PROFILES:
         print(f"error: unknown profile {args.profile!r} "
@@ -210,7 +273,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    paradigms = PARADIGMS if args.paradigm == "both" else (args.paradigm,)
+    paradigms = _resolve_paradigms(args.paradigm)
+    error = _engine_error(paradigms, args.engine)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     seeds = range(args.seed_start, args.seed_start + args.seeds)
     print(f"fuzzing {len(seeds)} seeds x {len(paradigms)} paradigm(s), "
           f"profile {profile.name} ({profile.describe()})", file=sys.stderr)
@@ -243,28 +310,58 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     with periodic pruning, compared against an unpruned control."""
     from repro.blockchain.mempool import MempoolLimits
     from repro.blockchain.params import BITCOIN
-    from repro.core.adapters import BlockchainLedger, DagLedger
+    from repro.core.deploy import build_deployment
     from repro.net.link import FAST_LINK
     from repro.workloads.open_loop import OpenLoopInjector
+
+    if args.paradigm in ("both", "all"):
+        print("error: soak runs one paradigm at a time "
+              "(--paradigm blockchain or dag)", file=sys.stderr)
+        return 2
+    if args.paradigm == "bft":
+        print("error: the bft paradigm has no pruning path to soak "
+              "(choose blockchain or dag)", file=sys.stderr)
+        return 2
+    error = _engine_error([args.paradigm], args.engine)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.profile is not None:
+        # Borrow the deployment knobs of a named fuzz profile, so e.g.
+        # ``repro soak --profile soak`` replays the CI soak scenario.
+        from repro.check.generator import PROFILES
+        if args.profile not in PROFILES:
+            print(f"error: unknown profile {args.profile!r} "
+                  f"(choose from {', '.join(sorted(PROFILES))})",
+                  file=sys.stderr)
+            return 2
+        prof = PROFILES[args.profile]
+        args.rate = prof.rate_tps
+        args.duration = prof.duration_s
+        if prof.prune_interval_s is not None:
+            args.prune_interval = prof.prune_interval_s
+        args.keep_depth = prof.prune_keep_depth
+        if prof.mempool_max_count is not None:
+            args.mempool_cap = prof.mempool_max_count
 
     def build(pruned: bool):
         interval = args.prune_interval if pruned else None
         if args.paradigm == "dag":
-            return DagLedger(
-                node_count=4, representative_count=2, seed=args.seed,
+            return build_deployment(
+                "dag", node_count=4, representative_count=2, seed=args.seed,
                 prune_interval_s=interval,
-            )
+            ).ledger
         params = replace(
             BITCOIN, target_block_interval_s=15.0,
             max_block_size_bytes=4_000, confirmation_depth=2,
         )
-        return BlockchainLedger(
-            params=params, node_count=3, link_params=FAST_LINK,
-            seed=args.seed,
+        return build_deployment(
+            "blockchain", chain_params=params, node_count=3,
+            link_params=FAST_LINK, seed=args.seed,
             mempool_limits=MempoolLimits(max_count=args.mempool_cap),
             prune_interval_s=interval,
             prune_keep_depth=args.keep_depth,
-        )
+        ).ledger
 
     rows = []
     sizes = {}
@@ -456,19 +553,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
-    if args.all:
+    if args.profile is not None:
+        print("error: --profile names fuzz scenarios; it does not apply "
+              "to sweep (use fuzz/soak)", file=sys.stderr)
+        return 2
+    selector = args.paradigm
+    if args.engine is not None:
+        owner = _ENGINE_PARADIGM[args.engine]
+        if selector in (None, "all", "both"):
+            selector = owner
+        elif selector != owner:
+            print(f"error: engine {args.engine!r} does not apply to "
+                  f"paradigm {selector!r}", file=sys.stderr)
+            return 2
+    if args.all or selector not in (None, "all", "both"):
         experiment_ids = list(EXPERIMENTS)
     elif args.experiment:
         experiment_ids = list(args.experiment)
     else:
-        print("error: pass --experiment ID (repeatable) or --all",
-              file=sys.stderr)
+        print("error: pass --experiment ID (repeatable), --all, or a "
+              "--paradigm filter", file=sys.stderr)
         return 2
     unknown = [e for e in experiment_ids if e not in EXPERIMENTS]
     if unknown:
         print(f"error: unknown experiments: {', '.join(unknown)}",
               file=sys.stderr)
         return 2
+    if selector not in (None, "all", "both"):
+        prefixes = _SWEEP_MODULE_PREFIXES[selector]
+        filtered = [
+            e for e in experiment_ids
+            if any(m == p or m.startswith(p + ".")
+                   for m in EXPERIMENTS[e].modules for p in prefixes)
+        ]
+        if args.experiment:
+            filtered = [e for e in filtered if e in args.experiment]
+        if not filtered:
+            print(f"error: no experiments match paradigm {selector!r}",
+                  file=sys.stderr)
+            return 2
+        experiment_ids = filtered
     try:
         grid = _parse_grid(args.param)
     except ValueError as error:
@@ -527,8 +651,35 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(f"  {result.name}: {result.ops_per_s:,.1f} ops/s "
               f"({result.wall_s:.3f} s)", file=sys.stderr)
 
+    if args.profile is not None:
+        print("error: --profile names fuzz scenarios; it does not apply "
+              "to perf (use fuzz/soak)", file=sys.stderr)
+        return 2
+    selector = args.paradigm
+    if args.engine is not None:
+        owner = _ENGINE_PARADIGM[args.engine]
+        if selector in (None, "all", "both"):
+            selector = owner
+        elif selector != owner:
+            print(f"error: engine {args.engine!r} does not apply to "
+                  f"paradigm {selector!r}", file=sys.stderr)
+            return 2
+    names = list(args.bench) or None
+    if selector not in (None, "all", "both"):
+        from repro.perf.suite import BENCHES
+        tagged = [n for n, b in BENCHES.items() if selector in b.paradigms]
+        if not tagged:
+            print(f"error: no perf benches are tagged {selector!r}",
+                  file=sys.stderr)
+            return 2
+        names = [n for n in (names or tagged) if n in tagged]
+        if not names:
+            print(f"error: none of the requested benches belong to "
+                  f"paradigm {selector!r}", file=sys.stderr)
+            return 2
+
     try:
-        results = run_suite(args.bench or None, scale=args.scale,
+        results = run_suite(names, scale=args.scale,
                             progress=progress)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -649,17 +800,18 @@ def build_parser() -> argparse.ArgumentParser:
     faults.set_defaults(func=_cmd_faults)
 
     fuzz = sub.add_parser(
-        "fuzz", help="differential fuzzing with in-loop invariant audits"
+        "fuzz", help="differential fuzzing with in-loop invariant audits",
+        parents=[_selection_parent(
+            paradigm_default="both", profile_default="baseline",
+            profile_help="scenario family: baseline, conflict, churn, "
+                         "adversarial, seeded-violation, soak, byzantine, "
+                         "byzantine-violation",
+        )],
     )
     fuzz.add_argument("--seeds", type=int, default=10,
                       help="number of seeds in the campaign")
     fuzz.add_argument("--seed-start", type=int, default=0,
                       help="first seed (campaign covers start..start+seeds-1)")
-    fuzz.add_argument("--paradigm", choices=("both", "blockchain", "dag"),
-                      default="both")
-    fuzz.add_argument("--profile", default="baseline",
-                      help="scenario family: baseline, conflict, churn, "
-                           "adversarial, seeded-violation, soak")
     fuzz.add_argument("--audit-interval", type=float, default=None,
                       help="in-loop audit cadence (simulated s)")
     fuzz.add_argument("--shrink", action="store_true",
@@ -673,10 +825,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     soak = sub.add_parser(
         "soak", help="sustained open-loop load with live pruning vs an "
-                     "unpruned control"
+                     "unpruned control",
+        parents=[_selection_parent(
+            paradigm_default="blockchain",
+            profile_help="borrow deployment knobs from a named fuzz "
+                         "profile (e.g. soak)",
+        )],
     )
-    soak.add_argument("--paradigm", choices=("blockchain", "dag"),
-                      default="blockchain")
     soak.add_argument("--duration", type=float, default=600.0,
                       help="offered-traffic horizon (simulated s)")
     soak.add_argument("--rate", type=float, default=1.0,
@@ -707,7 +862,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     sweep = sub.add_parser(
-        "sweep", help="parameter-grid fan-out across worker processes"
+        "sweep", help="parameter-grid fan-out across worker processes",
+        parents=[_selection_parent(
+            profile_help="not applicable to sweep (accepted for uniform "
+                         "spelling; rejected at runtime)",
+        )],
     )
     sweep.add_argument("--experiment", "-e", action="append", default=[],
                        help="experiment id (repeatable)")
@@ -738,7 +897,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=_cmd_sweep)
 
     perf = sub.add_parser(
-        "perf", help="hot-path microbenchmark suite -> BENCH_PERF.json"
+        "perf", help="hot-path microbenchmark suite -> BENCH_PERF.json",
+        parents=[_selection_parent(
+            profile_help="not applicable to perf (accepted for uniform "
+                         "spelling; rejected at runtime)",
+        )],
     )
     perf.add_argument("bench", nargs="*",
                       help="bench names (default: the whole suite)")

@@ -1,10 +1,17 @@
-"""Ledger-interface adapters for the two paradigms.
+"""Ledger-interface adapters for the paradigms.
 
 :class:`BlockchainLedger` stands up a PoW blockchain network (UTXO or
 account model per its :class:`~repro.blockchain.params.ChainParams`);
-:class:`DagLedger` stands up a Nano testbed.  Both expose the uniform
+:class:`DagLedger` stands up a Nano testbed; :class:`BftLedger` stands
+up a HotStuff-style quorum-certificate roster.  All expose the uniform
 :class:`~repro.core.ledger.Ledger` API so the comparison layer can drive
 them with identical workloads.
+
+Prefer constructing deployments through
+:func:`repro.core.deploy.build_deployment` — the uniform factory that
+also wires consensus-engine selection and Byzantine adversary mixes.
+Direct adapter construction remains supported for compatibility (see
+docs/architecture.md for the deprecation timeline).
 """
 
 from __future__ import annotations
@@ -39,8 +46,15 @@ from repro.dag.bootstrap import NanoTestbed, build_nano_testbed, fund_accounts
 from repro.dag.lattice import PendingInfo
 from repro.dag.node import MSG_NANO_BLOCK
 from repro.dag.params import NanoParams
-from repro.core.invariants import AuditReport, audit_blockchain, audit_lattice
+from repro.consensus.hotstuff import BftNode, BftPayment
+from repro.core.invariants import (
+    AuditReport,
+    audit_bft,
+    audit_blockchain,
+    audit_lattice,
+)
 from repro.core.ledger import DeploymentView, Ledger, LedgerStats
+from repro.trace import BYZANTINE
 from repro.workloads.generators import PaymentEvent
 
 Outpoint = Tuple[TxId, int]
@@ -66,6 +80,8 @@ class BlockchainLedger(Ledger):
         mempool_limits: Optional[MempoolLimits] = None,
         prune_interval_s: Optional[float] = None,
         prune_keep_depth: int = DEFAULT_KEEP_DEPTH,
+        byzantine_nodes: int = 0,
+        byzantine_behavior: str = "selfish",
     ) -> None:
         self.name = params.name
         self.params = params
@@ -76,6 +92,8 @@ class BlockchainLedger(Ledger):
         self.mempool_limits = mempool_limits
         self.prune_interval_s = prune_interval_s
         self.prune_keep_depth = prune_keep_depth
+        self.byzantine_nodes = byzantine_nodes
+        self.byzantine_behavior = byzantine_behavior
         self.prune_stats: List[LivePruneStats] = []
         self._rng = random.Random(seed)
         self.simulator: Optional[Simulator] = None
@@ -119,6 +137,19 @@ class BlockchainLedger(Ledger):
         for node in self.nodes:
             miner = KeyPair.generate(self._rng)
             node.start_pow_mining(1.0 / self.node_count, miner.address)
+        for node in self.nodes[: self.byzantine_nodes]:
+            # Selfish mining (the blockchain family): mined blocks are
+            # withheld and released when a competing honest block shows
+            # up, orphaning honest work.  Per-node fork_rng stream so
+            # the adversary's hold-or-release coin never perturbs the
+            # honest miners' schedules.
+            node.is_byzantine = True
+            node.selfish_mining = True
+            node.byz_rng = self.simulator.fork_rng(
+                f"byz:{self.byzantine_behavior}:{node.node_id}")
+            self.network.tracer.emit(
+                self.simulator.now, BYZANTINE, src=node.node_id,
+                reason=self.byzantine_behavior)
         if self.prune_interval_s is not None:
             # Bounded-memory soak: every replica sheds old block bodies
             # on a periodic tick while the run continues (Section V-A).
@@ -320,6 +351,8 @@ class DagLedger(Ledger):
         seed: int = 0,
         processing_tps: Optional[float] = None,
         prune_interval_s: Optional[float] = None,
+        byzantine_nodes: int = 0,
+        byzantine_behavior: str = "tip-spam",
     ) -> None:
         self.params = params or NanoParams(work_difficulty=1)
         self.name = self.params.name
@@ -329,6 +362,8 @@ class DagLedger(Ledger):
         self.seed = seed
         self.processing_tps = processing_tps
         self.prune_interval_s = prune_interval_s
+        self.byzantine_nodes = byzantine_nodes
+        self.byzantine_behavior = byzantine_behavior
         self.prune_stats: List[LivePruneStats] = []
         self.testbed: Optional[NanoTestbed] = None
         self.keys: List[KeyPair] = []
@@ -349,6 +384,13 @@ class DagLedger(Ledger):
         self.keys = fund_accounts(
             self.testbed, accounts, initial_balance, settle_time=2.0
         )
+        for node in self.testbed.nodes[: self.byzantine_nodes]:
+            # Conflicting-tip spam (the DAG family): marked replicas are
+            # the injection points :meth:`submit_tip_spam` floods from.
+            node.is_byzantine = True
+            self.testbed.network.tracer.emit(
+                self.testbed.simulator.now, BYZANTINE, src=node.node_id,
+                reason=self.byzantine_behavior)
         if self.prune_interval_s is not None:
             # Live *current*-node pruning (Section V-B): trim every
             # replica to heads + unsettled sends on a periodic tick.
@@ -487,6 +529,46 @@ class DagLedger(Ledger):
         self._submit_times[honest.block_hash] = self.now()
         return [honest.block_hash, conflicting.block_hash]
 
+    def submit_tip_spam(self, event: PaymentEvent, fanout: int = 3) -> List[Hash]:
+        """Conflicting-tip spam: ``fanout`` mutually conflicting send
+        blocks claiming one predecessor, each injected at a different
+        replica (Byzantine-marked replicas first) and flooded from
+        there.  A wider version of the double-spend fork: every pair
+        conflicts, so elections must collapse ``fanout`` tips to at most
+        one survivor everywhere."""
+        assert self.testbed is not None
+        if fanout < 2:
+            return self.submit_double_spend(event)
+        sender = self.keys[event.sender_index]
+        wallet = self.testbed.node_for(sender.address)
+        chain = wallet.lattice.chain(sender.address)
+        if chain is None or chain.balance < event.amount:
+            return []
+        head = chain.head
+        blocks = []
+        for i in range(fanout):
+            decoy = self.keys[(event.recipient_index + i) % len(self.keys)]
+            blocks.append(make_send(
+                sender, previous=head, destination=decoy.address,
+                amount=event.amount,
+                work_difficulty=self.params.work_difficulty,
+            ))
+        nodes = self.testbed.nodes
+        spam_origins = [n for n in nodes if n.is_byzantine] or nodes
+        for i, block in enumerate(blocks):
+            node = spam_origins[(event.sender_index + i) % len(spam_origins)]
+            message = Message(
+                kind=MSG_NANO_BLOCK,
+                payload=block,
+                size_bytes=block.size_bytes,
+                dedup_key=block.block_hash,
+            )
+            node.deliver("fuzz-adversary", message)
+            node.broadcast(message)
+        self._stats.entries_created += 1
+        self._submit_times[blocks[0].block_hash] = self.now()
+        return [b.block_hash for b in blocks]
+
     def inject_supply_corruption(self, amount: int) -> bool:
         """Park phantom value in one replica's pending table — the
         seeded violation the in-loop audit must catch."""
@@ -501,4 +583,190 @@ class DagLedger(Ledger):
                 amount=amount,
             )
         )
+        return True
+
+
+class BftLedger(Ledger):
+    """A HotStuff-style quorum-certificate roster behind the uniform
+    interface — deterministic finality as the third contender next to
+    Nakamoto probabilistic confirmation and block-lattice elections.
+
+    Accounts are plain indices in a replicated balance table; a payment
+    is a state-machine command that commits when a block carrying it
+    gains a commit certificate.  ``byzantine_nodes`` replicas (roster
+    prefix) run ``byzantine_behavior`` (equivocate / withhold), each
+    with its own forked rng stream; ``quorum_f_override`` widens the
+    tolerated fault count past n/3 to reproduce the classical safety
+    violation on demand.
+    """
+
+    paradigm = "bft"
+
+    def __init__(
+        self,
+        node_count: int = 4,
+        link_params: Optional[LinkParams] = None,
+        seed: int = 0,
+        view_timeout_s: float = 4.0,
+        propose_delay_s: float = 0.25,
+        max_batch: int = 16,
+        byzantine_nodes: int = 0,
+        byzantine_behavior: str = "equivocate",
+        quorum_f_override: Optional[int] = None,
+    ) -> None:
+        self.name = "hotstuff"
+        self.node_count = node_count
+        self.link_params = link_params or LinkParams()
+        self.seed = seed
+        self.view_timeout_s = view_timeout_s
+        self.propose_delay_s = propose_delay_s
+        self.max_batch = max_batch
+        self.byzantine_nodes = byzantine_nodes
+        self.byzantine_behavior = byzantine_behavior
+        self.quorum_f_override = quorum_f_override
+        self.simulator: Optional[Simulator] = None
+        self.network: Optional[Network] = None
+        self.nodes: List[BftNode] = []
+        self._accounts = 0
+        self._expected_supply = 0
+        self._payment_seq = 0
+        self._submit_times: Dict[Hash, float] = {}
+        self._stats = LedgerStats()
+
+    # ----------------------------------------------------------------- setup
+
+    def setup(self, accounts: int, initial_balance: int) -> None:
+        self.simulator = Simulator(seed=self.seed)
+        self.network = Network(self.simulator)
+        self._accounts = accounts
+        self._expected_supply = accounts * initial_balance
+        byz_ids = {f"n{i}" for i in range(self.byzantine_nodes)}
+
+        def factory(nid: str) -> BftNode:
+            byzantine = nid in byz_ids
+            return BftNode(
+                nid,
+                view_timeout_s=self.view_timeout_s,
+                propose_delay_s=self.propose_delay_s,
+                max_batch=self.max_batch,
+                quorum_f_override=self.quorum_f_override,
+                is_byzantine=byzantine,
+                byzantine_behavior=(
+                    self.byzantine_behavior if byzantine else None),
+                byz_rng=(
+                    self.simulator.fork_rng(
+                        f"byz:{self.byzantine_behavior}:{nid}")
+                    if byzantine else None),
+            )
+
+        nodes = complete_topology(
+            self.network, self.node_count, factory, self.link_params)
+        self.nodes = protocol_nodes(nodes)
+        roster = [node.node_id for node in self.nodes]
+        balances = {i: initial_balance for i in range(accounts)}
+        for node in self.nodes:
+            node.configure_validators(roster)
+            node.fund(balances)
+            if node.is_byzantine:
+                node.colluders = tuple(
+                    sorted(byz_ids - {node.node_id}))
+                self.network.tracer.emit(
+                    self.simulator.now, BYZANTINE, src=node.node_id,
+                    reason=self.byzantine_behavior)
+        for node in self.nodes:
+            node.start()
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(self, event: PaymentEvent) -> Optional[Hash]:
+        assert self.nodes, "setup() first"
+        self._payment_seq += 1
+        payment_id = Hash(hashlib.sha256(
+            f"bftpay:{self._payment_seq}:{event.sender_index}:"
+            f"{event.recipient_index}:{event.amount}".encode()).digest())
+        payment = BftPayment(
+            payment_id=payment_id,
+            sender=event.sender_index % self._accounts,
+            recipient=event.recipient_index % self._accounts,
+            amount=event.amount,
+        )
+        node = self.nodes[event.sender_index % len(self.nodes)]
+        if not node.submit_payment(payment):
+            return None
+        self._stats.entries_created += 1
+        self._submit_times[payment_id] = self.now()
+        return payment_id
+
+    # ----------------------------------------------------------------- clock
+
+    def advance(self, duration_s: float) -> None:
+        assert self.simulator is not None
+        # Never run unbounded: the view pacemaker re-arms a timeout every
+        # view, so a BFT deployment always has future events.
+        self.simulator.run(until=self.simulator.now + duration_s)
+
+    def now(self) -> float:
+        return self.simulator.now if self.simulator else 0.0
+
+    # ---------------------------------------------------------------- reads
+
+    def is_confirmed(self, entry: Hash) -> bool:
+        return entry in self.nodes[0].committed_payments
+
+    def balance(self, account_index: int) -> int:
+        return self.nodes[0].balances.get(account_index, 0)
+
+    def serialized_size(self) -> int:
+        return sum(b.size_bytes for b in self.nodes[0].blocks.values())
+
+    def stats(self) -> LedgerStats:
+        observer = self.nodes[0]
+        self._stats.entries_confirmed = sum(
+            1 for pid in self._submit_times
+            if pid in observer.committed_payments
+        )
+        latencies: List[float] = []
+        for pid, submitted in self._submit_times.items():
+            committed_at = observer.committed_payments.get(pid)
+            if committed_at is not None:
+                latencies.append(max(0.0, committed_at - submitted))
+        self._stats.confirmation_latencies_s = latencies
+        self._stats.forks_observed = sum(
+            n.stats.equivocations_detected for n in self.nodes)
+        self._stats.extra["committed_blocks"] = float(
+            observer.committed_height)
+        self._stats.extra["view"] = float(
+            max(n.current_view for n in self.nodes))
+        self._stats.extra.update(aggregate_layer_counters(self.nodes))
+        return self._stats
+
+    # ------------------------------------------- in-loop check capabilities
+
+    def deployment(self) -> Optional[DeploymentView]:
+        if self.simulator is None:
+            return None
+        return DeploymentView(
+            simulator=self.simulator, network=self.network, nodes=self.nodes
+        )
+
+    def audit(self) -> Optional[AuditReport]:
+        if not self.nodes:
+            return None
+        return audit_bft(self.nodes, expected_supply=self._expected_supply)
+
+    def state_digest(self) -> str:
+        digest = hashlib.sha256()
+        for node in self.nodes:
+            digest.update(f"{node.node_id}:\n".encode())
+            for line in node.state_lines():
+                digest.update(f"  {line}\n".encode())
+        return digest.hexdigest()
+
+    def inject_supply_corruption(self, amount: int) -> bool:
+        """Credit a phantom balance on one replica — the seeded
+        violation the in-loop audit must catch."""
+        if not self.nodes:
+            return False
+        balances = self.nodes[0].balances
+        balances[0] = balances.get(0, 0) + amount
         return True

@@ -1,0 +1,259 @@
+"""Uniform deployment construction: one factory for every paradigm.
+
+Before this module each paradigm had its own ad-hoc constructor
+signature (``BlockchainLedger(params=..., fee=...)``,
+``DagLedger(representative_count=...)``), which left no clean slot for
+selecting a consensus engine or an adversary mix when the BFT paradigm
+joined the matrix.  :func:`build_deployment` is the single entry point:
+pick a paradigm, optionally an engine and a
+:class:`~repro.faults.ByzantineSpec`, and get back a uniform
+:class:`Deployment` handle exposing the ledger, the simulator/network
+machinery and the aggregated per-layer counters.
+
+The old constructors remain importable (every released bench and test
+keeps passing) but are deprecated for direct use — see
+docs/architecture.md for the migration note and timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.blockchain.mempool import MempoolLimits
+from repro.blockchain.params import BITCOIN, ChainParams
+from repro.core.adapters import BftLedger, BlockchainLedger, DagLedger
+from repro.core.ledger import Ledger
+from repro.dag.params import NanoParams
+from repro.faults import ByzantineSpec, FaultInjector
+from repro.net.link import LinkParams
+from repro.protocol import aggregate_layer_counters
+from repro.storage.pruning import DEFAULT_KEEP_DEPTH
+
+#: Paradigms the factory can stand up (the cross-paradigm matrix).
+PARADIGMS = ("blockchain", "dag", "bft")
+
+#: Consensus engines per paradigm; the first entry is the default.
+PARADIGM_ENGINES: Dict[str, tuple] = {
+    "blockchain": ("pow",),
+    "dag": ("orv",),       # open representative voting (Nano elections)
+    "bft": ("hotstuff",),  # quorum-certificate two-phase commit
+}
+
+#: Default node counts mirror the legacy adapter defaults.
+_DEFAULT_NODE_COUNT = {"blockchain": 5, "dag": 8, "bft": 4}
+
+#: Byzantine behaviours each paradigm knows how to wire.
+_PARADIGM_BEHAVIORS = {
+    "blockchain": ("selfish",),
+    "dag": ("tip-spam",),
+    "bft": ("equivocate", "withhold"),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """An open-loop traffic description for :meth:`Deployment.start_workload`."""
+
+    rate_tps: float
+    duration_s: float
+    zipf_alpha: float = 0.8
+
+
+@dataclass
+class Deployment:
+    """A constructed deployment: the ledger plus uniform accessors.
+
+    The handle is valid before ``setup`` (the ledger is constructed
+    lazily-networked); simulator/network/node accessors return live
+    objects only once :meth:`setup` has run.
+    """
+
+    ledger: Ledger
+    paradigm: str
+    engine: str
+    byzantine: Optional[ByzantineSpec] = None
+    workload: Optional[WorkloadSpec] = None
+
+    def setup(self, accounts: int, initial_balance: int) -> "Deployment":
+        self.ledger.setup(accounts, initial_balance)
+        return self
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def simulator(self):
+        view = self.ledger.deployment()
+        return None if view is None else view.simulator
+
+    @property
+    def network(self):
+        view = self.ledger.deployment()
+        return None if view is None else view.network
+
+    @property
+    def nodes(self) -> List:
+        view = self.ledger.deployment()
+        return [] if view is None else list(view.nodes)
+
+    def fault_injector(self) -> FaultInjector:
+        network = self.network
+        if network is None:
+            raise RuntimeError("setup() the deployment before injecting faults")
+        return FaultInjector(network)
+
+    def layer_counters(self) -> Dict[str, float]:
+        """Deployment-wide ``transport.* / intake.* / consensus.*`` totals."""
+        return aggregate_layer_counters(self.nodes)
+
+    def start_workload(self, accounts: int,
+                       spec: Optional[WorkloadSpec] = None):
+        """Arm the open-loop injector described by ``spec`` (or the
+        spec captured at build time) on the running deployment."""
+        from repro.workloads.open_loop import OpenLoopInjector
+
+        spec = spec or self.workload
+        if spec is None:
+            raise ValueError("no WorkloadSpec given or captured at build time")
+        injector = OpenLoopInjector.from_sim_stream(
+            self.ledger, accounts=accounts, rate_tps=spec.rate_tps,
+            duration_s=spec.duration_s, zipf_alpha=spec.zipf_alpha,
+        )
+        injector.start()
+        return injector
+
+
+def build_deployment(
+    paradigm: str,
+    *,
+    engine: Optional[str] = None,
+    faults: Optional[ByzantineSpec] = None,
+    mempool_limits: Optional[MempoolLimits] = None,
+    workload: Optional[WorkloadSpec] = None,
+    node_count: Optional[int] = None,
+    seed: int = 0,
+    link_params: Optional[LinkParams] = None,
+    # paradigm-specific knobs (validated against the paradigm)
+    chain_params: Optional[ChainParams] = None,
+    block_interval_s: Optional[float] = None,
+    confirmation_depth: Optional[int] = None,
+    fee: Optional[int] = None,
+    dag_params: Optional[NanoParams] = None,
+    representative_count: Optional[int] = None,
+    processing_tps: Optional[float] = None,
+    prune_interval_s: Optional[float] = None,
+    prune_keep_depth: Optional[int] = None,
+    view_timeout_s: Optional[float] = None,
+    propose_delay_s: Optional[float] = None,
+    max_batch: Optional[int] = None,
+) -> Deployment:
+    """Construct a deployment of ``paradigm`` behind a uniform signature.
+
+    ``engine`` selects the consensus engine (each paradigm's native
+    engine by default — see :data:`PARADIGM_ENGINES`).  ``faults`` wires
+    a Byzantine adversary mix: the spec's ``count`` marks the roster
+    prefix, ``behavior`` must belong to the paradigm's family set, and
+    ``f_override`` (BFT only) adjusts the quorum threshold ``n - f``.
+    Unused paradigm-specific knobs raise rather than silently ignore,
+    so call sites stay honest about what they configure.
+    """
+    if paradigm not in PARADIGMS:
+        raise ValueError(f"unknown paradigm {paradigm!r} "
+                         f"(choose from {', '.join(PARADIGMS)})")
+    engines = PARADIGM_ENGINES[paradigm]
+    engine = engine or engines[0]
+    if engine not in engines:
+        raise ValueError(
+            f"paradigm {paradigm!r} has no engine {engine!r} "
+            f"(choose from {', '.join(engines)})")
+    behavior = None
+    if faults is not None and faults.count > 0:
+        behavior = faults.behavior
+        if behavior not in _PARADIGM_BEHAVIORS[paradigm]:
+            raise ValueError(
+                f"Byzantine behavior {behavior!r} is not wired for "
+                f"paradigm {paradigm!r} (choose from "
+                f"{', '.join(_PARADIGM_BEHAVIORS[paradigm])})")
+    count = node_count or _DEFAULT_NODE_COUNT[paradigm]
+
+    def reject_unused(**knobs) -> None:
+        stray = [name for name, value in knobs.items() if value is not None]
+        if stray:
+            raise ValueError(
+                f"knobs {', '.join(stray)} do not apply to "
+                f"paradigm {paradigm!r}")
+
+    if paradigm == "blockchain":
+        reject_unused(dag_params=dag_params,
+                      representative_count=representative_count,
+                      processing_tps=processing_tps,
+                      view_timeout_s=view_timeout_s,
+                      propose_delay_s=propose_delay_s, max_batch=max_batch,
+                      f_override=faults.f_override if faults else None)
+        params = chain_params or BITCOIN
+        overrides = {}
+        if block_interval_s is not None:
+            overrides["target_block_interval_s"] = block_interval_s
+        if confirmation_depth is not None:
+            overrides["confirmation_depth"] = confirmation_depth
+        if overrides:
+            params = replace(params, **overrides)
+        ledger: Ledger = BlockchainLedger(
+            params=params,
+            node_count=count,
+            link_params=link_params,
+            seed=seed,
+            fee=fee if fee is not None else 1,
+            mempool_limits=mempool_limits,
+            prune_interval_s=prune_interval_s,
+            prune_keep_depth=(prune_keep_depth if prune_keep_depth is not None
+                              else DEFAULT_KEEP_DEPTH),
+            byzantine_nodes=faults.count if behavior else 0,
+            byzantine_behavior=behavior or "selfish",
+        )
+    elif paradigm == "dag":
+        reject_unused(chain_params=chain_params,
+                      block_interval_s=block_interval_s,
+                      confirmation_depth=confirmation_depth, fee=fee,
+                      mempool_limits=mempool_limits,
+                      prune_keep_depth=prune_keep_depth,
+                      view_timeout_s=view_timeout_s,
+                      propose_delay_s=propose_delay_s, max_batch=max_batch,
+                      f_override=faults.f_override if faults else None)
+        ledger = DagLedger(
+            params=dag_params or NanoParams(work_difficulty=1),
+            node_count=count,
+            representative_count=(representative_count
+                                  if representative_count is not None
+                                  else max(2, count // 2)),
+            link_params=link_params,
+            seed=seed,
+            processing_tps=processing_tps,
+            prune_interval_s=prune_interval_s,
+            byzantine_nodes=faults.count if behavior else 0,
+            byzantine_behavior=behavior or "tip-spam",
+        )
+    else:  # bft
+        reject_unused(chain_params=chain_params,
+                      block_interval_s=block_interval_s,
+                      confirmation_depth=confirmation_depth, fee=fee,
+                      mempool_limits=mempool_limits, dag_params=dag_params,
+                      representative_count=representative_count,
+                      processing_tps=processing_tps,
+                      prune_interval_s=prune_interval_s,
+                      prune_keep_depth=prune_keep_depth)
+        ledger = BftLedger(
+            node_count=count,
+            link_params=link_params,
+            seed=seed,
+            view_timeout_s=view_timeout_s if view_timeout_s is not None else 4.0,
+            propose_delay_s=(propose_delay_s if propose_delay_s is not None
+                             else 0.25),
+            max_batch=max_batch if max_batch is not None else 16,
+            byzantine_nodes=faults.count if behavior else 0,
+            byzantine_behavior=behavior or "equivocate",
+            quorum_f_override=faults.f_override if faults else None,
+        )
+
+    return Deployment(ledger=ledger, paradigm=paradigm, engine=engine,
+                      byzantine=faults, workload=workload)

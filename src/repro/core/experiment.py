@@ -287,5 +287,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
                             "soak_prune_interval_s": 60.0,
                             "soak_keep_depth": 8},
         ),
+        Experiment(
+            "A9", "§III, §IV (extension)",
+            "Quorum-certificate BFT: deterministic finality, view change "
+            "restores liveness, equivocation contained below n/3",
+            ("repro.consensus.hotstuff", "repro.core.deploy"),
+            "bench_a9_bft.py",
+            default_params={"node_count": 4, "payments": 10,
+                            "crash_downtime_s": 12.0},
+        ),
     ]
 }

@@ -183,3 +183,76 @@ def audit_lattice(nodes: Sequence[NanoNode], expected_supply: int) -> AuditRepor
                         f"{block.block_hash.short()}",
                     )
     return report
+
+
+# -------------------------------------------------------------------- bft
+
+
+def audit_bft(
+    nodes: Sequence["BftNode"],
+    expected_supply: int,
+    lag_blocks: int = 8,
+) -> AuditReport:
+    """Audit a quorum-certificate BFT deployment.
+
+    * safety (strict at every tick): no two replicas have committed
+      conflicting blocks — every pair of committed sequences must be
+      prefix-consistent.  This is the f < n/3 guarantee; the
+      seeded-violation profile breaks it by over-riding f.
+    * supply (strict): each replica's account balances sum to the funded
+      total (commit-time application conserves value by construction;
+      the check catches injected corruption).
+    * liveness (eventual): once traffic has flowed, every online replica
+      is within ``lag_blocks`` commits of the most advanced one, which
+      in turn has committed at least one block.  Transient lag during
+      view changes and partitions is expected; the monitor only enforces
+      this strictly at quiescence.
+    """
+    report = AuditReport()
+    if not nodes:
+        report.add("setup", "no nodes to audit")
+        return report
+
+    for node in nodes:
+        total = sum(node.balances.values())
+        if total != expected_supply:
+            report.add(
+                "supply",
+                f"{node.node_id}: balances sum {total} != {expected_supply}",
+            )
+
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            shorter, longer = (a, b) if len(a.committed) <= len(b.committed) \
+                else (b, a)
+            prefix = longer.committed[: len(shorter.committed)]
+            if shorter.committed != prefix:
+                divergence = next(
+                    (k for k, (x, y) in
+                     enumerate(zip(shorter.committed, prefix)) if x != y),
+                    len(shorter.committed),
+                )
+                report.add(
+                    "safety",
+                    f"{a.node_id} / {b.node_id}: committed sequences "
+                    f"diverge at height {divergence} "
+                    f"({shorter.committed[divergence].short()} vs "
+                    f"{prefix[divergence].short()})",
+                )
+
+    online = [n for n in nodes if getattr(n, "online", True)]
+    if online:
+        heights = {n.node_id: n.committed_height for n in online}
+        top = max(heights.values())
+        if top < 1:
+            report.add("liveness", "no replica has committed any block")
+        laggards = [nid for nid, h in heights.items()
+                    if top - h > lag_blocks]
+        if laggards:
+            report.add(
+                "liveness",
+                f"replicas {', '.join(sorted(laggards))} lag the "
+                f"committed frontier (height {top}) by more than "
+                f"{lag_blocks} blocks",
+            )
+    return report

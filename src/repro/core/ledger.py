@@ -125,6 +125,13 @@ class Ledger(abc.ABC):
         flag the supply violation).  Returns False when unsupported."""
         return False
 
+    def submit_tip_spam(self, event: PaymentEvent, fanout: int = 3) -> List[Hash]:
+        """Conflicting-tip spam: ``fanout`` mutually conflicting entries
+        injected at distinct replicas (the DAG SoKs' tip-flooding
+        adversary).  Paradigms without a tip structure degrade to the
+        two-way conflict of :meth:`submit_double_spend`."""
+        return self.submit_double_spend(event)
+
     # Convenience shared by adapters -------------------------------------
 
     def run_workload(

@@ -23,7 +23,48 @@ from repro.common.rng import exponential
 from repro.net.link import LinkParams
 from repro.net.network import Network
 from repro.protocol import aggregate_layer_counters
-from repro.trace import CRASH, DEGRADE, HEAL, PARTITION, RESTART, RESTORE
+from repro.trace import (
+    BYZANTINE,
+    CRASH,
+    DEGRADE,
+    HEAL,
+    PARTITION,
+    RESTART,
+    RESTORE,
+)
+
+#: Byzantine behaviour families the adapters know how to wire.  Each
+#: family draws from its own ``fork_rng`` stream (``byz:<family>:<node>``)
+#: so enabling one adversary never perturbs another's decisions.
+BYZANTINE_FAMILIES = (
+    "equivocate",   # conflicting proposals + double votes (BFT)
+    "withhold",     # silent leader / withheld votes (BFT)
+    "selfish",      # selfish mining: private chain, timed release (PoW)
+    "tip-spam",     # conflicting-tip spam from marked replicas (DAG)
+)
+
+
+@dataclass(frozen=True)
+class ByzantineSpec:
+    """An adversary mix for :func:`repro.core.deploy.build_deployment`.
+
+    ``count`` replicas (the roster's first indices) run ``behavior``;
+    ``f_override`` adjusts the BFT quorum threshold ``n - f`` (set it to
+    ``>= n/3`` to reproduce the classical safety violation the
+    seeded-violation fuzz profile demonstrates).
+    """
+
+    count: int = 1
+    behavior: str = "equivocate"
+    f_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+        if self.behavior not in BYZANTINE_FAMILIES:
+            raise ValueError(
+                f"unknown Byzantine behavior {self.behavior!r} "
+                f"(choose from {', '.join(BYZANTINE_FAMILIES)})")
 
 
 @dataclass(frozen=True)
@@ -81,6 +122,7 @@ class FaultInjector:
         self.tracer = network.tracer
         self.crashes_injected = 0
         self.restarts_injected = 0
+        self.byzantine_marked = 0
         #: original params of links currently under degradation
         self._degraded: Dict[Tuple[str, str], LinkParams] = {}
 
@@ -213,12 +255,31 @@ class FaultInjector:
         self.simulator.schedule_at(time_s, self.network.heal,
                                    label="fault:heal")
 
+    # ------------------------------------------------------------ byzantine
+
+    def mark_byzantine(self, node_id: str, behavior: str) -> None:
+        """Record that ``node_id`` runs adversarial ``behavior``.
+
+        The paradigm-specific wiring (vote handling, private chains,
+        spam sources) lives in the node/adapters; this keeps the
+        cross-paradigm bookkeeping — the ``is_byzantine`` flag, a trace
+        record, the fault-count rollup — in one paradigm-free place.
+        """
+        if behavior not in BYZANTINE_FAMILIES:
+            raise ValueError(f"unknown Byzantine behavior {behavior!r}")
+        node = self.network.node(node_id)
+        node.is_byzantine = True
+        self.byzantine_marked += 1
+        self.tracer.emit(self.simulator.now, BYZANTINE, src=node_id,
+                         reason=behavior)
+
     # --------------------------------------------------------------- query
 
     def fault_counts(self) -> Dict[str, int]:
         return {
             "crashes": self.crashes_injected,
             "restarts": self.restarts_injected,
+            "byzantine_nodes": self.byzantine_marked,
             "degraded_links_active": len(self._degraded),
             "partitions": len([e for e in self.tracer.events(PARTITION)]),
             "heals": len([e for e in self.tracer.events(HEAL)]),

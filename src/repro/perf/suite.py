@@ -61,6 +61,9 @@ class Bench:
     description: str
     fn: Callable[[float], Tuple[int, float]]
     repeats: int = 4
+    #: paradigms this bench exercises (empty = paradigm-agnostic); the
+    #: CLI's ``--paradigm`` filter selects on these tags
+    paradigms: Tuple[str, ...] = ()
 
 
 # --------------------------------------------------------------------------
@@ -307,6 +310,26 @@ def _bench_e14_dag_tps(scale: float) -> Tuple[int, float]:
     )
 
 
+def _bench_bft_commit(scale: float) -> Tuple[int, float]:
+    """Quorum-certificate commit throughput: payments through a 4-node
+    HotStuff deployment, counted as committed payments."""
+    from repro.core.deploy import build_deployment
+    from repro.workloads.generators import PaymentEvent
+
+    payments = max(5, int(40 * scale))
+    deployment = build_deployment("bft", seed=3, propose_delay_s=0.05)
+    deployment.setup(accounts=4, initial_balance=1_000_000)
+    ledger = deployment.ledger
+    start = perf_counter()
+    for i in range(payments):
+        ledger.submit(PaymentEvent(time_s=ledger.now(), sender_index=i % 4,
+                                   recipient_index=(i + 1) % 4, amount=5))
+        ledger.advance(1.0)
+    ledger.advance(30.0)
+    wall = perf_counter() - start
+    return ledger.stats().entries_confirmed, wall
+
+
 BENCHES: Dict[str, Bench] = {
     bench.name: bench
     for bench in [
@@ -319,13 +342,16 @@ BENCHES: Dict[str, Bench] = {
         Bench("gossip_untraced", "small-world flood, no-op tracer",
               _bench_gossip_untraced),
         Bench("block_hash_validate", "encode + hash + revalidate blocks",
-              _bench_block_hash_validate),
+              _bench_block_hash_validate, paradigms=("blockchain",)),
         Bench("lattice_settle", "block-lattice send/receive settlement",
-              _bench_lattice_settle),
+              _bench_lattice_settle, paradigms=("dag",)),
         Bench("e9_blockchain_tps", "E9 saturation trial wall clock",
-              _bench_e9_blockchain_tps, repeats=1),
+              _bench_e9_blockchain_tps, repeats=1,
+              paradigms=("blockchain",)),
         Bench("e14_dag_tps", "E14 offered-load trial wall clock",
-              _bench_e14_dag_tps, repeats=1),
+              _bench_e14_dag_tps, repeats=1, paradigms=("dag",)),
+        Bench("bft_commit", "HotStuff quorum-commit throughput",
+              _bench_bft_commit, repeats=2, paradigms=("bft",)),
     ]
 }
 

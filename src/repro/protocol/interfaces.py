@@ -9,7 +9,7 @@ contrast blockchain and block-lattice.
 from __future__ import annotations
 
 import abc
-from typing import Any, Hashable, List, Optional, Protocol, runtime_checkable
+from typing import Any, Dict, Hashable, List, Optional, Protocol, runtime_checkable
 
 
 class ConsensusEngine(abc.ABC):
@@ -59,6 +59,17 @@ class ConsensusEngine(abc.ABC):
 
     def on_applied(self, artifact: Any) -> None:
         """Post-acceptance consensus actions (default: none)."""
+
+    def counters(self) -> Dict[str, float]:
+        """Engine-level counters (votes, view changes, QCs formed, ...).
+
+        :meth:`ProtocolNode.layer_counters` merges these under the
+        ``consensus.*`` namespace, mirroring ``transport.*`` /
+        ``intake.*``, so they aggregate into ``LedgerStats.extra``
+        through :func:`aggregate_layer_counters` with no adapter code.
+        Engines without quorum machinery keep the empty default.
+        """
+        return {}
 
 
 @runtime_checkable

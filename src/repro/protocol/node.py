@@ -34,6 +34,11 @@ class ProtocolNode(NetworkNode):
     #: Set by the subclass constructor before any traffic flows.
     consensus: ConsensusEngine
 
+    #: Per-node adversary flag (see :mod:`repro.faults`).  Honest by
+    #: default; adapters flip it when wiring a Byzantine family
+    #: (equivocation, withholding, selfish mining) onto this replica.
+    is_byzantine: bool = False
+
     def __init__(
         self,
         node_id: str,
@@ -140,6 +145,10 @@ class ProtocolNode(NetworkNode):
         for name, value in self.intake.counters.as_dict().items():
             flat[name] = float(value)
         flat["intake.backlog"] = float(len(self.intake))
+        engine = getattr(self, "consensus", None)
+        if engine is not None:
+            for name, value in engine.counters().items():
+                flat[f"consensus.{name}"] = float(value)
         return flat
 
     # ----------------------------------------------------------------- trace

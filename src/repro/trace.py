@@ -39,6 +39,7 @@ PARTITION = "partition"
 HEAL = "heal"
 DEGRADE = "degrade"
 RESTORE = "restore"
+BYZANTINE = "byzantine"
 # Event kind for ledger-level divergence (reorgs, conflicting heads).
 FORK = "fork"
 # Event kinds emitted by the protocol stack (repro.protocol): intake

@@ -1,0 +1,148 @@
+"""Byzantine behaviour of the quorum-certificate engine (ISSUE 7).
+
+The classical BFT claims, checked against the HotStuff-style engine:
+
+* honest runs commit identically on every replica;
+* an equivocating leader at f < n/3 is detected and contained — the
+  conflicting sibling never enters any committed prefix;
+* with f >= n/3 (two colluders and a weakened quorum) the classical
+  safety violation *does* happen, and the audit catches it — the
+  seeded-violation oracle for the ``byzantine-violation`` fuzz profile;
+* crashing a leader trips the view timeout and liveness resumes;
+* replays are bit-identical (the fuzzer's replay oracle covers bft).
+"""
+
+import pytest
+
+from repro.check.generator import generate_schedule, profile_named
+from repro.check.runner import run_schedule
+from repro.core.deploy import build_deployment
+from repro.faults import ByzantineSpec
+from repro.workloads.generators import PaymentEvent
+
+ACCOUNTS = 4
+FUNDING = 1_000_000
+
+
+def _run_payments(deployment, count, gap_s=2.0, settle_s=30.0):
+    ledger = deployment.ledger
+    entries = []
+    for i in range(count):
+        entry = ledger.submit(PaymentEvent(
+            time_s=ledger.now(), sender_index=i % ACCOUNTS,
+            recipient_index=(i + 1) % ACCOUNTS, amount=5 + i,
+        ))
+        if entry is not None:
+            entries.append(entry)
+        ledger.advance(gap_s)
+    ledger.advance(settle_s)
+    return entries
+
+
+def test_honest_run_commits_identically():
+    deployment = build_deployment("bft", seed=7)
+    deployment.setup(ACCOUNTS, FUNDING)
+    entries = _run_payments(deployment, 8)
+
+    assert entries, "payments must be accepted"
+    assert all(deployment.ledger.is_confirmed(e) for e in entries)
+    heights = {tuple(n.committed) for n in deployment.nodes}
+    assert len(heights) == 1, "every replica commits the same sequence"
+    audit = deployment.ledger.audit()
+    assert audit is not None and audit.ok, audit
+
+
+def test_equivocation_detected_and_contained_below_threshold():
+    # 1 Byzantine replica of 4: f = (4-1)//3 = 1, quorum = 3.  Only one
+    # sibling of each equivocating pair can gather a certificate.
+    deployment = build_deployment(
+        "bft", seed=9,
+        faults=ByzantineSpec(count=1, behavior="equivocate"),
+    )
+    deployment.setup(ACCOUNTS, FUNDING)
+    _run_payments(deployment, 8, settle_s=40.0)
+
+    nodes = deployment.nodes
+    sent = sum(n.stats.equivocations_sent for n in nodes)
+    detected = sum(n.stats.equivocations_detected for n in nodes)
+    assert sent > 0, "the marked replica never got to equivocate"
+    assert detected > 0, "honest replicas must flag the sibling proposals"
+    audit = deployment.ledger.audit()
+    assert audit is not None and audit.ok, audit
+    assert len({tuple(n.committed) for n in nodes}) == 1
+
+
+def test_safety_violation_at_threshold_is_flagged():
+    # 2 colluders of 4 with the quorum dropped to n - 2 = 2: each
+    # colluder can certify a sibling from its own votes and split the
+    # roster's committed prefixes — the classical f >= n/3 break.
+    deployment = build_deployment(
+        "bft", seed=9,
+        faults=ByzantineSpec(count=2, behavior="equivocate", f_override=2),
+    )
+    deployment.setup(ACCOUNTS, FUNDING)
+    _run_payments(deployment, 10, settle_s=40.0)
+
+    audit = deployment.ledger.audit()
+    assert audit is not None and not audit.ok
+    assert any(v.invariant == "safety" for v in audit.violations), audit
+
+
+def test_view_change_restores_liveness_after_leader_crash():
+    deployment = build_deployment("bft", seed=5, view_timeout_s=3.0)
+    deployment.setup(ACCOUNTS, FUNDING)
+    ledger = deployment.ledger
+    injector = deployment.fault_injector()
+    _run_payments(deployment, 3, settle_s=5.0)
+
+    victim = deployment.nodes[1]
+    committed_before = max(len(n.committed) for n in deployment.nodes)
+    injector.crash(victim.node_id)
+    ledger.advance(12.0)  # several view timeouts with the victim down
+    injector.restart(victim.node_id)
+    _run_payments(deployment, 3, settle_s=30.0)
+
+    timeouts = sum(n.stats.timeouts for n in deployment.nodes)
+    assert timeouts > 0, "the dead leader's views must time out"
+    committed_after = max(len(n.committed) for n in deployment.nodes)
+    assert committed_after > committed_before, "commits must resume"
+    audit = ledger.audit()
+    assert audit is not None and audit.ok, audit
+
+
+def test_withholding_leader_stalls_views_not_safety():
+    deployment = build_deployment(
+        "bft", seed=3,
+        faults=ByzantineSpec(count=1, behavior="withhold"),
+    )
+    deployment.setup(ACCOUNTS, FUNDING)
+    _run_payments(deployment, 6, settle_s=40.0)
+
+    withheld = sum(n.stats.votes_withheld for n in deployment.nodes)
+    assert withheld > 0, "the marked replica must actually withhold"
+    audit = deployment.ledger.audit()
+    assert audit is not None and audit.ok, audit
+
+
+def test_byzantine_profile_green_below_threshold():
+    profile = profile_named("byzantine", duration_s=40.0, settle_s=30.0)
+    result = run_schedule(generate_schedule(2, profile), "bft")
+    assert result.ok, result.violation
+
+
+def test_byzantine_violation_profile_trips_safety():
+    profile = profile_named("byzantine-violation",
+                            duration_s=40.0, settle_s=30.0)
+    result = run_schedule(generate_schedule(2, profile), "bft")
+    assert not result.ok
+    assert any(v.invariant == "safety"
+               for v in result.violation.violations), result.violation
+
+
+@pytest.mark.parametrize("profile_name", ["byzantine", "byzantine-violation"])
+def test_replay_determinism_fingerprint(profile_name):
+    profile = profile_named(profile_name, duration_s=30.0, settle_s=20.0)
+    schedule = generate_schedule(4, profile)
+    first = run_schedule(schedule, "bft")
+    second = run_schedule(schedule, "bft")
+    assert first.fingerprint == second.fingerprint

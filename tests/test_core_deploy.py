@@ -1,0 +1,129 @@
+"""The uniform deployment factory (ISSUE 7's API redesign).
+
+``build_deployment`` is the single constructor every bench, test and
+CLI command goes through; these tests pin its contract: paradigm/engine
+validation, honest rejection of inapplicable knobs, Byzantine-spec
+wiring, the uniform ``Deployment`` accessors, and the deprecated
+``build_ledger`` shim staying alive for released callers.
+"""
+
+import pytest
+
+from repro.check.generator import profile_named
+from repro.check.runner import ALL_PARADIGMS, PARADIGMS, build_ledger
+from repro.core.deploy import (
+    PARADIGM_ENGINES,
+    WorkloadSpec,
+    build_deployment,
+)
+from repro.faults import ByzantineSpec
+from repro.workloads.generators import PaymentEvent
+
+
+def test_unknown_paradigm_and_engine_raise():
+    with pytest.raises(ValueError, match="unknown paradigm"):
+        build_deployment("tangle3000")
+    with pytest.raises(ValueError, match="no engine"):
+        build_deployment("blockchain", engine="hotstuff")
+    with pytest.raises(ValueError, match="no engine"):
+        build_deployment("bft", engine="pow")
+
+
+def test_engine_defaults_to_paradigm_native():
+    for paradigm, engines in PARADIGM_ENGINES.items():
+        deployment = build_deployment(paradigm)
+        assert deployment.paradigm == paradigm
+        assert deployment.engine == engines[0]
+
+
+def test_inapplicable_knobs_are_rejected():
+    with pytest.raises(ValueError, match="do not apply"):
+        build_deployment("blockchain", view_timeout_s=2.0)
+    with pytest.raises(ValueError, match="do not apply"):
+        build_deployment("dag", fee=3)
+    with pytest.raises(ValueError, match="do not apply"):
+        build_deployment("bft", confirmation_depth=2)
+    # f_override is a quorum knob: BFT only.
+    with pytest.raises(ValueError, match="do not apply"):
+        build_deployment(
+            "blockchain",
+            faults=ByzantineSpec(count=1, behavior="selfish", f_override=1),
+        )
+
+
+def test_byzantine_behavior_must_match_paradigm():
+    with pytest.raises(ValueError, match="not wired"):
+        build_deployment("blockchain",
+                         faults=ByzantineSpec(count=1, behavior="equivocate"))
+    with pytest.raises(ValueError, match="not wired"):
+        build_deployment("bft",
+                         faults=ByzantineSpec(count=1, behavior="selfish"))
+
+
+def test_byzantine_spec_validates():
+    with pytest.raises(ValueError, match="count"):
+        ByzantineSpec(count=-1)
+    with pytest.raises(ValueError, match="unknown Byzantine behavior"):
+        ByzantineSpec(behavior="eclipse")
+
+
+def test_fault_injector_requires_setup():
+    deployment = build_deployment("bft")
+    with pytest.raises(RuntimeError, match="setup"):
+        deployment.fault_injector()
+
+
+def test_bft_deployment_exposes_consensus_counters():
+    deployment = build_deployment("bft", seed=1).setup(4, 1_000_000)
+    ledger = deployment.ledger
+    for i in range(4):
+        ledger.submit(PaymentEvent(time_s=ledger.now(), sender_index=i % 4,
+                                   recipient_index=(i + 1) % 4, amount=9))
+        ledger.advance(2.0)
+    ledger.advance(20.0)
+
+    counters = deployment.layer_counters()
+    assert counters["consensus.commits"] > 0
+    assert counters["consensus.qcs_formed"] > 0
+    assert counters["consensus.votes_sent"] > 0
+    # ...and the same numbers surface through the Ledger stats contract.
+    extra = ledger.stats().extra
+    assert extra["consensus.commits"] == counters["consensus.commits"]
+
+
+def test_byzantine_spec_marks_nodes():
+    deployment = build_deployment(
+        "bft", faults=ByzantineSpec(count=1, behavior="equivocate"),
+    ).setup(4, 1_000_000)
+    marked = [n for n in deployment.nodes if n.is_byzantine]
+    assert len(marked) == 1
+    assert marked[0].byzantine_behavior == "equivocate"
+
+
+def test_workload_spec_round_trip():
+    deployment = build_deployment(
+        "dag", workload=WorkloadSpec(rate_tps=2.0, duration_s=5.0),
+    ).setup(4, 1_000_000)
+    injector = deployment.start_workload(accounts=4)
+    deployment.ledger.advance(10.0)
+    assert injector.report.offered > 0
+
+    bare = build_deployment("dag").setup(4, 1_000_000)
+    with pytest.raises(ValueError, match="WorkloadSpec"):
+        bare.start_workload(accounts=4)
+
+
+def test_build_ledger_shim_still_works():
+    profile = profile_named("baseline")
+    for paradigm in ALL_PARADIGMS:
+        ledger = build_ledger(paradigm, seed=0, profile=profile)
+        assert ledger.paradigm == paradigm
+    with pytest.raises(ValueError, match="unknown paradigm"):
+        build_ledger("nope", seed=0, profile=profile)
+
+
+def test_default_fuzz_pair_excludes_bft():
+    # The differential default stays the paper's two-paradigm pair; the
+    # BFT engine joins only by explicit selection.
+    assert set(PARADIGMS) == {"blockchain", "dag"}
+    assert set(ALL_PARADIGMS) == {"blockchain", "dag", "bft"}

@@ -16,11 +16,14 @@ and never revived on heal; BlockchainNode leaned on the ChainStore
 orphan pool below the stats counters).
 """
 
+import hashlib
 import random
 
 import pytest
 
 from repro.check.monitor import intake_backlog
+from repro.common.types import Hash
+from repro.consensus import BftNode, BftPayment
 from repro.crypto.keys import KeyPair
 from repro.faults import FaultInjector
 from repro.net.link import FAST_LINK
@@ -173,11 +176,40 @@ def build_byteball(seed):
     return sim, net, nodes, emit, state
 
 
+def build_bft(seed):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    # One payment per block (max_batch=1): every emitted artifact becomes
+    # its own committed entry, matching the matrix's `> ARTIFACTS` bar.
+    factory = lambda nid: BftNode(nid, max_batch=1)  # noqa: E731
+    nodes = protocol_nodes(complete_topology(net, NODE_COUNT, factory, FAST_LINK))
+    roster = [n.node_id for n in nodes]
+    for node in nodes:
+        node.configure_validators(roster)
+        node.fund({i: 1_000_000 for i in range(NODE_COUNT)})
+        node.start()
+
+    def emit(i):
+        payment = BftPayment(
+            payment_id=Hash(hashlib.sha256(f"parity:{i}".encode()).digest()),
+            sender=i % NODE_COUNT,
+            recipient=(i + 1) % NODE_COUNT,
+            amount=10 + i,
+        )
+        nodes[0].submit_payment(payment)
+
+    def state(node):
+        return tuple(node.committed)
+
+    return sim, net, nodes, emit, state
+
+
 PARADIGMS = {
     "blockchain": build_blockchain,
     "nano": build_nano,
     "tangle": build_tangle,
     "byteball": build_byteball,
+    "bft": build_bft,
 }
 
 
