@@ -9,7 +9,7 @@ three different structures to store transactions, receipts and state").
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from functools import cached_property
+from repro.common.memo import cached
 from typing import Optional, Sequence, Tuple, Union
 
 from repro.common.encoding import Encoder
@@ -44,10 +44,10 @@ class BlockHeader:
     # each computed once and cached forever (``with_nonce`` builds a new
     # header, so caches never need invalidation).
 
-    @cached_property
+    @cached
     def _pow_payload(self) -> bytes:
         return (
-            Encoder()
+            Encoder.shared()
             .raw(bytes(self.parent_id))
             .raw(bytes(self.merkle_root))
             .raw(bytes(self.state_root))
@@ -63,14 +63,14 @@ class BlockHeader:
         """Everything the PoW nonce commits to (all fields except nonce)."""
         return self._pow_payload
 
-    @cached_property
+    @cached
     def _serialized(self) -> bytes:
         return self._pow_payload + self.nonce.to_bytes(8, "big")
 
     def serialize(self) -> bytes:
         return self._serialized
 
-    @cached_property
+    @cached
     def block_id(self) -> Hash:
         return sha256d(self._serialized)
 
@@ -109,17 +109,17 @@ class Block:
     def parent_id(self) -> Hash:
         return self.header.parent_id
 
-    @cached_property
+    @cached
     def size_bytes(self) -> int:
         """Serialized size: header plus all transaction bodies."""
         return self.header.size_bytes + self.body_size_bytes
 
-    @cached_property
+    @cached
     def body_size_bytes(self) -> int:
         """Transaction bytes only — what pruning discards (Section V-A)."""
         return sum(tx.size_bytes for tx in self.transactions)
 
-    @cached_property
+    @cached
     def _computed_merkle_root(self) -> Hash:
         if not self.transactions:
             return Hash.zero()

@@ -11,10 +11,10 @@ history discardable applies to account models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
 from typing import List, Tuple
 
 from repro.common.encoding import Encoder, encode_uint
+from repro.common.memo import cached
 from repro.common.errors import ValidationError
 from repro.common.types import Address, Hash, TxId
 from repro.crypto.hashing import sha256d
@@ -35,9 +35,9 @@ class TxOutput:
         if self.amount < 0:
             raise ValidationError(f"negative output amount {self.amount}")
 
-    @cached_property
+    @cached
     def _serialized(self) -> bytes:
-        return Encoder().uint(self.amount, 8).raw(bytes(self.recipient)).getvalue()
+        return Encoder.shared().uint(self.amount, 8).raw(bytes(self.recipient)).getvalue()
 
     def serialize(self) -> bytes:
         return self._serialized
@@ -60,10 +60,10 @@ class TxInput:
     def is_coinbase(self) -> bool:
         return self.prev_txid.is_zero() and self.prev_index == COINBASE_INDEX
 
-    @cached_property
+    @cached
     def _serialized(self) -> bytes:
         return (
-            Encoder()
+            Encoder.shared()
             .raw(bytes(self.prev_txid))
             .uint(self.prev_index, 4)
             .bytes(self.public_key)
@@ -95,10 +95,10 @@ class Transaction:
     # Transactions are immutable, so canonical bytes and digest are
     # computed once and cached forever (never invalidated).
 
-    @cached_property
+    @cached
     def _serialized(self) -> bytes:
         return (
-            Encoder()
+            Encoder.shared()
             .uint(self.nonce, 8)
             .list([i.serialize() for i in self.inputs])
             .list([o.serialize() for o in self.outputs])
@@ -108,7 +108,7 @@ class Transaction:
     def serialize(self) -> bytes:
         return self._serialized
 
-    @cached_property
+    @cached
     def txid(self) -> TxId:
         return sha256d(self._serialized)
 
@@ -118,17 +118,17 @@ class Transaction:
 
     # ------------------------------------------------------------- semantics
 
-    @cached_property
+    @cached
     def is_coinbase(self) -> bool:
         return len(self.inputs) == 1 and self.inputs[0].is_coinbase
 
     def total_output(self) -> int:
         return sum(o.amount for o in self.outputs)
 
-    @cached_property
+    @cached
     def _sighash(self) -> Hash:
         body = (
-            Encoder()
+            Encoder.shared()
             .list([bytes(i.prev_txid) + encode_uint(i.prev_index, 4)
                    for i in self.inputs])
             .list([o.serialize() for o in self.outputs])
@@ -152,6 +152,17 @@ class Transaction:
             if not verify_signature(tx_input.public_key, digest, tx_input.signature):
                 return False
         return True
+
+    def signature_items(self) -> List[tuple]:
+        """Per-input triples for
+        :func:`repro.crypto.keys.verify_signatures_batch` (coinbase inputs
+        carry no signature and are skipped)."""
+        digest = bytes(self._sighash)
+        return [
+            (tx_input.public_key, digest, tx_input.signature)
+            for tx_input in self.inputs
+            if not tx_input.is_coinbase
+        ]
 
 
 def make_coinbase(recipient: Address, amount: int, nonce: int = 0) -> Transaction:
@@ -214,7 +225,11 @@ def build_transaction(
         )
         for i in unsigned_inputs
     )
-    return Transaction(inputs=signed_inputs, outputs=tuple(outputs))
+    signed = Transaction(inputs=signed_inputs, outputs=tuple(outputs))
+    # The sighash covers outpoints + outputs only (never signatures), so
+    # the unsigned sibling already computed the signed tx's digest.
+    signed.__dict__["_sighash"] = unsigned._sighash
+    return signed
 
 
 # --------------------------------------------------------------------------
@@ -252,10 +267,10 @@ class AccountTransaction:
     def sender(self) -> Address:
         return address_of(self.sender_public_key)
 
-    @cached_property
+    @cached
     def _body_bytes(self) -> bytes:
         return (
-            Encoder()
+            Encoder.shared()
             .bytes(self.sender_public_key)
             .uint(self.nonce, 8)
             .raw(bytes(self.recipient))
@@ -269,14 +284,14 @@ class AccountTransaction:
     def _body(self) -> bytes:
         return self._body_bytes
 
-    @cached_property
+    @cached
     def _serialized(self) -> bytes:
-        return Encoder().raw(self._body_bytes).bytes(self.signature).getvalue()
+        return Encoder.shared().raw(self._body_bytes).bytes(self.signature).getvalue()
 
     def serialize(self) -> bytes:
         return self._serialized
 
-    @cached_property
+    @cached
     def txid(self) -> TxId:
         return sha256d(self._serialized)
 
@@ -284,7 +299,7 @@ class AccountTransaction:
     def size_bytes(self) -> int:
         return len(self._serialized)
 
-    @cached_property
+    @cached
     def _sighash(self) -> Hash:
         return sha256d(self._body_bytes)
 
@@ -295,6 +310,10 @@ class AccountTransaction:
         return verify_signature(
             self.sender_public_key, bytes(self.sighash()), self.signature
         )
+
+    def signature_items(self) -> List[tuple]:
+        """Triples for :func:`repro.crypto.keys.verify_signatures_batch`."""
+        return [(self.sender_public_key, bytes(self._sighash), self.signature)]
 
 
 def sign_account_transaction(
@@ -317,7 +336,7 @@ def sign_account_transaction(
         data=data,
     )
     signature = keypair.sign(bytes(unsigned.sighash()))
-    return AccountTransaction(
+    signed = AccountTransaction(
         sender_public_key=keypair.public_key,
         nonce=nonce,
         recipient=recipient,
@@ -327,3 +346,8 @@ def sign_account_transaction(
         data=data,
         signature=signature,
     )
+    # Body bytes and sighash exclude the signature, so the unsigned
+    # sibling already computed both for the signed object.
+    signed.__dict__["_body_bytes"] = unsigned._body_bytes
+    signed.__dict__["_sighash"] = unsigned._sighash
+    return signed

@@ -15,6 +15,7 @@ from repro.common.errors import (
     InvalidProofOfWorkError,
     ValidationError,
 )
+from repro.crypto.keys import prewarm_signatures
 from repro.blockchain.block import Block
 from repro.blockchain.gas import intrinsic_gas
 from repro.blockchain.params import ChainParams
@@ -77,6 +78,18 @@ def validate_block_transactions(
     coinbase = block.transactions[0]
     if not isinstance(coinbase, Transaction) or not coinbase.is_coinbase:
         raise ValidationError("first transaction must be the coinbase")
+
+    if len(block.transactions) > 2:
+        # Verify the block's signature burst in one batch pass; the
+        # per-transaction checks below then hit the signature cache.
+        prewarm_signatures(
+            [
+                item
+                for tx in block.transactions[1:]
+                if isinstance(tx, Transaction) and not tx.is_coinbase
+                for item in tx.signature_items()
+            ]
+        )
 
     spent_in_block: Set[Outpoint] = set()
     created_in_block: dict = {}

@@ -79,10 +79,37 @@ class Encoder:
     True
     """
 
-    __slots__ = ("_buf",)
+    __slots__ = ("_buf", "_shared")
 
-    def __init__(self) -> None:
-        self._buf = bytearray()
+    #: Process-wide scratch buffer for :meth:`shared` — grown once, then
+    #: reused by every top-level serialization instead of allocating a
+    #: fresh ``bytearray`` per call (the accelerated tier's zero-copy
+    #: canonical-encoding path).
+    _SCRATCH = bytearray()
+    _SCRATCH_BUSY = False
+
+    def __init__(self, buffer: "bytearray | None" = None) -> None:
+        self._buf = bytearray() if buffer is None else buffer
+        self._shared = False
+
+    @classmethod
+    def shared(cls) -> "Encoder":
+        """An encoder over the process-wide scratch buffer.
+
+        The scratch is handed out to one encoder at a time; nested or
+        concurrent use (a ``serialize()`` that recursively serializes
+        sub-structures) transparently falls back to a private buffer, so
+        callers never need to care which one they got.  The buffer is
+        released — and its storage kept for reuse — by :meth:`getvalue`.
+        """
+        if cls._SCRATCH_BUSY:
+            return cls()
+        cls._SCRATCH_BUSY = True
+        scratch = cls._SCRATCH
+        del scratch[:]
+        encoder = cls(scratch)
+        encoder._shared = True
+        return encoder
 
     def raw(self, data: bytes) -> "Encoder":
         """Append pre-encoded bytes verbatim."""
@@ -126,7 +153,11 @@ class Encoder:
         return len(self._buf)
 
     def getvalue(self) -> bytes:
-        return bytes(self._buf)
+        value = bytes(self._buf)
+        if self._shared:
+            self._shared = False
+            Encoder._SCRATCH_BUSY = False
+        return value
 
 
 class Decoder:

@@ -1,0 +1,41 @@
+"""Lock-free memoizing descriptor for immutable value objects.
+
+``functools.cached_property`` acquires an RLock around every *first*
+access on Python 3.11 (the lock was only removed in 3.12).  The
+simulator is single-threaded and the dataclasses using it are frozen,
+so the lock is pure overhead — and it sits on the hottest construction
+paths in the codebase (every transaction, block, unit, and vote caches
+its canonical bytes and digest exactly once).  This descriptor performs
+the same instance-``__dict__`` fill without the lock: after the first
+access the attribute resolves from the instance dict and the descriptor
+is never entered again.
+
+Semantics match ``cached_property`` for our usage: the owning class must
+not define ``__slots__``, and frozen dataclasses work because the write
+goes directly into ``__dict__`` (bypassing the frozen ``__setattr__``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Optional, Type, TypeVar
+
+T = TypeVar("T")
+
+
+class cached(Generic[T]):
+    """Compute once per instance, then read from the instance dict."""
+
+    def __init__(self, fn: Callable[[Any], T]) -> None:
+        self._fn = fn
+        self._name = fn.__name__
+        self.__doc__ = fn.__doc__
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self._name = name
+
+    def __get__(self, obj: Any, objtype: Optional[Type[Any]] = None) -> T:
+        if obj is None:
+            return self  # type: ignore[return-value]
+        value = self._fn(obj)
+        obj.__dict__[self._name] = value
+        return value

@@ -12,8 +12,15 @@
   anti-spam variant Nano uses (Section III-B).
 """
 
+from repro.crypto import accel
 from repro.crypto.hashing import sha256, sha256d
-from repro.crypto.keys import KeyPair, verify_signature
+from repro.crypto.keys import (
+    KeyPair,
+    prewarm_signatures,
+    sigcache_counters,
+    verify_signature,
+    verify_signatures_batch,
+)
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.pow import check_pow, difficulty_to_target, solve_pow, target_to_difficulty
 from repro.crypto.trie import MerklePatriciaTrie
@@ -22,11 +29,15 @@ __all__ = [
     "KeyPair",
     "MerklePatriciaTrie",
     "MerkleTree",
+    "accel",
     "check_pow",
     "difficulty_to_target",
+    "prewarm_signatures",
     "sha256",
     "sha256d",
+    "sigcache_counters",
     "solve_pow",
     "target_to_difficulty",
     "verify_signature",
+    "verify_signatures_batch",
 ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from functools import cached_property
+from repro.common.memo import cached
 from typing import Optional
 
 from repro.common.encoding import Encoder
@@ -69,10 +69,10 @@ class NanoBlock:
     # computed once and cached forever (``_finish`` builds new blocks via
     # ``replace``, so caches never need invalidation).
 
-    @cached_property
+    @cached
     def _signed_body_bytes(self) -> bytes:
         return (
-            Encoder()
+            Encoder.shared()
             .raw(self.block_type.value.encode("ascii").ljust(8, b"\x00"))
             .raw(bytes(self.account))
             .raw(bytes(self.previous))
@@ -85,7 +85,7 @@ class NanoBlock:
     def _signed_body(self) -> bytes:
         return self._signed_body_bytes
 
-    @cached_property
+    @cached
     def block_hash(self) -> Hash:
         return sha256(self._signed_body_bytes)
 
@@ -93,10 +93,10 @@ class NanoBlock:
     #: signature (64) + work nonce (8).  Used by Section V size reports.
     AUTH_OVERHEAD_BYTES = 32 + 64 + 8
 
-    @cached_property
+    @cached
     def _serialized(self) -> bytes:
         return (
-            Encoder()
+            Encoder.shared()
             .raw(self._signed_body_bytes)
             .raw(self.public_key.ljust(32, b"\x00"))
             .raw(self.signature.ljust(64, b"\x00"))
@@ -139,6 +139,10 @@ class NanoBlock:
         return verify_signature(
             self.public_key, bytes(self.block_hash), self.signature
         )
+
+    def signature_item(self) -> tuple:
+        """Triple for :func:`repro.crypto.keys.verify_signatures_batch`."""
+        return (self.public_key, bytes(self.block_hash), self.signature)
 
     def verify_work(self, difficulty: float) -> bool:
         """Check the hashcash anti-spam stamp (Section III-B)."""

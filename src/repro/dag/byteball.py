@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from functools import cached_property
+from repro.common.memo import cached
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.encoding import encode_bytes, encode_list, encode_uint
@@ -57,7 +57,7 @@ class Unit:
             + encode_uint(int(self.timestamp * 1000), 8)
         )
 
-    @cached_property
+    @cached
     def unit_hash(self) -> Hash:
         return sha256(self._signed_body())
 
@@ -80,6 +80,10 @@ class Unit:
 
     def verify_signature(self) -> bool:
         return verify_signature(self.public_key, bytes(self.unit_hash), self.signature)
+
+    def signature_item(self) -> tuple:
+        """Triple for :func:`repro.crypto.keys.verify_signatures_batch`."""
+        return (self.public_key, bytes(self.unit_hash), self.signature)
 
 
 def make_unit(

@@ -20,7 +20,7 @@ from repro.common.errors import (
     ValidationError,
 )
 from repro.common.types import Address, Hash
-from repro.crypto.keys import KeyPair, address_of
+from repro.crypto.keys import KeyPair, address_of, prewarm_signatures
 from repro.dag.blocks import BlockType, NanoBlock, make_open
 from repro.dag.params import NanoParams
 from repro.dag.representatives import RepresentativeLedger
@@ -139,6 +139,15 @@ class Lattice:
         Returns the number of chains installed.
         """
         installed = 0
+        fresh = [
+            head for head in heads
+            if head.account not in self._chains
+            and head.block_hash not in self._blocks
+        ]
+        if len(fresh) > 1:
+            # Burst path: verify the whole checkpoint in one batch pass so
+            # the scalar per-head checks below all hit the sigcache.
+            prewarm_signatures([head.signature_item() for head in fresh])
         for head in heads:
             if head.account in self._chains or head.block_hash in self._blocks:
                 continue  # already have (some of) this chain: keep ours

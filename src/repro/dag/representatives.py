@@ -20,6 +20,10 @@ class RepresentativeLedger:
         self._delegations: Dict[Address, Address] = {}  # account -> rep
         self._balances: Dict[Address, int] = {}
         self._online: Set[Address] = set()
+        # Maintained incrementally alongside every weight/online change:
+        # online_weight() is read once per vote heard, which made the
+        # O(#online) sum a hot-path cost at scale.
+        self._online_weight = 0
 
     # -------------------------------------------------------------- updates
 
@@ -31,9 +35,13 @@ class RepresentativeLedger:
             self._weights[old_rep] = self._weights.get(old_rep, 0) - old_balance
             if self._weights[old_rep] == 0:
                 del self._weights[old_rep]
+            if old_rep in self._online:
+                self._online_weight -= old_balance
         self._delegations[account] = representative
         self._balances[account] = balance
         self._weights[representative] = self._weights.get(representative, 0) + balance
+        if representative in self._online:
+            self._online_weight += balance
 
     def remove_account(self, account: Address) -> None:
         """Roll back an account to the never-seen state."""
@@ -43,15 +51,20 @@ class RepresentativeLedger:
             self._weights[rep] = self._weights.get(rep, 0) - balance
             if self._weights[rep] == 0:
                 del self._weights[rep]
+            if rep in self._online:
+                self._online_weight -= balance
 
     # --------------------------------------------------------------- online
 
     def set_online(self, representative: Address, online: bool = True) -> None:
         """Only online representatives count toward vote quorums."""
         if online:
-            self._online.add(representative)
-        else:
+            if representative not in self._online:
+                self._online.add(representative)
+                self._online_weight += self._weights.get(representative, 0)
+        elif representative in self._online:
             self._online.discard(representative)
+            self._online_weight -= self._weights.get(representative, 0)
 
     def is_online(self, representative: Address) -> bool:
         return representative in self._online
@@ -68,8 +81,9 @@ class RepresentativeLedger:
         return sum(self._weights.values())
 
     def online_weight(self) -> int:
-        """Total weight held by online representatives — the quorum base."""
-        return sum(self._weights.get(rep, 0) for rep in self._online)
+        """Total weight held by online representatives — the quorum base.
+        O(1): maintained incrementally by every update above."""
+        return self._online_weight
 
     def representatives(self) -> Dict[Address, int]:
         return dict(self._weights)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from functools import cached_property
+from repro.common.memo import cached
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.encoding import encode_bytes, encode_uint
@@ -50,7 +50,7 @@ class TangleTransaction:
             + encode_uint(int(self.timestamp * 1000), 8)
         )
 
-    @cached_property
+    @cached
     def tx_hash(self) -> Hash:
         return sha256(self._signed_body())
 
@@ -69,6 +69,10 @@ class TangleTransaction:
 
     def verify_signature(self) -> bool:
         return verify_signature(self.public_key, bytes(self.tx_hash), self.signature)
+
+    def signature_item(self) -> tuple:
+        """Triple for :func:`repro.crypto.keys.verify_signatures_batch`."""
+        return (self.public_key, bytes(self.tx_hash), self.signature)
 
     def verify_work(self, difficulty: float) -> bool:
         return check_antispam(bytes(self.trunk) + bytes(self.branch), self.work, difficulty)

@@ -11,6 +11,7 @@ so consensus information piggybacks on normal propagation — a block is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from repro.common.memo import cached
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import ValidationError
@@ -34,15 +35,25 @@ class Vote:
     public_key: bytes = b""
     signature: bytes = b""
 
-    def signed_payload(self) -> bytes:
+    @cached
+    def _payload(self) -> bytes:
+        # Votes are immutable and verified by every replica that hears
+        # them; build the signed body once per object.
         return bytes(self.representative) + bytes(self.block_hash) + self.sequence.to_bytes(
             8, "big"
         )
 
+    def signed_payload(self) -> bytes:
+        return self._payload
+
+    def signature_item(self) -> Tuple[bytes, bytes, bytes]:
+        """Triple for :func:`repro.crypto.keys.verify_signatures_batch`."""
+        return (self.public_key, self._payload, self.signature)
+
     def verify(self) -> bool:
         if not self.signature:
             return False
-        return verify_signature(self.public_key, self.signed_payload(), self.signature)
+        return verify_signature(self.public_key, self._payload, self.signature)
 
     @property
     def size_bytes(self) -> int:

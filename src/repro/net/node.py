@@ -90,6 +90,27 @@ class NetworkNode:
         self.messages_received += 1
         self.handle_message(sender_id, message)
 
+    def deliver_batch(self, items) -> None:
+        """Deliver a coalesced same-instant burst of ``(sender, message)``.
+
+        Semantically identical to calling :meth:`deliver` per item in
+        order; the default does exactly that after a behavior-neutral
+        :meth:`prewarm_messages` pass that lets stack nodes amortize
+        signature verification over the burst.
+        """
+        if len(items) > 1 and self.online:
+            self.prewarm_messages([message for _, message in items])
+        for sender_id, message in items:
+            self.deliver(sender_id, message)
+
+    def prewarm_messages(self, messages) -> None:
+        """Batch pre-verification hook for a coalesced delivery burst.
+
+        Must be behavior-neutral (cache warming only).  Base nodes do
+        nothing; protocol-stack nodes batch-verify the burst's signatures
+        so the scalar checks downstream all hit the sigcache.
+        """
+
     def handle_message(self, sender_id: str, message: Message) -> None:
         """Application hook — override in subclasses."""
 

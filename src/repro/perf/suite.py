@@ -276,6 +276,203 @@ def _bench_lattice_settle(scale: float) -> Tuple[int, float]:
 
 
 # --------------------------------------------------------------------------
+# Batch-tier benches
+# --------------------------------------------------------------------------
+
+
+def _bench_sig_batch_verify(scale: float) -> Tuple[int, float]:
+    """Artifact lifecycle, cold caches: sign a burst, then first-contact
+    verification through the batch API — what every simulated artifact
+    pays once per process.  Under the accelerated tier signing seeds the
+    sigcache, so the burst partitions into cached triples plus the
+    tampered minority (one per 16) that must be recomputed and rejected."""
+    from repro.crypto.keys import KeyPair, clear_sigcache, verify_signatures_batch
+
+    signers = 8
+    n = max(64, int(6000 * scale))
+    keys = [KeyPair.from_seed(bytes([0x40 + i]) * 32) for i in range(signers)]
+    messages = [b"burst:%d" % i for i in range(n)]
+    start = perf_counter()
+    clear_sigcache()
+    items = []
+    for i in range(n):
+        key = keys[i % signers]
+        signature = key.sign(messages[i]) if i % 16 != 15 else bytes(64)
+        items.append((key.public_key, messages[i], signature))
+    verdicts = verify_signatures_batch(items)
+    wall = perf_counter() - start
+    assert verdicts == [i % 16 != 15 for i in range(n)]
+    return n, wall
+
+
+def _build_source_lattice(accounts_n: int, rounds: int):
+    """A populated lattice, its genesis, and all non-genesis blocks in
+    creation (dependency-safe) order — shared bench setup."""
+    from repro.crypto.keys import KeyPair
+    from repro.dag.blocks import make_open, make_receive, make_send
+    from repro.dag.lattice import Lattice
+    from repro.dag.params import NanoParams
+
+    params = NanoParams(work_difficulty=1.0)
+    lattice = Lattice(params)
+    genesis_key = KeyPair.from_seed(b"\x51" * 32)
+    genesis = lattice.create_genesis(genesis_key, supply=10**15)
+    keys = [KeyPair.from_seed(b"\x60" * 28 + i.to_bytes(4, "big"))
+            for i in range(accounts_n)]
+    heads = {}
+    genesis_head = genesis
+    ordered = []
+    for key in keys:
+        send = make_send(genesis_key, genesis_head, key.address, 10**9,
+                         work_difficulty=1.0)
+        lattice.process(send)
+        genesis_head = send
+        opened = make_open(key, send.block_hash, 10**9, key.address,
+                           work_difficulty=1.0)
+        lattice.process(opened)
+        heads[key.address] = opened
+        ordered.extend((send, opened))
+    for i in range(rounds):
+        src = keys[i % accounts_n]
+        dst = keys[(i + 1) % accounts_n]
+        send = make_send(src, heads[src.address], dst.address, 1000,
+                         work_difficulty=1.0)
+        lattice.process(send)
+        heads[src.address] = send
+        receive = make_receive(dst, heads[dst.address], send.block_hash, 1000,
+                               work_difficulty=1.0)
+        lattice.process(receive)
+        heads[dst.address] = receive
+        ordered.extend((send, receive))
+    return params, lattice, genesis, ordered
+
+
+def _bench_ingest_batch(scale: float) -> Tuple[int, float]:
+    """Burst ingestion through the stack: a cold replica adopts a peer's
+    lattice via ``ingest_batch`` — one signature prewarm for the whole
+    burst and one closing dependent-retry pass."""
+    from repro.crypto.keys import clear_sigcache
+    from repro.dag.node import NanoNode
+
+    params, lattice, genesis, ordered = _build_source_lattice(
+        accounts_n=8, rounds=max(8, int(600 * scale))
+    )
+    # Reverse each 16-block window of the creation order: within a window
+    # blocks arrive newest-first (they park, then revive in a bounded
+    # cascade), while across windows order stays dependency-safe — so the
+    # retry recursion never exceeds a window's depth.
+    blocks = []
+    for i in range(0, len(ordered), 16):
+        blocks.extend(reversed(ordered[i:i + 16]))
+    replica = NanoNode("replica", params=params, auto_receive=False)
+    replica.lattice.install_genesis(genesis)
+    start = perf_counter()
+    clear_sigcache()
+    replica.ingest_batch(blocks, skip=lambda b: b.block_hash in replica.lattice)
+    wall = perf_counter() - start
+    # Parked blocks revived mid-batch integrate through the retry path,
+    # so convergence (not the direct-integration count) is the invariant.
+    assert replica.lattice.block_count() == lattice.block_count()
+    return len(blocks), wall
+
+
+def _bench_delivery_coalesce(scale: float) -> Tuple[int, float]:
+    """Same-timestamp gossip bursts over zero-jitter links: the run loop
+    drains each receiver's burst as one coalesced delivery batch."""
+    from repro.net.link import LinkParams
+    from repro.net.message import Message
+    from repro.net.network import Network
+    from repro.net.node import NetworkNode
+    from repro.net.topology import small_world_topology
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=7)
+    net = Network(sim, coalesce=True)
+    link = LinkParams(latency_s=0.005, jitter_s=0.0, bandwidth_bps=1e9)
+    nodes = small_world_topology(net, 24, NetworkNode, link_params=link, seed=7)
+    m = max(10, int(1500 * scale))
+    width = len(nodes)
+    start = perf_counter()
+    for i in range(m):
+        origin = nodes[i % width]
+        message = Message(kind="blk", payload=i, size_bytes=240)
+        sim.schedule_at(
+            (i // width) * 0.05,
+            (lambda o=origin, msg=message: net.gossip(o.node_id, msg)),
+        )
+    sim.run()
+    wall = perf_counter() - start
+    return net.messages_delivered, wall
+
+
+def _bench_mempool_admit(scale: float) -> Tuple[int, float]:
+    """Fee-market admission under a bounded pool: every add competes on
+    fee rate, with periodic block-template selections mixed in."""
+    from repro.blockchain.mempool import Mempool, MempoolLimits
+    from repro.crypto.keys import KeyPair
+    from repro.blockchain.transaction import sign_account_transaction
+
+    n = max(100, int(4000 * scale))
+    keys = [KeyPair.from_seed(bytes([0x70 + i]) * 32) for i in range(4)]
+    recipient = keys[0].address
+    txs = [
+        sign_account_transaction(
+            keys[i % 4], nonce=i // 4, recipient=recipient, value=1,
+            gas_price=1 + (i * 7919) % 97,
+        )
+        for i in range(n)
+    ]
+    pool = Mempool(limits=MempoolLimits(max_count=max(64, n // 8)))
+    start = perf_counter()
+    admitted = 0
+    for i, tx in enumerate(txs):
+        if pool.add(tx, fee=tx.gas_price * tx.gas_limit):
+            admitted += 1
+        if i % 512 == 511:
+            pool.select_by_gas(2_000_000)
+    wall = perf_counter() - start
+    assert 0 < admitted <= n
+    return n, wall
+
+
+def _bench_intake_park_revive(scale: float) -> Tuple[int, float]:
+    """Worst-case out-of-order arrival: every account chain arrives
+    newest-first, so all but one block per chain parks in the intake
+    layer and the final dependency revives the whole cascade."""
+    from repro.dag.node import NanoNode
+
+    # Many short chains (not a few long ones): dependency cascades stay a
+    # few blocks deep, so the revive recursion never gets near the limit.
+    accounts_n = max(16, int(400 * scale))
+    params, lattice, genesis, _ordered = _build_source_lattice(
+        accounts_n=accounts_n, rounds=accounts_n
+    )
+    genesis_chain = []
+    account_chains = []
+    for chain in lattice.chains():
+        blocks = [b for b in chain.blocks if b.block_hash != genesis.block_hash]
+        if chain.blocks and chain.blocks[0].block_hash == genesis.block_hash:
+            genesis_chain = blocks
+        else:
+            account_chains.append(blocks)
+    replica = NanoNode("replica", params=params, auto_receive=False)
+    replica.lattice.install_genesis(genesis)
+    ops = 0
+    start = perf_counter()
+    for block in genesis_chain:  # in order: integrates immediately
+        replica.ingest_quietly(block)
+        ops += 1
+    for blocks in account_chains:  # newest-first: parks, then cascades
+        for block in reversed(blocks):
+            replica.ingest_quietly(block)
+            ops += 1
+    wall = perf_counter() - start
+    assert len(replica.intake) == 0
+    assert replica.lattice.block_count() == lattice.block_count()
+    return ops, wall
+
+
+# --------------------------------------------------------------------------
 # End-to-end experiment trials (wall clock)
 # --------------------------------------------------------------------------
 
@@ -345,6 +542,16 @@ BENCHES: Dict[str, Bench] = {
               _bench_block_hash_validate, paradigms=("blockchain",)),
         Bench("lattice_settle", "block-lattice send/receive settlement",
               _bench_lattice_settle, paradigms=("dag",)),
+        Bench("sig_batch_verify", "cold-cache burst signature verification",
+              _bench_sig_batch_verify),
+        Bench("ingest_batch", "stack burst ingestion (prewarm + one retry pass)",
+              _bench_ingest_batch, repeats=2, paradigms=("dag",)),
+        Bench("delivery_coalesce", "same-timestamp gossip burst coalescing",
+              _bench_delivery_coalesce),
+        Bench("mempool_admit", "fee-market mempool admission under caps",
+              _bench_mempool_admit, paradigms=("blockchain",)),
+        Bench("intake_park_revive", "out-of-order park + dependency revive",
+              _bench_intake_park_revive, repeats=2, paradigms=("dag",)),
         Bench("e9_blockchain_tps", "E9 saturation trial wall clock",
               _bench_e9_blockchain_tps, repeats=1,
               paradigms=("blockchain",)),

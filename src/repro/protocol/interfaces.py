@@ -60,6 +60,17 @@ class ConsensusEngine(abc.ABC):
     def on_applied(self, artifact: Any) -> None:
         """Post-acceptance consensus actions (default: none)."""
 
+    def signature_items(self, artifact: Any) -> Any:
+        """``(public_key, message, signature)`` triples ``artifact`` carries.
+
+        The batch tier feeds these to
+        :func:`repro.crypto.keys.verify_signatures_batch` before a burst
+        is ingested, so the engine's own scalar checks all hit the
+        sigcache.  Must be side-effect-free; engines whose artifacts are
+        unsigned keep the empty default.
+        """
+        return ()
+
     def counters(self) -> Dict[str, float]:
         """Engine-level counters (votes, view changes, QCs formed, ...).
 
@@ -127,4 +138,12 @@ def aggregate_layer_counters(nodes: Any) -> dict:
     for node in protocol_nodes(nodes):
         for name, value in node.layer_counters().items():
             totals[name] = totals.get(name, 0.0) + value
+    if totals:
+        # The sigcache is process-global (every replica shares it, as
+        # every Bitcoin Core thread shares one sigcache), so its
+        # accounting joins the aggregate view once — not per node.
+        from repro.crypto.keys import sigcache_counters
+
+        for name, value in sigcache_counters().items():
+            totals[name] = float(value)
     return totals

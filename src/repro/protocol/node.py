@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Optional
 
 from repro.common.errors import ReproError
+from repro.crypto.keys import prewarm_signatures
+from repro.net.message import Message
 from repro.net.node import NetworkNode
 from repro.protocol.intake import DEFAULT_INTAKE_CAPACITY, IntakeLayer
 from repro.protocol.interfaces import ConsensusEngine
@@ -79,21 +81,29 @@ class ProtocolNode(NetworkNode):
         engine's validation raises — callers that must not propagate
         peer garbage use :meth:`ingest_quietly`.
         """
+        key = self._ingest_no_retry(artifact)
+        if key is None:
+            return False
+        self.retry_dependents(key)
+        return True
+
+    def _ingest_no_retry(self, artifact: Any) -> Optional[Hashable]:
+        """One artifact through intake + consensus, without the
+        dependent-retry tail; returns its key when integrated."""
         engine = self.consensus
         key = engine.artifact_key(artifact)
         if engine.is_known(key):
-            return False
+            return None
         missing = engine.missing_dependency(artifact)
         if missing is not None:
             evicted = self.intake.park(missing, artifact)
             self._trace("record_intake_park", missing, evicted)
             self.on_parked(artifact, missing)
-            return False
+            return None
         if not engine.integrate(artifact):
-            return False
+            return None
         engine.on_applied(artifact)
-        self.retry_dependents(key)
-        return True
+        return key
 
     def ingest_quietly(self, artifact: Any) -> bool:
         """:meth:`ingest`, swallowing validation errors from peers."""
@@ -102,11 +112,108 @@ class ProtocolNode(NetworkNode):
         except ReproError:
             return False
 
+    def ingest_batch(self, artifacts: Any, *, skip: Any = None) -> int:
+        """Run a whole burst through intake + consensus; returns the
+        number integrated.
+
+        Amortizes the burst two ways: the engine's signature triples are
+        batch-verified up front (one sigcache fill for the whole burst,
+        see :meth:`ConsensusEngine.signature_items`), and the
+        dependent-retry pass runs once at the end instead of after every
+        artifact.  Validation errors are swallowed per artifact (quiet
+        ingest semantics — this is the bootstrap/sync/burst path).  The
+        final ledger state is identical to scalar ingest in any order:
+        an artifact parked because its dependency sat later in the burst
+        is revived by the closing retry pass.
+
+        ``skip`` (optional callable) is evaluated at each artifact's turn
+        and drops it without touching the engine — callers whose engines
+        count duplicates (the lattice) pass a membership test so an
+        artifact integrated mid-batch (dependency retry, auto-receive)
+        is skipped exactly as the scalar loop's re-check would.
+        """
+        if not isinstance(artifacts, (list, tuple)):
+            artifacts = list(artifacts)
+        engine = self.consensus
+        if len(artifacts) > 1:
+            triples: list = []
+            collect = engine.signature_items
+            for artifact in artifacts:
+                triples.extend(collect(artifact))
+            if triples:
+                prewarm_signatures(triples)
+        integrated = 0
+        applied_keys = []
+        intake_park = self.intake.park
+        for artifact in artifacts:
+            if skip is not None and skip(artifact):
+                continue
+            try:
+                key = engine.artifact_key(artifact)
+                if engine.is_known(key):
+                    continue
+                missing = engine.missing_dependency(artifact)
+                if missing is not None:
+                    evicted = intake_park(missing, artifact)
+                    self._trace("record_intake_park", missing, evicted)
+                    self.on_parked(artifact, missing)
+                    continue
+                if not engine.integrate(artifact):
+                    continue
+                engine.on_applied(artifact)
+            except ReproError:
+                continue
+            integrated += 1
+            applied_keys.append(key)
+        for key in applied_keys:
+            self.retry_dependents(key)
+        return integrated
+
+    def prewarm_messages(self, messages: Any) -> None:
+        """Batch-verify the signatures a coalesced burst carries.
+
+        Behavior-neutral (sigcache warming only — see
+        :func:`repro.crypto.keys.prewarm_signatures`); the scalar checks
+        inside each engine's validation then all hit the cache.
+        """
+        triples: list = []
+        collect = self.message_signature_items
+        for message in messages:
+            triples.extend(collect(message))
+        if triples:
+            prewarm_signatures(triples)
+
+    def message_signature_items(self, message: Message) -> Any:
+        """Signature triples carried by one gossip message.
+
+        Subclasses map their message kinds to the engine's
+        :meth:`~ConsensusEngine.signature_items` (plus any non-artifact
+        signed payloads such as votes).  Must be side-effect-free.
+        """
+        return ()
+
     def retry_dependents(self, key: Hashable) -> int:
-        """Re-ingest everything parked on the just-integrated ``key``."""
+        """Re-ingest everything parked on the just-integrated ``key``.
+
+        The revival cascade (a revived artifact unblocks its own
+        dependents, and so on) runs on an explicit stack in the same
+        depth-first pre-order the old mutual recursion produced — a
+        bootstrap burst can legally park thousands of artifacts behind
+        one dependency, far past the interpreter's recursion limit.
+        """
         parked = self.intake.satisfy(key)
-        for artifact in parked:
-            self.ingest_quietly(artifact)
+        stack = [iter(parked)]
+        while stack:
+            artifact = next(stack[-1], None)
+            if artifact is None:
+                stack.pop()
+                continue
+            try:
+                child = self._ingest_no_retry(artifact)
+            except ReproError:
+                continue
+            if child is not None:
+                stack.append(iter(self.intake.satisfy(child)))
         return len(parked)
 
     def revive_intake(self) -> int:

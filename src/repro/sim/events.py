@@ -25,7 +25,8 @@ class Event:
     order, which keeps runs deterministic.
     """
 
-    __slots__ = ("time", "sequence", "action", "cancelled", "label", "_queue")
+    __slots__ = ("time", "sequence", "action", "cancelled", "label", "_queue",
+                 "coalesce_key", "payload")
 
     def __init__(self, time: float, sequence: int, action: Action,
                  label: str = "",
@@ -36,6 +37,11 @@ class Event:
         self.cancelled = False
         self.label = label
         self._queue = queue
+        # Batchable events (Simulator.schedule_batchable): consecutive
+        # same-(time, coalesce_key) events are drained as one dispatch at
+        # pop time.  None for ordinary events.
+        self.coalesce_key = None
+        self.payload = None
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it (O(1) lazy deletion)."""
@@ -92,6 +98,8 @@ class EventQueue:
         event.cancelled = False
         event.label = label
         event._queue = self
+        event.coalesce_key = None
+        event.payload = None
         _heappush(self._heap, (time, sequence, event))
         return event
 

@@ -102,6 +102,41 @@ class Simulator:
         event.cancelled = False
         event.label = label
         event._queue = queue
+        event.coalesce_key = None
+        event.payload = None
+        _heappush(queue._heap, (time, sequence, event))
+        return event
+
+    def schedule_batchable(self, delay: float, dispatch: Callable, payload,
+                           key, label: str = "",
+                           _heappush=heappush, _new=Event.__new__,
+                           _Event=Event) -> Event:
+        """Schedule a coalescible delivery: ``dispatch(payloads)``.
+
+        Consecutive same-timestamp events sharing ``key`` (and the same
+        ``dispatch`` callable) are drained from the heap as *one* batch
+        at pop time, and ``dispatch`` receives the list of their payloads
+        in scheduling order.  Pop-time coalescing is exactly
+        order-preserving: the heap already yields true execution order,
+        and anything scheduled *during* the batch carries a later
+        sequence number, so it would have run after every batch member
+        anyway.  Each member still counts as one processed event.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        queue = self._queue
+        time = self._now + delay
+        sequence = queue._sequence
+        queue._sequence = sequence + 1
+        event = _new(_Event)
+        event.time = time
+        event.sequence = sequence
+        event.action = dispatch
+        event.cancelled = False
+        event.label = label
+        event._queue = queue
+        event.coalesce_key = key
+        event.payload = payload
         _heappush(queue._heap, (time, sequence, event))
         return event
 
@@ -172,8 +207,33 @@ class Simulator:
                     event._queue = None
                     popped += 1
                     self._now = entry[0]
-                    event.action()
-                    processed += 1
+                    key = event.coalesce_key
+                    if key is None:
+                        event.action()
+                        processed += 1
+                        continue
+                    # Coalesce: drain the run of same-(time, key) events
+                    # at the heap top into one dispatch (order-preserving
+                    # — see schedule_batchable).
+                    time = entry[0]
+                    dispatch = event.action
+                    batch = [event.payload]
+                    while heap and processed + len(batch) < limit:
+                        top = heap[0]
+                        if top[0] != time:
+                            break
+                        nxt = top[2]
+                        if nxt.cancelled:
+                            pop(heap)
+                            continue
+                        if nxt.coalesce_key != key or nxt.action is not dispatch:
+                            break
+                        pop(heap)
+                        nxt._queue = None
+                        popped += 1
+                        batch.append(nxt.payload)
+                    dispatch(batch)
+                    processed += len(batch)
                 return
             while not self._halted and processed < limit:
                 event = None
@@ -197,8 +257,32 @@ class Simulator:
                         self._now = until
                     break
                 self._now = entry[0]
-                event.action()
-                processed += 1
+                key = event.coalesce_key
+                if key is None:
+                    event.action()
+                    processed += 1
+                    continue
+                # Batch members share the popped event's timestamp, which
+                # already passed the ``until`` bound — no extra check.
+                time = entry[0]
+                dispatch = event.action
+                batch = [event.payload]
+                while heap and processed + len(batch) < limit:
+                    top = heap[0]
+                    if top[0] != time:
+                        break
+                    nxt = top[2]
+                    if nxt.cancelled:
+                        pop(heap)
+                        continue
+                    if nxt.coalesce_key != key or nxt.action is not dispatch:
+                        break
+                    pop(heap)
+                    nxt._queue = None
+                    popped += 1
+                    batch.append(nxt.payload)
+                dispatch(batch)
+                processed += len(batch)
         finally:
             queue.popped += popped
             self._events_processed += processed

@@ -1,7 +1,7 @@
 """Memoized serialization/hash invariants (perf tentpole).
 
 Blocks and transactions are frozen dataclasses, so canonical bytes and
-digests are computed once via ``functools.cached_property`` and never
+digests are computed once via :class:`repro.common.memo.cached` and never
 invalidated.  These tests pin the contract the caches rely on:
 
 * repeat calls return the *same object* (identity, not just equality),
