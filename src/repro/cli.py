@@ -527,8 +527,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     overrides = {
         key: values[0] for key, values in _parse_grid(args.param).items()
     }
+    if args.topology_scale is not None:
+        overrides["total_nodes"] = args.topology_scale
     runner = experiment.load_runner()
-    result = runner(overrides, args.seed)
+    try:
+        result = runner(overrides, args.seed)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     rows = [["experiment", result["experiment_id"]],
             ["seed", result["seed"]],
             ["elapsed", f"{result['elapsed_s']:.3f} s"]]
@@ -598,6 +604,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.topology_scale:
+        grid["total_nodes"] = [
+            int(v) for v in args.topology_scale.split(",") if v.strip()
+        ]
     if args.seeds:
         seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
     else:
@@ -858,6 +868,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="override a default parameter (repeatable)")
+    bench.add_argument("--topology-scale", type=int, default=None,
+                       metavar="N",
+                       help="total node population for scale-aware "
+                            "benches (sets the total_nodes param)")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_cmd_bench)
 
@@ -875,6 +889,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--param", action="append", default=[],
                        metavar="KEY=V1[,V2,...]",
                        help="grid axis: comma-separated values (repeatable)")
+    sweep.add_argument("--topology-scale", default=None,
+                       metavar="N1[,N2,...]",
+                       help="total-node-population grid axis for "
+                            "scale-aware benches (total_nodes param)")
     sweep.add_argument("--seeds", default=None,
                        help="comma-separated seed list (default: 0..trials-1)")
     sweep.add_argument("--trials", type=int, default=4,

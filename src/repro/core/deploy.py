@@ -17,8 +17,8 @@ docs/architecture.md for the migration note and timeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
 
 from repro.blockchain.mempool import MempoolLimits
 from repro.blockchain.params import BITCOIN, ChainParams
@@ -26,6 +26,7 @@ from repro.core.adapters import BftLedger, BlockchainLedger, DagLedger
 from repro.core.ledger import Ledger
 from repro.dag.params import NanoParams
 from repro.faults import ByzantineSpec, FaultInjector
+from repro.net.aggregate import TopologyScale, attach_clusters
 from repro.net.link import LinkParams
 from repro.protocol import aggregate_layer_counters
 from repro.storage.pruning import DEFAULT_KEEP_DEPTH
@@ -74,9 +75,16 @@ class Deployment:
     engine: str
     byzantine: Optional[ByzantineSpec] = None
     workload: Optional[WorkloadSpec] = None
+    topology_scale: Optional[TopologyScale] = None
+    #: Mean-field clusters attached at setup when ``topology_scale`` asks
+    #: for more nodes than the fully-simulated boundary provides.
+    clusters: List = field(default_factory=list)
 
     def setup(self, accounts: int, initial_balance: int) -> "Deployment":
         self.ledger.setup(accounts, initial_balance)
+        if self.topology_scale is not None:
+            self.clusters = attach_clusters(self.network,
+                                            self.topology_scale)
         return self
 
     # ------------------------------------------------------------ accessors
@@ -106,6 +114,20 @@ class Deployment:
         """Deployment-wide ``transport.* / intake.* / consensus.*`` totals."""
         return aggregate_layer_counters(self.nodes)
 
+    def scale_stats(self) -> Dict[str, float]:
+        """Aggregate-tier totals: modeled population and propagation."""
+        stats = {
+            "boundary_nodes": float(len(self.nodes)),
+            "modeled_nodes": float(sum(c.size for c in self.clusters)),
+            "modeled_deliveries": float(
+                sum(c.modeled_deliveries for c in self.clusters)),
+            "messages_modeled": float(
+                sum(c.messages_modeled for c in self.clusters)),
+        }
+        times = [t for c in self.clusters for t in c.propagation_times]
+        stats["propagation_max_s"] = max(times) if times else 0.0
+        return stats
+
     def start_workload(self, accounts: int,
                        spec: Optional[WorkloadSpec] = None):
         """Arm the open-loop injector described by ``spec`` (or the
@@ -133,6 +155,7 @@ def build_deployment(
     node_count: Optional[int] = None,
     seed: int = 0,
     link_params: Optional[LinkParams] = None,
+    topology_scale: Optional[Union[int, TopologyScale]] = None,
     # paradigm-specific knobs (validated against the paradigm)
     chain_params: Optional[ChainParams] = None,
     block_interval_s: Optional[float] = None,
@@ -154,6 +177,11 @@ def build_deployment(
     a Byzantine adversary mix: the spec's ``count`` marks the roster
     prefix, ``behavior`` must belong to the paradigm's family set, and
     ``f_override`` (BFT only) adjusts the quorum threshold ``n - f``.
+    ``topology_scale`` (an int total-node count or a
+    :class:`~repro.net.aggregate.TopologyScale`) grows the deployment to
+    that population at setup time: the ``node_count`` fully-simulated
+    nodes become the boundary and the surplus is modeled by mean-field
+    :class:`~repro.net.aggregate.AggregateCluster` leaves.
     Unused paradigm-specific knobs raise rather than silently ignore,
     so call sites stay honest about what they configure.
     """
@@ -175,6 +203,12 @@ def build_deployment(
                 f"paradigm {paradigm!r} (choose from "
                 f"{', '.join(_PARADIGM_BEHAVIORS[paradigm])})")
     count = node_count or _DEFAULT_NODE_COUNT[paradigm]
+    if isinstance(topology_scale, int):
+        topology_scale = TopologyScale(total_nodes=topology_scale)
+    if topology_scale is not None and topology_scale.total_nodes < count:
+        raise ValueError(
+            f"topology_scale.total_nodes ({topology_scale.total_nodes}) "
+            f"is below the fully-simulated node count ({count})")
 
     def reject_unused(**knobs) -> None:
         stray = [name for name, value in knobs.items() if value is not None]
@@ -256,4 +290,5 @@ def build_deployment(
         )
 
     return Deployment(ledger=ledger, paradigm=paradigm, engine=engine,
-                      byzantine=faults, workload=workload)
+                      byzantine=faults, workload=workload,
+                      topology_scale=topology_scale)

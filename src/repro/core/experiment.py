@@ -296,5 +296,18 @@ EXPERIMENTS: Dict[str, Experiment] = {
             default_params={"node_count": 4, "payments": 10,
                             "crash_downtime_s": 12.0},
         ),
+        Experiment(
+            "A10", "§VI (scale tier)",
+            "Scale tier: mean-field clusters and sharded floods extend "
+            "the TPS/propagation curves to 10^4+ nodes",
+            ("repro.net.aggregate", "repro.sim.sharded",
+             "repro.core.deploy"),
+            "bench_a10_scale.py",
+            default_params={"scales": (100, 1_000, 10_000),
+                            "duration_s": 120.0,
+                            "blockchain_tps": 2.0, "dag_tps": 8.0,
+                            "sharded_nodes": 10_000, "sharded_shards": 8,
+                            "jobs": 1, "total_nodes": 0},
+        ),
     ]
 }

@@ -123,8 +123,11 @@ class FaultInjector:
         self.crashes_injected = 0
         self.restarts_injected = 0
         self.byzantine_marked = 0
-        #: original params of links currently under degradation
-        self._degraded: Dict[Tuple[str, str], LinkParams] = {}
+        #: links currently under degradation: (true original params,
+        #: number of still-active degradation windows).  The depth count
+        #: makes overlapping degrade/restore windows compose — only the
+        #: last window's restore swaps the original back in.
+        self._degraded: Dict[Tuple[str, str], Tuple[LinkParams, int]] = {}
 
     # ------------------------------------------------------------- crashes
 
@@ -189,22 +192,35 @@ class FaultInjector:
         """Swap in degraded link parameters, remembering the originals."""
         pairs = ((a, b), (b, a)) if bidirectional else ((a, b),)
         for src, dst in pairs:
-            self._degraded.setdefault((src, dst),
-                                      self.network.link_params(src, dst))
+            original, depth = self._degraded.get(
+                (src, dst), (self.network.link_params(src, dst), 0))
+            self._degraded[(src, dst)] = (original, depth + 1)
             self.network.set_link(src, dst, params, bidirectional=False)
         self.tracer.emit(self.simulator.now, DEGRADE, src=a, dst=b,
                          loss=params.loss_probability,
                          latency_s=params.latency_s)
 
     def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
-        """Undo :meth:`degrade_link`; stalled gossip is retried."""
+        """Undo one :meth:`degrade_link`; stalled gossip is retried.
+
+        Degradations nest: with two overlapping windows on the same
+        pair, the first restore only decrements the window depth and the
+        link stays degraded until the second restore swaps the true
+        original parameters back in.
+        """
         pairs = ((a, b), (b, a)) if bidirectional else ((a, b),)
         restored = False
         for src, dst in pairs:
-            original = self._degraded.pop((src, dst), None)
-            if original is not None:
-                self.network.set_link(src, dst, original, bidirectional=False)
-                restored = True
+            entry = self._degraded.get((src, dst))
+            if entry is None:
+                continue
+            original, depth = entry
+            if depth > 1:
+                self._degraded[(src, dst)] = (original, depth - 1)
+                continue
+            del self._degraded[(src, dst)]
+            self.network.set_link(src, dst, original, bidirectional=False)
+            restored = True
         if restored:
             self.tracer.emit(self.simulator.now, RESTORE, src=a, dst=b)
             self.network.kick_retries()

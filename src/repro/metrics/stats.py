@@ -67,22 +67,25 @@ def windowed_rate(
 ) -> List[Tuple[float, float]]:
     """Event rate (per second) in fixed windows over ``times``.
 
-    Returns ``[(window_end_s, rate), ...]`` covering ``[0, until)`` —
-    ``until`` defaults to the last event time.  This is how degraded-
-    network runs visualise a fault: delivery rate collapses inside the
-    partition window and recovers after heal.
+    Returns ``[(window_end_s, rate), ...]`` covering ``(0, until]`` with
+    half-open ``(edge - window_s, edge]`` windows — ``until`` defaults to
+    the last event time, which is therefore *included* in the final
+    window (events exactly on a window edge count toward the window that
+    ends there).  This is how degraded-network runs visualise a fault:
+    delivery rate collapses inside the partition window and recovers
+    after heal.
     """
     if window_s <= 0:
         raise ValueError("window_s must be positive")
     if until is None:
         until = max(times) if times else 0.0
-    ordered = sorted(t for t in times if t < until)
+    ordered = sorted(t for t in times if t <= until)
     windows: List[Tuple[float, float]] = []
     edge = window_s
     i = 0
     while edge - window_s < until:
         count = 0
-        while i < len(ordered) and ordered[i] < edge:
+        while i < len(ordered) and ordered[i] <= edge:
             count += 1
             i += 1
         windows.append((edge, count / window_s))

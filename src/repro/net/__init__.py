@@ -6,6 +6,12 @@ the propagation model whose delays create the soft forks of Section IV
 and bound the throughput of Section VI.
 """
 
+from repro.net.aggregate import (
+    AggregateCluster,
+    TopologyScale,
+    attach_clusters,
+    validate_aggregate_model,
+)
 from repro.net.link import LinkParams
 from repro.net.message import Message
 from repro.net.network import Network
@@ -13,11 +19,15 @@ from repro.net.node import NetworkNode
 from repro.net.topology import complete_topology, random_regular_topology, small_world_topology
 
 __all__ = [
+    "AggregateCluster",
     "LinkParams",
     "Message",
     "Network",
     "NetworkNode",
+    "TopologyScale",
+    "attach_clusters",
     "complete_topology",
     "random_regular_topology",
     "small_world_topology",
+    "validate_aggregate_model",
 ]

@@ -231,7 +231,15 @@ class Network:
                 continue
             del self._retry_timers[key3]
             timer.cancel()  # type: ignore[attr-defined]
-            src, target, _ = key3
+            src, target, key = key3
+            if key in self._seen[target]:
+                # Already delivered via another path while the timer was
+                # pending — dropping the timer is the whole kick.  Same
+                # guard as the parked pass below; ``_attempt_gossip``
+                # would also bail, this just skips the dead attempt (and
+                # releases the inflight claim) explicitly.
+                self._inflight[target].discard(key)
+                continue
             self._attempt_gossip(src, target, message, attempt=1)
         for (src, target, key), message in list(self._parked.items()):
             if dst is not None and target != dst:

@@ -86,6 +86,20 @@ class TestCommands:
         assert main(["bench", "ZZZ"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_bench_topology_scale_sets_total_nodes(self, capsys):
+        code = main(["bench", "A10", "--topology-scale", "200",
+                     "--param", "duration_s=10", "--param",
+                     "sharded_shards=2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "param: total_nodes" in out and "200" in out
+        assert "metric: fingerprint" in out
+        assert "metric: sharded_reached" in out
+
+    def test_bench_invalid_topology_scale_exits_two(self, capsys):
+        assert main(["bench", "A10", "--topology-scale", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_sweep_requires_experiment_selection(self, capsys):
         assert main(["sweep"]) == 2
         assert "--experiment" in capsys.readouterr().err

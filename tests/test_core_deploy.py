@@ -127,3 +127,27 @@ def test_default_fuzz_pair_excludes_bft():
     # BFT engine joins only by explicit selection.
     assert set(PARADIGMS) == {"blockchain", "dag"}
     assert set(ALL_PARADIGMS) == {"blockchain", "dag", "bft"}
+
+
+def test_topology_scale_attaches_clusters_at_setup():
+    from repro.net.aggregate import TopologyScale
+
+    deployment = build_deployment("dag", node_count=4,
+                                  representative_count=2,
+                                  topology_scale=104, seed=1)
+    assert deployment.topology_scale == TopologyScale(total_nodes=104)
+    assert deployment.clusters == []  # nothing before setup
+    deployment.setup(4, 1_000_000)
+    assert len(deployment.clusters) == 4
+    stats = deployment.scale_stats()
+    assert stats["boundary_nodes"] == 4.0
+    assert stats["modeled_nodes"] == 100.0
+    # A TopologyScale instance passes through unchanged.
+    scale = TopologyScale(total_nodes=50, cluster_degree=4)
+    assert build_deployment("blockchain", node_count=3,
+                            topology_scale=scale).topology_scale is scale
+
+
+def test_topology_scale_below_boundary_is_rejected():
+    with pytest.raises(ValueError, match="below the fully-simulated"):
+        build_deployment("blockchain", node_count=5, topology_scale=3)

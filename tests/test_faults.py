@@ -149,12 +149,40 @@ class TestLinkFaults:
         assert net.tracer.events(RESTORE) == []
 
     def test_double_degrade_restores_true_original(self):
+        """Nested degradations: each degrade opens a window, each
+        restore closes one, and only the last restore swaps the true
+        original back in (never the intermediate degraded params)."""
         sim, net, nodes, injector = build()
         original = net.link_params("n0", "n1")
         injector.degrade_link("n0", "n1", LinkParams(loss_probability=0.5))
         injector.degrade_link("n0", "n1", BLACKHOLE_LINK)
         injector.restore_link("n0", "n1")
+        # One window still open: the link stays degraded.
+        assert net.link_params("n0", "n1") is BLACKHOLE_LINK
+        injector.restore_link("n0", "n1")
         assert net.link_params("n0", "n1") is original
+
+    def test_overlapping_degrade_windows_do_not_cancel_each_other(self):
+        """Regression: the first window's scheduled restore used to pop
+        the saved original and prematurely cancel the still-active
+        second degradation.  With window depth tracking, the link stays
+        degraded until the *last* overlapping window ends."""
+        sim, net, nodes, injector = build()
+        original = net.link_params("n0", "n1")
+        first = LinkParams(latency_s=5.0, loss_probability=0.5)
+        second = BLACKHOLE_LINK
+        # Windows [10, 30) and [20, 50) overlap on [20, 30).
+        injector.degrade_link_at(10.0, "n0", "n1", first, duration_s=20.0)
+        injector.degrade_link_at(20.0, "n0", "n1", second, duration_s=30.0)
+        sim.run(until=35.0)
+        # First window's restore fired at t=30, but the second window is
+        # still open: the link must remain degraded.
+        assert net.link_params("n0", "n1") is second
+        assert injector.fault_counts()["degraded_links_active"] == 2
+        sim.run(until=55.0)
+        # Second window's restore at t=50 closes the last window.
+        assert net.link_params("n0", "n1") is original
+        assert injector.fault_counts()["degraded_links_active"] == 0
 
     def test_blackhole_window_on_a_line(self):
         """A blackhole on the only path stalls gossip; restore recovers

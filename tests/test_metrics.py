@@ -8,6 +8,7 @@ from repro.metrics.stats import (
     confidence_interval,
     percentile,
     summarize,
+    windowed_rate,
 )
 from repro.metrics.tables import render_table
 
@@ -75,6 +76,30 @@ class TestConfidenceIntervals:
             binomial_ci(5, 0)
         with pytest.raises(ValueError):
             binomial_ci(11, 10)
+
+
+class TestWindowedRate:
+    def test_final_event_is_counted(self):
+        """Regression: with until defaulting to max(times), the last
+        event used to be filtered out by the strict ``t < until`` and
+        the closing window reported a rate of zero."""
+        windows = windowed_rate([1.0, 2.0, 3.0], 1.0)
+        assert windows == [(1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]
+
+    def test_edge_events_belong_to_closing_window(self):
+        # Windows are half-open (lo, hi]: an event exactly on an edge
+        # counts toward the window that ends there.
+        windows = windowed_rate([0.0, 1.0, 1.5], 1.0, until=2.0)
+        assert windows == [(1.0, 2.0), (2.0, 1.0)]
+
+    def test_explicit_until_still_truncates(self):
+        windows = windowed_rate([0.5, 1.5, 9.0], 1.0, until=2.0)
+        assert windows == [(1.0, 1.0), (2.0, 1.0)]
+
+    def test_empty_and_validation(self):
+        assert windowed_rate([], 1.0) == []
+        with pytest.raises(ValueError):
+            windowed_rate([1.0], 0.0)
 
 
 class TestCollector:

@@ -1,0 +1,243 @@
+"""Tests for the mean-field aggregate gossip tier (repro.net.aggregate).
+
+The load-bearing test here is the aggregate-vs-exact validation: the
+vectorized cluster model must stay within a pinned KS tolerance of a
+fully-simulated small-N flood, so model drift fails loudly instead of
+silently skewing the 10^4-node scale benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.aggregate import (
+    AggregateCluster,
+    TopologyScale,
+    aggregate_flood_times,
+    attach_clusters,
+    exact_flood_times,
+    hop_layers,
+    ks_statistic,
+    sample_flood_times,
+    validate_aggregate_model,
+)
+from repro.net.link import FAST_LINK, LinkParams
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.net.topology import complete_topology
+from repro.sim.simulator import Simulator
+
+
+def make_message(payload="x", size=100):
+    return Message(kind="test", payload=payload, size_bytes=size)
+
+
+class Recorder(NetworkNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def handle_message(self, sender_id, message):
+        self.received.append((sender_id, message.payload))
+
+
+class TestHopLayers:
+    def test_covers_exactly_count(self):
+        for count in (1, 5, 23, 100, 4096):
+            for degree in (2, 4, 8):
+                layers = hop_layers(count, degree)
+                assert sum(layers) == count
+                assert all(size >= 1 for size in layers)
+
+    def test_first_layer_is_the_ingress_degree(self):
+        assert hop_layers(100, 6)[0] == 6
+        assert hop_layers(3, 6)[0] == 3
+
+    def test_collision_correction_slows_the_front(self):
+        # In a finite graph the frontier grows slower than the ideal
+        # d*(d-1)^h tree — the correction must bite.
+        layers = hop_layers(100, 4)
+        ideal = [4, 12, 36, 48]
+        assert layers[1] < ideal[1] or layers[2] < ideal[2]
+
+    def test_validates_degree(self):
+        with pytest.raises(ValueError):
+            hop_layers(10, 1)
+        assert hop_layers(0, 4) == []
+
+
+class TestSampleFloodTimes:
+    def test_sorted_positive_and_sized(self):
+        rng = np.random.default_rng(7)
+        times = sample_flood_times(500, 8, FAST_LINK, 1000, rng)
+        assert len(times) == 500
+        assert (times > 0).all()
+        assert (np.diff(times) >= 0).all()
+
+    def test_deterministic_for_same_seed(self):
+        link = LinkParams(latency_s=0.05, jitter_s=0.03, loss_probability=0.1)
+        a = sample_flood_times(200, 6, link, 500, np.random.default_rng(3))
+        b = sample_flood_times(200, 6, link, 500, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_loss_extends_the_tail(self):
+        clean = LinkParams(latency_s=0.05, jitter_s=0.0, loss_probability=0.0)
+        lossy = LinkParams(latency_s=0.05, jitter_s=0.0, loss_probability=0.4)
+        t_clean = sample_flood_times(300, 6, clean, 500,
+                                     np.random.default_rng(0))
+        t_lossy = sample_flood_times(300, 6, lossy, 500,
+                                     np.random.default_rng(0))
+        assert t_lossy.mean() > t_clean.mean()
+
+    def test_empty(self):
+        assert len(sample_flood_times(0, 8, FAST_LINK, 100,
+                                      np.random.default_rng(0))) == 0
+
+
+class TestKsStatistic:
+    def test_identical_samples(self):
+        assert ks_statistic([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_disjoint_samples(self):
+        assert ks_statistic([0.0, 1.0], [10.0, 11.0]) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+
+class TestAggregateVsExactValidation:
+    """The pinned tolerance: aggregate and exact small-N floods must
+    agree on the propagation-time distribution."""
+
+    def test_default_config_within_pinned_ks_tolerance(self):
+        result = validate_aggregate_model()  # N=24, degree=4, 5 seeds
+        assert result["ks"] <= 0.15, result
+        # Means agree within 5% as well — KS alone would tolerate a
+        # uniform shift of small samples.
+        rel = abs(result["aggregate_mean"] - result["exact_mean"])
+        assert rel / result["exact_mean"] <= 0.05, result
+
+    def test_denser_interior_within_tolerance(self):
+        result = validate_aggregate_model(count=32, degree=6)
+        assert result["ks"] <= 0.12, result
+
+    def test_validation_is_deterministic(self):
+        assert validate_aggregate_model() == validate_aggregate_model()
+
+    def test_exact_and_aggregate_samples_sized_consistently(self):
+        link = LinkParams(latency_s=0.05, jitter_s=0.04,
+                          bandwidth_bps=50_000_000.0)
+        exact = exact_flood_times(16, 4, link, seed=0)
+        aggregate = aggregate_flood_times(16, 4, link, seed=0)
+        assert len(exact) == len(aggregate) == 15
+
+
+class TestAggregateCluster:
+    def build(self, size=50, tick_s=0.25, **kwargs):
+        sim = Simulator(seed=1)
+        net = Network(sim, coalesce=False)
+        nodes = complete_topology(net, 3, Recorder, FAST_LINK)
+        cluster = AggregateCluster("agg:n0", size, tick_s=tick_s,
+                                   link=FAST_LINK, **kwargs)
+        net.add_node(cluster)
+        net.connect("n0", "agg:n0", FAST_LINK)
+        return sim, net, nodes, cluster
+
+    def test_models_each_broadcast_once(self):
+        sim, net, nodes, cluster = self.build()
+        nodes[1].broadcast(make_message("a"))
+        nodes[2].broadcast(make_message("b"))
+        sim.run()
+        assert cluster.messages_modeled == 2
+        assert cluster.messages_completed == 2
+        assert cluster.modeled_deliveries == 2 * cluster.size
+        assert len(cluster.propagation_times) == 2
+        assert all(t > 0 for t in cluster.propagation_times)
+
+    def test_tick_task_detaches_when_idle(self):
+        """A permanently ticking cluster would keep sim.run() alive
+        forever; the tick loop must cancel itself once all timelines
+        complete (sim.run() terminating at all proves it)."""
+        sim, net, nodes, cluster = self.build()
+        nodes[1].broadcast(make_message("a"))
+        sim.run()
+        assert cluster._tick_task is None
+        assert cluster.ticks > 0
+        # And it restarts for a later message.
+        nodes[1].broadcast(make_message("c"))
+        sim.run()
+        assert cluster.messages_completed == 2
+
+    def test_infection_advances_incrementally(self):
+        sim, net, nodes, cluster = self.build(size=400, tick_s=0.01)
+        slow = LinkParams(latency_s=0.5, jitter_s=0.2, bandwidth_bps=1e9)
+        cluster.link = slow
+        message = make_message("slow")
+        nodes[1].broadcast(message)
+        sim.run(until=1.0)
+        partial = cluster.infected(message)
+        assert 0 < partial < cluster.size or cluster.messages_completed == 1
+        sim.run()
+        assert cluster.messages_completed == 1
+        assert cluster.stats()["propagation_max_s"] > 0
+
+    def test_seed_stable_across_runs(self):
+        def fingerprint():
+            sim, net, nodes, cluster = self.build(size=80)
+            nodes[1].broadcast(make_message("a"))
+            sim.run()
+            return tuple(cluster.propagation_times)
+
+        assert fingerprint() == fingerprint()
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            AggregateCluster("c", 0)
+        with pytest.raises(ValueError):
+            AggregateCluster("c", 10, tick_s=0.0)
+
+
+class TestAttachClusters:
+    def test_distributes_surplus_across_boundary(self):
+        sim = Simulator(seed=0)
+        net = Network(sim, coalesce=False)
+        complete_topology(net, 4, Recorder, FAST_LINK)
+        scale = TopologyScale(total_nodes=104)
+        clusters = attach_clusters(net, scale)
+        assert len(clusters) == 4
+        assert sum(c.size for c in clusters) == 100
+        assert max(c.size for c in clusters) - min(
+            c.size for c in clusters) <= 1
+        # Clusters are leaves: one neighbor each, the boundary node.
+        for cluster in clusters:
+            assert net.neighbors(cluster.node_id) == \
+                [cluster.node_id.split(":", 1)[1]]
+
+    def test_no_clusters_when_boundary_covers_total(self):
+        sim = Simulator(seed=0)
+        net = Network(sim, coalesce=False)
+        complete_topology(net, 4, Recorder, FAST_LINK)
+        assert attach_clusters(net, TopologyScale(total_nodes=4)) == []
+
+    def test_broadcast_reaches_every_cluster_exactly_once(self):
+        sim = Simulator(seed=0)
+        net = Network(sim, coalesce=False)
+        nodes = complete_topology(net, 4, Recorder, FAST_LINK)
+        clusters = attach_clusters(net, TopologyScale(
+            total_nodes=204, cluster_link=FAST_LINK))
+        nodes[0].broadcast(make_message("wide"))
+        sim.run()
+        for cluster in clusters:
+            assert cluster.messages_modeled == 1
+            assert cluster.messages_completed == 1
+        total = sum(c.modeled_deliveries for c in clusters)
+        assert total == 200
+
+    def test_scale_validates(self):
+        with pytest.raises(ValueError):
+            TopologyScale(total_nodes=0)
+        with pytest.raises(ValueError):
+            TopologyScale(total_nodes=10, cluster_degree=1)
+        with pytest.raises(ValueError):
+            TopologyScale(total_nodes=10, tick_s=0.0)

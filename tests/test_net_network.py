@@ -263,6 +263,40 @@ class TestPartitions:
         sim.run()
         assert [p for _, p in nodes[2].received] == ["missed"]
 
+    def test_heal_kick_never_double_delivers_seen_message(self):
+        """Regression: a retry timer can outlive the message it carries
+        when the destination learns it out-of-band (another gossip path,
+        state sync) while the timer is pending.  A heal-time
+        ``kick_retries`` must drop that timer instead of re-attempting
+        delivery — the retry-timer pass carries the same seen-guard as
+        the parked pass, and it must also release the stale inflight
+        ownership claim so future gossip of the key is not suppressed."""
+        from repro.net.network import RetransmitPolicy
+
+        sim = Simulator()
+        net = Network(sim, retransmit=RetransmitPolicy(
+            base_delay_s=10.0, max_delay_s=10.0, max_attempts=5))
+        nodes = complete_topology(net, 2, Recorder, FAST_LINK)
+        # Every a->b attempt loses, so a retry timer stays pending.
+        net.set_link("n0", "n1", LinkParams(
+            latency_s=0.01, jitter_s=0.0, bandwidth_bps=1e9,
+            loss_probability=1.0), bidirectional=False)
+        message = make_message("once")
+        nodes[0].broadcast(message)
+        sim.run(until=1.0)
+        assert net.pending_retries() == 1
+        # n1 now receives the message via another path (out of band).
+        key = message.gossip_key()
+        net._seen["n1"].add(key)
+        net.kick_retries()
+        sim.run()
+        # The kick dropped the dead timer: no delivery, no new retries,
+        # and the inflight claim was released.
+        assert nodes[1].received == []
+        assert net.pending_retries() == 0
+        assert key not in net._inflight["n1"]
+        assert net.tracer.in_flight == 0
+
     def test_seen_cache_is_bounded(self):
         sim = Simulator()
         net = Network(sim, seen_cache_size=8)

@@ -75,6 +75,71 @@ class TestIntakeLayer:
         assert intake.parked_for("d1") == ["b"]
         assert len(intake) == 1
 
+    def test_just_parked_bucket_sheds_its_own_oldest_entries(self):
+        # When the just-parked key IS the stalest bucket, eviction pops
+        # that bucket's oldest entries one at a time — the freshly
+        # parked artifact (last in the bucket) is never the victim.
+        intake = IntakeLayer(capacity=2)
+        intake.park("d1", "a")
+        intake.park("d1", "b")
+        evicted = intake.park("d1", "c")
+        assert evicted == 1
+        assert intake.parked_for("d1") == ["b", "c"]
+        assert len(intake) == 2
+        assert intake.counters.parked == 3
+        assert intake.counters.evicted == 1
+
+    def test_break_leaves_size_over_capacity_by_design(self):
+        """Pin the ``break`` branch: when the oldest bucket is the
+        just-parked key shed down to the one artifact just parked,
+        eviction stops rather than drop it — or touch *newer* buckets —
+        intentionally leaving ``len > capacity``.  (With a constant
+        capacity the invariant ``len <= capacity + 1`` keeps this
+        unreachable; shrinking capacity at runtime exposes it, e.g. an
+        adaptive memory bound.)"""
+        intake = IntakeLayer(capacity=4)
+        intake.park("old", "a")
+        intake.park("new", "b")
+        intake.park("new", "c")
+        intake.capacity = 1  # runtime shrink
+        evicted = intake.park("old", "d")
+        # "old" is the stalest bucket and the just-parked key: its stale
+        # entry "a" is shed, then the loop breaks on the just-parked "d"
+        # instead of dropping it or skipping ahead to newer buckets.
+        assert evicted == 1
+        assert intake.parked_for("old") == ["d"]
+        assert intake.parked_for("new") == ["b", "c"]
+        assert len(intake) == 3  # > capacity, by design
+        assert intake.counters.parked == 4
+        assert intake.counters.evicted == 1
+        # The next park on a *different* key resumes normal FIFO
+        # eviction and drains the backlog.
+        evicted = intake.park("fresh", "e")
+        assert evicted == 3
+        assert intake.parked_for("fresh") == ["e"]
+        assert len(intake) == 1
+
+    def test_counters_stay_consistent_through_eviction_churn(self):
+        """parked - retried - revived - evicted must equal the live
+        size through any interleaving of park/satisfy/drain/evict."""
+        intake = IntakeLayer(capacity=3)
+
+        def live_balance():
+            c = intake.counters
+            return c.parked - c.retried - c.revived - c.evicted
+
+        intake.park("d1", "a")
+        intake.park("d2", "b")
+        intake.park("d2", "c")
+        assert live_balance() == len(intake) == 3
+        intake.park("d3", "d")  # evicts the d1 bucket
+        assert live_balance() == len(intake) == 3
+        assert intake.satisfy("d2") == ["b", "c"]
+        assert live_balance() == len(intake) == 1
+        intake.park("d4", "e")
+        assert intake.drain() == ["d", "e"]
+        assert live_balance() == len(intake) == 0
+
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             IntakeLayer(capacity=0)

@@ -1,0 +1,152 @@
+"""Tests for the sharded epoch-barrier propagation (repro.sim.sharded)
+and the persistent shard-worker fan-out (repro.runner.pool.ShardWorkers).
+
+The load-bearing property is seed-stability regardless of process
+scheduling: jobs=1 (inline) and jobs=N (one worker process per shard)
+must produce byte-identical arrival-time vectors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.sharded import (
+    ShardState,
+    ShardedConfig,
+    ShardedPropagation,
+    build_edges,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(total_nodes=300, shards=3, seed=11, epoch_s=0.5)
+    defaults.update(overrides)
+    return ShardedConfig(**defaults)
+
+
+class TestConfigAndGraph:
+    def test_config_validates(self):
+        with pytest.raises(ValueError):
+            ShardedConfig(total_nodes=1)
+        with pytest.raises(ValueError):
+            ShardedConfig(total_nodes=10, shards=11)
+        with pytest.raises(ValueError):
+            ShardedConfig(total_nodes=10, epoch_s=0.0)
+        with pytest.raises(ValueError):
+            ShardedConfig(total_nodes=10, loss_probability=1.0)
+
+    def test_with_link_copies_the_four_link_fields(self):
+        from repro.net.link import SLOW_LINK
+
+        config = ShardedConfig.with_link(SLOW_LINK, total_nodes=50)
+        assert config.latency_s == SLOW_LINK.latency_s
+        assert config.jitter_s == SLOW_LINK.jitter_s
+        assert config.bandwidth_bps == SLOW_LINK.bandwidth_bps
+        assert config.loss_probability == SLOW_LINK.loss_probability
+
+    def test_graph_is_seed_deterministic(self):
+        a = build_edges(small_config())
+        b = build_edges(small_config())
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        c = build_edges(small_config(seed=12))
+        assert not np.array_equal(a[0], c[0])
+
+    def test_graph_has_ring_plus_chords_and_no_self_loops(self):
+        config = small_config(chords=2)
+        heads, tails = build_edges(config)
+        assert (heads != tails).all()
+        # The ring alone contributes 2 directed edges per node.
+        assert len(heads) >= 2 * config.total_nodes
+
+    def test_shards_partition_the_node_range(self):
+        config = small_config(shards=7)
+        states = [ShardState(config, i) for i in range(7)]
+        covered = []
+        for state in states:
+            covered.extend(range(state.lo, state.hi))
+        assert covered == list(range(config.total_nodes))
+
+
+class TestPropagation:
+    def test_reaches_every_node(self):
+        result = ShardedPropagation(small_config()).run()
+        assert result.reached == 300
+        finite = result.arrivals[np.isfinite(result.arrivals)]
+        assert (finite >= 0).all()
+        assert result.epochs >= 1
+        assert result.cross_shard_messages > 0
+
+    def test_origin_arrival_is_zero(self):
+        result = ShardedPropagation(small_config()).run(origin=42)
+        assert result.arrivals[42] == 0.0
+        assert (np.delete(result.arrivals, 42) > 0).all()
+
+    def test_seed_determinism_same_fingerprint(self):
+        a = ShardedPropagation(small_config()).run()
+        b = ShardedPropagation(small_config()).run()
+        assert a.fingerprint() == b.fingerprint()
+        assert np.array_equal(a.arrivals, b.arrivals)
+        c = ShardedPropagation(small_config(seed=99)).run()
+        assert c.fingerprint() != a.fingerprint()
+
+    def test_single_shard_matches_multi_shard(self):
+        """Sharding is an execution strategy, not a model change: the
+        same (graph, per-shard delay streams) law means a different
+        shard count changes the delay draws, but every partitioning
+        must still deliver a full, valid propagation."""
+        one = ShardedPropagation(small_config(shards=1)).run()
+        many = ShardedPropagation(small_config(shards=6)).run()
+        assert one.reached == many.reached == 300
+        # Same topology, same delay law: medians agree loosely.
+        assert abs(one.percentile(50) - many.percentile(50)) \
+            < one.percentile(50)
+
+    def test_lossy_links_slow_propagation(self):
+        clean = ShardedPropagation(small_config()).run()
+        lossy = ShardedPropagation(
+            small_config(loss_probability=0.3)).run()
+        assert lossy.reached == 300
+        assert lossy.percentile(95) > clean.percentile(95)
+
+    def test_epoch_granularity_does_not_change_arrivals(self):
+        """Epoch barriers are a scheduling artifact: a finer epoch must
+        produce the identical arrival vector, just across more epochs."""
+        coarse = ShardedPropagation(small_config(epoch_s=2.0)).run()
+        fine = ShardedPropagation(small_config(epoch_s=0.1)).run()
+        assert np.array_equal(coarse.arrivals, fine.arrivals)
+        assert fine.epochs > coarse.epochs
+
+    def test_origin_validation(self):
+        with pytest.raises(ValueError):
+            ShardedPropagation(small_config()).run(origin=300)
+
+
+@pytest.mark.runner
+class TestMultiprocessParity:
+    """jobs=1 vs jobs=N: the pinned scheduling-independence property."""
+
+    def test_worker_pool_matches_inline_exactly(self):
+        config = small_config(total_nodes=600, shards=4)
+        inline = ShardedPropagation(config).run(jobs=1)
+        pooled = ShardedPropagation(config).run(jobs=4)
+        assert inline.fingerprint() == pooled.fingerprint()
+        assert np.array_equal(inline.arrivals, pooled.arrivals)
+        assert inline.epochs == pooled.epochs
+        assert inline.cross_shard_messages == pooled.cross_shard_messages
+
+    def test_shard_workers_surface_state_errors(self):
+        from repro.runner.pool import ShardWorkers
+        from repro.sim.sharded import _make_shard_state
+
+        config = small_config()
+        with ShardWorkers(_make_shard_state, config, 2) as workers:
+            with pytest.raises(RuntimeError):
+                workers.call("no_such_method", [(), ()])
+
+    def test_shard_workers_validate_payload_count(self):
+        from repro.runner.pool import ShardWorkers
+        from repro.sim.sharded import _make_shard_state
+
+        config = small_config()
+        with ShardWorkers(_make_shard_state, config, 2) as workers:
+            with pytest.raises(ValueError):
+                workers.call("collect", [()])
