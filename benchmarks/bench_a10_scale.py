@@ -12,6 +12,11 @@ fully-simulated deployment can afford.  Two tracks extend the curves:
 * **Sharded tier** — :class:`~repro.sim.sharded.ShardedPropagation`
   partitions one large flood across shard processes with epoch-barrier
   message exchange, seed-stable regardless of scheduling.
+* **Sharded traffic tier** — ``build_deployment(topology_scale=
+  TopologyScale(plane="sharded"))`` runs *full protocol traffic* (every
+  gossiped tx/block) over a
+  :class:`~repro.net.sharded_plane.ShardedMessagePlane` crowd, with
+  byte-identical jobs=1 vs jobs=N plane fingerprints.
 """
 
 import hashlib
@@ -24,6 +29,7 @@ from repro.blockchain.params import BITCOIN
 from repro.core.deploy import build_deployment
 from repro.core.experiment import EXPERIMENTS
 from repro.metrics.tables import render_table
+from repro.net.aggregate import TopologyScale
 from repro.net.link import FAST_LINK
 from repro.runner import make_result
 from repro.sim.sharded import ShardedConfig, ShardedPropagation
@@ -87,6 +93,47 @@ def sharded_point(total_nodes, shards, seed, jobs=1):
         "fingerprint": result.fingerprint(),
         "nodes_per_s": total_nodes / max(wall_s, 1e-9),
     }
+
+
+def sharded_traffic_point(paradigm, total_nodes, seed, *, shards=4, jobs=1,
+                          duration_s=30.0, offered_tps=1.0):
+    """One full-protocol-traffic point on the sharded plane: every
+    gossiped tx/block is timed by an epoch-barrier crowd propagation
+    over all ``total_nodes`` (not a mean-field model of them)."""
+    scale = TopologyScale(total_nodes=total_nodes, plane="sharded",
+                          shards=shards, jobs=jobs)
+    if paradigm == "blockchain":
+        params = replace(BITCOIN, target_block_interval_s=15.0,
+                         max_block_size_bytes=8_000, confirmation_depth=2)
+        deployment = build_deployment(
+            "blockchain", chain_params=params, node_count=4,
+            seed=seed, topology_scale=scale)
+    elif paradigm == "dag":
+        deployment = build_deployment(
+            "dag", node_count=4, representative_count=2, seed=seed,
+            topology_scale=scale)
+    else:
+        raise ValueError(f"paradigm {paradigm!r} has no sharded tier")
+    try:
+        deployment.setup(8, 10**9)
+        injector = OpenLoopInjector.from_sim_stream(
+            deployment.ledger, accounts=8, rate_tps=offered_tps,
+            duration_s=duration_s)
+        injector.start()
+        deployment.ledger.advance(duration_s * 1.25)
+        confirmed = deployment.ledger.stats().entries_confirmed
+        point = {
+            "paradigm": paradigm,
+            "total_nodes": total_nodes,
+            "offered": injector.report.offered,
+            "confirmed": confirmed,
+            "tps": confirmed / duration_s,
+            "plane_fingerprint": deployment.network.plane_fingerprint(),
+        }
+        point.update(deployment.scale_stats())
+    finally:
+        deployment.close()
+    return point
 
 
 def test_a10_tps_curves_span_two_decades(benchmark):
@@ -153,11 +200,46 @@ def test_a10_sharded_flood_covers_ten_thousand_nodes(benchmark):
            render_table(["metric", "value"], rows))
 
 
+def test_a10_sharded_plane_carries_protocol_traffic(benchmark):
+    """Full tx/block gossip over a 2*10^3-node sharded crowd: both
+    paradigms confirm entries while every broadcast is propagated across
+    the whole population, and a jobs=2 rerun reproduces the jobs=1 plane
+    fingerprint byte-for-byte."""
+    def build_points():
+        return {p: sharded_traffic_point(p, 2_000, seed=2, duration_s=30.0)
+                for p in ("blockchain", "dag")}
+
+    points = benchmark.pedantic(build_points, rounds=1, iterations=1)
+    rows = []
+    for paradigm, point in points.items():
+        assert point["confirmed"] > 0
+        assert point["messages_modeled"] > 0
+        assert point["scaled"] == 1.0
+        assert point["modeled_nodes"] == 2_000 - point["boundary_nodes"]
+        again = sharded_traffic_point(paradigm, 2_000, seed=2, jobs=2,
+                                      duration_s=30.0)
+        assert again["plane_fingerprint"] == point["plane_fingerprint"]
+        rows.append([
+            paradigm, point["total_nodes"], f"{point['tps']:.2f}",
+            f"{point['messages_modeled']:.0f}",
+            f"{point['propagation_max_s'] * 1000:.0f} ms",
+            point["plane_fingerprint"],
+        ])
+    report(
+        "A10c full protocol traffic on the sharded plane "
+        "(jobs=1 == jobs=2)",
+        render_table(
+            ["paradigm", "nodes", "TPS", "messages", "flood max",
+             "plane fingerprint"], rows),
+    )
+
+
 def test_a10_run_fingerprint_is_seed_stable():
     """The registry entry point is deterministic: same params + seed
     reproduce the same fingerprint metric; a different seed does not."""
     params = {"scales": (100,), "duration_s": 30.0,
-              "sharded_nodes": 1_000, "sharded_shards": 4}
+              "sharded_nodes": 1_000, "sharded_shards": 4,
+              "traffic_nodes": 500, "traffic_duration_s": 15.0}
     first = run(params, 3)
     second = run(params, 3)
     third = run(params, 4)
@@ -200,6 +282,22 @@ def run(params: dict, seed: int) -> dict:
     metrics["sharded_p95_s"] = sharded["p95_s"]
     metrics["sharded_nodes_per_s"] = sharded["nodes_per_s"]
     digest.update(sharded["fingerprint"].encode())
+    # Full protocol traffic over the sharded plane (--topology-scale N
+    # drives this tier to N as well; traffic_nodes=0 skips it).
+    traffic_nodes = total or int(p["traffic_nodes"])
+    if traffic_nodes:
+        for paradigm, rate in rates.items():
+            point = sharded_traffic_point(
+                paradigm, traffic_nodes, seed,
+                shards=int(p["sharded_shards"]), jobs=int(p["jobs"]),
+                duration_s=p["traffic_duration_s"], offered_tps=rate)
+            metrics[f"{paradigm}_traffic_tps"] = point["tps"]
+            metrics[f"{paradigm}_traffic_messages"] = \
+                point["messages_modeled"]
+            metrics[f"{paradigm}_traffic_prop_max_s"] = \
+                point["propagation_max_s"]
+            digest.update(f"{paradigm}:traffic:"
+                          f"{point['plane_fingerprint']}".encode())
     metrics["fingerprint"] = float(int(digest.hexdigest()[:12], 16))
     return make_result("A10", p, seed, metrics, started=started)
 

@@ -39,7 +39,8 @@ def _mini_chain_params():
     )
 
 
-def _blockchain_ledger(seed, limits=None, prune_interval_s=None, keep_depth=8):
+def _blockchain_deployment(seed, limits=None, prune_interval_s=None,
+                           keep_depth=8, topology_scale=None):
     return build_deployment(
         "blockchain",
         chain_params=_mini_chain_params(),
@@ -49,10 +50,12 @@ def _blockchain_ledger(seed, limits=None, prune_interval_s=None, keep_depth=8):
         mempool_limits=limits,
         prune_interval_s=prune_interval_s,
         prune_keep_depth=keep_depth,
-    ).ledger
+        topology_scale=topology_scale,
+    )
 
 
-def _dag_ledger(seed, processing_tps, prune_interval_s=None):
+def _dag_deployment(seed, processing_tps, prune_interval_s=None,
+                    topology_scale=None):
     return build_deployment(
         "dag",
         node_count=6,
@@ -60,7 +63,8 @@ def _dag_ledger(seed, processing_tps, prune_interval_s=None):
         seed=seed,
         processing_tps=processing_tps,
         prune_interval_s=prune_interval_s,
-    ).ledger
+        topology_scale=topology_scale,
+    )
 
 
 def measure_load(ledger, accounts, offered_tps, duration_s, settle_s):
@@ -86,13 +90,47 @@ def sweep(paradigm, loads, p, seed):
     points = []
     for offered in loads:
         if paradigm == "blockchain":
-            ledger = _blockchain_ledger(seed)
+            ledger = _blockchain_deployment(seed).ledger
         else:
-            ledger = _dag_ledger(seed, processing_tps=p["dag_processing_tps"])
+            ledger = _dag_deployment(
+                seed, processing_tps=p["dag_processing_tps"]).ledger
         points.append(
             measure_load(ledger, p["accounts"], float(offered),
                          p["duration_s"], p["settle_s"])
         )
+    return points
+
+
+def scale_curve(paradigm, p, seed):
+    """Loaded latency vs modeled population: the same offered load is
+    replayed while ``topology_scale`` walks 10^2 -> 10^5 total nodes on
+    the aggregate plane (clusters past the nesting threshold switch to
+    the nested cluster-of-clusters law automatically).  Returns one
+    ``(total_nodes, LoadPoint, scale_stats)`` triple per decade."""
+    rate = float(p["scale_blockchain_tps"] if paradigm == "blockchain"
+                 else p["scale_dag_tps"])
+    points = []
+    for total in p["topology_scales"]:
+        total = int(total)
+        if paradigm == "blockchain":
+            deployment = _blockchain_deployment(seed, topology_scale=total)
+        else:
+            deployment = _dag_deployment(
+                seed, processing_tps=p["dag_processing_tps"],
+                topology_scale=total)
+        deployment.setup(p["accounts"], FUNDING)
+        ledger = deployment.ledger
+        injector = OpenLoopInjector.from_sim_stream(
+            ledger, accounts=p["accounts"], rate_tps=rate,
+            duration_s=p["scale_duration_s"])
+        injector.start()
+        ledger.advance(p["scale_duration_s"] + p["scale_settle_s"])
+        stats = ledger.stats()
+        point = load_point(rate, stats.confirmation_latencies_s,
+                           injector.report.submitted, p["scale_duration_s"],
+                           rejected=injector.report.rejected)
+        points.append((total, point, deployment.scale_stats()))
+        deployment.close()
     return points
 
 
@@ -103,12 +141,12 @@ def soak(p, seed, pruned):
     and the injector report.
     """
     interval = p["soak_prune_interval_s"]
-    ledger = _blockchain_ledger(
+    ledger = _blockchain_deployment(
         seed,
         limits=MempoolLimits(max_count=400),
         prune_interval_s=interval if pruned else None,
         keep_depth=p["soak_keep_depth"],
-    )
+    ).ledger
     ledger.setup(p["accounts"], FUNDING)
     deployment = ledger.deployment()
     series = []
@@ -139,6 +177,17 @@ def run(params: dict, seed: int) -> dict:
     pruned_series, pruned_stats, pruned_report = soak(p, seed, pruned=True)
     control_series, _, _ = soak(p, seed, pruned=False)
 
+    scale_metrics = {}
+    for paradigm in ("blockchain", "dag"):
+        short = "bc" if paradigm == "blockchain" else "dag"
+        for total, point, stats in scale_curve(paradigm, p, seed):
+            tag = f"{short}_scale{total}"
+            scale_metrics[f"{tag}_achieved_tps"] = point.achieved_tps
+            scale_metrics[f"{tag}_p50_s"] = point.p50_s
+            scale_metrics[f"{tag}_p99_s"] = point.p99_s
+            scale_metrics[f"{tag}_prop_max_s"] = stats["propagation_max_s"]
+            scale_metrics[f"{tag}_modeled_nodes"] = stats["modeled_nodes"]
+
     metrics = {
         "blockchain_knee_tps": float(bc_knee) if bc_knee is not None else -1.0,
         "dag_knee_tps": float(dag_knee) if dag_knee is not None else -1.0,
@@ -159,6 +208,7 @@ def run(params: dict, seed: int) -> dict:
         metrics.update(point.as_metrics("bc"))
     for point in dag_points:
         metrics.update(point.as_metrics("dag"))
+    metrics.update(scale_metrics)
     return make_result("A8", p, seed, metrics, started=started)
 
 
@@ -176,6 +226,9 @@ def test_a8_sustained_service(benchmark):
         "soak_rate_tps": 2.0,
         "soak_prune_interval_s": 50.0,
         "soak_keep_depth": 6,
+        "topology_scales": (100, 10_000),
+        "scale_duration_s": 60.0,
+        "scale_settle_s": 60.0,
     }
     result = benchmark.pedantic(run, args=(p, 3), rounds=1, iterations=1)
     m = result["metrics"]
@@ -184,6 +237,12 @@ def test_a8_sustained_service(benchmark):
     assert m["soak_confirmed"] > 0
     # Pruned replica stays well under the linearly growing control.
     assert m["soak_growth_ratio"] > 1.5
+    # The loaded-latency curve stays live as the modeled population
+    # deepens two decades, and the gossip tail stretches with it.
+    for short in ("bc", "dag"):
+        assert m[f"{short}_scale10000_achieved_tps"] > 0
+        assert m[f"{short}_scale10000_prop_max_s"] > \
+            m[f"{short}_scale100_prop_max_s"]
 
     rows = []
     for load in p["blockchain_loads"]:
@@ -196,6 +255,13 @@ def test_a8_sustained_service(benchmark):
         rows.append([f"dag @ {load:g} TPS",
                      f"{m[tag + '_achieved_tps']:.3f}",
                      f"{m[tag + '_p50_s']:.1f}", f"{m[tag + '_p99_s']:.1f}"])
+    for short, label in (("bc", "blockchain"), ("dag", "dag")):
+        for total in p["topology_scales"]:
+            tag = f"{short}_scale{total}"
+            rows.append([f"{label} @ {total} nodes (scaled)",
+                         f"{m[tag + '_achieved_tps']:.3f}",
+                         f"{m[tag + '_p50_s']:.1f}",
+                         f"{m[tag + '_p99_s']:.1f}"])
     rows.append(["blockchain knee", f"{m['blockchain_knee_tps']:g} TPS", "", ""])
     rows.append(["dag knee", f"{m['dag_knee_tps']:g} TPS", "", ""])
     rows.append(["soak pruned / control bytes",

@@ -10,8 +10,12 @@ The dependency contract that keeps ``repro.protocol`` paradigm-agnostic:
 * the paradigm packages must not import each other —
   ``repro.blockchain``, ``repro.dag`` and ``repro.consensus`` (the BFT
   engine) are mutually independent peers on the shared stack;
-* ``repro.net`` (the fabric below the stack) must not import
-  ``repro.protocol`` or any paradigm package.
+* ``repro.net`` and ``repro.sim`` (the fabric below the stack) must not
+  import ``repro.protocol`` or any paradigm package — with one carve-out:
+  ``repro.protocol.interfaces``, the contract module that defines the
+  :class:`MessagePlane` seam the fabric implements.  The interface module
+  is the *only* protocol surface the fabric may see; reaching any other
+  ``repro.protocol`` submodule from below is still a violation.
 
 Violations are reported with file:line so the CI annotation is
 clickable.  Exits non-zero on any violation.
@@ -50,6 +54,19 @@ FORBIDDEN = {
         "repro.dag",
         "repro.consensus",
     ),
+    "repro/sim": (
+        "repro.protocol",
+        "repro.blockchain",
+        "repro.dag",
+        "repro.consensus",
+    ),
+}
+
+#: package -> exact module names exempt from FORBIDDEN: the fabric may
+#: import the MessagePlane contract (and nothing else) from the stack.
+ALLOWED = {
+    "repro/net": ("repro.protocol.interfaces",),
+    "repro/sim": ("repro.protocol.interfaces",),
 }
 
 
@@ -67,9 +84,12 @@ def imported_names(tree: ast.AST) -> list:
 def check() -> int:
     violations = []
     for package, banned in FORBIDDEN.items():
+        allowed = ALLOWED.get(package, ())
         for path in sorted((SRC / package).rglob("*.py")):
             tree = ast.parse(path.read_text(), filename=str(path))
             for lineno, module in imported_names(tree):
+                if module in allowed:
+                    continue
                 for prefix in banned:
                     if module == prefix or module.startswith(prefix + "."):
                         violations.append(

@@ -146,6 +146,9 @@ class FuzzProfile:
     #: Poisson rate of conflicting-tip spam bursts (0 = none)
     tip_spam_rate_tps: float = 0.0
     tip_spam_fanout: int = 3
+    #: total population behind the message plane (None = just the
+    #: node_count boundary; an int scales via TopologyScale)
+    topology_scale: Optional[int] = None
 
     def describe(self) -> str:
         parts = [f"{self.accounts} accounts", f"{self.rate_tps} tps",
@@ -167,6 +170,8 @@ class FuzzProfile:
             parts.append(f"f={self.quorum_f_override}")
         if self.tip_spam_rate_tps:
             parts.append(f"tip-spam@{self.tip_spam_rate_tps}/s")
+        if self.topology_scale is not None:
+            parts.append(f"scale={self.topology_scale}")
         return ", ".join(parts)
 
 

@@ -77,6 +77,7 @@ def build_fuzz_deployment(paradigm: str, seed: int,
             f_override=(profile.quorum_f_override if paradigm == "bft"
                         else None),
         )
+    scale = profile.topology_scale
     if paradigm == "blockchain":
         params = replace(
             BITCOIN,
@@ -92,6 +93,7 @@ def build_fuzz_deployment(paradigm: str, seed: int,
             node_count=profile.node_count, seed=seed, mempool_limits=limits,
             prune_interval_s=profile.prune_interval_s,
             prune_keep_depth=profile.prune_keep_depth,
+            topology_scale=scale,
         )
     if paradigm == "dag":
         return build_deployment(
@@ -99,10 +101,12 @@ def build_fuzz_deployment(paradigm: str, seed: int,
             node_count=profile.node_count,
             representative_count=max(2, profile.node_count // 2),
             seed=seed, prune_interval_s=profile.prune_interval_s,
+            topology_scale=scale,
         )
     return build_deployment(
         "bft", faults=faults, node_count=profile.node_count, seed=seed,
         view_timeout_s=profile.view_timeout_s,
+        topology_scale=scale,
     )
 
 
@@ -219,11 +223,22 @@ def run_schedule(
     paradigm: str,
     ledger: Optional[Ledger] = None,
 ) -> FuzzRunResult:
-    """Replay ``schedule`` on ``paradigm`` with in-loop auditing."""
+    """Replay ``schedule`` on ``paradigm`` with in-loop auditing.
+
+    When no pre-built ``ledger`` is given, the run goes through the
+    uniform :class:`~repro.core.deploy.Deployment` handle so a profile's
+    ``topology_scale`` takes effect (aggregate clusters attach / the
+    sharded plane engages); an explicit ``ledger`` keeps the legacy
+    direct path (the shrinker and released callers).
+    """
     profile = schedule.profile
+    handle: Optional[Deployment] = None
     if ledger is None:
-        ledger = build_ledger(paradigm, schedule.seed, profile)
-    ledger.setup(profile.accounts, profile.initial_balance)
+        handle = build_fuzz_deployment(paradigm, schedule.seed, profile)
+        handle.setup(profile.accounts, profile.initial_balance)
+        ledger = handle.ledger
+    else:
+        ledger.setup(profile.accounts, profile.initial_balance)
 
     deployment = ledger.deployment()
     injector: Optional[FaultInjector] = None
@@ -231,6 +246,9 @@ def run_schedule(
     tracer = None
     if deployment is not None and deployment.network is not None:
         injector = FaultInjector(deployment.network)
+        # Fault targets are protocol replicas; aggregate cluster leaves
+        # (present when a scaled profile attached them) are not in
+        # deployment.nodes, so node_ids is already the boundary set.
         node_ids = [node.node_id for node in deployment.nodes]
         tracer = deployment.network.tracer
 
@@ -270,6 +288,9 @@ def run_schedule(
     if tracer is not None:
         digest.update(tracer.fingerprint().encode() + b"\n")
     digest.update(f"now={ledger.now():.6f}".encode())
+
+    if handle is not None:
+        handle.close()  # shut down sharded-plane workers, if any
 
     return FuzzRunResult(
         paradigm=paradigm,

@@ -268,6 +268,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     overrides = {}
     if args.audit_interval is not None:
         overrides["audit_interval_s"] = args.audit_interval
+    if args.topology_scale is not None:
+        overrides["topology_scale"] = args.topology_scale
     try:
         profile = profile_named(args.profile, **overrides)
     except (KeyError, TypeError, ValueError) as error:
@@ -350,7 +352,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             return build_deployment(
                 "dag", node_count=4, representative_count=2, seed=args.seed,
                 prune_interval_s=interval,
-            ).ledger
+                topology_scale=args.topology_scale,
+            )
         params = replace(
             BITCOIN, target_block_interval_s=15.0,
             max_block_size_bytes=4_000, confirmation_depth=2,
@@ -361,14 +364,17 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             mempool_limits=MempoolLimits(max_count=args.mempool_cap),
             prune_interval_s=interval,
             prune_keep_depth=args.keep_depth,
-        ).ledger
+            topology_scale=args.topology_scale,
+        )
 
     rows = []
     sizes = {}
     confirmed = {}
+    scale_report = None
     for pruned in (True, False):
-        ledger = build(pruned)
-        ledger.setup(args.accounts, 10**9)
+        deployment = build(pruned)
+        deployment.setup(args.accounts, 10**9)
+        ledger = deployment.ledger
         injector = OpenLoopInjector.from_sim_stream(
             ledger, accounts=args.accounts, rate_tps=args.rate,
             duration_s=args.duration,
@@ -386,6 +392,10 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             f"{injector.report.backpressure_fraction:.1%}",
             format_bytes(sizes[label]),
         ])
+        scale = deployment.scale_stats()
+        if scale["scaled"]:
+            scale_report = scale
+        deployment.close()
     print(render_table(
         ["run", "offered", "confirmed", "backpressure", "ledger size"],
         rows,
@@ -394,6 +404,12 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     ))
     ratio = sizes["control"] / max(sizes["pruned"], 1)
     print(f"unpruned/pruned ledger ratio: {ratio:.2f}x", file=sys.stderr)
+    if scale_report is not None:
+        print(f"scaled tier: {scale_report['modeled_nodes']:.0f} modeled "
+              f"nodes behind {scale_report['boundary_nodes']:.0f} replicas, "
+              f"{scale_report['modeled_deliveries']:.0f} modeled deliveries, "
+              f"worst propagation "
+              f"{scale_report['propagation_max_s']:.3f}s", file=sys.stderr)
     return 0 if confirmed["pruned"] > 0 and ratio > 1.0 else 1
 
 
@@ -831,6 +847,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "divergence")
     fuzz.add_argument("--artifact-dir", default=None,
                       help="write failing-seed JSON artifacts here")
+    fuzz.add_argument("--topology-scale", type=int, default=None,
+                      metavar="N",
+                      help="total node population per deployment; the "
+                           "surplus beyond the replicas rides the "
+                           "aggregate plane")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     soak = sub.add_parser(
@@ -853,6 +874,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="blocks kept below the tip when pruning")
     soak.add_argument("--mempool-cap", type=int, default=400,
                       help="mempool admission cap (blockchain only)")
+    soak.add_argument("--topology-scale", type=int, default=None,
+                      metavar="N",
+                      help="total node population; surplus beyond the "
+                           "replicas rides the aggregate plane")
     soak.add_argument("--seed", type=int, default=0)
     soak.set_defaults(func=_cmd_soak)
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ReproError, ValidationError
 from repro.common.types import Hash, TxId
@@ -82,6 +82,7 @@ class BlockchainLedger(Ledger):
         prune_keep_depth: int = DEFAULT_KEEP_DEPTH,
         byzantine_nodes: int = 0,
         byzantine_behavior: str = "selfish",
+        plane_factory: Optional[Callable[[Simulator], Network]] = None,
     ) -> None:
         self.name = params.name
         self.params = params
@@ -89,6 +90,10 @@ class BlockchainLedger(Ledger):
         self.link_params = link_params or LinkParams()
         self.seed = seed
         self.fee = fee
+        #: MessagePlane constructor (simulator -> plane); None = exact
+        #: reference Network.  How the sharded tier slots in underneath
+        #: an unchanged protocol stack.
+        self.plane_factory = plane_factory
         self.mempool_limits = mempool_limits
         self.prune_interval_s = prune_interval_s
         self.prune_keep_depth = prune_keep_depth
@@ -112,7 +117,9 @@ class BlockchainLedger(Ledger):
         self.keys = [KeyPair.generate(self._rng) for _ in range(accounts)]
         allocations = {kp.address: initial_balance for kp in self.keys}
         self.simulator = Simulator(seed=self.seed)
-        self.network = Network(self.simulator)
+        self.network = (self.plane_factory(self.simulator)
+                        if self.plane_factory is not None
+                        else Network(self.simulator))
 
         self._expected_supply_base = accounts * initial_balance
         if self.params.uses_gas:
@@ -353,8 +360,10 @@ class DagLedger(Ledger):
         prune_interval_s: Optional[float] = None,
         byzantine_nodes: int = 0,
         byzantine_behavior: str = "tip-spam",
+        plane_factory: Optional[Callable[[Simulator], Network]] = None,
     ) -> None:
         self.params = params or NanoParams(work_difficulty=1)
+        self.plane_factory = plane_factory
         self.name = self.params.name
         self.node_count = node_count
         self.representative_count = representative_count
@@ -380,6 +389,7 @@ class DagLedger(Ledger):
             link_params=self.link_params,
             seed=self.seed,
             processing_tps=self.processing_tps,
+            network_factory=self.plane_factory,
         )
         self.keys = fund_accounts(
             self.testbed, accounts, initial_balance, settle_time=2.0

@@ -82,7 +82,11 @@ class Deployment:
 
     def setup(self, accounts: int, initial_balance: int) -> "Deployment":
         self.ledger.setup(accounts, initial_balance)
-        if self.topology_scale is not None:
+        if (self.topology_scale is not None
+                and self.topology_scale.plane == "aggregate"):
+            # The sharded plane carries the whole population itself;
+            # clusters only serve the aggregate plane (and zero-surplus
+            # scales attach none — see attach_clusters).
             self.clusters = attach_clusters(self.network,
                                             self.topology_scale)
         return self
@@ -115,18 +119,45 @@ class Deployment:
         return aggregate_layer_counters(self.nodes)
 
     def scale_stats(self) -> Dict[str, float]:
-        """Aggregate-tier totals: modeled population and propagation."""
+        """Scaled-tier totals: modeled population and propagation.
+
+        Always returns the full key set.  ``scaled`` is 1.0 when a
+        scaled plane actually carries population (aggregate clusters or
+        a sharded crowd) and 0.0 for unscaled deployments *and* for a
+        ``topology_scale`` whose ``total_nodes`` equals the boundary —
+        the explicit empty report for the zero-surplus case.
+        """
         stats = {
+            "scaled": 0.0,
             "boundary_nodes": float(len(self.nodes)),
-            "modeled_nodes": float(sum(c.size for c in self.clusters)),
-            "modeled_deliveries": float(
-                sum(c.modeled_deliveries for c in self.clusters)),
-            "messages_modeled": float(
-                sum(c.messages_modeled for c in self.clusters)),
+            "modeled_nodes": 0.0,
+            "modeled_deliveries": 0.0,
+            "messages_modeled": 0.0,
+            "propagation_max_s": 0.0,
         }
-        times = [t for c in self.clusters for t in c.propagation_times]
-        stats["propagation_max_s"] = max(times) if times else 0.0
+        network = self.network
+        if network is not None and hasattr(network, "plane_stats"):
+            stats.update(network.plane_stats())
+            stats["scaled"] = 1.0 if stats["modeled_nodes"] else 0.0
+            return stats
+        if self.clusters:
+            stats["scaled"] = 1.0
+            stats["modeled_nodes"] = float(
+                sum(c.size for c in self.clusters))
+            stats["modeled_deliveries"] = float(
+                sum(c.modeled_deliveries for c in self.clusters))
+            stats["messages_modeled"] = float(
+                sum(c.messages_modeled for c in self.clusters))
+            times = [t for c in self.clusters for t in c.propagation_times]
+            stats["propagation_max_s"] = max(times) if times else 0.0
         return stats
+
+    def close(self) -> None:
+        """Release plane resources (sharded worker processes); no-op on
+        the exact and aggregate planes."""
+        network = self.network
+        if network is not None and hasattr(network, "close"):
+            network.close()
 
     def start_workload(self, accounts: int,
                        spec: Optional[WorkloadSpec] = None):
@@ -179,9 +210,14 @@ def build_deployment(
     ``f_override`` (BFT only) adjusts the quorum threshold ``n - f``.
     ``topology_scale`` (an int total-node count or a
     :class:`~repro.net.aggregate.TopologyScale`) grows the deployment to
-    that population at setup time: the ``node_count`` fully-simulated
-    nodes become the boundary and the surplus is modeled by mean-field
-    :class:`~repro.net.aggregate.AggregateCluster` leaves.
+    that population: on the default ``plane="aggregate"`` the
+    ``node_count`` fully-simulated nodes become the boundary and the
+    surplus is modeled by mean-field
+    :class:`~repro.net.aggregate.AggregateCluster` leaves (nested
+    cluster-of-clusters at 10^5+); ``plane="sharded"`` instead runs the
+    deployment's full protocol traffic over a
+    :class:`~repro.net.sharded_plane.ShardedMessagePlane` crowd
+    (blockchain/dag only).
     Unused paradigm-specific knobs raise rather than silently ignore,
     so call sites stay honest about what they configure.
     """
@@ -209,6 +245,25 @@ def build_deployment(
         raise ValueError(
             f"topology_scale.total_nodes ({topology_scale.total_nodes}) "
             f"is below the fully-simulated node count ({count})")
+    plane_factory = None
+    if topology_scale is not None and topology_scale.plane == "sharded":
+        if paradigm == "bft":
+            raise ValueError(
+                "the sharded plane carries gossip paradigms only "
+                "(blockchain/dag); BFT quorum traffic is point-to-point")
+        from repro.net.sharded_plane import ShardedMessagePlane
+
+        scale = topology_scale
+
+        def plane_factory(simulator):
+            return ShardedMessagePlane(
+                simulator,
+                total_nodes=scale.total_nodes,
+                shards=scale.shards,
+                chords=scale.chords,
+                link=scale.cluster_link,
+                jobs=scale.jobs,
+            )
 
     def reject_unused(**knobs) -> None:
         stray = [name for name, value in knobs.items() if value is not None]
@@ -244,6 +299,7 @@ def build_deployment(
                               else DEFAULT_KEEP_DEPTH),
             byzantine_nodes=faults.count if behavior else 0,
             byzantine_behavior=behavior or "selfish",
+            plane_factory=plane_factory,
         )
     elif paradigm == "dag":
         reject_unused(chain_params=chain_params,
@@ -266,6 +322,7 @@ def build_deployment(
             prune_interval_s=prune_interval_s,
             byzantine_nodes=faults.count if behavior else 0,
             byzantine_behavior=behavior or "tip-spam",
+            plane_factory=plane_factory,
         )
     else:  # bft
         reject_unused(chain_params=chain_params,

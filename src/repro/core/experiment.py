@@ -285,7 +285,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
                             "soak_duration_s": 600.0,
                             "soak_rate_tps": 1.0,
                             "soak_prune_interval_s": 60.0,
-                            "soak_keep_depth": 8},
+                            "soak_keep_depth": 8,
+                            "topology_scales": (100, 1_000, 10_000,
+                                                100_000),
+                            "scale_duration_s": 90.0,
+                            "scale_settle_s": 90.0,
+                            "scale_blockchain_tps": 1.0,
+                            "scale_dag_tps": 8.0},
         ),
         Experiment(
             "A9", "§III, §IV (extension)",
@@ -298,16 +304,19 @@ EXPERIMENTS: Dict[str, Experiment] = {
         ),
         Experiment(
             "A10", "§VI (scale tier)",
-            "Scale tier: mean-field clusters and sharded floods extend "
-            "the TPS/propagation curves to 10^4+ nodes",
-            ("repro.net.aggregate", "repro.sim.sharded",
-             "repro.core.deploy"),
+            "Scale tier: mean-field clusters, sharded floods and full "
+            "protocol traffic on the sharded message plane extend the "
+            "TPS/propagation curves to 10^4-10^6 nodes",
+            ("repro.net.aggregate", "repro.net.sharded_plane",
+             "repro.sim.sharded", "repro.core.deploy"),
             "bench_a10_scale.py",
             default_params={"scales": (100, 1_000, 10_000),
                             "duration_s": 120.0,
                             "blockchain_tps": 2.0, "dag_tps": 8.0,
                             "sharded_nodes": 10_000, "sharded_shards": 8,
-                            "jobs": 1, "total_nodes": 0},
+                            "jobs": 1, "total_nodes": 0,
+                            "traffic_nodes": 2_000,
+                            "traffic_duration_s": 30.0},
         ),
     ]
 }

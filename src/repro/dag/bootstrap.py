@@ -56,6 +56,7 @@ def build_nano_testbed(
     auto_receive: bool = True,
     processing_tps: Optional[float] = None,
     tracer: Optional[Tracer] = None,
+    network_factory: Optional[Callable[[Simulator], Network]] = None,
 ) -> NanoTestbed:
     """Stand up a Nano network with online, weighted representatives.
 
@@ -66,14 +67,21 @@ def build_nano_testbed(
 
     ``tracer`` is forwarded to the :class:`Network`; untraced throughput
     sweeps pass a :class:`repro.trace.NullTracer` to skip trace-record
-    construction on the gossip hot path.
+    construction on the gossip hot path.  ``network_factory`` swaps the
+    message plane (e.g. the sharded tier) — when given, it owns tracer
+    wiring and the ``tracer`` argument must be None.
     """
     if representative_count > node_count:
         raise ValueError("cannot have more representatives than nodes")
     params = params or NanoParams(work_difficulty=1)
     rng = random.Random(seed)
     simulator = Simulator(seed=seed)
-    network = Network(simulator, tracer=tracer)
+    if network_factory is not None:
+        if tracer is not None:
+            raise ValueError("pass the tracer through network_factory")
+        network = network_factory(simulator)
+    else:
+        network = Network(simulator, tracer=tracer)
 
     rep_keys = [KeyPair.generate(rng) for _ in range(representative_count)]
 

@@ -43,10 +43,20 @@ __all__ = [
     "TopologyScale",
     "attach_clusters",
     "sample_flood_times",
+    "sample_nested_flood_times",
     "exact_flood_times",
+    "exact_clustered_flood_times",
     "ks_statistic",
     "validate_aggregate_model",
+    "validate_nested_aggregate_model",
+    "nested_consistency_at_scale",
 ]
+
+#: Auto-nesting threshold: clusters at least this large are modeled as a
+#: cluster-of-clusters (one gateway flood + per-sub-cluster interiors).
+NESTED_AUTO_THRESHOLD = 20_000
+#: Target sub-cluster size when auto-nesting picks the fanout.
+NESTED_AUTO_LEAF = 10_000
 
 
 # --------------------------------------------------------------------------
@@ -151,6 +161,58 @@ def sample_flood_times(
     return times
 
 
+def sample_nested_flood_times(
+    count: int,
+    fanout: int,
+    degree: int,
+    link: LinkParams,
+    wire_size: int,
+    rng: np.random.Generator,
+    boundary_link: Optional[LinkParams] = None,
+    min_leaf: int = 1_000,
+) -> np.ndarray:
+    """Cluster-of-clusters infection timeline: gateways, then interiors.
+
+    The nested tier models one huge cluster as ``fanout`` sub-clusters
+    joined by a gateway overlay: the message first floods the ``fanout``
+    gateways (a :func:`sample_flood_times` draw over ``boundary_link``),
+    then each gateway seeds its own sub-cluster interior, offset by that
+    gateway's arrival.  Sub-clusters larger than ``fanout * min_leaf``
+    recurse, so depth composes as ``log(fanout) + log(count / fanout) =
+    log(count)`` — the same effective hop depth as a flat flood of the
+    whole population, which is why the nested law stays consistent with
+    the exact-validated flat law (pinned by
+    :func:`nested_consistency_at_scale`).
+    """
+    if count <= 0:
+        return np.zeros(0)
+    if fanout < 2 or count <= fanout:
+        return sample_flood_times(count, degree, link, wire_size, rng)
+    boundary = boundary_link if boundary_link is not None else link
+    gateway_degree = max(2, min(degree, fanout))
+    gateways = sample_flood_times(fanout, gateway_degree, boundary,
+                                  wire_size, rng)
+    interior = count - fanout
+    base, remainder = divmod(interior, fanout)
+    parts = [gateways]
+    for index in range(fanout):
+        size = base + (1 if index < remainder else 0)
+        if size <= 0:
+            continue
+        if size > fanout * min_leaf:
+            sub = sample_nested_flood_times(
+                size, fanout, degree, link, wire_size, rng,
+                boundary_link=boundary_link, min_leaf=min_leaf)
+        else:
+            sub = sample_flood_times(size, degree, link, wire_size, rng)
+        # Sub-cluster assignment is exchangeable, so offsetting by the
+        # sorted gateway times is a pure relabeling.
+        parts.append(gateways[index] + sub)
+    times = np.concatenate(parts)
+    times.sort()
+    return times
+
+
 # --------------------------------------------------------------------------
 # The aggregate cluster process
 # --------------------------------------------------------------------------
@@ -177,16 +239,24 @@ class AggregateCluster(NetworkNode):
         link: LinkParams = WAN_LINK,
         tick_s: float = 0.25,
         seed: Optional[int] = None,
+        fanout: int = 0,
+        boundary_link: Optional[LinkParams] = None,
     ) -> None:
         super().__init__(node_id)
         if size <= 0:
             raise ValueError("cluster size must be positive")
         if tick_s <= 0:
             raise ValueError("tick_s must be positive")
+        if fanout < 0:
+            raise ValueError("fanout must be non-negative")
         self.size = size
         self.degree = degree
         self.link = link
         self.tick_s = tick_s
+        #: >= 2 switches the interior to the nested cluster-of-clusters
+        #: law (:func:`sample_nested_flood_times`); 0/1 keeps it flat.
+        self.fanout = fanout
+        self.boundary_link = boundary_link
         self._seed = seed
         self._rng: Optional[np.random.Generator] = None
         #: active timelines: key -> (arrival_s, sorted times, delivered idx)
@@ -220,10 +290,17 @@ class AggregateCluster(NetworkNode):
             return
         simulator = self.network.simulator
         arrival = simulator.now
-        times = arrival + sample_flood_times(
-            self.size, self.degree, self.link, message.wire_size,
-            self._generator(),
-        )
+        if self.fanout >= 2:
+            times = arrival + sample_nested_flood_times(
+                self.size, self.fanout, self.degree, self.link,
+                message.wire_size, self._generator(),
+                boundary_link=self.boundary_link,
+            )
+        else:
+            times = arrival + sample_flood_times(
+                self.size, self.degree, self.link, message.wire_size,
+                self._generator(),
+            )
         self._active[key] = [arrival, times, 0]
         self.messages_modeled += 1
         if self._tick_task is None:
@@ -285,15 +362,39 @@ class AggregateCluster(NetworkNode):
 class TopologyScale:
     """How far past the fully-simulated boundary a deployment scales.
 
-    ``total_nodes`` counts boundary nodes *plus* aggregate interiors;
-    the surplus over the boundary ring is distributed across one
-    :class:`AggregateCluster` per boundary node.
+    ``total_nodes`` counts boundary nodes *plus* the scaled population.
+    ``plane`` picks the message-plane implementation that carries the
+    surplus:
+
+    ``"aggregate"``
+        the surplus is distributed across one :class:`AggregateCluster`
+        per boundary node (flat mean-field interiors; clusters at least
+        ``NESTED_AUTO_THRESHOLD`` nodes auto-switch to the nested
+        cluster-of-clusters law unless ``nested_fanout`` pins it).
+        Serves 10^3-10^6 with modeled propagation only.
+
+    ``"sharded"``
+        the whole deployment runs on a
+        :class:`repro.net.sharded_plane.ShardedMessagePlane` — every
+        gossiped protocol message is timed by an epoch-barrier crowd
+        propagation over all ``total_nodes``.  Serves 10^4-10^6 with
+        *real* protocol traffic (``shards`` / ``chords`` / ``jobs``
+        configure the crowd).
     """
 
     total_nodes: int
     cluster_degree: int = 8
     tick_s: float = 0.25
     cluster_link: LinkParams = field(default_factory=lambda: WAN_LINK)
+    plane: str = "aggregate"
+    #: None = auto (nest clusters >= NESTED_AUTO_THRESHOLD); 0/1 = flat;
+    #: >= 2 = force that fanout.
+    nested_fanout: Optional[int] = None
+    #: gateway-overlay link of the nested law (defaults to cluster_link)
+    boundary_link: Optional[LinkParams] = None
+    shards: int = 4
+    chords: int = 2
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.total_nodes < 1:
@@ -302,6 +403,24 @@ class TopologyScale:
             raise ValueError("cluster_degree must be >= 2")
         if self.tick_s <= 0:
             raise ValueError("tick_s must be positive")
+        if self.plane not in ("aggregate", "sharded"):
+            raise ValueError("plane must be 'aggregate' or 'sharded'")
+        if self.nested_fanout is not None and self.nested_fanout < 0:
+            raise ValueError("nested_fanout must be non-negative")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.chords < 0:
+            raise ValueError("chords must be non-negative")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    def cluster_fanout(self, size: int) -> int:
+        """Nested fanout an aggregate cluster of ``size`` should use."""
+        if self.nested_fanout is not None:
+            return self.nested_fanout if self.nested_fanout >= 2 else 0
+        if size < NESTED_AUTO_THRESHOLD:
+            return 0
+        return max(2, min(size // NESTED_AUTO_LEAF, 64))
 
 
 def attach_clusters(network, scale: TopologyScale,
@@ -332,6 +451,8 @@ def attach_clusters(network, scale: TopologyScale,
             degree=scale.cluster_degree,
             link=scale.cluster_link,
             tick_s=scale.tick_s,
+            fanout=scale.cluster_fanout(size),
+            boundary_link=scale.boundary_link,
         )
         network.add_node(cluster)
         network.connect(boundary_id, cluster.node_id, scale.cluster_link)
@@ -413,6 +534,69 @@ def ks_statistic(a: Sequence[float], b: Sequence[float]) -> float:
     return float(np.abs(cdf_a - cdf_b).max())
 
 
+def exact_clustered_flood_times(
+    group_count: int,
+    group_size: int,
+    degree: int,
+    link: LinkParams,
+    seed: int,
+    payload_bytes: int = 256,
+    boundary_link: Optional[LinkParams] = None,
+) -> np.ndarray:
+    """One exact flood over a real cluster-of-clusters graph.
+
+    The ground truth of the nested law: an ingress node feeds a
+    random-regular *gateway overlay* (one gateway per group, linked over
+    ``boundary_link``); each gateway is a member of its own
+    random-regular group interior over ``link``.  Returns the sorted
+    arrival times of all ``group_count * group_size`` non-ingress nodes.
+    """
+    import networkx as nx
+
+    from repro.net.network import Network
+    from repro.sim.simulator import Simulator
+
+    boundary = boundary_link if boundary_link is not None else link
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, coalesce=False)
+    ingress = _TimeRecorder("ingress")
+    network.add_node(ingress)
+    gateways: List[str] = []
+    recorders: List[_TimeRecorder] = []
+    for g in range(group_count):
+        ids = [f"g{g}:n{i}" for i in range(group_size)]
+        for node_id in ids:
+            node = _TimeRecorder(node_id)
+            network.add_node(node)
+            recorders.append(node)
+        interior_degree = min(degree, group_size - 1)
+        if interior_degree >= 2 and group_size > interior_degree:
+            graph = nx.random_regular_graph(
+                interior_degree, group_size, seed=seed * 1009 + g)
+        else:
+            graph = nx.complete_graph(group_size)
+        for a, b in graph.edges():
+            network.connect(ids[a], ids[b], link)
+        gateways.append(ids[0])
+    gateway_degree = min(max(2, min(degree, group_count)), group_count - 1)
+    if gateway_degree >= 2 and group_count > gateway_degree:
+        overlay = nx.random_regular_graph(
+            gateway_degree, group_count, seed=seed * 2003)
+    else:
+        overlay = nx.complete_graph(group_count)
+    for a, b in overlay.edges():
+        network.connect(gateways[a], gateways[b], boundary)
+    for gateway in gateways[:max(2, min(degree, group_count))]:
+        network.connect("ingress", gateway, boundary)
+    message = Message(kind="flood", payload="x" * payload_bytes,
+                      size_bytes=payload_bytes)
+    ingress.broadcast(message)
+    simulator.run()
+    times = [node.delivery_time for node in recorders
+             if node.delivery_time is not None]
+    return np.sort(np.asarray(times, dtype=float))
+
+
 def validate_aggregate_model(
     count: int = 24,
     degree: int = 4,
@@ -442,4 +626,90 @@ def validate_aggregate_model(
         "exact_p95": float(np.percentile(exact, 95)),
         "aggregate_p95": float(np.percentile(aggregate, 95)),
         "samples_per_side": int(len(exact)),
+    }
+
+
+def validate_nested_aggregate_model(
+    group_count: int = 4,
+    group_size: int = 24,
+    degree: int = 4,
+    link: LinkParams = LinkParams(latency_s=0.05, jitter_s=0.04,
+                                  bandwidth_bps=50_000_000.0),
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    payload_bytes: int = 256,
+    boundary_link: Optional[LinkParams] = None,
+) -> dict:
+    """Nested law vs exact cluster-of-clusters floods at small N.
+
+    The nested analogue of :func:`validate_aggregate_model`: pools exact
+    clustered floods (:func:`exact_clustered_flood_times`) against the
+    nested sampler with ``fanout = group_count``, same KS + moments
+    report, tolerance pinned by the test suite.
+    """
+    wire_size = payload_bytes + MESSAGE_OVERHEAD_BYTES
+    exact = np.concatenate([
+        exact_clustered_flood_times(group_count, group_size, degree, link,
+                                    seed, payload_bytes, boundary_link)
+        for seed in seeds
+    ])
+    # min_leaf = group_size keeps the sampler at exactly two levels,
+    # matching the two-level ground-truth graph.
+    nested = np.concatenate([
+        sample_nested_flood_times(
+            group_count * group_size, group_count, degree, link, wire_size,
+            np.random.default_rng(seed), boundary_link=boundary_link,
+            min_leaf=group_size)
+        for seed in seeds
+    ])
+    return {
+        "ks": ks_statistic(exact, nested),
+        "exact_mean": float(exact.mean()),
+        "nested_mean": float(nested.mean()),
+        "exact_p95": float(np.percentile(exact, 95)),
+        "nested_p95": float(np.percentile(nested, 95)),
+        "samples_per_side": int(len(exact)),
+    }
+
+
+def nested_consistency_at_scale(
+    total: int = 100_000,
+    fanout: Optional[int] = None,
+    degree: int = 8,
+    link: LinkParams = WAN_LINK,
+    seeds: Sequence[int] = (0, 1, 2),
+    payload_bytes: int = 256,
+) -> dict:
+    """Nested vs flat law at a scale the exact simulator cannot reach.
+
+    The flat :func:`sample_flood_times` law is exact-validated at small
+    N (:func:`validate_aggregate_model`) and scale-free in form, so at
+    10^5-10^6 it serves as the reference the nested decomposition must
+    reproduce — gateway depth plus sub-cluster depth must compose to the
+    same timeline as one flat flood.  ``fanout=None`` uses the same
+    auto rule as :meth:`TopologyScale.cluster_fanout`.
+    """
+    if fanout is None:
+        fanout = max(2, min(total // NESTED_AUTO_LEAF, 64))
+    wire_size = payload_bytes + MESSAGE_OVERHEAD_BYTES
+    flat = np.concatenate([
+        sample_flood_times(total, degree, link, wire_size,
+                           np.random.default_rng(seed))
+        for seed in seeds
+    ])
+    nested = np.concatenate([
+        sample_nested_flood_times(total, fanout, degree, link, wire_size,
+                                  np.random.default_rng(seed))
+        for seed in seeds
+    ])
+    mean_err = abs(float(nested.mean()) - float(flat.mean())) \
+        / float(flat.mean())
+    return {
+        "ks": ks_statistic(flat, nested),
+        "flat_mean": float(flat.mean()),
+        "nested_mean": float(nested.mean()),
+        "mean_err": mean_err,
+        "flat_p95": float(np.percentile(flat, 95)),
+        "nested_p95": float(np.percentile(nested, 95)),
+        "fanout": int(fanout),
+        "samples_per_side": int(len(flat)),
     }

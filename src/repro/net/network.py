@@ -101,6 +101,13 @@ class Network:
     except the one it came from.  This reproduces the propagation-delay
     distribution that drives soft-fork rates (Section IV-A) — a message
     reaches distant nodes only after several store-and-forward hops.
+
+    This class is the *reference implementation* of the
+    :class:`repro.protocol.interfaces.MessagePlane` contract: every
+    golden fingerprint in the suite (E9/E14, gossip, parity matrix) is
+    pinned on its exact semantics, and the scaled planes
+    (:mod:`repro.net.sharded_plane`, :mod:`repro.net.aggregate`) are
+    validated against it.
     """
 
     def __init__(
@@ -534,4 +541,19 @@ class Network:
             "messages_delivered": self.messages_delivered,
             "messages_lost": self.messages_lost,
             "bytes_transferred": self.bytes_transferred,
+        }
+
+    def plane_counters(self) -> Dict[str, float]:
+        """Fabric-level counters under the ``plane.*`` namespace.
+
+        The :class:`~repro.protocol.interfaces.MessagePlane` counterpart
+        of a node's ``layer_counters()``: the totals the fabric itself
+        accumulates, uniform across the exact, sharded and aggregate
+        implementations so monitors never switch on the concrete class.
+        """
+        return {
+            "plane.messages_delivered": float(self.messages_delivered),
+            "plane.messages_lost": float(self.messages_lost),
+            "plane.bytes_transferred": float(self.bytes_transferred),
+            "plane.pending_retries": float(self.pending_retries()),
         }

@@ -7,12 +7,16 @@ from typing import TYPE_CHECKING, Optional
 from repro.net.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.net.network import Network
+    from repro.protocol.interfaces import MessagePlane
 
 
 class NetworkNode:
-    """A participant attached to a :class:`~repro.net.network.Network`.
+    """A participant attached to a message plane.
 
+    The plane is usually the exact :class:`~repro.net.network.Network`,
+    but nodes only rely on the
+    :class:`~repro.protocol.interfaces.MessagePlane` contract, so the
+    same node runs unchanged on the sharded or nested-aggregate tiers.
     Subclasses (blockchain nodes, DAG nodes, channel parties...) override
     :meth:`handle_message`.  Traffic counters feed the per-node load
     analysis of Section VI (the "consumer hardware" centralization
@@ -21,7 +25,7 @@ class NetworkNode:
 
     def __init__(self, node_id: str) -> None:
         self.node_id = node_id
-        self.network: Optional["Network"] = None
+        self.network: Optional["MessagePlane"] = None
         self.online = True
         self.bytes_received = 0
         self.bytes_sent = 0
@@ -30,7 +34,7 @@ class NetworkNode:
 
     # ------------------------------------------------------------- lifecycle
 
-    def attached(self, network: "Network") -> None:
+    def attached(self, network: "MessagePlane") -> None:
         """Called by the network when the node joins."""
         self.network = network
 

@@ -1,0 +1,298 @@
+"""The sharded message plane: full protocol traffic at 10^4-10^6 nodes.
+
+PR 9's sharded tier (:mod:`repro.sim.sharded`) could only time pure
+floods — one origin, one message, no protocol on top.  This module
+closes the gap named by the ROADMAP's scale item: it implements the
+:class:`repro.protocol.interfaces.MessagePlane` contract on top of the
+epoch-barrier shard workers, so PoW/PoS and Nano deployments run *real*
+tx/block gossip while the propagation fabric is a 10^4-10^6-node crowd.
+
+The model is a hybrid:
+
+* A handful of **boundary replicas** — the actual
+  :class:`~repro.protocol.node.ProtocolNode` instances the deployment
+  builds — live on an exact :class:`~repro.net.network.Network` core
+  (this class subclasses it), so point-to-point sends, link faults,
+  partitions and the retransmit/park/kick recovery machinery keep their
+  reference semantics over the replicas' direct links.
+* Every :meth:`gossip` call runs one **crowd propagation**: the message
+  re-draws per-edge delays from a stream derived only from
+  ``(seed, message sequence)`` (see :meth:`ShardState.reset`), relaxes
+  first-arrival times across all shards, and the other replicas'
+  arrival times become scheduled deliveries on the simulator.  The
+  10^N - k crowd nodes are accounted as modeled deliveries, exactly
+  like the aggregate tier's clusters.
+
+Determinism: the per-message label sequence is a plain counter, the
+shard machinery is pinned byte-identical between ``jobs=1`` and
+``jobs=N``, and no crowd computation touches the simulator's RNG
+streams — so a deployment's state digest and the plane's own
+:meth:`plane_fingerprint` are byte-identical for any ``jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.net.link import LinkParams, WAN_LINK
+from repro.net.message import Message
+from repro.net.network import Network, RetransmitPolicy
+from repro.net.node import NetworkNode
+from repro.sim.sharded import ShardedConfig, ShardedPropagation
+from repro.sim.simulator import Simulator
+from repro.trace import REASON_OFFLINE, REASON_PARTITION, Tracer
+
+__all__ = ["ShardedMessagePlane"]
+
+
+class ShardedMessagePlane(Network):
+    """A :class:`Network` whose gossip fan-out is a sharded crowd.
+
+    ``total_nodes`` is the full population; the replicas attached via
+    :meth:`add_node` are embedded at evenly spaced crowd positions and
+    every flood between them is timed by the crowd graph (ring +
+    ``chords`` random matchings, per-edge delays following ``link``).
+    Direct sends (:meth:`transmit` / :meth:`transmit_reliable`) and all
+    fault machinery stay exact over the replica links.
+
+    Call :meth:`close` when done if ``jobs > 1`` — it tears down the
+    persistent shard worker processes (idempotent; ``jobs = 1`` is a
+    no-op).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        total_nodes: int,
+        shards: int = 4,
+        chords: int = 2,
+        link: Optional[LinkParams] = None,
+        jobs: int = 1,
+        seed: Optional[int] = None,
+        epoch_s: float = 0.5,
+        tracer: Optional[Tracer] = None,
+        retransmit: Optional[RetransmitPolicy] = None,
+        seen_cache_size: Optional[int] = 65536,
+        coalesce: Optional[bool] = None,
+    ) -> None:
+        super().__init__(simulator, tracer=tracer, retransmit=retransmit,
+                         seen_cache_size=seen_cache_size, coalesce=coalesce)
+        if total_nodes < 2:
+            raise ValueError("total_nodes must be >= 2")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.total_nodes = total_nodes
+        self.shards = shards
+        self.chords = chords
+        self.jobs = jobs
+        self.crowd_link = link if link is not None else WAN_LINK
+        self.epoch_s = epoch_s
+        # Derived through the simulator's fork discipline so two planes
+        # in one experiment (control vs treatment) decorrelate, yet the
+        # crowd stays a pure function of (simulator seed, construction
+        # order) — never of wall clock or worker scheduling.
+        self.seed = (seed if seed is not None
+                     else simulator.fork_rng("sharded-plane").getrandbits(48))
+        self._replica_order: List[str] = []
+        self._crowd_index: Dict[str, int] = {}
+        self._prop: Optional[ShardedPropagation] = None
+        self._workers = None
+        self._msg_seq = 0
+        self._crowd_fp = hashlib.sha256()
+        self._closed = False
+        # Crowd-side accounting (the modeled complement of traffic_stats).
+        self.messages_modeled = 0
+        self.modeled_deliveries = 0
+        self.cross_shard_messages = 0
+        self.crowd_epochs = 0
+        self.propagation_max_s = 0.0
+
+    # ---------------------------------------------------------------- wiring
+
+    def add_node(self, node: NetworkNode) -> None:
+        if self._prop is not None:
+            raise RuntimeError(
+                "cannot attach replicas after the crowd is built "
+                "(first gossip freezes the embedding)")
+        super().add_node(node)
+        self._replica_order.append(node.node_id)
+
+    def _ensure_crowd(self) -> None:
+        """Freeze the replica embedding and open the shard backend."""
+        if self._prop is not None:
+            return
+        replicas = len(self._replica_order)
+        if replicas == 0:
+            raise RuntimeError("no replicas attached")
+        if self.total_nodes < replicas:
+            raise ValueError(
+                f"total_nodes={self.total_nodes} < {replicas} replicas")
+        # Evenly spaced crowd positions; strictly increasing because
+        # total_nodes >= replicas, so the embedding is injective.
+        for k, node_id in enumerate(self._replica_order):
+            self._crowd_index[node_id] = k * self.total_nodes // replicas
+        # The retransmit fallback recovers a crowd delivery lost to a
+        # partition/offline window over the *direct* replica link, so
+        # every replica pair needs one — top up whatever topology the
+        # adapter built (connect() is additive and keeps existing links).
+        ids = self._replica_order
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                if (a, b) not in self._links:
+                    self.connect(a, b, self.crowd_link)
+        config = ShardedConfig.with_link(
+            self.crowd_link,
+            total_nodes=self.total_nodes,
+            shards=self.shards,
+            chords=self.chords,
+            epoch_s=self.epoch_s,
+            seed=self.seed,
+        )
+        self._prop = ShardedPropagation(config)
+        self._workers = self._prop.open(self.jobs).__enter__()
+
+    def close(self) -> None:
+        """Tear down the shard worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._workers is not None:
+            self._workers.__exit__(None, None, None)
+            self._workers = None
+
+    def __del__(self) -> None:  # pragma: no cover - defensive cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # --------------------------------------------------------------- gossip
+
+    def gossip(self, origin: str, message: Message) -> None:
+        """Flood ``message`` through the crowd from ``origin``.
+
+        The crowd propagation yields every replica's first-arrival time;
+        each becomes one scheduled delivery that resolves under the
+        reference semantics (offline/partition at arrival drops and
+        enters the retransmit/park chain over the direct replica link).
+        """
+        key = message.gossip_key()
+        self._seen[origin].add(key)
+        self._ensure_crowd()
+        label = f"msg:{self._msg_seq}"
+        self._msg_seq += 1
+        result = self._prop.run_with(
+            self._workers,
+            origin=self._crowd_index[origin],
+            label=label,
+            payload_bytes=message.size_bytes,
+            jobs=self.jobs,
+        )
+        self._crowd_fp.update(result.fingerprint().encode())
+        arrivals = result.arrivals
+        replica_rows = np.asarray(
+            [self._crowd_index[n] for n in self._replica_order])
+        replica_reached = int(np.count_nonzero(
+            np.isfinite(arrivals[replica_rows])))
+        self.messages_modeled += 1
+        self.modeled_deliveries += result.reached - replica_reached
+        self.cross_shard_messages += result.cross_shard_messages
+        self.crowd_epochs += result.epochs
+        finite = arrivals[np.isfinite(arrivals)]
+        if len(finite):
+            self.propagation_max_s = max(self.propagation_max_s,
+                                         float(finite.max()))
+        for dst in self._replica_order:
+            if dst == origin:
+                continue
+            dt = float(arrivals[self._crowd_index[dst]])
+            if not np.isfinite(dt):
+                continue
+            if key in self._seen[dst] or key in self._inflight[dst]:
+                continue
+            self._inflight[dst].add(key)
+            self._schedule_crowd_delivery(origin, dst, message, dt)
+
+    def _schedule_crowd_delivery(self, src: str, dst: str, message: Message,
+                                 delay: float) -> None:
+        """One replica delivery timed by the crowd, resolved exactly.
+
+        Mirrors the scalar ``deliver`` closure of
+        :meth:`Network._attempt_gossip` — same tracer accounting (one
+        ``schedule`` resolving as ``deliver`` or ``drop``), same
+        offline/partition handling (drop + retransmit chain) — except
+        there is no re-forward: the crowd already did the fan-out.
+        """
+        key = message.gossip_key()
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.record_schedule(self.simulator.now, src, dst,
+                                   message.kind, 1)
+
+        def deliver() -> None:
+            arrival = self.simulator.now
+            if key in self._seen[dst]:
+                self._inflight[dst].discard(key)
+                return
+            node = self._nodes[dst]
+            if self._crosses_partition(src, dst):
+                self.messages_lost += 1
+                if traced:
+                    tracer.record_drop(arrival, src, dst, message.kind,
+                                       REASON_PARTITION)
+                self._schedule_retry(src, dst, message, attempt=1)
+                return
+            if not node.online:
+                self.messages_lost += 1
+                if traced:
+                    tracer.record_drop(arrival, src, dst, message.kind,
+                                       REASON_OFFLINE)
+                self._schedule_retry(src, dst, message, attempt=1)
+                return
+            self.messages_delivered += 1
+            self.bytes_transferred += message.wire_size
+            if traced:
+                tracer.record_deliver(arrival, src, dst, message.kind)
+            self._seen[dst].add(key)
+            self._inflight[dst].discard(key)
+            node.deliver(src, message)
+
+        self.simulator.schedule(delay, deliver,
+                                label=f"gossip:{message.kind}")
+
+    # --------------------------------------------------------------- metrics
+
+    def plane_fingerprint(self) -> str:
+        """Digest over every crowd propagation so far.
+
+        A pure function of (seed, replica attach order, gossip sequence,
+        message sizes) — byte-identical for ``jobs=1`` vs ``jobs=N``,
+        which the test suite and the CI smoke pin.
+        """
+        return self._crowd_fp.hexdigest()[:16]
+
+    def plane_stats(self) -> Dict[str, float]:
+        """Crowd accounting in the shape of ``Deployment.scale_stats``."""
+        replicas = len(self._replica_order)
+        return {
+            "boundary_nodes": float(replicas),
+            "modeled_nodes": float(self.total_nodes - replicas),
+            "modeled_deliveries": float(self.modeled_deliveries),
+            "messages_modeled": float(self.messages_modeled),
+            "propagation_max_s": self.propagation_max_s,
+        }
+
+    def plane_counters(self) -> Dict[str, float]:
+        counters = super().plane_counters()
+        counters.update({
+            "plane.messages_modeled": float(self.messages_modeled),
+            "plane.modeled_deliveries": float(self.modeled_deliveries),
+            "plane.cross_shard_messages": float(self.cross_shard_messages),
+            "plane.crowd_epochs": float(self.crowd_epochs),
+        })
+        return counters

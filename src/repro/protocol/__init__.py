@@ -6,6 +6,13 @@ machine (Section II: a replicated "transaction-based state machine"),
 differing only in its consensus rule.  This package makes that layering
 explicit:
 
+``MessagePlane``
+    the structural contract of the fabric nodes publish into
+    (publish/deliver/seen/retransmit semantics plus layer counters);
+    the exact ``repro.net.Network`` is its reference implementation,
+    and the sharded / nested-aggregate tiers implement it too so the
+    same stack scales to 10^5-10^6 nodes;
+
 ``TransportLayer``
     peer send/broadcast, online/offline lifecycle, and
     republish-on-reconnect of locally created artifacts;
@@ -34,6 +41,7 @@ stack, not the other way around.
 from repro.protocol.interfaces import (
     ConsensusEngine,
     LedgerStateMachine,
+    MessagePlane,
     aggregate_layer_counters,
     protocol_nodes,
 )
@@ -47,6 +55,7 @@ __all__ = [
     "IntakeCounters",
     "IntakeLayer",
     "LedgerStateMachine",
+    "MessagePlane",
     "ProtocolNode",
     "TransportCounters",
     "TransportLayer",

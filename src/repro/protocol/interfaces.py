@@ -12,6 +12,87 @@ import abc
 from typing import Any, Dict, Hashable, List, Optional, Protocol, runtime_checkable
 
 
+@runtime_checkable
+class MessagePlane(Protocol):
+    """Structural type of the fabric a protocol node publishes into.
+
+    The stack used to hard-couple :class:`~repro.protocol.node.ProtocolNode`
+    / :class:`~repro.protocol.transport.TransportLayer` to the exact
+    in-process :class:`repro.net.network.Network`.  This protocol names
+    the seam instead, so the same stack runs unchanged on any fabric
+    that honors the contract:
+
+    * **publish** — :meth:`gossip` floods a message from an origin node;
+      :meth:`transmit` / :meth:`transmit_reliable` are the point-to-point
+      primitives (unreliable datagram vs retransmit-with-backoff).
+    * **deliver** — every accepted transmission resolves as exactly one
+      ``node.deliver`` (or a coalesced ``deliver_batch``) at the
+      destination; offline receivers drop (and gossip re-parks).
+    * **seen/retransmit** — duplicate suppression is by *ownership*: the
+      first in-flight delivery chain claims a ``(destination, key)``
+      pair; lost attempts back off and retry, exhausted attempts park
+      until :meth:`kick_retries` / :meth:`heal` revives them.  This is
+      what lets propagation recover after partitions and restarts.
+    * **layer counters** — :meth:`traffic_stats` /
+      :meth:`plane_counters` expose the fabric totals that join the
+      deployment's ``transport.* / intake.* / consensus.*`` namespaces.
+
+    Three implementations exist: the exact :class:`repro.net.network.Network`
+    (the reference — bit-identical goldens are pinned on it), the
+    sharded plane (:class:`repro.net.sharded_plane.ShardedMessagePlane`,
+    full protocol traffic over an epoch-barrier crowd at 10^4-10^6
+    nodes) and the nested-aggregate tier
+    (:class:`repro.net.aggregate.AggregateCluster` leaves hanging off an
+    exact boundary).  ``repro.net`` / ``repro.sim`` may import *this
+    module only* from the protocol package (enforced by
+    ``scripts/check_layering.py``) — the interface is the one arrow
+    allowed to point upward.
+    """
+
+    simulator: Any
+    tracer: Any
+
+    # ------------------------------------------------------------- wiring
+    def add_node(self, node: Any) -> None: ...
+
+    def connect(self, a: str, b: str, params: Any = None) -> None: ...
+
+    def set_link(self, a: str, b: str, params: Any,
+                 bidirectional: bool = True) -> None: ...
+
+    def link_params(self, a: str, b: str) -> Any: ...
+
+    def node(self, node_id: str) -> Any: ...
+
+    def nodes(self) -> Any: ...
+
+    def node_ids(self) -> List[str]: ...
+
+    def neighbors(self, node_id: str) -> List[str]: ...
+
+    # ------------------------------------------------------------ publish
+    def gossip(self, origin: str, message: Any) -> None: ...
+
+    def transmit(self, src: str, dst: str, message: Any) -> None: ...
+
+    def transmit_reliable(self, src: str, dst: str, message: Any) -> None: ...
+
+    # --------------------------------------------------------- partitions
+    def partition(self, groups: Any) -> None: ...
+
+    def heal(self) -> None: ...
+
+    # --------------------------------------------------------- retransmit
+    def kick_retries(self, dst: Optional[str] = None) -> None: ...
+
+    def pending_retries(self) -> int: ...
+
+    # ----------------------------------------------------------- counters
+    def traffic_stats(self) -> Dict[str, float]: ...
+
+    def plane_counters(self) -> Dict[str, float]: ...
+
+
 class ConsensusEngine(abc.ABC):
     """The paradigm-specific layer of a :class:`~repro.protocol.node.ProtocolNode`.
 

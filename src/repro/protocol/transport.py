@@ -1,7 +1,9 @@
 """The transport layer: publication lifecycle over the gossip fabric.
 
-``repro.net`` provides the raw primitives (flooding, retransmit/backoff,
-online gating); :class:`TransportLayer` adds the *node-side* publication
+Any :class:`~repro.protocol.interfaces.MessagePlane` provides the raw
+primitives (flooding, retransmit/backoff, online gating) — the exact
+``repro.net.Network`` by default, the sharded or nested-aggregate planes
+at scale; :class:`TransportLayer` adds the *node-side* publication
 contract every paradigm needs: an artifact created while the node is
 offline cannot be broadcast (``NetworkNode.broadcast`` is a silent
 no-op), so it is queued and republished on reconnect — the fix the

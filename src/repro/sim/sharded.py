@@ -27,6 +27,7 @@ traffic grow with network size.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -227,6 +228,29 @@ class ShardState:
                     pending)
         return np.zeros(0), np.zeros(0, dtype=np.int64), pending
 
+    def reset(self, label: str, payload_bytes: Optional[int] = None) -> int:
+        """Rearm the shard for a fresh propagation labelled ``label``.
+
+        The message plane reuses one set of (possibly worker-process)
+        shards for every gossiped message; each message re-draws its
+        per-edge delays from a stream derived only from
+        ``(seed, label, shard index)`` — never from worker scheduling —
+        so jobs=1 and jobs=N stay byte-identical per message.  A
+        ``payload_bytes`` override retimes the serialization term for
+        the actual message size.  Returns the owned-node count so the
+        barrier ``call`` has a payload-shaped reply.
+        """
+        config = self.config
+        if payload_bytes is not None and payload_bytes != config.payload_bytes:
+            config = dataclasses.replace(config, payload_bytes=payload_bytes)
+        rng = np.random.default_rng(
+            _np_seed(config.seed, f"{label}:shard:{self.index}"))
+        self.weights = _edge_delays(config, len(self.heads), rng)
+        self.dist = np.full(self.hi - self.lo, np.inf)
+        self.dirty = np.zeros(self.hi - self.lo, dtype=bool)
+        self.announced = np.full(len(self.heads), np.inf)
+        return self.hi - self.lo
+
     def collect(self) -> np.ndarray:
         """Final first-arrival times for this shard's owned nodes."""
         return self.dist
@@ -297,23 +321,41 @@ class ShardedPropagation:
         uppers = np.asarray([(i + 1) * n // shards for i in range(shards)])
         return np.searchsorted(uppers, nodes, side="right")
 
-    def run(self, origin: int = 0, jobs: int = 1) -> ShardedResult:
-        """Propagate from ``origin``; identical results for any ``jobs``.
+    def open(self, jobs: int = 1):
+        """Shard backend for :meth:`run_with` — a context manager.
 
-        ``jobs > 1`` runs every shard in its own persistent worker
+        ``jobs > 1`` spawns every shard into its own persistent worker
         process (:class:`repro.runner.pool.ShardWorkers`); ``jobs = 1``
-        steps the shards inline.  Seed-stability across the two paths is
-        pinned by the test suite.
+        holds the shard states inline.  Both expose the same barrier
+        ``call`` interface, so callers (and the sharded message plane,
+        which keeps one backend open across many messages) never branch
+        on the parallelism mode.
+        """
+        if jobs > 1:
+            from repro.runner.pool import ShardWorkers
+            return ShardWorkers(_make_shard_state, self.config,
+                                self.config.shards)
+        return _InlineShards(self.config)
+
+    def run_with(self, workers, origin: int = 0, *,
+                 label: Optional[str] = None,
+                 payload_bytes: Optional[int] = None,
+                 jobs: int = 1) -> ShardedResult:
+        """One propagation from ``origin`` over an open shard backend.
+
+        With ``label`` set, every shard first re-draws its edge delays
+        from the ``(seed, label)``-derived stream (see
+        :meth:`ShardState.reset`) so one backend can serve a whole
+        message sequence deterministically; without it the shards run as
+        constructed (the legacy single-shot path).
         """
         config = self.config
         if not 0 <= origin < config.total_nodes:
             raise ValueError("origin out of range")
-        if jobs > 1:
-            from repro.runner.pool import ShardWorkers
-            workers = ShardWorkers(_make_shard_state, config, config.shards)
-        else:
-            workers = _InlineShards(config)
         shards = config.shards
+        if label is not None:
+            workers.call("reset", [(label, payload_bytes)
+                                   for _ in range(shards)])
         # Owner shard boundaries follow ShardState: lo = i * n // shards.
         inbox_times: List[np.ndarray] = [np.zeros(0) for _ in range(shards)]
         inbox_nodes: List[np.ndarray] = [np.zeros(0, dtype=np.int64)
@@ -324,35 +366,45 @@ class ShardedPropagation:
         horizon = config.epoch_s
         epochs = 0
         cross = 0
-        with workers:
-            while True:
-                if epochs >= config.max_epochs:
-                    raise RuntimeError(
-                        f"no convergence after {epochs} epochs")
-                payloads = [(inbox_times[i], inbox_nodes[i], horizon)
-                            for i in range(shards)]
-                replies = workers.call("step", payloads)
-                epochs += 1
-                horizon += config.epoch_s
-                # Barrier merge, in deterministic order: shard-ordered
-                # gather, then a (time, dst) sort before routing.
-                all_times = np.concatenate([r[0] for r in replies])
-                all_nodes = np.concatenate(
-                    [np.asarray(r[1], dtype=np.int64) for r in replies])
-                pending = sum(int(r[2]) for r in replies)
-                cross += len(all_times)
-                if not len(all_times) and pending == 0:
-                    break
-                order = np.lexsort((all_nodes, all_times))
-                all_times = all_times[order]
-                all_nodes = all_nodes[order]
-                owners = self._owner(all_nodes)
-                for i in range(shards):
-                    mine = owners == i
-                    inbox_times[i] = all_times[mine]
-                    inbox_nodes[i] = all_nodes[mine]
-            collected = workers.call("collect", [() for _ in range(shards)])
+        while True:
+            if epochs >= config.max_epochs:
+                raise RuntimeError(
+                    f"no convergence after {epochs} epochs")
+            payloads = [(inbox_times[i], inbox_nodes[i], horizon)
+                        for i in range(shards)]
+            replies = workers.call("step", payloads)
+            epochs += 1
+            horizon += config.epoch_s
+            # Barrier merge, in deterministic order: shard-ordered
+            # gather, then a (time, dst) sort before routing.
+            all_times = np.concatenate([r[0] for r in replies])
+            all_nodes = np.concatenate(
+                [np.asarray(r[1], dtype=np.int64) for r in replies])
+            pending = sum(int(r[2]) for r in replies)
+            cross += len(all_times)
+            if not len(all_times) and pending == 0:
+                break
+            order = np.lexsort((all_nodes, all_times))
+            all_times = all_times[order]
+            all_nodes = all_nodes[order]
+            owners = self._owner(all_nodes)
+            for i in range(shards):
+                mine = owners == i
+                inbox_times[i] = all_times[mine]
+                inbox_nodes[i] = all_nodes[mine]
+        collected = workers.call("collect", [() for _ in range(shards)])
         arrivals = np.concatenate(collected)
         return ShardedResult(arrivals=arrivals, epochs=epochs,
                              cross_shard_messages=cross, config=config,
                              jobs=jobs)
+
+    def run(self, origin: int = 0, jobs: int = 1) -> ShardedResult:
+        """Propagate from ``origin``; identical results for any ``jobs``.
+
+        ``jobs > 1`` runs every shard in its own persistent worker
+        process (:class:`repro.runner.pool.ShardWorkers`); ``jobs = 1``
+        steps the shards inline.  Seed-stability across the two paths is
+        pinned by the test suite.
+        """
+        with self.open(jobs) as workers:
+            return self.run_with(workers, origin, jobs=jobs)

@@ -151,3 +151,32 @@ def test_topology_scale_attaches_clusters_at_setup():
 def test_topology_scale_below_boundary_is_rejected():
     with pytest.raises(ValueError, match="below the fully-simulated"):
         build_deployment("blockchain", node_count=5, topology_scale=3)
+
+
+def test_zero_surplus_scale_attaches_nothing_and_reports_explicitly():
+    """total_nodes == boundary count: a legal no-op scale.  No clusters
+    attach, and scale_stats() still returns the full key set with an
+    explicit scaled=0.0 instead of a partial report."""
+    deployment = build_deployment("blockchain", node_count=3,
+                                  topology_scale=3, seed=0)
+    deployment.setup(4, 1_000_000)
+    assert deployment.clusters == []
+    stats = deployment.scale_stats()
+    assert stats == {
+        "scaled": 0.0,
+        "boundary_nodes": 3.0,
+        "modeled_nodes": 0.0,
+        "modeled_deliveries": 0.0,
+        "messages_modeled": 0.0,
+        "propagation_max_s": 0.0,
+    }
+
+
+def test_unscaled_deployment_reports_the_same_empty_shape():
+    deployment = build_deployment("blockchain", node_count=3, seed=0)
+    deployment.setup(4, 1_000_000)
+    stats = deployment.scale_stats()
+    assert stats["scaled"] == 0.0
+    assert set(stats) == {"scaled", "boundary_nodes", "modeled_nodes",
+                          "modeled_deliveries", "messages_modeled",
+                          "propagation_max_s"}

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.net.aggregate import (
+    NESTED_AUTO_THRESHOLD,
     AggregateCluster,
     TopologyScale,
     aggregate_flood_times,
@@ -17,8 +18,11 @@ from repro.net.aggregate import (
     exact_flood_times,
     hop_layers,
     ks_statistic,
+    nested_consistency_at_scale,
     sample_flood_times,
+    sample_nested_flood_times,
     validate_aggregate_model,
+    validate_nested_aggregate_model,
 )
 from repro.net.link import FAST_LINK, LinkParams
 from repro.net.message import Message
@@ -241,3 +245,89 @@ class TestAttachClusters:
             TopologyScale(total_nodes=10, cluster_degree=1)
         with pytest.raises(ValueError):
             TopologyScale(total_nodes=10, tick_s=0.0)
+
+
+class TestNestedAggregate:
+    """The cluster-of-clusters law that lifts the aggregate tier to
+    10^5-10^6 nodes: gateways flood over the boundary overlay, interiors
+    flood beneath each gateway, offset by the gateway's own arrival."""
+
+    def link(self):
+        return LinkParams(latency_s=0.05, jitter_s=0.04,
+                          bandwidth_bps=50_000_000.0)
+
+    def test_sampler_returns_one_delay_per_member_sorted(self):
+        rng = np.random.default_rng(0)
+        times = sample_nested_flood_times(
+            1_000, fanout=4, degree=4, link=self.link(), wire_size=256,
+            rng=rng, min_leaf=100)
+        assert len(times) == 1_000
+        assert np.all(np.diff(times) >= 0)
+        assert np.all(times > 0)
+
+    def test_flat_fallback_below_fanout(self):
+        """fanout < 2 or tiny populations collapse to the flat law."""
+        rng = np.random.default_rng(1)
+        nested = sample_nested_flood_times(
+            50, fanout=1, degree=4, link=self.link(), wire_size=256,
+            rng=rng)
+        flat = sample_flood_times(
+            50, degree=4, link=self.link(), wire_size=256,
+            rng=np.random.default_rng(1))
+        assert np.allclose(nested, flat)
+
+    def test_validated_against_exact_two_level_flood(self):
+        """The pinned tolerance for the nested law, mirroring the flat
+        tier's KS gate: a real two-level topology (gateway overlay +
+        per-group interiors) vs the nested sampler."""
+        result = validate_nested_aggregate_model()
+        assert result["ks"] <= 0.15, result
+        rel = abs(result["nested_mean"] - result["exact_mean"])
+        assert rel / result["exact_mean"] <= 0.05, result
+
+    def test_nested_consistent_with_flat_law_at_scale(self):
+        """At 10^5 the nested recursion must reproduce the flat
+        mean-field law it decomposes (depth composes as log(fanout) +
+        log(n/fanout) = log(n))."""
+        result = nested_consistency_at_scale(total=100_000)
+        assert result["ks"] <= 0.15, result
+        assert result["mean_err"] <= 0.05, result
+        assert result["fanout"] >= 2
+
+    def test_validation_is_deterministic(self):
+        assert validate_nested_aggregate_model() == \
+            validate_nested_aggregate_model()
+
+    def test_cluster_fanout_auto_rule(self):
+        scale = TopologyScale(total_nodes=10)
+        assert scale.cluster_fanout(NESTED_AUTO_THRESHOLD - 1) == 0
+        assert scale.cluster_fanout(NESTED_AUTO_THRESHOLD) >= 2
+        assert scale.cluster_fanout(1_000_000) == 64  # clamped
+        pinned = TopologyScale(total_nodes=10, nested_fanout=8)
+        assert pinned.cluster_fanout(100) == 8
+        flat = TopologyScale(total_nodes=10, nested_fanout=0)
+        assert flat.cluster_fanout(10**6) == 0
+
+    def test_nested_cluster_models_whole_population(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, coalesce=False)
+        nodes = complete_topology(net, 3, Recorder, FAST_LINK)
+        cluster = AggregateCluster("agg:n0", 30_000, tick_s=0.25,
+                                   link=FAST_LINK, fanout=6)
+        net.add_node(cluster)
+        net.connect("n0", "agg:n0", FAST_LINK)
+        nodes[1].broadcast(make_message("deep"))
+        sim.run()
+        assert cluster.messages_completed == 1
+        assert cluster.modeled_deliveries == 30_000
+        assert cluster.stats()["propagation_max_s"] > 0
+
+    def test_scale_validates_plane_fields(self):
+        with pytest.raises(ValueError):
+            TopologyScale(total_nodes=10, plane="warp")
+        with pytest.raises(ValueError):
+            TopologyScale(total_nodes=10, nested_fanout=-1)
+        with pytest.raises(ValueError):
+            TopologyScale(total_nodes=10, shards=0)
+        with pytest.raises(ValueError):
+            TopologyScale(total_nodes=10, jobs=0)

@@ -29,6 +29,7 @@ from repro.faults import FaultInjector
 from repro.net.link import FAST_LINK
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.net.sharded_plane import ShardedMessagePlane
 from repro.net.topology import complete_topology
 from repro.protocol import protocol_nodes
 from repro.sim.simulator import Simulator
@@ -89,11 +90,11 @@ SCENARIOS = {
 # ---------------------------------------------------------------------------
 
 
-def build_blockchain(seed):
+def build_blockchain(seed, plane=None):
     key = KeyPair.from_seed(bytes([1]) * 32)
     genesis = build_genesis_with_allocations({key.address: 1_000_000})
     sim = Simulator(seed=seed)
-    net = Network(sim)
+    net = plane(sim) if plane is not None else Network(sim)
     factory = lambda nid: BlockchainNode(nid, BITCOIN, genesis)  # noqa: E731
     nodes = protocol_nodes(complete_topology(net, NODE_COUNT, factory, FAST_LINK))
     producer = nodes[0]
@@ -115,10 +116,10 @@ def build_blockchain(seed):
     return sim, net, nodes, emit, state
 
 
-def build_nano(seed):
+def build_nano(seed, plane=None):
     params = NanoParams(work_difficulty=1)
     sim = Simulator(seed=seed)
-    net = Network(sim)
+    net = plane(sim) if plane is not None else Network(sim)
     factory = lambda nid: NanoNode(nid, params)  # noqa: E731
     nodes = protocol_nodes(complete_topology(net, NODE_COUNT, factory, FAST_LINK))
     genesis_key = KeyPair.from_seed(bytes([2]) * 32)
@@ -138,9 +139,9 @@ def build_nano(seed):
     return sim, net, nodes, emit, state
 
 
-def build_tangle(seed):
+def build_tangle(seed, plane=None):
     sim = Simulator(seed=seed)
-    net = Network(sim)
+    net = plane(sim) if plane is not None else Network(sim)
     factory = lambda nid: TangleNode(nid, seed=int(nid[1:]))  # noqa: E731
     nodes = protocol_nodes(complete_topology(net, NODE_COUNT, factory, FAST_LINK))
     key = KeyPair.from_seed(bytes([3]) * 32)
@@ -157,9 +158,9 @@ def build_tangle(seed):
     return sim, net, nodes, emit, state
 
 
-def build_byteball(seed):
+def build_byteball(seed, plane=None):
     sim = Simulator(seed=seed)
-    net = Network(sim)
+    net = plane(sim) if plane is not None else Network(sim)
     witness = KeyPair.from_seed(bytes([4]) * 32)
     factory = lambda nid: ByteballNode(nid, [witness.address])  # noqa: E731
     nodes = protocol_nodes(complete_topology(net, NODE_COUNT, factory, FAST_LINK))
@@ -176,9 +177,9 @@ def build_byteball(seed):
     return sim, net, nodes, emit, state
 
 
-def build_bft(seed):
+def build_bft(seed, plane=None):
     sim = Simulator(seed=seed)
-    net = Network(sim)
+    net = plane(sim) if plane is not None else Network(sim)
     # One payment per block (max_batch=1): every emitted artifact becomes
     # its own committed entry, matching the matrix's `> ARTIFACTS` bar.
     factory = lambda nid: BftNode(nid, max_batch=1)  # noqa: E731
@@ -233,6 +234,46 @@ def test_eventual_delivery(paradigm, scenario):
     for node in nodes[1:]:
         assert state(node) == reference, f"{node.node_id} diverged under {scenario}"
     assert intake_backlog(nodes) == {}, "stuck intake entries after settling"
+
+
+#: Gossip paradigms only: BFT quorum traffic is point-to-point, which
+#: the crowd plane deliberately rejects (see build_deployment).
+GOSSIP_PARADIGMS = ("blockchain", "byteball", "nano", "tangle")
+
+
+def _sharded_plane(sim):
+    return ShardedMessagePlane(sim, total_nodes=50, shards=2,
+                               link=FAST_LINK, seed=321)
+
+
+@pytest.mark.parametrize("paradigm", sorted(GOSSIP_PARADIGMS))
+def test_sharded_plane_column(paradigm):
+    """The matrix's sharded column: the same replicas carried by a
+    50-node :class:`ShardedMessagePlane` crowd settle to the exact
+    plane's replica state with zero stuck intake — every broadcast is a
+    real crowd propagation, not a direct link."""
+    sim, net, nodes, emit, state = PARADIGMS[paradigm](seed=7)
+    for i, t in enumerate(EMIT_TIMES):
+        sim.schedule_at(t, lambda i=i: emit(i), label=f"emit:{i}")
+    sim.run(until=SETTLE_UNTIL)
+    exact_reference = state(nodes[0])
+
+    sim2, net2, nodes2, emit2, state2 = PARADIGMS[paradigm](
+        seed=7, plane=_sharded_plane)
+    for i, t in enumerate(EMIT_TIMES):
+        sim2.schedule_at(t, lambda i=i: emit2(i), label=f"emit:{i}")
+    sim2.run(until=SETTLE_UNTIL)
+    try:
+        assert state2(nodes2[0]) == exact_reference, \
+            f"{paradigm} replica state drifted between planes"
+        for node in nodes2[1:]:
+            assert state2(node) == exact_reference, \
+                f"{node.node_id} diverged on the sharded plane"
+        assert intake_backlog(nodes2) == {}, \
+            "stuck intake entries on the sharded plane"
+        assert net2.plane_stats()["messages_modeled"] > 0
+    finally:
+        net2.close()
 
 
 @pytest.mark.parametrize("paradigm", sorted(PARADIGMS))
